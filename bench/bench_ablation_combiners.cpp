@@ -1,0 +1,79 @@
+// A2 — §2 ablation: sender-side combiners.
+//
+// Pregel(+) combiners collapse the n messages a worker sends to one
+// destination vertex into one. This bench quantifies their effect on
+// delivered message counts and simulated network time, for both the
+// hand-written PageRank and the compiled ΔV variants (Δ-messages combine
+// too — Eq. 11 composes — which the paper's design depends on).
+#include <iostream>
+
+#include "algorithms/pagerank.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace deltav;
+  Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.05, "dataset scale");
+  const int workers =
+      static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
+  if (args.help_requested()) {
+    std::cout << args.help();
+    return 0;
+  }
+  args.check_unused();
+
+  bench::banner("Combiner ablation", "§2 (message combiners)");
+
+  const auto g = graph::make_dataset("livejournal-dg-s", scale);
+
+  Table t({"system", "combiner", "msgs sent", "msgs delivered",
+           "cross-machine MB", "sim(s)"});
+
+  for (bool combine : {false, true}) {
+    algorithms::PageRankOptions o;
+    o.engine = bench::paper_engine(workers);
+    o.use_combiner = combine;
+    const auto r = algorithms::pagerank_pregel(g, o);
+    t.row()
+        .cell("Pregel+ PR")
+        .cell(combine ? "on" : "off")
+        .cell(static_cast<unsigned long long>(
+            r.stats.total_messages_sent()))
+        .cell(static_cast<unsigned long long>(
+            r.stats.total_messages_delivered()))
+        .cell(static_cast<double>(r.stats.total_cross_machine_bytes()) /
+                  1e6,
+              2)
+        .cell(r.stats.total_sim_seconds(), 3);
+  }
+
+  for (bool incremental : {false, true}) {
+    for (bool combine : {false, true}) {
+      dv::CompileOptions copts;
+      copts.incrementalize = incremental;
+      const auto cp = dv::compile(dv::programs::kPageRank, copts);
+      dv::DvRunOptions o;
+      o.engine = bench::paper_engine(workers);
+      o.use_combiner = combine;
+      o.params = {{"steps", dv::Value::of_int(29)}};
+      const auto r = dv::run_program(cp, g, o);
+      t.row()
+          .cell(incremental ? "ΔV PR" : "ΔV* PR")
+          .cell(combine ? "on" : "off")
+          .cell(static_cast<unsigned long long>(
+              r.stats.total_messages_sent()))
+          .cell(static_cast<unsigned long long>(
+              r.stats.total_messages_delivered()))
+          .cell(static_cast<double>(r.stats.total_cross_machine_bytes()) /
+                    1e6,
+                2)
+          .cell(r.stats.total_sim_seconds(), 3);
+    }
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nShape checks: combining never changes results (tested in the unit\n"
+      "suite) and cuts delivered counts for all systems; ΔV's Δ-messages\n"
+      "remain combinable, so the two optimizations stack.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// A3 — §6.6 / §9 ablation: halt-by-default and work-queue scheduling.
+//
+// Two independent knobs the paper discusses:
+//   * halt insertion (§6.6): vertices halt every superstep and wake only
+//     on messages — reduces how many vertices *compute*;
+//   * the §9 future-work scheduler: with halt-by-default, runnable
+//     vertices can be taken from a per-worker queue fed by message
+//     delivery instead of scanning every vertex each superstep.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace deltav;
+  Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.05, "dataset scale");
+  const int workers =
+      static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
+  if (args.help_requested()) {
+    std::cout << args.help();
+    return 0;
+  }
+  args.check_unused();
+
+  bench::banner("Halt-by-default & scheduling ablation", "§6.6 and §9");
+
+  const auto g = graph::make_dataset("wikipedia-s", scale);
+  const std::map<std::string, dv::Value> params = {
+      {"steps", dv::Value::of_int(29)}};
+
+  Table t({"variant", "schedule", "active-vertex computes", "msgs",
+           "wall(s)", "sim(s)"});
+
+  struct Config {
+    const char* name;
+    bool halts;
+    pregel::ScheduleMode mode;
+  };
+  const Config configs[] = {
+      {"ΔV no-halts", false, pregel::ScheduleMode::kScanAll},
+      {"ΔV halts", true, pregel::ScheduleMode::kScanAll},
+      {"ΔV halts", true, pregel::ScheduleMode::kWorkQueue},
+  };
+
+  for (const auto& c : configs) {
+    dv::CompileOptions copts;
+    copts.insert_halts = c.halts;
+    const auto cp = dv::compile(dv::programs::kPageRank, copts);
+    dv::DvRunOptions o;
+    o.engine = bench::paper_engine(workers);
+    o.engine.schedule = c.mode;
+    o.params = params;
+    Timer timer;
+    const auto r = dv::run_program(cp, g, o);
+    const double wall = timer.elapsed_seconds();
+    std::uint64_t active = 0;
+    for (const auto& s : r.stats.supersteps) active += s.active_vertices;
+    t.row()
+        .cell(c.name)
+        .cell(c.mode == pregel::ScheduleMode::kScanAll ? "scan-all"
+                                                       : "work-queue")
+        .cell(static_cast<unsigned long long>(active))
+        .cell(static_cast<unsigned long long>(
+            r.stats.total_messages_sent()))
+        .cell(wall, 3)
+        .cell(r.stats.total_sim_seconds(), 3);
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nShape checks: halts cut active-vertex computes once ranks start\n"
+      "converging (messages are identical across variants); the work-queue\n"
+      "scheduler removes the per-superstep full scan the paper's §9 calls\n"
+      "out.\n";
+  return 0;
+}

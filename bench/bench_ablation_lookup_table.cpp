@@ -1,0 +1,81 @@
+// A1 — §4.2.1 ablation: lookup-table memoization vs. incrementalization.
+//
+// The paper rejects the "cache every neighbor's value in a per-vertex
+// table" design because id-tagged messages grow the wire size and the
+// tables inflate memory — "the resulting computation can run even slower
+// than the original". This bench measures all three designs on PageRank.
+#include <iostream>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/pagerank_lookup.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace deltav;
+  Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.05, "dataset scale");
+  const int workers =
+      static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
+  if (args.help_requested()) {
+    std::cout << args.help();
+    return 0;
+  }
+  args.check_unused();
+
+  bench::banner("Meaningful-only messaging: lookup table vs Δ-messages",
+                "§4.2.1 (rejected design) vs §4.2.2");
+
+  const auto g = graph::make_dataset("wikipedia-s", scale);
+
+  Table t({"system", "wall(s)", "sim(s)", "msgs", "MB",
+           "extra state (MB)"});
+
+  {
+    algorithms::PageRankOptions o;
+    o.engine = bench::paper_engine(workers);
+    o.use_combiner = false;  // baseline sends raw streams
+    Timer timer;
+    const auto r = algorithms::pagerank_pregel(g, o);
+    const auto m = bench::from_stats(r.stats, timer.elapsed_seconds());
+    t.row()
+        .cell("Pregel+ (plain)")
+        .cell(m.wall_seconds, 3)
+        .cell(m.sim_seconds, 3)
+        .cell(static_cast<unsigned long long>(m.messages))
+        .cell(static_cast<double>(m.bytes) / 1e6, 2)
+        .cell(0.0, 2);
+  }
+  {
+    algorithms::PageRankLookupOptions o;
+    o.engine = bench::paper_engine(workers);
+    Timer timer;
+    const auto r = algorithms::pagerank_lookup_table(g, o);
+    const auto m = bench::from_stats(r.stats, timer.elapsed_seconds());
+    t.row()
+        .cell("lookup-table (§4.2.1)")
+        .cell(m.wall_seconds, 3)
+        .cell(m.sim_seconds, 3)
+        .cell(static_cast<unsigned long long>(m.messages))
+        .cell(static_cast<double>(m.bytes) / 1e6, 2)
+        .cell(static_cast<double>(r.table_bytes) / 1e6, 2);
+  }
+  {
+    const auto full = dv::compile(dv::programs::kPageRank, {});
+    const auto m = bench::run_dv(
+        full, g, {{"steps", dv::Value::of_int(29)}}, workers);
+    t.row()
+        .cell("ΔV (incrementalized)")
+        .cell(m.wall_seconds, 3)
+        .cell(m.sim_seconds, 3)
+        .cell(static_cast<unsigned long long>(m.messages))
+        .cell(static_cast<double>(m.bytes) / 1e6, 2)
+        .cell(0.0, 2);
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nShape checks: the lookup table reduces message COUNT like ΔV but\n"
+      "pays +50% bytes per message (sender-id tag), loses combinability,\n"
+      "and holds per-vertex tables; ΔV gets the same reduction with\n"
+      "constant extra state (one accumulator).\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Every bench binary prints column-aligned tables (common/table.h) with one
+// row per (graph, algorithm, system) so EXPERIMENTS.md can be filled by
+// copy-paste. "System" is one of the paper's three: ΔV (full pipeline),
+// ΔV* (no incrementalization), and Pregel+ (the hand-written baseline).
+//
+// Reported metrics:
+//   wall(s)  — measured wall-clock of compute+exchange on this machine;
+//   sim(s)   — simulated 8×m4.xlarge/750Mbps cluster time (net::ClusterModel)
+//              = local compute + modeled cross-machine communication;
+//   msgs     — messages sent by compute() (pre-combining);
+//   MB       — logical wire bytes of those messages.
+//
+// Message and byte counts are exact and hardware-independent; they are the
+// paper's Figure-4-right/Figure-5 quantities. Times reproduce the *shape*
+// (who wins, roughly by how much), not the absolute EC2 numbers.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "dv/compiler.h"
+#include "dv/programs/programs.h"
+#include "dv/runtime/runner.h"
+#include "graph/datasets.h"
+#include "net/cluster_model.h"
+#include "pregel/engine.h"
+
+namespace deltav::bench {
+
+struct Metrics {
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::size_t supersteps = 0;
+  std::size_t state_bytes = 0;
+};
+
+inline Metrics from_stats(const pregel::RunStats& stats,
+                          double wall_seconds) {
+  Metrics m;
+  m.wall_seconds = wall_seconds;
+  m.sim_seconds = stats.total_sim_seconds();
+  m.messages = stats.total_messages_sent();
+  m.bytes = stats.total_bytes_sent();
+  m.supersteps = stats.num_supersteps();
+  return m;
+}
+
+/// Engine options mirroring the paper's deployment (8 machines × 2
+/// workers); `workers` caps the real thread count for this host.
+inline pregel::EngineOptions paper_engine(int workers = 4) {
+  pregel::EngineOptions o;
+  o.num_workers = workers;
+  o.cluster.machines = 8;
+  o.cluster.workers_per_machine = 2;
+  o.cluster.bandwidth_bytes_per_sec = 750e6 / 8.0;
+  return o;
+}
+
+/// Runs a compiled ΔV program, returning metrics.
+inline Metrics run_dv(const dv::CompiledProgram& cp,
+                      const graph::CsrGraph& g,
+                      std::map<std::string, dv::Value> params, int workers) {
+  dv::DvRunOptions o;
+  o.engine = paper_engine(workers);
+  o.params = std::move(params);
+  Timer t;
+  const auto result = dv::run_program(cp, g, o);
+  Metrics m = from_stats(result.stats, t.elapsed_seconds());
+  m.state_bytes = cp.state_bytes();
+  return m;
+}
+
+/// Repeats a measurement `reps` times (the paper reports 3-run averages),
+/// averaging the timings; message/byte counts must be identical across
+/// runs (the engine is deterministic) and are verified to be.
+template <typename Fn>
+Metrics averaged(int reps, Fn&& fn) {
+  Metrics acc = fn();
+  for (int i = 1; i < reps; ++i) {
+    const Metrics m = fn();
+    DV_CHECK_MSG(m.messages == acc.messages && m.bytes == acc.bytes,
+                 "nondeterministic message counts across repetitions");
+    acc.wall_seconds += m.wall_seconds;
+    acc.sim_seconds += m.sim_seconds;
+  }
+  acc.wall_seconds /= reps;
+  acc.sim_seconds /= reps;
+  return acc;
+}
+
+inline void add_row(Table& table, const std::string& graph,
+                    const std::string& algo, const std::string& system,
+                    const Metrics& m) {
+  table.row()
+      .cell(graph)
+      .cell(algo)
+      .cell(system)
+      .cell(m.wall_seconds, 3)
+      .cell(m.sim_seconds, 3)
+      .cell(static_cast<unsigned long long>(m.messages))
+      .cell(static_cast<double>(m.bytes) / 1e6, 2)
+      .cell(static_cast<unsigned long long>(m.supersteps));
+}
+
+inline Table make_metrics_table() {
+  return Table({"graph", "algorithm", "system", "wall(s)", "sim(s)", "msgs",
+                "MB", "supersteps"});
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "== " << title << " ==\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace deltav::bench

@@ -1,0 +1,162 @@
+// F4 — Figure 4: execution time (left) and number of messages sent (right)
+// for PageRank, SSSP and HITS on the Wikipedia and LiveJournal-DG
+// stand-ins, comparing ΔV, ΔV* and hand-written Pregel+.
+//
+// Paper's reported shape: Pregel+ always beats ΔV* (compiled programs pay
+// interpretation overhead); ΔV beats both on PR (avg 4.4× vs Pregel+, 5.8×
+// fewer messages) and HITS (1.9× both); SSSP sends exactly the same number
+// of messages in all three systems and ΔV shows no slowdown.
+#include <iostream>
+
+#include "algorithms/hits.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace deltav;
+
+constexpr int kPrSupersteps = 30;  // Figure-1 convention
+constexpr int kHitsRounds = 5;     // paper: 7 = 5 + 2 init steps
+
+bench::Metrics run_pagerank_hand(const graph::CsrGraph& g, int workers) {
+  algorithms::PageRankOptions o;
+  o.iterations = kPrSupersteps;
+  o.engine = bench::paper_engine(workers);
+  Timer t;
+  const auto r = algorithms::pagerank_pregel(g, o);
+  auto m = bench::from_stats(r.stats, t.elapsed_seconds());
+  m.state_bytes = 8;
+  return m;
+}
+
+bench::Metrics run_sssp_hand(const graph::CsrGraph& g, int workers) {
+  algorithms::SsspOptions o;
+  o.source = 0;
+  o.engine = bench::paper_engine(workers);
+  Timer t;
+  const auto r = algorithms::sssp_pregel(g, o);
+  return bench::from_stats(r.stats, t.elapsed_seconds());
+}
+
+bench::Metrics run_hits_hand(const graph::CsrGraph& g, int workers) {
+  algorithms::HitsOptions o;
+  o.iterations = kHitsRounds;
+  o.engine = bench::paper_engine(workers);
+  Timer t;
+  const auto r = algorithms::hits_pregel(g, o);
+  return bench::from_stats(r.stats, t.elapsed_seconds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const double scale =
+      args.get_double("scale", 0.2, "dataset scale factor (1.0 = full)");
+  const int workers =
+      static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
+  const int reps = static_cast<int>(
+      args.get_int("reps", 3, "repetitions averaged (paper: 3)"));
+  if (args.help_requested()) {
+    std::cout << args.help();
+    return 0;
+  }
+  args.check_unused();
+
+  bench::banner("Runtime and messages: PG / SSSP / HITS",
+                "Figure 4 (Wikipedia & LiveJournal-DG, ΔV vs ΔV* vs "
+                "Pregel+)");
+
+  Table t = bench::make_metrics_table();
+  struct Ratio {
+    std::string graph, algo;
+    double msg_reduction, star_speedup_sim;
+  };
+  std::vector<Ratio> ratios;
+
+  for (const char* ds : {"wikipedia-s", "livejournal-dg-s"}) {
+    const auto g = graph::make_dataset(ds, scale);
+    const auto gw = graph::make_dataset(ds, scale, /*weighted=*/true);
+
+    const auto compile_both = [](const char* src) {
+      return std::pair(dv::compile(src, {}),
+                       dv::compile(src, dv::CompileOptions{
+                                            .incrementalize = false}));
+    };
+
+    // ---- PageRank ----
+    {
+      const auto [full, star] = compile_both(dv::programs::kPageRank);
+      const std::map<std::string, dv::Value> params = {
+          {"steps", dv::Value::of_int(kPrSupersteps - 1)}};
+      const auto m_full = bench::averaged(
+          reps, [&] { return bench::run_dv(full, g, params, workers); });
+      const auto m_star = bench::averaged(
+          reps, [&] { return bench::run_dv(star, g, params, workers); });
+      const auto m_hand =
+          bench::averaged(reps, [&] { return run_pagerank_hand(g, workers); });
+      bench::add_row(t, ds, "PageRank", "DV", m_full);
+      bench::add_row(t, ds, "PageRank", "DV*", m_star);
+      bench::add_row(t, ds, "PageRank", "Pregel+", m_hand);
+      ratios.push_back({ds, "PageRank",
+                        static_cast<double>(m_star.messages) /
+                            static_cast<double>(m_full.messages),
+                        m_star.sim_seconds / m_full.sim_seconds});
+    }
+
+    // ---- SSSP ----
+    {
+      const auto [full, star] = compile_both(dv::programs::kSssp);
+      const std::map<std::string, dv::Value> params = {
+          {"source", dv::Value::of_int(0)}};
+      const auto m_full = bench::averaged(
+          reps, [&] { return bench::run_dv(full, gw, params, workers); });
+      const auto m_star = bench::averaged(
+          reps, [&] { return bench::run_dv(star, gw, params, workers); });
+      const auto m_hand =
+          bench::averaged(reps, [&] { return run_sssp_hand(gw, workers); });
+      bench::add_row(t, ds, "SSSP", "DV", m_full);
+      bench::add_row(t, ds, "SSSP", "DV*", m_star);
+      bench::add_row(t, ds, "SSSP", "Pregel+", m_hand);
+      ratios.push_back({ds, "SSSP",
+                        static_cast<double>(m_star.messages) /
+                            static_cast<double>(m_full.messages),
+                        m_star.sim_seconds / m_full.sim_seconds});
+    }
+
+    // ---- HITS ----
+    {
+      const auto [full, star] = compile_both(dv::programs::kHits);
+      const std::map<std::string, dv::Value> params = {
+          {"steps", dv::Value::of_int(kHitsRounds)}};
+      const auto m_full = bench::averaged(
+          reps, [&] { return bench::run_dv(full, g, params, workers); });
+      const auto m_star = bench::averaged(
+          reps, [&] { return bench::run_dv(star, g, params, workers); });
+      const auto m_hand =
+          bench::averaged(reps, [&] { return run_hits_hand(g, workers); });
+      bench::add_row(t, ds, "HITS", "DV", m_full);
+      bench::add_row(t, ds, "HITS", "DV*", m_star);
+      bench::add_row(t, ds, "HITS", "Pregel+", m_hand);
+      ratios.push_back({ds, "HITS",
+                        static_cast<double>(m_star.messages) /
+                            static_cast<double>(m_full.messages),
+                        m_star.sim_seconds / m_full.sim_seconds});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nIncrementalization effect (ΔV* / ΔV):\n";
+  Table rt({"graph", "algorithm", "message reduction", "sim-time speedup"});
+  for (const auto& r : ratios)
+    rt.row().cell(r.graph).cell(r.algo).ratio(r.msg_reduction).ratio(
+        r.star_speedup_sim);
+  rt.print(std::cout);
+  std::cout <<
+      "\nShape checks (paper §7.2): PR and HITS show multi-x message\n"
+      "reduction and speedup; SSSP shows 1.00x (identical messages) and\n"
+      "no slowdown. Scale=" << scale << ".\n";
+  return 0;
+}

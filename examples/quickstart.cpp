@@ -1,0 +1,71 @@
+// Quickstart: compile a ΔV program, run it on a graph, inspect results.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour: write vertex-centric code in ΔV's pull-based
+// query style, let the compiler incrementalize it (§6 of the paper), and
+// run it on the bundled BSP engine. No flags, no data files.
+#include <iostream>
+
+#include "dv/compiler.h"
+#include "dv/runtime/runner.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace deltav;
+
+  // 1. A ΔV program: PageRank, exactly as in the paper's §5 listing.
+  const std::string source = R"(
+    param steps : int;
+    init {
+      local vl : float = 1.0 / graphSize;
+      local pr : float = vl / |#out|
+    };
+    iter i {
+      let sum : float = + [ u.pr | u <- #in ] in
+      vl = 0.15 + 0.85 * (sum / graphSize);
+      pr = vl / |#out|
+    } until { i >= steps }
+  )";
+
+  // 2. Compile twice: the full ΔV pipeline, and ΔV* (no
+  //    incrementalization) for comparison.
+  const dv::CompiledProgram incremental = dv::compile(source);
+  const dv::CompiledProgram plain =
+      dv::compile(source, dv::CompileOptions{.incrementalize = false});
+
+  std::cout << "compiled vertex state: ΔV = " << incremental.state_bytes()
+            << " B, ΔV* = " << plain.state_bytes() << " B\n\n";
+
+  // 3. A scale-free test graph.
+  const graph::CsrGraph g = graph::rmat(10000, 80000, /*seed=*/42);
+  std::cout << "graph: " << g.summary() << "\n\n";
+
+  // 4. Run both variants.
+  dv::DvRunOptions options;
+  options.engine.num_workers = 4;
+  options.params = {{"steps", dv::Value::of_int(29)}};
+
+  const auto inc = dv::run_program(incremental, g, options);
+  const auto base = dv::run_program(plain, g, options);
+
+  // 5. Same answers...
+  const auto ranks = inc.field_as_double("vl");
+  const auto ranks_base = base.field_as_double("vl");
+  double max_diff = 0;
+  for (std::size_t v = 0; v < ranks.size(); ++v)
+    max_diff = std::max(max_diff, std::abs(ranks[v] - ranks_base[v]));
+  std::cout << "max rank difference ΔV vs ΔV*: " << max_diff << "\n";
+
+  // ...far fewer messages.
+  std::cout << "messages: ΔV = " << inc.stats.total_messages_sent()
+            << ", ΔV* = " << base.stats.total_messages_sent() << "  ("
+            << static_cast<double>(base.stats.total_messages_sent()) /
+                   static_cast<double>(inc.stats.total_messages_sent())
+            << "x reduction)\n\n";
+
+  // 6. Peek at what the compiler did (§6's transformations, in the
+  //    paper's notation).
+  std::cout << "transformed program (ΔV):\n" << incremental.dump() << "\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: link analysis of a synthetic web crawl.
+//
+// Runs the paper's two iterative workloads — PageRank and the
+// non-converging HITS — over the web-crawl stand-in with both compiled
+// variants and the hand-written Pregel+ baselines, printing a ranked
+// report and the communication savings. This is the workload family where
+// the paper's incrementalization pays off (§7.2, Figure 4).
+#include <algorithm>
+#include <iostream>
+
+#include "algorithms/hits.h"
+#include "algorithms/pagerank.h"
+#include "dv/compiler.h"
+#include "dv/programs/programs.h"
+#include "dv/runtime/runner.h"
+#include "graph/datasets.h"
+
+namespace {
+
+void print_top(const std::string& label, const std::vector<double>& score,
+               int k = 5) {
+  std::vector<std::size_t> order(score.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return score[a] > score[b];
+                    });
+  std::cout << label << ": ";
+  for (int i = 0; i < k; ++i)
+    std::cout << "v" << order[static_cast<std::size_t>(i)] << "("
+              << score[order[static_cast<std::size_t>(i)]] << ") ";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace deltav;
+
+  const auto g = graph::make_dataset("wikipedia-s", /*scale=*/0.02);
+  std::cout << "crawl: " << g.summary() << "\n\n";
+
+  // ---- PageRank: three systems, one answer ----
+  const auto pr_dv = dv::compile(dv::programs::kPageRank);
+  const auto pr_star = dv::compile(
+      dv::programs::kPageRank, dv::CompileOptions{.incrementalize = false});
+  dv::DvRunOptions run_opts;
+  run_opts.engine.num_workers = 4;
+  run_opts.params = {{"steps", dv::Value::of_int(29)}};
+
+  const auto r_dv = dv::run_program(pr_dv, g, run_opts);
+  const auto r_star = dv::run_program(pr_star, g, run_opts);
+  algorithms::PageRankOptions hand_opts;
+  hand_opts.engine.num_workers = 4;
+  const auto r_hand = algorithms::pagerank_pregel(g, hand_opts);
+
+  print_top("top pages (ΔV)     ", r_dv.field_as_double("vl"));
+  print_top("top pages (ΔV*)    ", r_star.field_as_double("vl"));
+  print_top("top pages (Pregel+)", r_hand.rank);
+
+  std::cout << "\nPageRank messages: ΔV " << r_dv.stats.total_messages_sent()
+            << " | ΔV* " << r_star.stats.total_messages_sent()
+            << " | Pregel+ " << r_hand.stats.total_messages_sent() << "\n";
+  std::cout << "simulated cluster time: ΔV "
+            << r_dv.stats.total_sim_seconds() << "s | ΔV* "
+            << r_star.stats.total_sim_seconds() << "s | Pregel+ "
+            << r_hand.stats.total_sim_seconds() << "s\n\n";
+
+  // ---- HITS: hub/authority structure of the crawl ----
+  run_opts.params = {{"steps", dv::Value::of_int(5)}};
+  const auto hits_dv =
+      dv::run_program(dv::compile(dv::programs::kHits), g, run_opts);
+  print_top("top hubs       ", hits_dv.field_as_double("hub"));
+  print_top("top authorities", hits_dv.field_as_double("auth"));
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "algorithms/connected_components.h"
+
+#include <numeric>
+
+namespace deltav::algorithms {
+
+namespace {
+struct MinCombiner {
+  void operator()(graph::VertexId& acc, graph::VertexId in) const {
+    if (in < acc) acc = in;
+  }
+};
+}  // namespace
+
+CcResult connected_components_pregel(const graph::CsrGraph& g,
+                                     const CcOptions& options) {
+  DV_CHECK_MSG(!g.directed(),
+               "connected components expects an undirected graph");
+  const std::size_t n = g.num_vertices();
+
+  CcResult result;
+  result.component.resize(n);
+  std::iota(result.component.begin(), result.component.end(), 0);
+  auto& comp = result.component;
+
+  pregel::EngineOptions eopts = options.engine;
+  eopts.use_combiner = options.use_combiner;
+  pregel::Engine<graph::VertexId, MinCombiner> engine(n, eopts);
+
+  auto broadcast = [&](auto& ctx, graph::VertexId v) {
+    for (graph::VertexId u : g.neighbors(v)) ctx.send(u, comp[v]);
+  };
+
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const graph::VertexId> msgs) {
+    if (ctx.superstep() == 0) {
+      broadcast(ctx, v);
+    } else {
+      graph::VertexId best = comp[v];
+      for (graph::VertexId m : msgs)
+        if (m < best) best = m;
+      if (best < comp[v]) {
+        comp[v] = best;
+        broadcast(ctx, v);
+      }
+    }
+    ctx.vote_to_halt();
+  };
+
+  engine.run(compute);
+  result.stats = engine.stats();
+  return result;
+}
+
+std::vector<graph::VertexId> connected_components_oracle(
+    const graph::CsrGraph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<graph::VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  // Path-halving find.
+  auto find = [&](graph::VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<graph::VertexId>(v);
+    for (graph::VertexId u : g.out_neighbors(vid)) {
+      graph::VertexId a = find(vid), b = find(u);
+      if (a != b) parent[a < b ? b : a] = a < b ? a : b;  // min-root union
+    }
+  }
+  std::vector<graph::VertexId> comp(n);
+  for (std::size_t v = 0; v < n; ++v)
+    comp[v] = find(static_cast<graph::VertexId>(v));
+  return comp;
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,37 @@
+// Hand-written Pregel+ connected components (hash-min label propagation).
+//
+// Every vertex starts with its own id as component label, broadcasts it,
+// and adopts the minimum label it hears; like SSSP the algorithm only sends
+// on improvement, so it is "pre-incrementalized" — the paper's Figure 5
+// no-regression benchmark.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::algorithms {
+
+struct CcOptions {
+  pregel::EngineOptions engine;
+  bool use_combiner = true;
+};
+
+struct CcResult {
+  /// component[v] = smallest vertex id in v's connected component.
+  std::vector<graph::VertexId> component;
+  pregel::RunStats stats;
+};
+
+/// `g` should be undirected (on a directed graph this computes the
+/// components of the underlying... out-edge-reachability relation is NOT
+/// symmetric, so callers pass undirected graphs; a CheckError enforces it).
+CcResult connected_components_pregel(const graph::CsrGraph& g,
+                                     const CcOptions& options = {});
+
+/// Union-find oracle.
+std::vector<graph::VertexId> connected_components_oracle(
+    const graph::CsrGraph& g);
+
+}  // namespace deltav::algorithms

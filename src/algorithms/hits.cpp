@@ -1,0 +1,85 @@
+#include "algorithms/hits.h"
+
+namespace deltav::algorithms {
+
+namespace {
+struct HitsCombiner {
+  void operator()(HitsMessage& acc, const HitsMessage& in) const {
+    acc.value += in.value;
+  }
+  /// Combine per (destination, message kind): hub and authority
+  /// contributions must not mix.
+  std::uint64_t key(graph::VertexId dst, const HitsMessage& m) const {
+    return (static_cast<std::uint64_t>(dst) << 1) | m.kind;
+  }
+};
+}  // namespace
+
+HitsResult hits_pregel(const graph::CsrGraph& g, const HitsOptions& options) {
+  const std::size_t n = g.num_vertices();
+
+  HitsResult result;
+  result.hub.assign(n, 1.0);
+  result.authority.assign(n, 1.0);
+  auto& hub = result.hub;
+  auto& auth = result.authority;
+
+  pregel::EngineOptions eopts = options.engine;
+  eopts.use_combiner = options.use_combiner;
+  pregel::Engine<HitsMessage, HitsCombiner> engine(n, eopts);
+
+  auto send_scores = [&](auto& ctx, graph::VertexId v) {
+    for (graph::VertexId u : g.out_neighbors(v))
+      ctx.send(u, HitsMessage{hub[v], HitsMessage::kAuthContribution});
+    for (graph::VertexId u : g.in_neighbors(v))
+      ctx.send(u, HitsMessage{auth[v], HitsMessage::kHubContribution});
+  };
+
+  const int total = options.iterations;
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const HitsMessage> msgs) {
+    if (ctx.superstep() > 0) {
+      double a = 0, h = 0;
+      for (const HitsMessage& m : msgs) {
+        if (m.kind == HitsMessage::kAuthContribution)
+          a += m.value;
+        else
+          h += m.value;
+      }
+      auth[v] = a;
+      hub[v] = h;
+    }
+    if (static_cast<int>(ctx.superstep()) < total) {
+      send_scores(ctx, v);
+    } else {
+      ctx.vote_to_halt();
+    }
+  };
+
+  engine.run(compute);
+  result.stats = engine.stats();
+  return result;
+}
+
+void hits_oracle(const graph::CsrGraph& g, int iterations,
+                 std::vector<double>& hub, std::vector<double>& authority) {
+  const std::size_t n = g.num_vertices();
+  hub.assign(n, 1.0);
+  authority.assign(n, 1.0);
+  std::vector<double> next_hub(n), next_auth(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next_hub.begin(), next_hub.end(), 0.0);
+    std::fill(next_auth.begin(), next_auth.end(), 0.0);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto vid = static_cast<graph::VertexId>(u);
+      for (graph::VertexId v : g.out_neighbors(vid)) {
+        next_auth[v] += hub[u];   // u endorses v as an authority
+        next_hub[u] += authority[v];  // v's authority feeds u's hub score
+      }
+    }
+    hub.swap(next_hub);
+    authority.swap(next_auth);
+  }
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,56 @@
+// Hand-written Pregel+ HITS (Hyperlink-Induced Topic Search).
+//
+// The paper's variant (§7): non-converging (no normalization) with the hub
+// and authority updates performed *simultaneously* from the previous
+// superstep's values, run for a fixed small number of rounds ("7 (5 after 2
+// initialization steps)"). Each superstep a vertex sends its hub score
+// along out-edges (an authority contribution) and its authority score along
+// in-edges (a hub contribution); messages are tagged with their kind and
+// combined per (destination, kind).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::algorithms {
+
+struct HitsMessage {
+  enum Kind : std::uint8_t { kAuthContribution = 0, kHubContribution = 1 };
+  double value = 0;
+  std::uint8_t kind = kAuthContribution;
+};
+
+struct HitsOptions {
+  /// Number of hub/authority update rounds (paper: 5, after 2 setup steps).
+  int iterations = 5;
+  pregel::EngineOptions engine;
+  bool use_combiner = true;
+};
+
+struct HitsResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+  pregel::RunStats stats;
+};
+
+HitsResult hits_pregel(const graph::CsrGraph& g,
+                       const HitsOptions& options = {});
+
+/// Sequential oracle: the same simultaneous, unnormalized recurrence.
+void hits_oracle(const graph::CsrGraph& g, int iterations,
+                 std::vector<double>& hub, std::vector<double>& authority);
+
+}  // namespace deltav::algorithms
+
+namespace deltav::pregel {
+/// HITS messages travel as (8-byte value, 1-byte kind) on the wire.
+template <>
+struct MessageTraits<deltav::algorithms::HitsMessage> {
+  static std::size_t wire_size(const deltav::algorithms::HitsMessage&) {
+    return 9;
+  }
+};
+}  // namespace deltav::pregel

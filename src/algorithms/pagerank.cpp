@@ -1,0 +1,75 @@
+#include "algorithms/pagerank.h"
+
+namespace deltav::algorithms {
+
+namespace {
+struct SumCombiner {
+  void operator()(double& acc, double in) const { acc += in; }
+};
+}  // namespace
+
+PageRankResult pagerank_pregel(const graph::CsrGraph& g,
+                               const PageRankOptions& options) {
+  const std::size_t n = g.num_vertices();
+  DV_CHECK(n > 0);
+  const auto N = static_cast<double>(n);
+  const int total_steps = options.iterations;
+
+  PageRankResult result;
+  result.rank.assign(n, 0.0);
+  auto& pr = result.rank;
+
+  pregel::EngineOptions eopts = options.engine;
+  eopts.use_combiner = options.use_combiner;
+  pregel::Engine<double, SumCombiner> engine(n, eopts);
+
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const double> msgs) {
+    if (ctx.superstep() == 0) {
+      pr[v] = 1.0 / N;
+    } else {
+      double sum = 0;
+      for (double m : msgs) sum += m;
+      pr[v] = 0.15 + 0.85 * (sum / N);
+    }
+    // Figure 1: `if (step_num() < 30)` with 1-based steps; ours are 0-based.
+    if (static_cast<int>(ctx.superstep()) + 1 < total_steps) {
+      const auto out = g.out_neighbors(v);
+      if (!out.empty()) {
+        const double share = pr[v] / static_cast<double>(out.size());
+        for (graph::VertexId u : out) ctx.send(u, share);
+      }
+    } else {
+      ctx.vote_to_halt();
+    }
+  };
+
+  engine.run(compute);
+  result.stats = engine.stats();
+  return result;
+}
+
+std::vector<double> pagerank_oracle(const graph::CsrGraph& g,
+                                    int iterations) {
+  const std::size_t n = g.num_vertices();
+  const auto N = static_cast<double>(n);
+  std::vector<double> rank(n, 1.0 / N), next(n, 0.0);
+  // `iterations` supersteps perform iterations-1 rank updates (the first
+  // superstep only initializes), mirroring pagerank_pregel.
+  for (int it = 1; it <= iterations - 1; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto vid = static_cast<graph::VertexId>(u);
+      const auto out = g.out_neighbors(vid);
+      if (out.empty()) continue;
+      const double share = rank[u] / static_cast<double>(out.size());
+      for (graph::VertexId v : out) next[v] += share;
+    }
+    for (std::size_t v = 0; v < n; ++v)
+      next[v] = 0.15 + 0.85 * (next[v] / N);
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,59 @@
+#include "algorithms/pagerank_lookup.h"
+
+#include "common/open_hash_map.h"
+
+namespace deltav::algorithms {
+
+PageRankLookupResult pagerank_lookup_table(
+    const graph::CsrGraph& g, const PageRankLookupOptions& options) {
+  const std::size_t n = g.num_vertices();
+  DV_CHECK(n > 0);
+  const auto N = static_cast<double>(n);
+  const int total_steps = options.iterations;
+
+  PageRankLookupResult result;
+  result.rank.assign(n, 0.0);
+  auto& pr = result.rank;
+
+  // Per-vertex cache of the last share heard from each in-neighbor.
+  // (Messages cannot be combined: the receiver needs each sender's value.)
+  std::vector<OpenHashMap<double>> cache(n);
+  std::vector<double> last_sent(n, -1.0);  // sentinel: nothing sent yet
+
+  pregel::Engine<TaggedMessage> engine(n, options.engine);
+
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const TaggedMessage> msgs) {
+    if (ctx.superstep() == 0) {
+      pr[v] = 1.0 / N;
+    } else {
+      for (const TaggedMessage& m : msgs) cache[v][m.sender] = m.value;
+      double sum = 0;
+      cache[v].for_each(
+          [&](std::uint64_t, const double& value) { sum += value; });
+      pr[v] = 0.15 + 0.85 * (sum / N);
+    }
+    if (static_cast<int>(ctx.superstep()) + 1 < total_steps) {
+      const auto out = g.out_neighbors(v);
+      if (!out.empty()) {
+        const double share = pr[v] / static_cast<double>(out.size());
+        if (share != last_sent[v]) {  // meaningful-only policy
+          for (graph::VertexId u : out)
+            ctx.send(u, TaggedMessage{v, share});
+          last_sent[v] = share;
+        }
+      }
+    } else {
+      ctx.vote_to_halt();
+    }
+  };
+
+  engine.run(compute);
+  result.stats = engine.stats();
+  for (const auto& c : cache)
+    result.table_bytes +=
+        c.capacity() * (sizeof(std::uint64_t) + sizeof(double));
+  return result;
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,53 @@
+// The §4.2.1 strawman: meaningful-only messaging via per-vertex lookup
+// tables instead of incrementalization.
+//
+// Every vertex caches the last value heard from each in-neighbor in a local
+// table keyed by sender id; messages carry the sender id (growing the wire
+// size) and are sent only when the value changed. The aggregation is then
+// recomputed from the *whole table* every superstep. The paper rejects this
+// design — the id tag can double message size and the table inflates vertex
+// state — and our ablation bench (A1) measures exactly that trade-off
+// against the Δ-message design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::algorithms {
+
+struct TaggedMessage {
+  graph::VertexId sender = 0;
+  double value = 0;
+};
+
+struct PageRankLookupOptions {
+  int iterations = 30;
+  pregel::EngineOptions engine;
+};
+
+struct PageRankLookupResult {
+  std::vector<double> rank;
+  pregel::RunStats stats;
+  /// Bytes of lookup-table state across all vertices at the end of the run
+  /// (the memory-footprint cost §4.2.1 warns about).
+  std::uint64_t table_bytes = 0;
+};
+
+PageRankLookupResult pagerank_lookup_table(
+    const graph::CsrGraph& g, const PageRankLookupOptions& options = {});
+
+}  // namespace deltav::algorithms
+
+namespace deltav::pregel {
+/// Wire format: 8-byte value + 4-byte sender tag (the doubling §4.2.1
+/// describes for 4-byte payload systems; +50% for ours).
+template <>
+struct MessageTraits<deltav::algorithms::TaggedMessage> {
+  static std::size_t wire_size(const deltav::algorithms::TaggedMessage&) {
+    return 12;
+  }
+};
+}  // namespace deltav::pregel

@@ -1,0 +1,86 @@
+#include "algorithms/sssp.h"
+
+#include <queue>
+
+namespace deltav::algorithms {
+
+namespace {
+struct MinCombiner {
+  void operator()(double& acc, double in) const {
+    if (in < acc) acc = in;
+  }
+};
+}  // namespace
+
+SsspResult sssp_pregel(const graph::CsrGraph& g, const SsspOptions& options) {
+  const std::size_t n = g.num_vertices();
+  DV_CHECK(options.source < n);
+
+  SsspResult result;
+  result.distance.assign(n, kUnreachable);
+  auto& dist = result.distance;
+
+  pregel::EngineOptions eopts = options.engine;
+  eopts.use_combiner = options.use_combiner;
+  pregel::Engine<double, MinCombiner> engine(n, eopts);
+
+  auto relax_and_send = [&](auto& ctx, graph::VertexId v) {
+    const auto out = g.out_neighbors(v);
+    const auto wts = g.out_weights(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double w = wts.empty() ? 1.0 : wts[i];
+      ctx.send(out[i], dist[v] + w);
+    }
+  };
+
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const double> msgs) {
+    if (ctx.superstep() == 0) {
+      if (v == options.source) {
+        dist[v] = 0.0;
+        relax_and_send(ctx, v);
+      }
+    } else {
+      double best = kUnreachable;
+      for (double m : msgs)
+        if (m < best) best = m;
+      if (best < dist[v]) {
+        dist[v] = best;
+        relax_and_send(ctx, v);
+      }
+    }
+    ctx.vote_to_halt();
+  };
+
+  engine.run(compute);
+  result.stats = engine.stats();
+  return result;
+}
+
+std::vector<double> sssp_oracle(const graph::CsrGraph& g,
+                                graph::VertexId source) {
+  const std::size_t n = g.num_vertices();
+  DV_CHECK(source < n);
+  std::vector<double> dist(n, kUnreachable);
+  using Entry = std::pair<double, graph::VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    const auto out = g.out_neighbors(v);
+    const auto wts = g.out_weights(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double w = wts.empty() ? 1.0 : wts[i];
+      if (d + w < dist[out[i]]) {
+        dist[out[i]] = d + w;
+        heap.emplace(d + w, out[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,37 @@
+// Hand-written Pregel+ single-source shortest paths.
+//
+// The classic Pregel SSSP: only vertices whose tentative distance improved
+// re-broadcast, and every vertex votes to halt each superstep — the paper
+// calls this algorithm "pre-incrementalized" (§7.2), which is why ΔV gains
+// nothing on it and why it serves as the no-regression benchmark.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::algorithms {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct SsspOptions {
+  graph::VertexId source = 0;
+  pregel::EngineOptions engine;
+  bool use_combiner = true;
+};
+
+struct SsspResult {
+  std::vector<double> distance;  // kUnreachable if not reachable
+  pregel::RunStats stats;
+};
+
+SsspResult sssp_pregel(const graph::CsrGraph& g,
+                       const SsspOptions& options = {});
+
+/// Sequential Dijkstra oracle (binary heap).
+std::vector<double> sssp_oracle(const graph::CsrGraph& g,
+                                graph::VertexId source);
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,96 @@
+#include "common/args.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace deltav {
+
+Args::Args(int argc, const char* const* argv) {
+  DV_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    DV_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected argument: " << arg);
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  for (const auto& [k, v] : values_) consumed_[k] = false;
+}
+
+std::optional<std::string> Args::lookup(const std::string& name) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& name, std::string def,
+                             const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " + def + ")  " + help);
+  if (auto v = lookup(name)) return *v;
+  return def;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def,
+                           const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " + std::to_string(def) +
+                        ")  " + help);
+  if (auto v = lookup(name)) {
+    std::size_t pos = 0;
+    std::int64_t parsed = std::stoll(*v, &pos);
+    DV_CHECK_MSG(pos == v->size(), "--" << name << " expects an integer");
+    return parsed;
+  }
+  return def;
+}
+
+double Args::get_double(const std::string& name, double def,
+                        const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " + std::to_string(def) +
+                        ")  " + help);
+  if (auto v = lookup(name)) {
+    std::size_t pos = 0;
+    double parsed = std::stod(*v, &pos);
+    DV_CHECK_MSG(pos == v->size(), "--" << name << " expects a number");
+    return parsed;
+  }
+  return def;
+}
+
+bool Args::get_bool(const std::string& name, bool def,
+                    const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " +
+                        (def ? "true" : "false") + ")  " + help);
+  if (auto v = lookup(name)) {
+    if (*v == "true" || *v == "1" || *v == "yes") return true;
+    if (*v == "false" || *v == "0" || *v == "no") return false;
+    DV_FAIL("--" << name << " expects a boolean, got '" << *v << "'");
+  }
+  return def;
+}
+
+std::string Args::help() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& l : help_lines_) os << l << '\n';
+  return os.str();
+}
+
+void Args::check_unused() const {
+  for (const auto& [name, used] : consumed_)
+    DV_CHECK_MSG(used, "unknown flag --" << name);
+}
+
+}  // namespace deltav

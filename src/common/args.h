@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing shared by all bench and example
+// binaries. Flags take the form --name=value or --name value; bare --name
+// sets a boolean. Unknown flags are an error so typos do not silently run a
+// different experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deltav {
+
+class Args {
+ public:
+  /// Parses argv. Throws CheckError on malformed input; call help() in the
+  /// binary's catch block for usage text.
+  Args(int argc, const char* const* argv);
+
+  /// Declares a flag with a default; returns its value. Declaration doubles
+  /// as documentation: help() lists everything declared.
+  std::string get_string(const std::string& name, std::string def,
+                         const std::string& help = "");
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& name, double def,
+                    const std::string& help = "");
+  bool get_bool(const std::string& name, bool def,
+                const std::string& help = "");
+
+  /// True if --help was passed.
+  bool help_requested() const { return help_requested_; }
+
+  /// Usage text from the declarations seen so far.
+  std::string help() const;
+
+  /// Throws if any provided flag was never declared.
+  void check_unused() const;
+
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::optional<std::string> lookup(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> help_lines_;
+  bool help_requested_ = false;
+};
+
+}  // namespace deltav

@@ -1,0 +1,66 @@
+// Lightweight runtime-check macros used across the library.
+//
+// DV_CHECK is always on (including release builds): the engine and the
+// compiler use it to guard API contracts whose violation would otherwise
+// corrupt a distributed computation silently. DV_DCHECK compiles away in
+// NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deltav {
+
+/// Error thrown by DV_CHECK failures. Deriving from std::logic_error makes
+/// contract violations testable with EXPECT_THROW without catching unrelated
+/// runtime errors.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace deltav
+
+#define DV_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::deltav::detail::check_failed(__FILE__, __LINE__, #expr, "");       \
+  } while (0)
+
+#define DV_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream dv_check_os;                                      \
+      dv_check_os << msg;                                                  \
+      ::deltav::detail::check_failed(__FILE__, __LINE__, #expr,            \
+                                     dv_check_os.str());                   \
+    }                                                                      \
+  } while (0)
+
+#define DV_FAIL(msg)                                                       \
+  do {                                                                     \
+    std::ostringstream dv_check_os;                                        \
+    dv_check_os << msg;                                                    \
+    ::deltav::detail::check_failed(__FILE__, __LINE__, "DV_FAIL",          \
+                                   dv_check_os.str());                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define DV_DCHECK(expr) ((void)0)
+#else
+#define DV_DCHECK(expr) DV_CHECK(expr)
+#endif

@@ -1,0 +1,37 @@
+// Hashing utilities: a strong 64-bit integer mixer (used for vertex→worker
+// partitioning and the combiner's open-addressing map) and order-insensitive
+// fingerprinting used by tests to compare multisets of messages.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace deltav {
+
+/// Stafford's "Mix13" variant of the MurmurHash3 finalizer — a bijective
+/// 64-bit mixer with full avalanche. Suitable as a hash for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Boost-style hash combining for composite keys.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// FNV-1a for strings (token interning, diagnostics de-duplication).
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace deltav

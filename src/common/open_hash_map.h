@@ -1,0 +1,118 @@
+// A small open-addressing hash map from uint64 keys to trivially-movable
+// values, specialized for the engine's sender-side message combiner.
+//
+// Compared to std::unordered_map this avoids per-node allocation and keeps
+// probe chains in cache lines — the combiner looks up every outgoing message
+// once, so this map sits directly on the hot path of every superstep.
+//
+// Keys are arbitrary uint64 except the reserved kEmptyKey sentinel (all
+// ones), which callers never produce because vertex ids are < 2^48.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace deltav {
+
+template <typename V>
+class OpenHashMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+  explicit OpenHashMap(std::size_t initial_capacity = 16) {
+    rehash(round_up(initial_capacity));
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all entries; keeps the allocated table.
+  void clear() {
+    if (size_ == 0) return;
+    for (auto& s : slots_) s.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Returns the value slot for `key`, default-constructing it on first use.
+  V& operator[](std::uint64_t key) {
+    DV_DCHECK(key != kEmptyKey);
+    if ((size_ + 1) * 4 >= capacity() * 3) rehash(capacity() * 2);
+    std::size_t i = probe_start(key);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == kEmptyKey) {
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        return s.value;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  const V* find(std::uint64_t key) const {
+    DV_DCHECK(key != kEmptyKey);
+    std::size_t i = probe_start(key);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  V* find(std::uint64_t key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  /// Visits every occupied (key, value) pair in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : slots_)
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 16;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  std::size_t probe_start(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix64(key)) & mask_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (auto& s : old) {
+      if (s.key == kEmptyKey) continue;
+      std::size_t i = probe_start(s.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = std::move(s);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace deltav

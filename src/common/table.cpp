@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace deltav {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DV_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  DV_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  DV_CHECK_MSG(rows_.back().size() < headers_.size(),
+               "row has more cells than headers");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(long long v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(unsigned long long v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::ratio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return cell(std::string(buf));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'x' || c == ','))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool align_num) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      const std::size_t pad = widths[c] - text.size();
+      const bool right = align_num && looks_numeric(text);
+      os << ' ';
+      if (right) os << std::string(pad, ' ');
+      os << text;
+      if (!right) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_, false);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& r : rows_) emit_row(r, true);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace deltav

@@ -1,0 +1,39 @@
+// Plain-text table rendering for the benchmark harnesses. Every bench
+// binary prints its results as one of these tables so EXPERIMENTS.md can be
+// filled in by copy-paste, and so runs are diffable across machines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deltav {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so repeated runs line up.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(long long v);
+  Table& cell(unsigned long long v);
+  Table& cell(double v, int precision = 3);
+
+  /// Convenience: formats `v` as a ratio like "4.40x".
+  Table& ratio(double v);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deltav

@@ -1,0 +1,352 @@
+#include "dv/ast.h"
+
+#include <sstream>
+
+namespace deltav::dv {
+
+const char* expr_kind_name(ExprKind k) {
+  switch (k) {
+    case ExprKind::kIntLit: return "int-lit";
+    case ExprKind::kFloatLit: return "float-lit";
+    case ExprKind::kBoolLit: return "bool-lit";
+    case ExprKind::kInfty: return "infty";
+    case ExprKind::kVarRef: return "var-ref";
+    case ExprKind::kFieldRef: return "field-ref";
+    case ExprKind::kParamRef: return "param-ref";
+    case ExprKind::kBinary: return "binary";
+    case ExprKind::kUnary: return "unary";
+    case ExprKind::kPairOp: return "pair-op";
+    case ExprKind::kIf: return "if";
+    case ExprKind::kLet: return "let";
+    case ExprKind::kSeq: return "seq";
+    case ExprKind::kAssign: return "assign";
+    case ExprKind::kLocalDecl: return "local-decl";
+    case ExprKind::kAgg: return "aggregation";
+    case ExprKind::kNeighborField: return "neighbor-field";
+    case ExprKind::kEdgeWeight: return "edge-weight";
+    case ExprKind::kDegree: return "degree";
+    case ExprKind::kGraphSize: return "graph-size";
+    case ExprKind::kVertexIdRef: return "vertex-id";
+    case ExprKind::kStableRef: return "stable";
+    case ExprKind::kScratchRef: return "scratch-ref";
+    case ExprKind::kFoldMessages: return "fold-messages";
+    case ExprKind::kSendLoop: return "send-loop";
+    case ExprKind::kHalt: return "halt";
+  }
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_unique<Expr>(kind, loc);
+  copy->type = type;
+  copy->name = name;
+  copy->int_val = int_val;
+  copy->float_val = float_val;
+  copy->bool_val = bool_val;
+  copy->bin_op = bin_op;
+  copy->un_op = un_op;
+  copy->pair_op = pair_op;
+  copy->agg_op = agg_op;
+  copy->dir = dir;
+  copy->var_kind = var_kind;
+  copy->assign_target = assign_target;
+  copy->slot = slot;
+  copy->site = site;
+  copy->flag = flag;
+  copy->decl_type = decl_type;
+  copy->kids.reserve(kids.size());
+  for (const auto& k : kids) copy->kids.push_back(k->clone());
+  return copy;
+}
+
+ExprPtr mk(ExprKind k, Loc loc) { return std::make_unique<Expr>(k, loc); }
+
+ExprPtr mk_int(std::int64_t v, Loc loc) {
+  auto e = mk(ExprKind::kIntLit, loc);
+  e->int_val = v;
+  e->type = Type::kInt;
+  return e;
+}
+
+ExprPtr mk_float(double v, Loc loc) {
+  auto e = mk(ExprKind::kFloatLit, loc);
+  e->float_val = v;
+  e->type = Type::kFloat;
+  return e;
+}
+
+ExprPtr mk_bool(bool v, Loc loc) {
+  auto e = mk(ExprKind::kBoolLit, loc);
+  e->bool_val = v;
+  e->type = Type::kBool;
+  return e;
+}
+
+ExprPtr mk_field_ref(int slot, std::string name, Type t, Loc loc) {
+  auto e = mk(ExprKind::kFieldRef, loc);
+  e->slot = slot;
+  e->name = std::move(name);
+  e->type = t;
+  return e;
+}
+
+ExprPtr mk_scratch_ref(int slot, std::string name, Type t, Loc loc) {
+  auto e = mk(ExprKind::kScratchRef, loc);
+  e->slot = slot;
+  e->name = std::move(name);
+  e->type = t;
+  return e;
+}
+
+ExprPtr mk_assign_field(int slot, std::string name, ExprPtr value) {
+  auto e = mk(ExprKind::kAssign);
+  e->assign_target = AssignTarget::kField;
+  e->slot = slot;
+  e->name = std::move(name);
+  e->type = Type::kUnit;
+  e->kids.push_back(std::move(value));
+  return e;
+}
+
+ExprPtr mk_assign_scratch(int slot, std::string name, ExprPtr value) {
+  auto e = mk(ExprKind::kAssign);
+  e->assign_target = AssignTarget::kScratch;
+  e->slot = slot;
+  e->name = std::move(name);
+  e->type = Type::kUnit;
+  e->kids.push_back(std::move(value));
+  return e;
+}
+
+ExprPtr mk_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, Type t) {
+  auto e = mk(ExprKind::kBinary);
+  e->bin_op = op;
+  e->type = t;
+  e->kids.push_back(std::move(lhs));
+  e->kids.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr mk_seq(std::vector<ExprPtr> kids) {
+  auto e = mk(ExprKind::kSeq);
+  e->type = Type::kUnit;
+  e->kids = std::move(kids);
+  return e;
+}
+
+ExprPtr mk_if(ExprPtr cond, ExprPtr then_e) {
+  auto e = mk(ExprKind::kIf);
+  e->type = Type::kUnit;
+  e->kids.push_back(std::move(cond));
+  e->kids.push_back(std::move(then_e));
+  return e;
+}
+
+ExprPtr mk_halt() {
+  auto e = mk(ExprKind::kHalt);
+  e->type = Type::kUnit;
+  return e;
+}
+
+ExprPtr seq_append(ExprPtr seq, ExprPtr e) {
+  if (seq->kind != ExprKind::kSeq) {
+    std::vector<ExprPtr> kids;
+    kids.push_back(std::move(seq));
+    seq = mk_seq(std::move(kids));
+  }
+  seq->kids.push_back(std::move(e));
+  return seq;
+}
+
+ExprPtr seq_prepend(ExprPtr e, ExprPtr seq) {
+  if (seq->kind != ExprKind::kSeq) {
+    std::vector<ExprPtr> kids;
+    kids.push_back(std::move(seq));
+    seq = mk_seq(std::move(kids));
+  }
+  seq->kids.insert(seq->kids.begin(), std::move(e));
+  return seq;
+}
+
+int Program::find_field(const std::string& name) const {
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    if (fields[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+int Program::add_field(std::string name, Type t, Field::Origin origin,
+                       int site) {
+  DV_CHECK_MSG(find_field(name) < 0, "duplicate field " << name);
+  fields.push_back(Field{std::move(name), t, origin, site});
+  return static_cast<int>(fields.size()) - 1;
+}
+
+int Program::add_scratch(std::string name, Type t, ScratchVar::Origin origin,
+                         int site) {
+  scratch.push_back(ScratchVar{std::move(name), t, origin, site});
+  return static_cast<int>(scratch.size()) - 1;
+}
+
+int Program::find_param(const std::string& name) const {
+  for (std::size_t i = 0; i < params.size(); ++i)
+    if (params[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* bin_op_str(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+    case BinOp::kLt: return "<";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kLe: return "<=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+void print(const Expr& e, std::ostringstream& os, int indent);
+
+void print_indented(const Expr& e, std::ostringstream& os, int indent) {
+  os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+  print(e, os, indent);
+}
+
+void print(const Expr& e, std::ostringstream& os, int indent) {
+  switch (e.kind) {
+    case ExprKind::kIntLit: os << e.int_val; break;
+    case ExprKind::kFloatLit: os << e.float_val; break;
+    case ExprKind::kBoolLit: os << (e.bool_val ? "true" : "false"); break;
+    case ExprKind::kInfty: os << "infty"; break;
+    case ExprKind::kVarRef: os << e.name; break;
+    case ExprKind::kFieldRef: os << e.name; break;
+    case ExprKind::kParamRef: os << e.name; break;
+    case ExprKind::kScratchRef: os << "$" << e.name; break;
+    case ExprKind::kGraphSize: os << "graphSize"; break;
+    case ExprKind::kVertexIdRef: os << "vertexId"; break;
+    case ExprKind::kStableRef: os << "stable"; break;
+    case ExprKind::kEdgeWeight: os << "u.edge"; break;
+    case ExprKind::kNeighborField: os << "u." << e.name; break;
+    case ExprKind::kDegree: os << "|" << graph_dir_name(e.dir) << "|"; break;
+    case ExprKind::kHalt: os << "halt"; break;
+    case ExprKind::kBinary:
+      os << "(";
+      print(*e.kids[0], os, indent);
+      os << " " << bin_op_str(e.bin_op) << " ";
+      print(*e.kids[1], os, indent);
+      os << ")";
+      break;
+    case ExprKind::kUnary:
+      os << (e.un_op == UnOp::kNeg ? "-" : "not ");
+      print(*e.kids[0], os, indent);
+      break;
+    case ExprKind::kPairOp:
+      os << (e.pair_op == PairOp::kMin ? "min" : "max") << "(";
+      print(*e.kids[0], os, indent);
+      os << ", ";
+      print(*e.kids[1], os, indent);
+      os << ")";
+      break;
+    case ExprKind::kIf:
+      os << "if ";
+      print(*e.kids[0], os, indent);
+      os << " then ";
+      print(*e.kids[1], os, indent);
+      if (e.kids.size() == 3) {
+        os << " else ";
+        print(*e.kids[2], os, indent);
+      }
+      break;
+    case ExprKind::kLet:
+      os << "let " << e.name << " : " << type_name(e.decl_type) << " = ";
+      print(*e.kids[0], os, indent);
+      os << " in\n";
+      print_indented(*e.kids[1], os, indent);
+      break;
+    case ExprKind::kSeq: {
+      bool first = true;
+      for (const auto& k : e.kids) {
+        if (!first) os << ";\n" << std::string(
+            static_cast<std::size_t>(indent) * 2, ' ');
+        first = false;
+        print(*k, os, indent);
+      }
+      break;
+    }
+    case ExprKind::kAssign:
+      if (e.assign_target == AssignTarget::kScratch) os << "$";
+      os << e.name << " = ";
+      print(*e.kids[0], os, indent);
+      break;
+    case ExprKind::kLocalDecl:
+      os << "local " << e.name << " : " << type_name(e.decl_type) << " = ";
+      print(*e.kids[0], os, indent);
+      break;
+    case ExprKind::kAgg:
+      os << agg_op_name(e.agg_op) << " [ ";
+      print(*e.kids[0], os, indent);
+      os << " | u <- " << graph_dir_name(e.dir) << " ]";
+      break;
+    case ExprKind::kFoldMessages:
+      if (e.flag) {
+        os << "for(m : messages#" << e.site << "){ aggAccum#" << e.site
+           << " " << agg_op_name(e.agg_op) << "= m }";
+      } else {
+        os << "for(m : messages#" << e.site << "){ tmp " << agg_op_name(
+            e.agg_op) << "= m }";
+      }
+      break;
+    case ExprKind::kSendLoop:
+      os << "for(u : " << graph_dir_name(e.dir) << "){ send(u, ";
+      if (e.flag) {
+        os << "Δ#" << e.site << "(";
+        print(*e.kids[1], os, indent);
+        os << ", ";
+        print(*e.kids[0], os, indent);
+        os << ")";
+      } else {
+        print(*e.kids[0], os, indent);
+      }
+      os << ") }";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e) {
+  std::ostringstream os;
+  print(e, os, 0);
+  return os.str();
+}
+
+std::string to_string(const Program& p) {
+  std::ostringstream os;
+  for (const auto& param : p.params)
+    os << "param " << param.name << " : " << type_name(param.type) << ";\n";
+  os << "init {\n  " << to_string(*p.init) << "\n};\n";
+  for (const auto& s : p.stmts) {
+    if (s.kind == Stmt::Kind::kStep) {
+      os << "step {\n  " << to_string(*s.body) << "\n}";
+    } else {
+      os << "iter " << s.iter_var << " {\n  " << to_string(*s.body)
+         << "\n} until { " << to_string(*s.until) << " }";
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace deltav::dv

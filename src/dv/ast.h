@@ -1,0 +1,228 @@
+// The ΔV abstract syntax tree.
+//
+// One uniform node type (Expr) covers both the user-visible forms of
+// Figure 3 and the internal forms the compiler introduces (highlighted in
+// the paper's figure): message folds, send loops, scratch variables, halt.
+// A uniform node makes the paper's context-based rewriting (§6, C[e] ;
+// C[e']) a plain recursive traversal, which is how every pass below is
+// written.
+//
+// Expressions double as statements (type kUnit), exactly as in the paper's
+// `e;e` sequencing form.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dv/diagnostics.h"
+#include "dv/types.h"
+
+namespace deltav::dv {
+
+enum class ExprKind : std::uint8_t {
+  // ----- literals -----
+  kIntLit, kFloatLit, kBoolLit, kInfty,
+  // ----- user-visible forms (Fig. 3) -----
+  kVarRef,        // let-bound variable or iteration variable
+  kFieldRef,      // vertex-state field access (underlined in the paper)
+  kParamRef,      // program parameter (language extension; DESIGN.md)
+  kBinary,        // e op e
+  kUnary,         // uop e
+  kPairOp,        // min/max e1 e2 (Fig. 3 `pop`)
+  kIf,            // if e1 then e2 [else e3]
+  kLet,           // let x : τ = e1 in e2
+  kSeq,           // e1; e2; ... (n-ary block)
+  kAssign,        // x = e (fields; internally also scratch slots)
+  kLocalDecl,     // local x : τ = e  — init-block field declaration
+  kAgg,           // ⊞ [ e | u <- д ]
+  kNeighborField, // u.a inside an aggregation element expression
+  kEdgeWeight,    // u.edge — weight of the connecting edge (extension)
+  kDegree,        // |д|
+  kGraphSize,     // total number of vertices
+  kVertexIdRef,   // this vertex's id (extension)
+  kStableRef,     // `stable` — only valid in until clauses (extension)
+  // ----- internal forms introduced by compiler passes -----
+  kScratchRef,    // superstep-local temporary (old-copies, flags, lets)
+  kFoldMessages,  // fold this superstep's site messages (Eq. 3 / Eq. 8-9)
+  kSendLoop,      // for(u : д){ send(u, payload) } — possibly Δ form
+  kHalt,          // vote_to_halt()
+};
+
+const char* expr_kind_name(ExprKind k);
+
+/// What an assignment writes to.
+enum class AssignTarget : std::uint8_t { kField, kScratch };
+
+/// What a kVarRef resolved to (filled in by the type checker).
+enum class VarKind : std::uint8_t { kUnresolved, kLet, kIter, kParam };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind{};
+  Type type = Type::kUnknown;  // annotated by the type checker
+  Loc loc;
+
+  // Payload fields; which are meaningful depends on `kind`.
+  std::string name;        // identifiers / field names / neighbor fields
+  std::int64_t int_val = 0;
+  double float_val = 0;
+  bool bool_val = false;
+  BinOp bin_op{};
+  UnOp un_op{};
+  PairOp pair_op{};
+  AggOp agg_op{};
+  GraphDir dir{};          // kAgg (pull), kDegree, kSendLoop (push)
+  VarKind var_kind = VarKind::kUnresolved;
+  AssignTarget assign_target = AssignTarget::kField;
+  int slot = -1;           // field slot / scratch slot / param index
+  int site = -1;           // aggregation site id (kFoldMessages, kSendLoop)
+  bool flag = false;       // kFoldMessages: incremental; kSendLoop: Δ-mode
+  Type decl_type = Type::kUnknown;  // kLet / kLocalDecl declared type
+
+  std::vector<ExprPtr> kids;
+
+  Expr() = default;
+  Expr(ExprKind k, Loc l) : kind(k), loc(l) {}
+
+  /// Deep copy (passes duplicate subtrees, e.g. e → e[f := old_f]).
+  ExprPtr clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Node factory helpers — keep the transformation passes close to the paper's
+// rewrite notation.
+// ---------------------------------------------------------------------------
+
+ExprPtr mk(ExprKind k, Loc loc = {});
+ExprPtr mk_int(std::int64_t v, Loc loc = {});
+ExprPtr mk_float(double v, Loc loc = {});
+ExprPtr mk_bool(bool v, Loc loc = {});
+ExprPtr mk_field_ref(int slot, std::string name, Type t, Loc loc = {});
+ExprPtr mk_scratch_ref(int slot, std::string name, Type t, Loc loc = {});
+ExprPtr mk_assign_field(int slot, std::string name, ExprPtr value);
+ExprPtr mk_assign_scratch(int slot, std::string name, ExprPtr value);
+ExprPtr mk_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, Type t);
+ExprPtr mk_seq(std::vector<ExprPtr> kids);
+ExprPtr mk_if(ExprPtr cond, ExprPtr then_e);
+ExprPtr mk_halt();
+
+/// Appends `e` to a kSeq (wrapping `seq` into one if needed); returns the
+/// sequence.
+ExprPtr seq_append(ExprPtr seq, ExprPtr e);
+/// Prepends `e` before `seq`.
+ExprPtr seq_prepend(ExprPtr e, ExprPtr seq);
+
+// ---------------------------------------------------------------------------
+// Program structure
+// ---------------------------------------------------------------------------
+
+struct Param {
+  std::string name;
+  Type type = Type::kUnknown;
+};
+
+/// A vertex-state field. User fields come from `local` declarations; the
+/// remaining origins are added by compiler passes and together determine
+/// the Table-2 state size.
+struct Field {
+  enum class Origin : std::uint8_t {
+    kUser,        // `local` declaration (§5)
+    kSentBinding, // freshVar bound to a sent expression (§6.2)
+    kAccumulator, // aggAccum (§6.4)
+    kNnAcc,       // non-nulled accumulator, multiplicative ops (§6.4.1)
+    kNullCount,   // aggNulls (§6.4.1)
+    kLastSent,    // per-site last-sent value (ϵ-slop mode, §9)
+  };
+  std::string name;
+  Type type = Type::kUnknown;
+  Origin origin = Origin::kUser;
+  int site = -1;  // owning aggregation site for compiler-added fields
+};
+
+/// A superstep-local temporary slot (zeroed at the start of each vertex's
+/// compute). Old-copies and flags live here rather than in vertex state —
+/// see DESIGN.md on why this matches the paper's Table-2 deltas.
+struct ScratchVar {
+  enum class Origin : std::uint8_t {
+    kLet,          // let-bound variable
+    kOldCopy,      // o_f — field value saved at superstep start (§6.3)
+    kDirtyFlag,    // per-site dirty bit (§6.3; ΔV)
+    kAssignedFlag, // per-site assigned bit (ΔV* send policy; DESIGN.md)
+  };
+  std::string name;
+  Type type = Type::kUnknown;
+  Origin origin = Origin::kLet;
+  int site = -1;
+};
+
+/// One aggregation site: an occurrence of ⊞[e | u ← д] in the program.
+/// Created by the aggregation-conversion pass; later passes fill in the
+/// incrementalization state.
+struct AggSite {
+  int id = -1;
+  AggOp op{};
+  Type elem_type = Type::kUnknown;
+  GraphDir pull_dir{};              // direction as written in the source
+  ExprPtr send_expr;                // sender-side element expression
+  /// When §6.2 bound send_expr to a fresh field, the original expression —
+  /// the runtime's initial push evaluates this at init state and stores it
+  /// into the bound field. Null when no binding happened.
+  ExprPtr init_send_expr;
+  std::vector<int> dep_fields;      // field slots send_expr reads
+  int stmt_index = -1;              // -1 = init block (not allowed), else stmt
+  /// Field slot created by §6.2's binding, or -1 if the sent expression
+  /// was already a user field / is edge-dependent.
+  int bound_field = -1;
+  // Filled by incrementalize-aggregations (§6.4):
+  int acc_slot = -1;
+  int nn_slot = -1;
+  int nulls_slot = -1;
+  // Filled by change-checks (§6.3) / ΔV* send policy:
+  int dirty_scratch = -1;
+  int assigned_scratch = -1;
+  std::vector<int> old_scratch;     // parallel to dep_fields
+  // ϵ-slop mode (§9 future work):
+  int last_sent_slot = -1;
+
+  bool multiplicative() const { return is_multiplicative(op); }
+};
+
+struct Stmt {
+  enum class Kind : std::uint8_t { kStep, kIter };
+  Kind kind = Kind::kStep;
+  std::string iter_var;  // kIter only
+  ExprPtr body;
+  ExprPtr until;         // kIter only
+  Loc loc;
+};
+
+struct Program {
+  std::vector<Param> params;
+  ExprPtr init;
+  std::vector<Stmt> stmts;
+  Loc loc;
+
+  // Symbol tables (populated by the type checker and passes).
+  std::vector<Field> fields;
+  std::vector<ScratchVar> scratch;
+  std::vector<AggSite> sites;
+
+  int find_field(const std::string& name) const;
+  int add_field(std::string name, Type t, Field::Origin origin,
+                int site = -1);
+  int add_scratch(std::string name, Type t, ScratchVar::Origin origin,
+                  int site = -1);
+  int find_param(const std::string& name) const;
+};
+
+/// Pretty-prints an expression in ΔV-like concrete syntax (used by tests
+/// and --dump-ast). Internal forms print in the paper's notation, e.g.
+/// `send(u, Δ(old, new))` and `for(m : messages#0){ acc = acc + m }`.
+std::string to_string(const Expr& e);
+std::string to_string(const Program& p);
+
+}  // namespace deltav::dv

@@ -1,0 +1,667 @@
+#include "dv/codegen/cpp_backend.h"
+
+#include <sstream>
+
+#include "dv/runtime/value.h"
+
+namespace deltav::dv {
+
+namespace {
+
+/// C++ scalar type for a ΔV type. Bools are stored as uint8 (vector<bool>
+/// is both slow and un-referenceable); expressions still use native bool.
+const char* storage_type(Type t) {
+  switch (t) {
+    case Type::kInt: return "std::int64_t";
+    case Type::kFloat: return "double";
+    case Type::kBool: return "std::uint8_t";
+    default: DV_FAIL("no storage type for " << type_name(t));
+  }
+}
+
+const char* expr_type(Type t) {
+  switch (t) {
+    case Type::kInt: return "std::int64_t";
+    case Type::kFloat: return "double";
+    case Type::kBool: return "bool";
+    default: DV_FAIL("no expression type for " << type_name(t));
+  }
+}
+
+std::string identity_literal(AggOp op, Type t) {
+  switch (t) {
+    case Type::kFloat: {
+      const double v = agg_identity_double(op);
+      if (v == std::numeric_limits<double>::infinity())
+        return "std::numeric_limits<double>::infinity()";
+      if (v == -std::numeric_limits<double>::infinity())
+        return "-std::numeric_limits<double>::infinity()";
+      std::ostringstream os;
+      os << v << ".0";
+      return os.str();
+    }
+    case Type::kInt: {
+      const auto v = agg_identity_int(op);
+      if (v == std::numeric_limits<std::int64_t>::max())
+        return "std::numeric_limits<std::int64_t>::max()";
+      if (v == std::numeric_limits<std::int64_t>::min())
+        return "std::numeric_limits<std::int64_t>::min()";
+      return std::to_string(v);
+    }
+    case Type::kBool:
+      return agg_identity_bool(op) ? "true" : "false";
+    default:
+      DV_FAIL("no identity literal");
+  }
+}
+
+/// a ⊞ b as a C++ expression.
+std::string fold_apply(AggOp op, Type t, const std::string& a,
+                       const std::string& b) {
+  switch (op) {
+    case AggOp::kSum: return "(" + a + " + " + b + ")";
+    case AggOp::kProd: return "(" + a + " * " + b + ")";
+    case AggOp::kMin:
+      return std::string("std::min<") + expr_type(t) + ">(" + a + ", " + b +
+             ")";
+    case AggOp::kMax:
+      return std::string("std::max<") + expr_type(t) + ">(" + a + ", " + b +
+             ")";
+    case AggOp::kAnd: return "(" + a + " && " + b + ")";
+    case AggOp::kOr: return "(" + a + " || " + b + ")";
+  }
+  DV_FAIL("unknown op");
+}
+
+/// Decodes a Msg payload (double on the wire) into the element type.
+std::string payload_decode(Type t) {
+  switch (t) {
+    case Type::kFloat: return "m.payload";
+    case Type::kInt: return "std::int64_t(m.payload)";
+    case Type::kBool: return "(m.payload != 0.0)";
+    default: DV_FAIL("bad payload type");
+  }
+}
+
+class CppEmitter {
+ public:
+  CppEmitter(const CompiledProgram& cp, std::string class_name)
+      : cp_(cp), prog_(cp.program), name_(std::move(class_name)) {}
+
+  std::string emit() {
+    DV_CHECK_MSG(prog_.stmts.size() == 1,
+                 "C++ code generation supports single-statement programs; "
+                 "run multi-statement programs through the interpreter");
+    header();
+    msg_and_combiner();
+    params_struct();
+    result_struct();
+    run_function();
+    footer();
+    return out_.str();
+  }
+
+ private:
+  // ---------------------------------------------------------- expressions
+
+  std::string field_lv(int slot) const {
+    return "f_" + prog_.fields[static_cast<std::size_t>(slot)].name + "[v]";
+  }
+
+  std::string field_rv(int slot) const {
+    const Field& f = prog_.fields[static_cast<std::size_t>(slot)];
+    if (f.type == Type::kBool) return "(" + field_lv(slot) + " != 0)";
+    return field_lv(slot);
+  }
+
+  std::string scratch_name(int slot) const {
+    return "s" + std::to_string(slot) + "_" +
+           prog_.scratch[static_cast<std::size_t>(slot)].name;
+  }
+
+  std::string expr(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return "std::int64_t(" + std::to_string(e.int_val) + ")";
+      case ExprKind::kFloatLit: {
+        std::ostringstream os;
+        os.precision(17);
+        os << e.float_val;
+        std::string s = os.str();
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos)
+          s += ".0";
+        return s;
+      }
+      case ExprKind::kBoolLit: return e.bool_val ? "true" : "false";
+      case ExprKind::kInfty:
+        return "std::numeric_limits<double>::infinity()";
+      case ExprKind::kGraphSize: return "std::int64_t(n)";
+      case ExprKind::kVertexIdRef: return "std::int64_t(v)";
+      case ExprKind::kEdgeWeight: return "ew";
+      case ExprKind::kParamRef: return "params." + e.name;
+      case ExprKind::kFieldRef: return field_rv(e.slot);
+      case ExprKind::kScratchRef:
+      case ExprKind::kVarRef:
+        if (e.kind == ExprKind::kVarRef && e.var_kind == VarKind::kIter)
+          return "iter";
+        return scratch_name(e.slot);
+      case ExprKind::kDegree: {
+        const char* fn = e.dir == GraphDir::kIn ? "in_degree" : "out_degree";
+        return std::string("std::int64_t(g.") + fn + "(v))";
+      }
+      case ExprKind::kBinary: return binary(e);
+      case ExprKind::kUnary:
+        return std::string("(") + (e.un_op == UnOp::kNeg ? "-" : "!") +
+               expr(*e.kids[0]) + ")";
+      case ExprKind::kPairOp: {
+        const char* fn = e.pair_op == PairOp::kMin ? "min" : "max";
+        return std::string("std::") + fn + "<" + expr_type(e.type) + ">(" +
+               expr(*e.kids[0]) + ", " + expr(*e.kids[1]) + ")";
+      }
+      case ExprKind::kIf:
+        DV_CHECK_MSG(e.kids.size() == 3 && e.type != Type::kUnit,
+                     "if-statement in expression position");
+        return "(" + expr(*e.kids[0]) + " ? " + expr_type(e.type) + "(" +
+               expr(*e.kids[1]) + ") : " + expr_type(e.type) + "(" +
+               expr(*e.kids[2]) + "))";
+      case ExprKind::kStableRef: return "stable";
+      default:
+        DV_FAIL("expression emitter: unexpected "
+                << expr_kind_name(e.kind));
+    }
+  }
+
+  std::string binary(const Expr& e) const {
+    const std::string a = expr(*e.kids[0]);
+    const std::string b = expr(*e.kids[1]);
+    const char* op = nullptr;
+    switch (e.bin_op) {
+      case BinOp::kAdd: op = "+"; break;
+      case BinOp::kSub: op = "-"; break;
+      case BinOp::kMul: op = "*"; break;
+      case BinOp::kDiv:
+        return "(double(" + a + ") / double(" + b + "))";
+      case BinOp::kAnd: op = "&&"; break;
+      case BinOp::kOr: op = "||"; break;
+      case BinOp::kLt: op = "<"; break;
+      case BinOp::kGt: op = ">"; break;
+      case BinOp::kGe: op = ">="; break;
+      case BinOp::kLe: op = "<="; break;
+      case BinOp::kEq: op = "=="; break;
+      case BinOp::kNe: op = "!="; break;
+    }
+    return "(" + a + " " + op + " " + b + ")";
+  }
+
+  // ----------------------------------------------------------- statements
+
+  void line(const std::string& s) { out_ << ind_ << s << "\n"; }
+  void open(const std::string& s) {
+    line(s);
+    ind_ += "  ";
+  }
+  void close(const std::string& s = "}") {
+    ind_.resize(ind_.size() - 2);
+    line(s);
+  }
+
+  void stmt(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kSeq:
+        for (const auto& k : e.kids) stmt(*k);
+        return;
+      case ExprKind::kLocalDecl:
+      case ExprKind::kAssign: {
+        if (e.kind == ExprKind::kAssign &&
+            e.assign_target == AssignTarget::kScratch) {
+          if (!e.kids[0] || e.kids[0]->kind != ExprKind::kFoldMessages) {
+            line(scratch_name(e.slot) + " = " + expr(*e.kids[0]) + ";");
+          } else {
+            fold_into(*e.kids[0], scratch_name(e.slot));
+          }
+          return;
+        }
+        const Field& f = prog_.fields[static_cast<std::size_t>(e.slot)];
+        if (e.kids[0]->kind == ExprKind::kFoldMessages) {
+          fold_into(*e.kids[0], field_lv(e.slot));
+        } else if (f.type == Type::kBool) {
+          line(field_lv(e.slot) + " = std::uint8_t(" + expr(*e.kids[0]) +
+               ");");
+        } else {
+          line(field_lv(e.slot) + " = " + expr(*e.kids[0]) + ";");
+        }
+        if (e.kind == ExprKind::kAssign && track_assigns_)
+          line("any_assign.store(true, std::memory_order_relaxed);");
+        return;
+      }
+      case ExprKind::kLet: {
+        // All scratch slots (including let bindings — slots are unique
+        // even under shadowing) are declared once at the top of compute.
+        if (e.kids[0]->kind == ExprKind::kFoldMessages) {
+          fold_into(*e.kids[0], scratch_name(e.slot));
+        } else {
+          line(scratch_name(e.slot) + " = " + expr(*e.kids[0]) + ";");
+        }
+        stmt(*e.kids[1]);
+        return;
+      }
+      case ExprKind::kIf: {
+        open("if (" + expr(*e.kids[0]) + ") {");
+        stmt(*e.kids[1]);
+        if (e.kids.size() == 3) {
+          close("} else {");
+          ind_ += "  ";
+          stmt(*e.kids[2]);
+        }
+        close();
+        return;
+      }
+      case ExprKind::kHalt:
+        line("ctx.vote_to_halt();");
+        return;
+      case ExprKind::kSendLoop:
+        send_loop(e);
+        return;
+      default:
+        // A pure expression in statement position: evaluate for nothing.
+        line("(void)(" + expr(e) + ");");
+        return;
+    }
+  }
+
+  /// Emits the message fold of Eq. 3 / Eq. 8-9 assigning into `target`.
+  void fold_into(const Expr& e, const std::string& target) {
+    const AggSite& site = prog_.sites[static_cast<std::size_t>(e.site)];
+    const std::string S = std::to_string(site.id);
+    const Type t = site.elem_type;
+    if (!e.flag) {  // Eq. 3: fold this superstep's messages from identity
+      open("{");
+      line(std::string(expr_type(t)) + " acc = " +
+           identity_literal(site.op, t) + ";");
+      open("for (const Msg& m : msgs) {");
+      line("if (m.site != " + S + ") continue;");
+      line("acc = " + fold_apply(site.op, t, "acc", payload_decode(t)) +
+           ";");
+      close();
+      if (t == Type::kBool) {
+        line(target + " = std::uint8_t(acc);");
+      } else {
+        line(target + " = acc;");
+      }
+      close();
+      return;
+    }
+    // Eq. 8/9: fold Δ-messages into the memoized accumulator.
+    const std::string acc = field_lv(site.acc_slot);
+    open("{");
+    if (site.multiplicative()) {
+      const std::string nn = field_lv(site.nn_slot);
+      const std::string nulls = field_lv(site.nulls_slot);
+      open("for (const Msg& m : msgs) {");
+      line("if (m.site != " + S + ") continue;");
+      if (t == Type::kBool) {
+        line("// boolean ops: only the absorbing-state counters matter");
+      } else {
+        line(nn + " = " + fold_apply(site.op, t, nn, payload_decode(t)) +
+             ";");
+      }
+      line(nulls + " += m.nulls - m.denulls;");
+      close();
+      if (t == Type::kBool) {
+        const bool absorbing = agg_absorbing_bool(site.op);
+        line(acc + " = std::uint8_t(" + nulls + " > 0 ? " +
+             (absorbing ? "true" : "false") + " : " +
+             (absorbing ? "false" : "true") + ");");
+        line(target + " = (" + acc + " != 0);");
+      } else {
+        line(acc + " = " + nulls + " > 0 ? " + expr_type(t) + "(0) : " +
+             nn + ";");
+        line(target + " = " + acc + ";");
+      }
+    } else {
+      open("for (const Msg& m : msgs) {");
+      line("if (m.site != " + S + ") continue;");
+      line(acc + " = " + fold_apply(site.op, t, acc, payload_decode(t)) +
+           ";");
+      close();
+      line(target + " = " + acc + ";");
+    }
+    close();
+  }
+
+  /// Emits a broadcast: full values (ΔV*) or Δ-messages (ΔV). `first`
+  /// selects the initial-push rules.
+  void send_loop_body(const AggSite& site, const std::string& new_expr,
+                      const std::string& old_expr, bool delta_mode,
+                      bool first) {
+    const Type t = site.elem_type;
+    const std::string S = std::to_string(site.id);
+    const GraphDir dir = push_direction(site.pull_dir);
+    const char* nbrs = dir == GraphDir::kIn ? "in_neighbors" : "out_neighbors";
+    const char* wts = dir == GraphDir::kIn ? "in_weights" : "out_weights";
+    open("{");
+    line(std::string("const auto targets = g.") + nbrs + "(v);");
+    line(std::string("const auto weights = g.") + wts + "(v);");
+    open("for (std::size_t ei = 0; ei < targets.size(); ++ei) {");
+    line("const double ew = weights.empty() ? 1.0 : weights[ei]; (void)ew;");
+    line("Msg m; m.site = " + S + ";");
+    line(std::string(expr_type(t)) + " nv = " + new_expr + ";");
+    if (!delta_mode) {
+      // ΔV* full value (initial push included); identity payloads are
+      // no-ops for the fold.
+      line("if (nv == " + identity_literal(site.op, t) + ") continue;");
+      line("m.payload = double(nv);");
+      line("ctx.send(targets[ei], m);");
+    } else {
+      switch (site.op) {
+        case AggOp::kSum: {
+          if (first) {
+            line("if (nv == 0) continue;");
+            line("m.payload = double(nv);");
+          } else {
+            line(std::string(expr_type(t)) + " ov = " + old_expr + ";");
+            line("if (nv == ov) continue;");
+            line("m.payload = double(nv - ov);");
+          }
+          line("ctx.send(targets[ei], m);");
+          break;
+        }
+        case AggOp::kProd: {
+          if (first) {
+            line("if (nv == 0.0) { m.payload = 1.0; m.nulls = 1; }");
+            line("else { if (nv == 1.0) continue; m.payload = nv; }");
+          } else {
+            line("double ov = " + old_expr + ";");
+            line("if (nv == ov) continue;");
+            line("if (ov != 0.0 && nv != 0.0) m.payload = nv / ov;");
+            line("else if (nv == 0.0) { m.payload = 1.0 / ov; m.nulls = 1; }");
+            line("else { m.payload = nv; m.denulls = 1; }");
+          }
+          line("ctx.send(targets[ei], m);");
+          break;
+        }
+        case AggOp::kMin:
+        case AggOp::kMax: {
+          line("if (nv == " + identity_literal(site.op, t) + ") continue;");
+          line("m.payload = double(nv);");
+          line("ctx.send(targets[ei], m);");
+          break;
+        }
+        case AggOp::kAnd:
+        case AggOp::kOr: {
+          const bool absorbing = agg_absorbing_bool(site.op);
+          const std::string absorb_lit = absorbing ? "true" : "false";
+          if (first) {
+            line("if (nv != " + absorb_lit + ") continue;");
+            line("m.nulls = 1;");
+          } else {
+            line("bool ov = " + old_expr + ";");
+            line("if (nv == ov) continue;");
+            line("if (nv == " + absorb_lit + ") m.nulls = 1; "
+                 "else m.denulls = 1;");
+          }
+          line("ctx.send(targets[ei], m);");
+          break;
+        }
+      }
+    }
+    close();  // for
+    close();  // block
+  }
+
+  void send_loop(const Expr& e) {
+    const AggSite& site = prog_.sites[static_cast<std::size_t>(e.site)];
+    open("if (!suppress_sends) {");
+    send_loop_body(site, expr(*e.kids[0]),
+                   e.flag ? expr(*e.kids[1]) : std::string(),
+                   /*delta_mode=*/e.flag, /*first=*/false);
+    close();
+  }
+
+  // ------------------------------------------------------------- sections
+
+  void header() {
+    out_ << "// Generated by the deltav ΔV compiler (dvc --emit=cpp).\n"
+         << "// Variant: " << (cp_.options.incrementalize ? "ΔV" : "ΔV*")
+         << ". Do not edit.\n"
+         << "#include <algorithm>\n#include <atomic>\n"
+         << "#include <cstdint>\n#include <limits>\n"
+         << "#include <span>\n#include <vector>\n\n"
+         << "#include \"graph/csr_graph.h\"\n"
+         << "#include \"pregel/engine.h\"\n\n"
+         << "namespace dvgen {\n\n";
+    open("struct " + name_ + " {");
+  }
+
+  void msg_and_combiner() {
+    line("struct Msg {");
+    line("  double payload = 0;");
+    line("  std::int32_t nulls = 0, denulls = 0;");
+    line("  std::uint8_t site = 0;");
+    line("};");
+    // Wire sizes per site (mirrors runtime/message.h accounting).
+    open("struct MsgTraits {");
+    open("static std::size_t wire_size(const Msg& m) {");
+    open("switch (m.site) {");
+    const bool multi = prog_.sites.size() > 1;
+    for (const AggSite& s : prog_.sites) {
+      std::size_t bytes = type_wire_bytes(s.elem_type);
+      if (multi) bytes += 1;
+      if (cp_.options.incrementalize && s.multiplicative()) bytes += 1;
+      line("case " + std::to_string(s.id) + ": return " +
+           std::to_string(bytes) + ";");
+    }
+    line("default: return 8;");
+    close();
+    close();
+    close("};");
+    open("struct Combiner {");
+    open("void operator()(Msg& a, const Msg& b) const {");
+    open("switch (a.site) {");
+    for (const AggSite& s : prog_.sites) {
+      std::string fold;
+      switch (s.op) {
+        case AggOp::kSum: fold = "a.payload += b.payload;"; break;
+        case AggOp::kProd: fold = "a.payload *= b.payload;"; break;
+        case AggOp::kMin:
+          fold = "a.payload = std::min(a.payload, b.payload);";
+          break;
+        case AggOp::kMax:
+          fold = "a.payload = std::max(a.payload, b.payload);";
+          break;
+        case AggOp::kAnd:
+        case AggOp::kOr:
+          fold = "/* counters only */;";
+          break;
+      }
+      line("case " + std::to_string(s.id) + ": " + fold + " break;");
+    }
+    line("default: break;");
+    close();
+    line("a.nulls += b.nulls; a.denulls += b.denulls;");
+    close();
+    line("std::uint64_t key(deltav::graph::VertexId d, const Msg& m) const "
+         "{ return (std::uint64_t(d) << 8) | m.site; }");
+    close("};");
+  }
+
+  void params_struct() {
+    open("struct Params {");
+    for (const Param& p : prog_.params)
+      line(std::string(expr_type(p.type)) + " " + p.name + " = " +
+           (p.type == Type::kBool ? "false" : "0") + ";");
+    close("};");
+  }
+
+  void result_struct() {
+    open("struct Result {");
+    line("deltav::pregel::RunStats stats;");
+    line("std::size_t supersteps = 0;");
+    for (const Field& f : prog_.fields) {
+      if (f.origin != Field::Origin::kUser) continue;
+      line(std::string("std::vector<") + storage_type(f.type) + "> " +
+           f.name + ";");
+    }
+    close("};");
+  }
+
+  void emit_first_push(const AggSite& site) {
+    // The value pushed right after init: the original expression when §6.2
+    // bound it to a fresh field, else the sent expression itself.
+    const Expr& src =
+        site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+    if (site.bound_field >= 0) {
+      line("// §6.2: record the value the neighbors will cache");
+      line(field_lv(site.bound_field) + " = " + expr(src) + ";");
+    }
+    if (site.last_sent_slot >= 0)
+      line(field_lv(site.last_sent_slot) + " = " + expr(src) + ";");
+    send_loop_body(site, expr(src), std::string(),
+                   /*delta_mode=*/cp_.options.incrementalize,
+                   /*first=*/true);
+  }
+
+  void run_function() {
+    const Stmt& s = prog_.stmts[0];
+    const bool is_iter = s.kind == Stmt::Kind::kIter;
+    track_assigns_ = !cp_.options.incrementalize;
+
+    open("static Result run(const deltav::graph::CsrGraph& g, "
+         "Params params, "
+         "deltav::pregel::EngineOptions eopts = {}) {");
+    line("using deltav::graph::VertexId;");
+    line("const std::size_t n = g.num_vertices();");
+    for (const Field& f : prog_.fields) {
+      std::string init = "0";
+      switch (f.origin) {
+        case Field::Origin::kAccumulator:
+        case Field::Origin::kNnAcc:
+        case Field::Origin::kLastSent: {
+          const AggSite& site =
+              prog_.sites[static_cast<std::size_t>(f.site)];
+          init = identity_literal(site.op, site.elem_type);
+          if (site.elem_type == Type::kBool)
+            init = std::string("std::uint8_t(") + init + ")";
+          break;
+        }
+        default: break;
+      }
+      line(std::string("std::vector<") + storage_type(f.type) + "> f_" +
+           f.name + "(n, " + init + ");");
+    }
+    line("deltav::pregel::Engine<Msg, Combiner, MsgTraits> "
+         "engine(n, eopts);");
+    line("bool suppress_sends = false; (void)suppress_sends;");
+    if (track_assigns_) line("std::atomic<bool> any_assign{false};");
+
+    // Superstep 0: init + first pushes. No halt (superstep 1 must run
+    // everywhere).
+    open("engine.step([&](auto& ctx, VertexId v, std::span<const Msg>) {");
+    stmt(*prog_.init);
+    for (const AggSite& site : prog_.sites) emit_first_push(site);
+    close("});");
+    line("std::size_t supersteps = 1;");
+
+    // Until clause as a function of (iteration, quiescence).
+    if (is_iter) {
+      open("const auto until = [&](std::int64_t iter, bool stable) {");
+      line("(void)iter; (void)stable;");
+      line("return " + expr(*s.until) + ";");
+      close("};");
+    }
+
+    // Statement loop.
+    line("std::int64_t iter = 0;");
+    open("for (;;) {");
+    line("++iter;");
+    if (is_iter) {
+      line("const bool last_known = " +
+           std::string(uses_stable(*s.until) ? "false"
+                                             : "until(iter, false)") +
+           ";");
+    } else {
+      line("const bool last_known = true;");
+    }
+    line("suppress_sends = last_known;");
+    if (track_assigns_)
+      line("any_assign.store(false, std::memory_order_relaxed);");
+    open("engine.step([&](auto& ctx, VertexId v, "
+         "std::span<const Msg> msgs) {");
+    line("(void)msgs;");
+    declare_scratch();
+    stmt(*s.body);
+    close("});");
+    line("++supersteps;");
+    line("DV_CHECK_MSG(supersteps < 100000, \"superstep limit\");");
+    if (!is_iter) {
+      line("break;");
+    } else {
+      line("if (last_known) break;");
+      if (uses_stable(*s.until)) {
+        line("const auto& last_stats = engine.stats().supersteps.back();");
+        if (track_assigns_) {
+          line("const bool quiescent = last_stats.messages_sent == 0 && "
+               "!any_assign.load(std::memory_order_relaxed);");
+        } else {
+          line("const bool quiescent = last_stats.messages_sent == 0;");
+        }
+        line("if (until(iter, quiescent)) break;");
+      }
+    }
+    close();
+
+    // Result extraction.
+    line("Result r;");
+    line("r.stats = engine.stats();");
+    line("r.supersteps = supersteps;");
+    for (const Field& f : prog_.fields) {
+      if (f.origin != Field::Origin::kUser) continue;
+      line("r." + f.name + " = std::move(f_" + f.name + ");");
+    }
+    line("return r;");
+    close();  // run
+  }
+
+  void declare_scratch() {
+    for (std::size_t i = 0; i < prog_.scratch.size(); ++i) {
+      const ScratchVar& sv = prog_.scratch[i];
+      line(std::string(expr_type(sv.type)) + " " +
+           scratch_name(static_cast<int>(i)) + " = " +
+           (sv.type == Type::kBool ? "false" : "0") + "; (void)" +
+           scratch_name(static_cast<int>(i)) + ";");
+    }
+  }
+
+  static bool uses_stable(const Expr& e) {
+    if (e.kind == ExprKind::kStableRef) return true;
+    for (const auto& k : e.kids)
+      if (uses_stable(*k)) return true;
+    return false;
+  }
+
+  void footer() {
+    close("};");
+    out_ << "\n}  // namespace dvgen\n";
+  }
+
+  const CompiledProgram& cp_;
+  const Program& prog_;
+  std::string name_;
+  std::ostringstream out_;
+  std::string ind_;
+  bool track_assigns_ = false;
+};
+
+}  // namespace
+
+std::string emit_cpp(const CompiledProgram& cp,
+                     const std::string& class_name) {
+  if (cp.program.stmts.size() != 1)
+    compile_error(cp.program.loc,
+                  "C++ code generation supports single-statement programs");
+  CppEmitter emitter(cp, class_name);
+  return emitter.emit();
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,34 @@
+// C++ code generation backend.
+//
+// The paper's toolchain compiles ΔV programs down to Pregel+ C++ source;
+// our default execution path interprets the transformed AST instead (which
+// keeps the pipeline introspectable). This backend restores the paper's
+// deployment story: it emits a self-contained C++ translation unit
+// implementing the compiled program as a vertex program against this
+// library's pregel::Engine, with all §6 machinery — change checks,
+// memoized accumulators, Δ-message synthesis, halts — specialized into
+// straight-line scalar code (no Value boxing, no tree walking).
+//
+// Scope: single-statement programs (init + one step/iter) — all of the
+// paper's benchmarks. Multi-statement programs throw; run those through
+// the interpreter.
+//
+//   const auto cp = dv::compile(source);
+//   std::string cpp = dv::emit_cpp(cp, "PageRank");
+//   // write to file, compile against this library, call
+//   // dvgen::PageRank::run(graph, {.steps = 29});
+#pragma once
+
+#include <string>
+
+#include "dv/compiler.h"
+
+namespace deltav::dv {
+
+/// Emits the translation unit. `class_name` must be a valid C++
+/// identifier. Throws CompileError for programs outside the supported
+/// subset (multiple statements).
+std::string emit_cpp(const CompiledProgram& cp,
+                     const std::string& class_name);
+
+}  // namespace deltav::dv

@@ -1,0 +1,45 @@
+// Options controlling which of the paper's transformations run.
+#pragma once
+
+namespace deltav::dv {
+
+/// When is a vertex's externally-visible value (re)sent?
+enum class SendPolicy {
+  /// Every superstep (the raw §6.1 push conversion, no policy). Kept as an
+  /// ablation baseline ("naive"); not one of the paper's measured variants.
+  kAlways,
+  /// Whenever the value was assigned this superstep, regardless of whether
+  /// it changed — our reading of the paper's ΔV* variant (see DESIGN.md:
+  /// it is the only send policy consistent with Fig. 4's equal ΔV/ΔV*
+  /// message counts on SSSP/CC).
+  kOnAssign,
+  /// Only when the value actually changed (§6.3 change checks) — ΔV.
+  kOnChange,
+};
+
+struct CompileOptions {
+  /// true → the full ΔV pipeline (§6.3-§6.6); false → ΔV* (push conversion
+  /// and state binding only, kOnAssign sends).
+  bool incrementalize = true;
+
+  /// §6.6 halt insertion. Only meaningful when incrementalize is true;
+  /// separable so the halt-policy ablation can isolate its effect.
+  bool insert_halts = true;
+
+  /// Overrides the send policy implied by `incrementalize` when set to
+  /// kAlways (ablation); otherwise ignored.
+  bool naive_sends = false;
+
+  /// §9 future work: "allowable slop" ε. A float sum-aggregated message
+  /// counts as changed only when it differs from the last *sent* value by
+  /// more than ε. ε > 0 adds a per-site last-sent field to the vertex
+  /// state. Requires incrementalize.
+  double epsilon = 0.0;
+
+  SendPolicy send_policy() const {
+    if (naive_sends) return SendPolicy::kAlways;
+    return incrementalize ? SendPolicy::kOnChange : SendPolicy::kOnAssign;
+  }
+};
+
+}  // namespace deltav::dv

@@ -1,0 +1,88 @@
+#include "dv/compiler.h"
+
+#include "dv/lexer.h"
+#include "dv/parser.h"
+#include "dv/passes/passes.h"
+#include "dv/passes/verifier.h"
+
+namespace deltav::dv {
+
+Program parse_and_check(const std::string& source, Diagnostics& diags) {
+  Lexer lexer(source);
+  Parser parser(lexer.tokenize());
+  Program prog = parser.parse_program();
+  typecheck(prog, diags);
+  return prog;
+}
+
+CompiledProgram compile(const std::string& source,
+                        const CompileOptions& options) {
+  CompiledProgram cp;
+  cp.options = options;
+  cp.source = source;
+
+  if (options.epsilon > 0.0 && !options.incrementalize)
+    compile_error({}, "epsilon slop requires incrementalization");
+  if (options.epsilon < 0.0) compile_error({}, "epsilon must be >= 0");
+  if (options.naive_sends && options.incrementalize)
+    compile_error({}, "naive sends (kAlways) are incompatible with "
+                      "incrementalization: Δ-messages require change "
+                      "tracking");
+
+  Lexer lexer(source);
+  Parser parser(lexer.tokenize());
+  cp.program = parser.parse_program();
+  cp.analysis = typecheck(cp.program, cp.diagnostics);
+
+  Program& prog = cp.program;
+  Diagnostics& diags = cp.diagnostics;
+  verify_program(prog, VerifyStage::kAfterTypecheck);
+
+  // §6.1 front half: hoist aggregations into canonical positions.
+  pass_anormalize(prog, diags);
+  // §6.1: pull→push conversion; creates the site table and send loops.
+  pass_aggregation_conversion(prog, diags);
+  verify_program(prog, VerifyStage::kAfterConversion);
+
+  // Operator restrictions the incremental runtime relies on.
+  for (const AggSite& site : prog.sites) {
+    if (options.incrementalize && site.op == AggOp::kProd &&
+        site.elem_type != Type::kFloat)
+      compile_error(prog.loc,
+                    "incrementalized * aggregation requires float elements "
+                    "(integer deltas do not divide exactly)");
+  }
+
+  // §6.2: bind sent expressions into vertex state.
+  pass_state_binding(prog, diags);
+
+  switch (options.send_policy()) {
+    case SendPolicy::kAlways:
+      break;  // raw §6.1 output (naive ablation baseline)
+    case SendPolicy::kOnAssign:
+      pass_assigned_send_policy(prog, diags);
+      break;
+    case SendPolicy::kOnChange:
+      pass_change_checks(prog, options, diags);
+      break;
+  }
+
+  if (options.incrementalize) {
+    pass_incrementalize_aggregations(prog, diags);
+    pass_delta_messages(prog, options, diags);
+    if (options.insert_halts)
+      pass_insert_halts(prog, cp.analysis, diags);
+  }
+  verify_program(prog, VerifyStage::kFinal);
+
+  cp.layout = StateLayout::of(prog);
+  for (const AggSite& site : prog.sites) {
+    cp.site_ops.ops.push_back(site.op);
+    cp.site_ops.types.push_back(site.elem_type);
+  }
+  DV_CHECK_MSG(prog.sites.size() <= 64,
+               "programs are limited to 64 aggregation sites");
+  return cp;
+}
+
+}  // namespace deltav::dv

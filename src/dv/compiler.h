@@ -1,0 +1,46 @@
+// The ΔV compiler facade: source text → CompiledProgram.
+//
+// This is the library's primary public entry point. Compile once, run many
+// times (runtime/runner.h). CompileOptions selects the paper's variants:
+// defaults give ΔV; {.incrementalize = false} gives ΔV*.
+#pragma once
+
+#include <string>
+
+#include "dv/ast.h"
+#include "dv/compile_options.h"
+#include "dv/diagnostics.h"
+#include "dv/runtime/layout.h"
+#include "dv/runtime/message.h"
+#include "dv/typecheck.h"
+
+namespace deltav::dv {
+
+struct CompiledProgram {
+  Program program;
+  CompileOptions options;
+  TypecheckResult analysis;
+  StateLayout layout;
+  Diagnostics diagnostics;
+  SiteOpTable site_ops;  // operator/type per site, for combiner & runtime
+  std::string source;
+
+  std::size_t num_fields() const { return program.fields.size(); }
+  std::size_t num_scratch() const { return program.scratch.size(); }
+  std::size_t num_sites() const { return program.sites.size(); }
+  std::size_t state_bytes() const { return layout.total_bytes; }
+
+  /// Pretty-printed transformed program (paper-notation internal forms).
+  std::string dump() const { return to_string(program); }
+};
+
+/// Compiles ΔV source. Throws CompileError on lexical, syntactic, type, or
+/// transformation errors.
+CompiledProgram compile(const std::string& source,
+                        const CompileOptions& options = {});
+
+/// Front-end only (lex+parse+typecheck): used by tooling and tests that
+/// inspect the surface AST before transformation.
+Program parse_and_check(const std::string& source, Diagnostics& diags);
+
+}  // namespace deltav::dv

@@ -1,0 +1,58 @@
+// Source locations and compile diagnostics for ΔV.
+//
+// All front-end and pass errors are reported as CompileError with a source
+// location; warnings accumulate in the Diagnostics sink so callers (and
+// tests) can inspect them without the compiler printing to stderr.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace deltav::dv {
+
+struct Loc {
+  int line = 0;  // 1-based; 0 = synthesized by a compiler pass
+  int col = 0;
+
+  std::string to_string() const {
+    if (line == 0) return "<synthesized>";
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(Loc loc, const std::string& message)
+      : std::runtime_error(loc.to_string() + ": " + message), loc_(loc) {}
+
+  Loc loc() const { return loc_; }
+
+ private:
+  Loc loc_;
+};
+
+[[noreturn]] inline void compile_error(Loc loc, const std::string& message) {
+  throw CompileError(loc, message);
+}
+
+/// Warning sink. Owned by the compile pipeline; passes append to it.
+class Diagnostics {
+ public:
+  void warn(Loc loc, const std::string& message) {
+    warnings_.push_back(loc.to_string() + ": warning: " + message);
+  }
+
+  const std::vector<std::string>& warnings() const { return warnings_; }
+  bool has_warning_containing(const std::string& needle) const {
+    for (const auto& w : warnings_)
+      if (w.find(needle) != std::string::npos) return true;
+    return false;
+  }
+
+ private:
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace deltav::dv

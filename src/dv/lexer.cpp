@@ -1,0 +1,253 @@
+#include "dv/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace deltav::dv {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kIdent: return "identifier";
+    case Tok::kInit: return "'init'";
+    case Tok::kStep: return "'step'";
+    case Tok::kIter: return "'iter'";
+    case Tok::kUntil: return "'until'";
+    case Tok::kLet: return "'let'";
+    case Tok::kLocal: return "'local'";
+    case Tok::kIn: return "'in'";
+    case Tok::kIf: return "'if'";
+    case Tok::kThen: return "'then'";
+    case Tok::kElse: return "'else'";
+    case Tok::kParam: return "'param'";
+    case Tok::kGraphSize: return "'graphSize'";
+    case Tok::kInfty: return "'infty'";
+    case Tok::kVertexId: return "'vertexId'";
+    case Tok::kStable: return "'stable'";
+    case Tok::kMin: return "'min'";
+    case Tok::kMax: return "'max'";
+    case Tok::kTypeInt: return "'int'";
+    case Tok::kTypeBool: return "'bool'";
+    case Tok::kTypeFloat: return "'float'";
+    case Tok::kHashIn: return "'#in'";
+    case Tok::kHashOut: return "'#out'";
+    case Tok::kHashNeighbors: return "'#neighbors'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kColon: return "':'";
+    case Tok::kComma: return "','";
+    case Tok::kAssign: return "'='";
+    case Tok::kArrow: return "'<-'";
+    case Tok::kBar: return "'|'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kNot: return "'not'";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kLe: return "'<='";
+    case Tok::kEqEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kDot: return "'.'";
+    case Tok::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+bool Lexer::at_end() const { return pos_ >= src_.size(); }
+
+char Lexer::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skip_trivia() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if ((c == '-' && peek(1) == '-') || (c == '/' && peek(1) == '/')) {
+      while (!at_end() && peek() != '\n') advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(Tok kind) {
+  Token t;
+  t.kind = kind;
+  t.loc = tok_start_;
+  return t;
+}
+
+Token Lexer::identifier_or_keyword() {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    text += advance();
+  static const std::unordered_map<std::string, Tok> kKeywords = {
+      {"init", Tok::kInit},       {"step", Tok::kStep},
+      {"iter", Tok::kIter},       {"until", Tok::kUntil},
+      {"let", Tok::kLet},         {"local", Tok::kLocal},
+      {"in", Tok::kIn},           {"if", Tok::kIf},
+      {"then", Tok::kThen},       {"else", Tok::kElse},
+      {"param", Tok::kParam},     {"graphSize", Tok::kGraphSize},
+      {"infty", Tok::kInfty},     {"vertexId", Tok::kVertexId},
+      {"stable", Tok::kStable},   {"min", Tok::kMin},
+      {"max", Tok::kMax},         {"int", Tok::kTypeInt},
+      {"bool", Tok::kTypeBool},   {"float", Tok::kTypeFloat},
+      {"true", Tok::kTrue},       {"false", Tok::kFalse},
+      {"not", Tok::kNot},
+  };
+  auto it = kKeywords.find(text);
+  Token t = make(it != kKeywords.end() ? it->second : Tok::kIdent);
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::number() {
+  std::string text;
+  bool is_float = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    text += advance();  // '.'
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    is_float = true;
+    text += advance();
+    if (peek() == '+' || peek() == '-') text += advance();
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      compile_error(tok_start_, "malformed exponent in numeric literal");
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      text += advance();
+  }
+  Token t = make(is_float ? Tok::kFloatLit : Tok::kIntLit);
+  t.text = text;
+  if (is_float) {
+    t.float_val = std::stod(text);
+  } else {
+    t.int_val = std::stoll(text);
+  }
+  return t;
+}
+
+Token Lexer::graph_expr() {
+  advance();  // '#'
+  std::string name;
+  while (std::isalpha(static_cast<unsigned char>(peek()))) name += advance();
+  if (name == "in") return make(Tok::kHashIn);
+  if (name == "out") return make(Tok::kHashOut);
+  if (name == "neighbors") return make(Tok::kHashNeighbors);
+  compile_error(tok_start_, "unknown graph expression '#" + name +
+                                "' (expected #in, #out, or #neighbors)");
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  tok_start_ = Loc{line_, col_};
+  if (at_end()) return make(Tok::kEof);
+  const char c = peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+    return identifier_or_keyword();
+  if (std::isdigit(static_cast<unsigned char>(c))) return number();
+  if (c == '#') return graph_expr();
+
+  advance();
+  switch (c) {
+    case '{': return make(Tok::kLBrace);
+    case '}': return make(Tok::kRBrace);
+    case '(': return make(Tok::kLParen);
+    case ')': return make(Tok::kRParen);
+    case '[': return make(Tok::kLBracket);
+    case ']': return make(Tok::kRBracket);
+    case ';': return make(Tok::kSemi);
+    case ':': return make(Tok::kColon);
+    case ',': return make(Tok::kComma);
+    case '.': return make(Tok::kDot);
+    case '+': return make(Tok::kPlus);
+    case '-': return make(Tok::kMinus);
+    case '*': return make(Tok::kStar);
+    case '/': return make(Tok::kSlash);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(Tok::kAndAnd);
+      }
+      compile_error(tok_start_, "stray '&' (did you mean '&&'?)");
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(Tok::kOrOr);
+      }
+      return make(Tok::kBar);
+    case '<':
+      if (peek() == '-') {
+        advance();
+        return make(Tok::kArrow);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Tok::kLe);
+      }
+      return make(Tok::kLt);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::kGe);
+      }
+      return make(Tok::kGt);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::kEqEq);
+      }
+      return make(Tok::kAssign);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::kNe);
+      }
+      compile_error(tok_start_, "stray '!' (use 'not' or '!=')");
+    default:
+      compile_error(tok_start_,
+                    std::string("unrecognized character '") + c + "'");
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    out.push_back(next());
+    if (out.back().kind == Tok::kEof) return out;
+  }
+}
+
+}  // namespace deltav::dv

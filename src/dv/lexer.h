@@ -1,0 +1,41 @@
+// Hand-written lexer for ΔV.
+//
+// Comments run from `--` or `//` to end of line. `|` is context-sensitive
+// in the grammar (aggregation separator vs. the |g| degree form vs. `||`);
+// the lexer only distinguishes `|` and `||`, the parser does the rest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dv/token.h"
+
+namespace deltav::dv {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  /// Tokenizes the whole input (ending with kEof). Throws CompileError on
+  /// unrecognized characters or malformed literals.
+  std::vector<Token> tokenize();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool at_end() const;
+  void skip_trivia();
+  Token make(Tok kind);
+  Token identifier_or_keyword();
+  Token number();
+  Token graph_expr();
+
+  std::string src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  Loc tok_start_;
+};
+
+}  // namespace deltav::dv

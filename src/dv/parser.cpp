@@ -1,0 +1,443 @@
+#include "dv/parser.h"
+
+#include <sstream>
+
+namespace deltav::dv {
+
+Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {
+  DV_CHECK(!toks_.empty() && toks_.back().kind == Tok::kEof);
+}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < toks_.size() ? toks_[i] : toks_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = toks_[pos_];
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok kind, const char* context) {
+  if (!check(kind)) {
+    std::ostringstream os;
+    os << "expected " << tok_name(kind) << " " << context << ", found "
+       << tok_name(peek().kind);
+    compile_error(peek().loc, os.str());
+  }
+  return advance();
+}
+
+Type Parser::parse_type() {
+  if (match(Tok::kTypeInt)) return Type::kInt;
+  if (match(Tok::kTypeBool)) return Type::kBool;
+  if (match(Tok::kTypeFloat)) return Type::kFloat;
+  compile_error(peek().loc, std::string("expected a type, found ") +
+                                tok_name(peek().kind));
+}
+
+GraphDir Parser::parse_graph_dir(const char* context) {
+  if (match(Tok::kHashIn)) return GraphDir::kIn;
+  if (match(Tok::kHashOut)) return GraphDir::kOut;
+  if (match(Tok::kHashNeighbors)) return GraphDir::kNeighbors;
+  compile_error(peek().loc, std::string("expected #in/#out/#neighbors ") +
+                                context);
+}
+
+Program Parser::parse_program() {
+  Program prog;
+  prog.loc = peek().loc;
+  while (check(Tok::kParam)) {
+    advance();
+    Param p;
+    p.name = expect(Tok::kIdent, "after 'param'").text;
+    expect(Tok::kColon, "in param declaration");
+    p.type = parse_type();
+    expect(Tok::kSemi, "after param declaration");
+    prog.params.push_back(std::move(p));
+  }
+  expect(Tok::kInit, "at start of program");
+  expect(Tok::kLBrace, "after 'init'");
+  prog.init = parse_seq();
+  expect(Tok::kRBrace, "after init block");
+  expect(Tok::kSemi, "after init block");
+  prog.stmts.push_back(parse_stmt());
+  while (match(Tok::kSemi)) {
+    if (check(Tok::kEof)) break;  // trailing semicolon
+    prog.stmts.push_back(parse_stmt());
+  }
+  expect(Tok::kEof, "after last statement");
+  return prog;
+}
+
+ExprPtr Parser::parse_expression_only() {
+  auto e = parse_seq();
+  expect(Tok::kEof, "after expression");
+  return e;
+}
+
+Stmt Parser::parse_stmt() {
+  Stmt s;
+  s.loc = peek().loc;
+  if (match(Tok::kStep)) {
+    s.kind = Stmt::Kind::kStep;
+    expect(Tok::kLBrace, "after 'step'");
+    s.body = parse_seq();
+    expect(Tok::kRBrace, "after step body");
+    return s;
+  }
+  if (match(Tok::kIter)) {
+    s.kind = Stmt::Kind::kIter;
+    s.iter_var = expect(Tok::kIdent, "after 'iter'").text;
+    expect(Tok::kLBrace, "after iteration variable");
+    s.body = parse_seq();
+    expect(Tok::kRBrace, "after iter body");
+    expect(Tok::kUntil, "after iter body");
+    expect(Tok::kLBrace, "after 'until'");
+    s.until = parse_seq();
+    expect(Tok::kRBrace, "after until condition");
+    return s;
+  }
+  compile_error(peek().loc, std::string("expected 'step' or 'iter', found ") +
+                                tok_name(peek().kind));
+}
+
+ExprPtr Parser::parse_seq() {
+  const Loc loc = peek().loc;
+  std::vector<ExprPtr> items;
+  items.push_back(parse_item());
+  while (check(Tok::kSemi) &&
+         peek(1).kind != Tok::kRBrace && peek(1).kind != Tok::kEof) {
+    advance();  // ';'
+    items.push_back(parse_item());
+  }
+  // Consume a trailing semicolon before '}' if present.
+  if (check(Tok::kSemi) && peek(1).kind == Tok::kRBrace) advance();
+  if (items.size() == 1) return std::move(items.front());
+  auto e = mk_seq(std::move(items));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Parser::parse_item() {
+  const Loc loc = peek().loc;
+  if (match(Tok::kLet)) {
+    auto e = mk(ExprKind::kLet, loc);
+    e->name = expect(Tok::kIdent, "after 'let'").text;
+    expect(Tok::kColon, "in let binding");
+    e->decl_type = parse_type();
+    expect(Tok::kAssign, "in let binding");
+    e->kids.push_back(parse_nonseq());
+    expect(Tok::kIn, "after let value");
+    e->kids.push_back(parse_seq());  // body extends to the block's end
+    return e;
+  }
+  if (match(Tok::kLocal)) {
+    auto e = mk(ExprKind::kLocalDecl, loc);
+    e->name = expect(Tok::kIdent, "after 'local'").text;
+    expect(Tok::kColon, "in local declaration");
+    e->decl_type = parse_type();
+    expect(Tok::kAssign, "in local declaration");
+    e->kids.push_back(parse_nonseq());
+    return e;
+  }
+  // Assignment: IDENT '=' ... (but not '==').
+  if (check(Tok::kIdent) && peek(1).kind == Tok::kAssign) {
+    auto e = mk(ExprKind::kAssign, loc);
+    e->name = advance().text;
+    advance();  // '='
+    e->kids.push_back(parse_nonseq());
+    return e;
+  }
+  return parse_nonseq();
+}
+
+ExprPtr Parser::parse_nonseq() {
+  if (check(Tok::kIf)) {
+    const Loc loc = peek().loc;
+    advance();
+    auto e = mk(ExprKind::kIf, loc);
+    e->kids.push_back(parse_nonseq());
+    expect(Tok::kThen, "in if-expression");
+    e->kids.push_back(parse_item());
+    if (match(Tok::kElse)) e->kids.push_back(parse_item());
+    return e;
+  }
+  return parse_or();
+}
+
+bool Parser::at_aggregation_head() const {
+  switch (peek().kind) {
+    case Tok::kPlus:
+    case Tok::kStar:
+    case Tok::kMin:
+    case Tok::kMax:
+    case Tok::kOrOr:
+    case Tok::kAndAnd:
+      return peek(1).kind == Tok::kLBracket;
+    default:
+      return false;
+  }
+}
+
+ExprPtr Parser::parse_or() {
+  auto lhs = parse_and();
+  while (check(Tok::kOrOr) && peek(1).kind != Tok::kLBracket) {
+    const Loc loc = advance().loc;
+    auto e = mk(ExprKind::kBinary, loc);
+    e->bin_op = BinOp::kOr;
+    e->kids.push_back(std::move(lhs));
+    e->kids.push_back(parse_and());
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_and() {
+  auto lhs = parse_cmp();
+  while (check(Tok::kAndAnd) && peek(1).kind != Tok::kLBracket) {
+    const Loc loc = advance().loc;
+    auto e = mk(ExprKind::kBinary, loc);
+    e->bin_op = BinOp::kAnd;
+    e->kids.push_back(std::move(lhs));
+    e->kids.push_back(parse_cmp());
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_cmp() {
+  auto lhs = parse_add();
+  BinOp op;
+  switch (peek().kind) {
+    case Tok::kLt: op = BinOp::kLt; break;
+    case Tok::kGt: op = BinOp::kGt; break;
+    case Tok::kGe: op = BinOp::kGe; break;
+    case Tok::kLe: op = BinOp::kLe; break;
+    case Tok::kEqEq: op = BinOp::kEq; break;
+    case Tok::kNe: op = BinOp::kNe; break;
+    default: return lhs;
+  }
+  const Loc loc = advance().loc;
+  auto e = mk(ExprKind::kBinary, loc);
+  e->bin_op = op;
+  e->kids.push_back(std::move(lhs));
+  e->kids.push_back(parse_add());
+  return e;
+}
+
+ExprPtr Parser::parse_add() {
+  auto lhs = parse_mul();
+  while ((check(Tok::kPlus) || check(Tok::kMinus)) &&
+         peek(1).kind != Tok::kLBracket) {
+    const BinOp op = check(Tok::kPlus) ? BinOp::kAdd : BinOp::kSub;
+    const Loc loc = advance().loc;
+    auto e = mk(ExprKind::kBinary, loc);
+    e->bin_op = op;
+    e->kids.push_back(std::move(lhs));
+    e->kids.push_back(parse_mul());
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_mul() {
+  auto lhs = parse_unary();
+  while ((check(Tok::kStar) || check(Tok::kSlash)) &&
+         peek(1).kind != Tok::kLBracket) {
+    const BinOp op = check(Tok::kStar) ? BinOp::kMul : BinOp::kDiv;
+    const Loc loc = advance().loc;
+    auto e = mk(ExprKind::kBinary, loc);
+    e->bin_op = op;
+    e->kids.push_back(std::move(lhs));
+    e->kids.push_back(parse_unary());
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+  if (check(Tok::kMinus) && peek(1).kind != Tok::kLBracket) {
+    const Loc loc = advance().loc;
+    auto e = mk(ExprKind::kUnary, loc);
+    e->un_op = UnOp::kNeg;
+    e->kids.push_back(parse_unary());
+    return e;
+  }
+  if (check(Tok::kNot)) {
+    const Loc loc = advance().loc;
+    auto e = mk(ExprKind::kUnary, loc);
+    e->un_op = UnOp::kNot;
+    e->kids.push_back(parse_unary());
+    return e;
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  auto e = parse_primary();
+  if (check(Tok::kDot)) {
+    // u.a — only valid when e names the innermost aggregation binder.
+    if (e->kind == ExprKind::kVarRef && !agg_binders_.empty() &&
+        e->name == agg_binders_.back()) {
+      const Loc loc = advance().loc;
+      const Token& field = advance();
+      std::string field_name;
+      if (field.kind == Tok::kIdent) {
+        field_name = field.text;
+      } else {
+        compile_error(field.loc, "expected field name after '.'");
+      }
+      if (field_name == "edge") {
+        auto w = mk(ExprKind::kEdgeWeight, loc);
+        return w;
+      }
+      auto nf = mk(ExprKind::kNeighborField, loc);
+      nf->name = field_name;
+      return nf;
+    }
+    compile_error(peek().loc,
+                  "'.' field access is only valid on the aggregation "
+                  "element variable");
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_aggregation(AggOp op, Loc loc) {
+  expect(Tok::kLBracket, "after aggregation operator");
+  // Peek ahead to find the binder name so u.field parses inside the
+  // element expression: scan for the '|' IDENT '<-' pattern is fragile;
+  // instead we allow any identifier as binder and validate afterwards.
+  // The binder is only known after '|', so we optimistically push a
+  // placeholder matched by the most common convention would fail for other
+  // names. Instead: find the matching '|' by scanning tokens.
+  std::size_t scan = pos_;
+  int bracket_depth = 1;
+  std::string binder;
+  while (scan < toks_.size()) {
+    const Tok k = toks_[scan].kind;
+    if (k == Tok::kLBracket) ++bracket_depth;
+    if (k == Tok::kRBracket) {
+      --bracket_depth;
+      if (bracket_depth == 0) break;
+    }
+    if (k == Tok::kBar && bracket_depth == 1 &&
+        scan + 1 < toks_.size() && toks_[scan + 1].kind == Tok::kIdent &&
+        scan + 2 < toks_.size() && toks_[scan + 2].kind == Tok::kArrow) {
+      binder = toks_[scan + 1].text;
+      break;
+    }
+    ++scan;
+  }
+  if (binder.empty())
+    compile_error(loc, "aggregation is missing '| u <- д' clause");
+
+  agg_binders_.push_back(binder);
+  auto e = mk(ExprKind::kAgg, loc);
+  e->agg_op = op;
+  e->kids.push_back(parse_nonseq());
+  agg_binders_.pop_back();
+
+  expect(Tok::kBar, "after aggregation element expression");
+  const Token& b = expect(Tok::kIdent, "as aggregation element variable");
+  DV_CHECK(b.text == binder);
+  expect(Tok::kArrow, "in aggregation");
+  e->dir = parse_graph_dir("in aggregation");
+  expect(Tok::kRBracket, "to close aggregation");
+  e->name = binder;
+  return e;
+}
+
+ExprPtr Parser::parse_primary() {
+  const Loc loc = peek().loc;
+
+  if (at_aggregation_head()) {
+    AggOp op;
+    switch (peek().kind) {
+      case Tok::kPlus: op = AggOp::kSum; break;
+      case Tok::kStar: op = AggOp::kProd; break;
+      case Tok::kMin: op = AggOp::kMin; break;
+      case Tok::kMax: op = AggOp::kMax; break;
+      case Tok::kOrOr: op = AggOp::kOr; break;
+      case Tok::kAndAnd: op = AggOp::kAnd; break;
+      default: DV_FAIL("unreachable aggregation head");
+    }
+    advance();
+    return parse_aggregation(op, loc);
+  }
+
+  switch (peek().kind) {
+    case Tok::kIntLit: {
+      const Token& t = advance();
+      return mk_int(t.int_val, loc);
+    }
+    case Tok::kFloatLit: {
+      const Token& t = advance();
+      return mk_float(t.float_val, loc);
+    }
+    case Tok::kTrue:
+      advance();
+      return mk_bool(true, loc);
+    case Tok::kFalse:
+      advance();
+      return mk_bool(false, loc);
+    case Tok::kInfty:
+      advance();
+      return mk(ExprKind::kInfty, loc);
+    case Tok::kGraphSize:
+      advance();
+      return mk(ExprKind::kGraphSize, loc);
+    case Tok::kVertexId:
+      advance();
+      return mk(ExprKind::kVertexIdRef, loc);
+    case Tok::kStable:
+      advance();
+      return mk(ExprKind::kStableRef, loc);
+    case Tok::kIdent: {
+      auto e = mk(ExprKind::kVarRef, loc);
+      e->name = advance().text;
+      return e;
+    }
+    case Tok::kLParen: {
+      advance();
+      auto e = parse_seq();
+      expect(Tok::kRParen, "to close parenthesized expression");
+      return e;
+    }
+    case Tok::kBar: {
+      advance();
+      auto e = mk(ExprKind::kDegree, loc);
+      e->dir = parse_graph_dir("inside |...| degree form");
+      expect(Tok::kBar, "to close degree form");
+      return e;
+    }
+    case Tok::kMin:
+    case Tok::kMax: {
+      const PairOp op =
+          peek().kind == Tok::kMin ? PairOp::kMin : PairOp::kMax;
+      advance();
+      expect(Tok::kLParen, "after min/max");
+      auto e = mk(ExprKind::kPairOp, loc);
+      e->pair_op = op;
+      e->kids.push_back(parse_nonseq());
+      expect(Tok::kComma, "between min/max arguments");
+      e->kids.push_back(parse_nonseq());
+      expect(Tok::kRParen, "to close min/max");
+      return e;
+    }
+    case Tok::kIf:
+      return parse_nonseq();  // if-expressions in value position
+    default:
+      compile_error(loc, std::string("unexpected ") + tok_name(peek().kind) +
+                             " in expression");
+  }
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,55 @@
+// Recursive-descent parser for ΔV (grammar of Fig. 3 plus the documented
+// extensions: `param` declarations, `vertexId`, `u.edge`, `stable`, and the
+// |д| degree form the paper's own PageRank listing uses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dv/ast.h"
+#include "dv/token.h"
+
+namespace deltav::dv {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  /// Parses a whole program. Throws CompileError on syntax errors.
+  Program parse_program();
+
+  /// Parses a single expression (test helper; expects EOF after it).
+  ExprPtr parse_expression_only();
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok kind) const { return peek().kind == kind; }
+  bool match(Tok kind);
+  const Token& expect(Tok kind, const char* context);
+
+  Stmt parse_stmt();
+  ExprPtr parse_seq();        // e1; e2; ...
+  ExprPtr parse_item();       // let / local / if / assignment / expression
+  ExprPtr parse_nonseq();     // if-expression or operator expression
+  ExprPtr parse_or();
+  ExprPtr parse_and();
+  ExprPtr parse_cmp();
+  ExprPtr parse_add();
+  ExprPtr parse_mul();
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_aggregation(AggOp op, Loc loc);
+  GraphDir parse_graph_dir(const char* context);
+  Type parse_type();
+
+  /// True if the token at `ahead` begins an aggregation (agg-op then '[').
+  bool at_aggregation_head() const;
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> agg_binders_;  // active aggregation element vars
+};
+
+}  // namespace deltav::dv

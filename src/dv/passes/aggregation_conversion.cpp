@@ -1,0 +1,114 @@
+#include <sstream>
+
+#include "dv/passes/passes.h"
+
+namespace deltav::dv {
+
+std::vector<int> collect_field_reads(const Expr& e) {
+  std::vector<int> slots;
+  auto walk = [&](auto&& self, const Expr& node) -> void {
+    if (node.kind == ExprKind::kFieldRef) {
+      bool seen = false;
+      for (int s : slots) seen = seen || (s == node.slot);
+      if (!seen) slots.push_back(node.slot);
+    }
+    for (const auto& k : node.kids) self(self, *k);
+  };
+  walk(walk, e);
+  return slots;
+}
+
+ExprPtr substitute_field(const Expr& e, int slot, const Expr& replacement) {
+  if (e.kind == ExprKind::kFieldRef && e.slot == slot)
+    return replacement.clone();
+  auto copy = e.clone();
+  auto rewrite = [&](auto&& self, Expr& node) -> void {
+    for (auto& k : node.kids) {
+      if (k->kind == ExprKind::kFieldRef && k->slot == slot) {
+        k = replacement.clone();
+      } else {
+        self(self, *k);
+      }
+    }
+  };
+  rewrite(rewrite, *copy);
+  return copy;
+}
+
+namespace {
+
+/// Rewrites the aggregation element expression into its sender-side view:
+/// u.f becomes a read of the sender's own field f; u.edge stays (the
+/// sender binds it per out-edge when broadcasting).
+ExprPtr sender_view(const Expr& elem) {
+  auto copy = elem.clone();
+  auto rewrite = [](auto&& self, Expr& node) -> void {
+    if (node.kind == ExprKind::kNeighborField) {
+      node.kind = ExprKind::kFieldRef;
+      // slot/name/type were resolved by the type checker and carry over.
+    }
+    for (auto& k : node.kids) self(self, *k);
+  };
+  rewrite(rewrite, *copy);
+  return copy;
+}
+
+void convert_aggs(Program& prog, Expr& e, int stmt_index,
+                  Diagnostics& diags) {
+  for (auto& kid : e.kids) {
+    if (kid->kind == ExprKind::kAgg) {
+      AggSite site;
+      site.id = static_cast<int>(prog.sites.size());
+      site.op = kid->agg_op;
+      site.elem_type = kid->type;
+      site.pull_dir = kid->dir;
+      site.stmt_index = stmt_index;
+      site.send_expr = sender_view(*kid->kids[0]);
+      site.dep_fields = collect_field_reads(*site.send_expr);
+      if (site.dep_fields.empty())
+        diags.warn(kid->loc,
+                   "aggregation element reads no vertex fields; its value "
+                   "can never change after the first superstep");
+
+      // Eq. 3: the pull becomes a fold over this superstep's messages.
+      auto fold = mk(ExprKind::kFoldMessages, kid->loc);
+      fold->site = site.id;
+      fold->agg_op = site.op;
+      fold->type = site.elem_type;
+      fold->flag = false;  // non-incremental until §6.4 runs
+      kid = std::move(fold);
+
+      prog.sites.push_back(std::move(site));
+    } else {
+      convert_aggs(prog, *kid, stmt_index, diags);
+    }
+  }
+}
+
+}  // namespace
+
+void pass_aggregation_conversion(Program& prog, Diagnostics& diags) {
+  DV_CHECK_MSG(prog.sites.empty(),
+               "aggregation conversion must run exactly once");
+  for (std::size_t i = 0; i < prog.stmts.size(); ++i) {
+    Stmt& stmt = prog.stmts[i];
+    convert_aggs(prog, *stmt.body, static_cast<int>(i), diags);
+
+    // Append one broadcast send loop per site of this statement: the
+    // "push" half of §6.1. Unguarded full-value sends at this point;
+    // later passes add policies and Δ-messages.
+    for (const AggSite& site : prog.sites) {
+      if (site.stmt_index != static_cast<int>(i)) continue;
+      auto loop = mk(ExprKind::kSendLoop, stmt.loc);
+      loop->site = site.id;
+      loop->dir = push_direction(site.pull_dir);
+      loop->agg_op = site.op;
+      loop->type = Type::kUnit;
+      loop->flag = false;  // full values (Δ-mode set by §6.5)
+      loop->kids.push_back(site.send_expr->clone());
+      stmt.body = seq_append(std::move(stmt.body), std::move(loop));
+    }
+  }
+}
+
+}  // namespace deltav::dv

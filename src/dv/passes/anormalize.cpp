@@ -1,0 +1,111 @@
+#include <sstream>
+
+#include "dv/passes/passes.h"
+
+namespace deltav::dv {
+
+namespace {
+
+int g_counter;  // reset per pass invocation; names are program-unique
+
+/// Recursively extracts aggregations that are not in canonical position
+/// (immediate RHS of a let or field assignment) from `e`, appending the
+/// extracted (name, scratch slot, agg node) bindings to `hoisted`.
+struct Hoisted {
+  std::string name;
+  int scratch_slot;
+  ExprPtr agg;
+};
+
+void extract(Program& prog, ExprPtr& e, std::vector<Hoisted>& hoisted,
+             bool canonical_position) {
+  if (e->kind == ExprKind::kAgg) {
+    if (canonical_position) {
+      // Already `x = ⊞[...]` or `let x = ⊞[...] in ...`; leave in place.
+      // (Element expressions cannot contain aggregations — typechecked.)
+      return;
+    }
+    std::ostringstream name;
+    name << "agg_" << g_counter++;
+    const int slot =
+        prog.add_scratch(name.str(), e->type, ScratchVar::Origin::kLet);
+    auto ref = mk_scratch_ref(slot, name.str(), e->type, e->loc);
+    hoisted.push_back(Hoisted{name.str(), slot, std::move(e)});
+    e = std::move(ref);
+    return;
+  }
+  // Canonical positions: the sole kid of an assignment, the first kid of a
+  // let. Everything else is non-canonical.
+  switch (e->kind) {
+    case ExprKind::kAssign:
+      extract(prog, e->kids[0], hoisted, /*canonical_position=*/true);
+      return;
+    case ExprKind::kLet:
+      extract(prog, e->kids[0], hoisted, /*canonical_position=*/true);
+      // The let body is a new item scope handled by normalize_lets, so
+      // aggregations inside it are hoisted within the body, not above the
+      // binding they may reference.
+      return;
+    default:
+      for (auto& k : e->kids)
+        extract(prog, k, hoisted, /*canonical_position=*/false);
+      return;
+  }
+}
+
+/// Rewrites one sequence item: hoisted aggregations become scratch
+/// assignments placed before the item.
+void normalize_item(Program& prog, ExprPtr& item,
+                    std::vector<ExprPtr>& out) {
+  std::vector<Hoisted> hoisted;
+  extract(prog, item, hoisted, /*canonical_position=*/false);
+  for (auto& h : hoisted) {
+    // Bind as `$agg_i = ⊞[...]` — a scratch assignment, the moral
+    // equivalent of the paper's fresh let, but flattened so the remaining
+    // items of the sequence stay siblings.
+    out.push_back(
+        mk_assign_scratch(h.scratch_slot, h.name, std::move(h.agg)));
+  }
+  out.push_back(std::move(item));
+}
+
+void normalize_body(Program& prog, ExprPtr& body) {
+  const Loc loc = body->loc;  // before any item is moved out of `body`
+  std::vector<ExprPtr> items;
+  if (body->kind == ExprKind::kSeq) {
+    for (auto& k : body->kids) normalize_item(prog, k, items);
+  } else {
+    normalize_item(prog, body, items);
+  }
+  if (items.size() == 1) {
+    body = std::move(items.front());
+  } else {
+    body = mk_seq(std::move(items));
+    body->loc = loc;
+  }
+}
+
+/// Lets nested below the top-level sequence also carry items (their body);
+/// normalize within them recursively.
+void normalize_lets(Program& prog, Expr& e) {
+  if (e.kind == ExprKind::kLet) {
+    normalize_body(prog, e.kids[1]);
+    normalize_lets(prog, *e.kids[1]);
+    return;
+  }
+  if (e.kind == ExprKind::kSeq) {
+    for (auto& k : e.kids) normalize_lets(prog, *k);
+  }
+}
+
+}  // namespace
+
+void pass_anormalize(Program& prog, Diagnostics&) {
+  g_counter = 0;
+  for (auto& stmt : prog.stmts) {
+    normalize_body(prog, stmt.body);
+    normalize_lets(prog, *stmt.body);
+  }
+}
+
+}  // namespace deltav::dv

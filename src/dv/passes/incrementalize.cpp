@@ -1,0 +1,94 @@
+// §6.4 (aggregation memoization) and §6.5 (Δ-message insertion).
+#include <sstream>
+
+#include "dv/passes/passes.h"
+
+namespace deltav::dv {
+
+namespace {
+
+void set_fold_incremental(Expr& e, int site) {
+  if (e.kind == ExprKind::kFoldMessages && e.site == site) e.flag = true;
+  for (auto& k : e.kids) set_fold_incremental(*k, site);
+}
+
+void convert_sends_to_delta(Program& prog, Expr& e, const AggSite& site) {
+  if (e.kind == ExprKind::kSendLoop && e.site == site.id && !e.flag) {
+    e.flag = true;  // Δ-mode
+    // Eq. 10: the payload's "old" view — the sent expression evaluated
+    // over the values saved at superstep start (o_f), or over the
+    // persistent last-sent field in ϵ-slop mode.
+    ExprPtr old_view;
+    if (site.last_sent_slot >= 0) {
+      const Field& ls =
+          prog.fields[static_cast<std::size_t>(site.last_sent_slot)];
+      old_view = mk_field_ref(site.last_sent_slot, ls.name, ls.type);
+    } else {
+      old_view = e.kids[0]->clone();
+      for (std::size_t d = 0; d < site.dep_fields.size(); ++d) {
+        const auto& sv =
+            prog.scratch[static_cast<std::size_t>(site.old_scratch[d])];
+        auto repl = mk_scratch_ref(site.old_scratch[d], sv.name, sv.type);
+        old_view = substitute_field(*old_view, site.dep_fields[d], *repl);
+      }
+    }
+    e.kids.push_back(std::move(old_view));
+    return;
+  }
+  for (auto& k : e.kids) convert_sends_to_delta(prog, *k, site);
+}
+
+}  // namespace
+
+void pass_incrementalize_aggregations(Program& prog, Diagnostics& diags) {
+  for (AggSite& site : prog.sites) {
+    std::ostringstream acc_name;
+    acc_name << "aggAccum_" << site.id;
+    site.acc_slot = prog.add_field(acc_name.str(), site.elem_type,
+                                   Field::Origin::kAccumulator, site.id);
+    if (site.multiplicative()) {
+      // Eq. 9's triple: nnAcc and aggNulls join aggAccum. (For && and ||
+      // the non-absorbing value is the identity, so nnAcc carries no
+      // information — it still exists to keep the runtime uniform and the
+      // state accounting honest.)
+      std::ostringstream nn_name, nulls_name;
+      nn_name << "nnAcc_" << site.id;
+      nulls_name << "aggNulls_" << site.id;
+      site.nn_slot = prog.add_field(nn_name.str(), site.elem_type,
+                                    Field::Origin::kNnAcc, site.id);
+      site.nulls_slot = prog.add_field(nulls_name.str(), Type::kInt,
+                                       Field::Origin::kNullCount, site.id);
+    }
+    if (is_idempotent(site.op))
+      diags.warn(prog.loc,
+                 std::string("memoized ") + agg_op_name(site.op) +
+                     " aggregation (site " + std::to_string(site.id) +
+                     ") is exact only under monotone updates (as in "
+                     "SSSP/CC); see DESIGN.md");
+
+    Stmt& stmt = prog.stmts[static_cast<std::size_t>(site.stmt_index)];
+    set_fold_incremental(*stmt.body, site.id);
+  }
+}
+
+void pass_delta_messages(Program& prog, const CompileOptions&,
+                         Diagnostics&) {
+  for (const AggSite& site : prog.sites) {
+    Stmt& stmt = prog.stmts[static_cast<std::size_t>(site.stmt_index)];
+    convert_sends_to_delta(prog, *stmt.body, site);
+  }
+}
+
+void pass_insert_halts(Program& prog, const TypecheckResult& analysis,
+                       Diagnostics& diags) {
+  for (std::size_t i = 0; i < prog.stmts.size(); ++i) {
+    if (analysis.stmts[i].body_reads_iter_var)
+      diags.warn(prog.stmts[i].loc,
+                 "statement body reads the iteration variable; halted "
+                 "vertices skip supersteps and may observe stale values");
+    // Eq. 12: step{e} ; step{e; halt} (and likewise for iter bodies).
+    prog.stmts[i].body = seq_append(std::move(prog.stmts[i].body), mk_halt());
+  }
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,80 @@
+// The compile-time transformation passes of §6, in pipeline order.
+//
+// Each pass is a function that rewrites the Program in place, mirroring the
+// paper's context-rewriting rules (C[e] ; C[e']). The compiler facade
+// (dv/compiler.h) assembles them according to CompileOptions:
+//
+//   ΔV  : anormalize → aggregation_conversion → state_binding →
+//         change_checks → incrementalize_aggregations → delta_messages →
+//         insert_halts
+//   ΔV* : anormalize → aggregation_conversion → state_binding →
+//         assigned_send_policy
+#pragma once
+
+#include "dv/ast.h"
+#include "dv/compile_options.h"
+#include "dv/diagnostics.h"
+#include "dv/typecheck.h"
+
+namespace deltav::dv {
+
+/// §6.1 (first bullet): A-normalize with respect to aggregations — every
+/// ⊞[e|u←д] that is not the immediate right-hand side of a let or an
+/// assignment is hoisted into a fresh let binding.
+void pass_anormalize(Program& prog, Diagnostics& diags);
+
+/// §6.1: pull→push conversion. Registers one AggSite per aggregation,
+/// replaces each ⊞[e|u←д] with a message fold (Eq. 3, non-incremental),
+/// and appends one broadcast send loop per site (full values, unguarded)
+/// to the owning statement's body. The initial push after init (the
+/// "first superstep" sends) is performed by the runtime from the site
+/// table — see runtime/runner.h.
+void pass_aggregation_conversion(Program& prog, Diagnostics& diags);
+
+/// §6.2: binds every sent expression that is not already a vertex field to
+/// a fresh state field (A-normalization into vertex state). Sent
+/// expressions that depend on the connecting edge (u.edge) cannot be a
+/// single field and are left in place; change tracking then falls back to
+/// their field dependencies (documented refinement, DESIGN.md).
+void pass_state_binding(Program& prog, Diagnostics& diags);
+
+/// ΔV* send policy: sends fire only in supersteps where one of the sent
+/// expression's fields was assigned (see DESIGN.md §2 on why this is the
+/// paper's measured ΔV* behaviour).
+void pass_assigned_send_policy(Program& prog, Diagnostics& diags);
+
+/// §6.3: change checks. Saves old copies of externally-visible fields at
+/// superstep start (Eq. 5's o_f), dirties a per-site flag on assignments
+/// that change the value, and guards send loops with the dirty flag
+/// (Eq. 6/7). With options.epsilon > 0 the check becomes |new − last_sent|
+/// > ε against a persistent last-sent field (§9 future work).
+void pass_change_checks(Program& prog, const CompileOptions& options,
+                        Diagnostics& diags);
+
+/// §6.4: memoizes each aggregation in an accumulator field (Eq. 8); for
+/// multiplicative operators adds the (nnAcc, aggNulls, aggAccum) triple
+/// (Eq. 9).
+void pass_incrementalize_aggregations(Program& prog, Diagnostics& diags);
+
+/// §6.5: converts send payloads to Δ-messages: send(u, xf) ;
+/// send(u, Δ_old(xf)) (Eq. 10), with Δ synthesized per operator so that
+/// Eq. 11 holds (see runtime/delta.h for the synthesis itself).
+void pass_delta_messages(Program& prog, const CompileOptions& options,
+                         Diagnostics& diags);
+
+/// §6.6: appends halt to every statement body (Eq. 12). Warns when a body
+/// reads the iteration variable (halted vertices skip supersteps, so such
+/// programs may observe stale i).
+void pass_insert_halts(Program& prog, const TypecheckResult& analysis,
+                       Diagnostics& diags);
+
+// --- shared helpers used by several passes (exposed for unit tests) ---
+
+/// Collects the field slots read by `e` (kFieldRef occurrences).
+std::vector<int> collect_field_reads(const Expr& e);
+
+/// Clones `e`, replacing reads of field `slot` with the given replacement
+/// expression (deep-copied at each occurrence).
+ExprPtr substitute_field(const Expr& e, int slot, const Expr& replacement);
+
+}  // namespace deltav::dv

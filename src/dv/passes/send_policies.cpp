@@ -1,0 +1,241 @@
+// The ΔV* assigned-send policy and the ΔV change-check pass (§6.3).
+//
+// Both passes share the same skeleton: rewrite assignments to the fields a
+// site's sent expression depends on so they also update a per-site flag,
+// then guard the site's broadcast send loop with that flag (the hoisted
+// form of Eq. 6/7 — our send loops are whole broadcasts, so the guard
+// lands outside the loop exactly as Eq. 7 prescribes).
+#include <map>
+#include <sstream>
+
+#include "dv/passes/passes.h"
+
+namespace deltav::dv {
+
+namespace {
+
+/// Maps field slot → list of updates to splice after assignments to it.
+using UpdateMap = std::map<int, std::vector<const AggSite*>>;
+
+/// Rewrites every `f = e` with f in `updates` into `f = e; <flag updates>`.
+/// `make_update(site)` builds one update expression.
+template <typename MakeUpdate>
+void rewrite_assignments(Expr& e, const UpdateMap& updates,
+                         MakeUpdate&& make_update) {
+  for (auto& kid : e.kids) {
+    rewrite_assignments(*kid, updates, make_update);
+    if (kid->kind == ExprKind::kAssign &&
+        kid->assign_target == AssignTarget::kField) {
+      auto it = updates.find(kid->slot);
+      if (it == updates.end()) continue;
+      std::vector<ExprPtr> seq;
+      seq.push_back(std::move(kid));
+      for (const AggSite* site : it->second)
+        seq.push_back(make_update(*site, seq.front()->slot));
+      kid = mk_seq(std::move(seq));
+    }
+  }
+}
+
+/// Wraps the top-level send loop of `site` in `if (<guard>) ...`.
+void guard_send_loop(Stmt& stmt, const AggSite& site, ExprPtr guard) {
+  DV_CHECK(stmt.body->kind == ExprKind::kSeq);
+  for (auto& kid : stmt.body->kids) {
+    if (kid->kind == ExprKind::kSendLoop && kid->site == site.id) {
+      kid = mk_if(std::move(guard), std::move(kid));
+      return;
+    }
+    // Already-guarded loop (idempotence safety): look one level down.
+    if (kid->kind == ExprKind::kIf && kid->kids.size() == 2 &&
+        kid->kids[1]->kind == ExprKind::kSendLoop &&
+        kid->kids[1]->site == site.id)
+      DV_FAIL("send loop for site " << site.id << " already guarded");
+  }
+  DV_FAIL("send loop for site " << site.id << " not found");
+}
+
+}  // namespace
+
+void pass_assigned_send_policy(Program& prog, Diagnostics&) {
+  for (AggSite& site : prog.sites) {
+    std::ostringstream name;
+    name << "assigned_" << site.id;
+    site.assigned_scratch = prog.add_scratch(
+        name.str(), Type::kBool, ScratchVar::Origin::kAssignedFlag, site.id);
+  }
+
+  for (std::size_t i = 0; i < prog.stmts.size(); ++i) {
+    UpdateMap updates;
+    for (const AggSite& site : prog.sites) {
+      if (site.stmt_index != static_cast<int>(i)) continue;
+      for (int f : site.dep_fields) updates[f].push_back(&site);
+    }
+    if (updates.empty()) continue;
+    rewrite_assignments(
+        *prog.stmts[i].body, updates, [&](const AggSite& site, int) {
+          return mk_assign_scratch(
+              site.assigned_scratch,
+              prog.scratch[static_cast<std::size_t>(site.assigned_scratch)]
+                  .name,
+              mk_bool(true));
+        });
+    for (const AggSite& site : prog.sites) {
+      if (site.stmt_index != static_cast<int>(i)) continue;
+      guard_send_loop(
+          prog.stmts[i], site,
+          mk_scratch_ref(site.assigned_scratch,
+                         prog.scratch[static_cast<std::size_t>(
+                                          site.assigned_scratch)]
+                             .name,
+                         Type::kBool));
+    }
+  }
+}
+
+void pass_change_checks(Program& prog, const CompileOptions& options,
+                        Diagnostics& diags) {
+  const bool eps_mode = options.epsilon > 0.0;
+
+  // One old-copy scratch per externally visible field, shared by all sites
+  // that depend on it (§6.3's o_f).
+  std::map<int, int> old_of_field;
+  auto old_scratch_for = [&](int field) {
+    auto it = old_of_field.find(field);
+    if (it != old_of_field.end()) return it->second;
+    const Field& f = prog.fields[static_cast<std::size_t>(field)];
+    const int slot = prog.add_scratch("old_" + f.name, f.type,
+                                      ScratchVar::Origin::kOldCopy);
+    old_of_field.emplace(field, slot);
+    return slot;
+  };
+
+  for (AggSite& site : prog.sites) {
+    site.old_scratch.clear();
+    for (int f : site.dep_fields)
+      site.old_scratch.push_back(old_scratch_for(f));
+
+    if (eps_mode && site.op == AggOp::kSum &&
+        site.elem_type == Type::kFloat &&
+        site.send_expr->kind == ExprKind::kFieldRef) {
+      // §9 ϵ-slop: persistent last-sent value per site.
+      std::ostringstream name;
+      name << "last_sent_" << site.id;
+      site.last_sent_slot = prog.add_field(
+          name.str(), site.elem_type, Field::Origin::kLastSent, site.id);
+    } else if (eps_mode) {
+      diags.warn(prog.loc,
+                 "epsilon slop ignored for site " +
+                     std::to_string(site.id) +
+                     " (requires a float + aggregation over a plain field)");
+    }
+
+    std::ostringstream name;
+    name << "dirtied_" << site.id;
+    site.dirty_scratch = prog.add_scratch(
+        name.str(), Type::kBool, ScratchVar::Origin::kDirtyFlag, site.id);
+  }
+
+  for (std::size_t i = 0; i < prog.stmts.size(); ++i) {
+    Stmt& stmt = prog.stmts[i];
+    UpdateMap updates;
+    bool any_site = false;
+    for (const AggSite& site : prog.sites) {
+      if (site.stmt_index != static_cast<int>(i)) continue;
+      any_site = true;
+      if (site.last_sent_slot >= 0) continue;  // ϵ-mode guards at the send
+      for (int f : site.dep_fields) updates[f].push_back(&site);
+    }
+    if (!any_site) continue;
+
+    // Prologue: save o_f = f for every externally visible field this
+    // statement may send (before any assignment runs).
+    std::vector<ExprPtr> prologue;
+    for (const auto& [field, old_slot] : old_of_field) {
+      bool used_here = false;
+      for (const AggSite& site : prog.sites)
+        if (site.stmt_index == static_cast<int>(i))
+          for (int f : site.dep_fields) used_here = used_here || f == field;
+      if (!used_here) continue;
+      const Field& f = prog.fields[static_cast<std::size_t>(field)];
+      const auto& sv = prog.scratch[static_cast<std::size_t>(old_slot)];
+      prologue.push_back(mk_assign_scratch(
+          old_slot, sv.name, mk_field_ref(field, f.name, f.type)));
+    }
+    for (auto it = prologue.rbegin(); it != prologue.rend(); ++it)
+      stmt.body = seq_prepend(std::move(*it), std::move(stmt.body));
+
+    // Eq. 5: xf = e  ;  xf = e; dirtied = dirtied || (xf != o_f).
+    rewrite_assignments(
+        *stmt.body, updates, [&](const AggSite& site, int field) {
+          const Field& f = prog.fields[static_cast<std::size_t>(field)];
+          int old_slot = -1;
+          for (std::size_t d = 0; d < site.dep_fields.size(); ++d)
+            if (site.dep_fields[d] == field)
+              old_slot = site.old_scratch[d];
+          DV_CHECK(old_slot >= 0);
+          const auto& dirty =
+              prog.scratch[static_cast<std::size_t>(site.dirty_scratch)];
+          const auto& old_sv =
+              prog.scratch[static_cast<std::size_t>(old_slot)];
+          auto changed = mk_binary(
+              BinOp::kNe, mk_field_ref(field, f.name, f.type),
+              mk_scratch_ref(old_slot, old_sv.name, f.type), Type::kBool);
+          auto value = mk_binary(
+              BinOp::kOr,
+              mk_scratch_ref(site.dirty_scratch, dirty.name, Type::kBool),
+              std::move(changed), Type::kBool);
+          return mk_assign_scratch(site.dirty_scratch, dirty.name,
+                                   std::move(value));
+        });
+
+    // Eq. 6/7: guard each send loop.
+    for (const AggSite& site : prog.sites) {
+      if (site.stmt_index != static_cast<int>(i)) continue;
+      if (site.last_sent_slot >= 0) {
+        // ϵ-mode: |f - last_sent| > ε, and update last_sent after sending.
+        const Field& f = prog.fields[static_cast<std::size_t>(
+            site.send_expr->slot)];
+        const Field& ls =
+            prog.fields[static_cast<std::size_t>(site.last_sent_slot)];
+        auto fref = [&] {
+          return mk_field_ref(site.send_expr->slot, f.name, f.type);
+        };
+        auto lref = [&] {
+          return mk_field_ref(site.last_sent_slot, ls.name, ls.type);
+        };
+        auto above = mk_binary(
+            BinOp::kGt,
+            mk_binary(BinOp::kSub, fref(), lref(), Type::kFloat),
+            mk_float(options.epsilon), Type::kBool);
+        auto below = mk_binary(
+            BinOp::kGt,
+            mk_binary(BinOp::kSub, lref(), fref(), Type::kFloat),
+            mk_float(options.epsilon), Type::kBool);
+        auto guard =
+            mk_binary(BinOp::kOr, std::move(above), std::move(below),
+                      Type::kBool);
+        // Find the loop, wrap with the guard and append the last_sent
+        // update inside the guarded branch.
+        DV_CHECK(stmt.body->kind == ExprKind::kSeq);
+        for (auto& kid : stmt.body->kids) {
+          if (kid->kind != ExprKind::kSendLoop || kid->site != site.id)
+            continue;
+          std::vector<ExprPtr> branch;
+          branch.push_back(std::move(kid));
+          branch.push_back(mk_assign_field(site.last_sent_slot, ls.name,
+                                           fref()));
+          kid = mk_if(std::move(guard), mk_seq(std::move(branch)));
+          break;
+        }
+      } else {
+        const auto& dirty =
+            prog.scratch[static_cast<std::size_t>(site.dirty_scratch)];
+        guard_send_loop(stmt, site,
+                        mk_scratch_ref(site.dirty_scratch, dirty.name,
+                                       Type::kBool));
+      }
+    }
+  }
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,66 @@
+#include <sstream>
+
+#include "dv/passes/passes.h"
+
+namespace deltav::dv {
+
+namespace {
+
+bool contains_edge_weight(const Expr& e) {
+  if (e.kind == ExprKind::kEdgeWeight) return true;
+  for (const auto& k : e.kids)
+    if (contains_edge_weight(*k)) return true;
+  return false;
+}
+
+/// Finds the index of the top-level send loop for `site` in the statement
+/// body (which is a kSeq after aggregation conversion appended loops).
+std::size_t find_send_loop(const Expr& body, int site) {
+  DV_CHECK(body.kind == ExprKind::kSeq);
+  for (std::size_t i = 0; i < body.kids.size(); ++i)
+    if (body.kids[i]->kind == ExprKind::kSendLoop &&
+        body.kids[i]->site == site)
+      return i;
+  DV_FAIL("send loop for site " << site << " not found");
+}
+
+}  // namespace
+
+void pass_state_binding(Program& prog, Diagnostics& diags) {
+  for (AggSite& site : prog.sites) {
+    if (site.send_expr->kind == ExprKind::kFieldRef) continue;  // "unless e
+    // is already a field of the vertex" (§6.2)
+    if (contains_edge_weight(*site.send_expr)) {
+      // Per-edge payloads cannot be memoized in a single field; change
+      // tracking falls back to the expression's field dependencies
+      // (DESIGN.md documented refinement).
+      diags.warn(site.send_expr->loc,
+                 "sent expression depends on the connecting edge; binding "
+                 "its field dependencies instead of the whole value");
+      continue;
+    }
+
+    std::ostringstream name;
+    name << "sent_" << site.id;
+    const int slot = prog.add_field(name.str(), site.elem_type,
+                                    Field::Origin::kSentBinding, site.id);
+
+    Stmt& stmt = prog.stmts[static_cast<std::size_t>(site.stmt_index)];
+    const std::size_t loop_at = find_send_loop(*stmt.body, site.id);
+    Expr& loop = *stmt.body->kids[loop_at];
+
+    // Eq. 4: freshVar = e; send(u, freshVar).
+    auto bind = mk_assign_field(slot, name.str(), std::move(loop.kids[0]));
+    loop.kids[0] = mk_field_ref(slot, name.str(), site.elem_type);
+    stmt.body->kids.insert(
+        stmt.body->kids.begin() + static_cast<std::ptrdiff_t>(loop_at),
+        std::move(bind));
+
+    site.init_send_expr = std::move(site.send_expr);
+    site.send_expr = mk_field_ref(slot, name.str(), site.elem_type);
+    site.dep_fields = {slot};
+    site.bound_field = slot;
+  }
+}
+
+}  // namespace deltav::dv

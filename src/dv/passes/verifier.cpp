@@ -1,0 +1,185 @@
+#include "dv/passes/verifier.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace deltav::dv {
+
+namespace {
+
+struct Verifier {
+  const Program& prog;
+  VerifyStage stage;
+
+  [[noreturn]] void fail(const Expr& e, const std::string& msg) const {
+    DV_FAIL("AST verifier: " << msg << " (node " << expr_kind_name(e.kind)
+                             << " at " << e.loc.to_string() << ")");
+  }
+
+  void check_kid_count(const Expr& e, std::size_t lo, std::size_t hi) const {
+    if (e.kids.size() < lo || e.kids.size() > hi)
+      fail(e, "wrong number of children: " + std::to_string(e.kids.size()));
+  }
+
+  void check_field_slot(const Expr& e, int slot) const {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= prog.fields.size())
+      fail(e, "field slot " + std::to_string(slot) + " out of range");
+  }
+
+  void check_scratch_slot(const Expr& e, int slot) const {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= prog.scratch.size())
+      fail(e, "scratch slot " + std::to_string(slot) + " out of range");
+  }
+
+  void check_site(const Expr& e, int site) const {
+    if (site < 0 || static_cast<std::size_t>(site) >= prog.sites.size())
+      fail(e, "site id " + std::to_string(site) + " out of range");
+  }
+
+  void walk(const Expr& e) const {
+    if (e.type == Type::kUnknown) fail(e, "untyped node");
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kBoolLit:
+      case ExprKind::kInfty:
+      case ExprKind::kGraphSize:
+      case ExprKind::kVertexIdRef:
+      case ExprKind::kStableRef:
+      case ExprKind::kEdgeWeight:
+      case ExprKind::kDegree:
+      case ExprKind::kHalt:
+        check_kid_count(e, 0, 0);
+        break;
+      case ExprKind::kVarRef:
+        check_kid_count(e, 0, 0);
+        if (e.var_kind == VarKind::kUnresolved)
+          fail(e, "unresolved variable '" + e.name + "'");
+        if (e.var_kind == VarKind::kLet) check_scratch_slot(e, e.slot);
+        break;
+      case ExprKind::kFieldRef:
+        check_kid_count(e, 0, 0);
+        check_field_slot(e, e.slot);
+        if (e.type != prog.fields[static_cast<std::size_t>(e.slot)].type)
+          fail(e, "field-ref type disagrees with field table");
+        break;
+      case ExprKind::kScratchRef:
+        check_kid_count(e, 0, 0);
+        check_scratch_slot(e, e.slot);
+        break;
+      case ExprKind::kParamRef:
+        check_kid_count(e, 0, 0);
+        if (e.slot < 0 ||
+            static_cast<std::size_t>(e.slot) >= prog.params.size())
+          fail(e, "param index out of range");
+        break;
+      case ExprKind::kBinary:
+        check_kid_count(e, 2, 2);
+        break;
+      case ExprKind::kUnary:
+        check_kid_count(e, 1, 1);
+        break;
+      case ExprKind::kPairOp:
+        check_kid_count(e, 2, 2);
+        break;
+      case ExprKind::kIf:
+        check_kid_count(e, 2, 3);
+        if (e.kids[0]->type != Type::kBool)
+          fail(e, "if condition is not bool");
+        break;
+      case ExprKind::kLet:
+        check_kid_count(e, 2, 2);
+        check_scratch_slot(e, e.slot);
+        break;
+      case ExprKind::kSeq:
+        if (e.kids.empty()) fail(e, "empty sequence");
+        break;
+      case ExprKind::kAssign:
+        check_kid_count(e, 1, 1);
+        if (e.assign_target == AssignTarget::kField)
+          check_field_slot(e, e.slot);
+        else
+          check_scratch_slot(e, e.slot);
+        break;
+      case ExprKind::kLocalDecl:
+        check_kid_count(e, 1, 1);
+        check_field_slot(e, e.slot);
+        break;
+      case ExprKind::kAgg:
+        check_kid_count(e, 1, 1);
+        if (stage != VerifyStage::kAfterTypecheck)
+          fail(e, "aggregation survived conversion (§6.1 pass bug)");
+        break;
+      case ExprKind::kNeighborField:
+        if (stage != VerifyStage::kAfterTypecheck)
+          fail(e, "neighbor field survived conversion (§6.1 pass bug)");
+        check_field_slot(e, e.slot);
+        break;
+      case ExprKind::kFoldMessages: {
+        check_kid_count(e, 0, 0);
+        if (stage == VerifyStage::kAfterTypecheck)
+          fail(e, "internal form before conversion");
+        check_site(e, e.site);
+        const AggSite& site = prog.sites[static_cast<std::size_t>(e.site)];
+        if (e.agg_op != site.op) fail(e, "fold operator disagrees with site");
+        if (e.flag && site.acc_slot < 0)
+          fail(e, "incremental fold but site has no accumulator (§6.4)");
+        if (e.flag && site.multiplicative() &&
+            (site.nn_slot < 0 || site.nulls_slot < 0))
+          fail(e, "multiplicative fold missing nnAcc/aggNulls (§6.4.1)");
+        break;
+      }
+      case ExprKind::kSendLoop: {
+        if (stage == VerifyStage::kAfterTypecheck)
+          fail(e, "internal form before conversion");
+        check_site(e, e.site);
+        check_kid_count(e, e.flag ? 2 : 1, e.flag ? 2 : 1);
+        const AggSite& site = prog.sites[static_cast<std::size_t>(e.site)];
+        if (e.dir != push_direction(site.pull_dir))
+          fail(e, "send loop direction is not the site's push direction");
+        break;
+      }
+    }
+    for (const auto& k : e.kids) walk(*k);
+  }
+
+  void check_sites() const {
+    for (std::size_t i = 0; i < prog.sites.size(); ++i) {
+      const AggSite& s = prog.sites[i];
+      DV_CHECK_MSG(s.id == static_cast<int>(i), "site ids not dense");
+      DV_CHECK_MSG(s.send_expr != nullptr, "site without send expression");
+      DV_CHECK_MSG(
+          s.stmt_index >= 0 &&
+              static_cast<std::size_t>(s.stmt_index) < prog.stmts.size(),
+          "site statement index out of range");
+      walk(*s.send_expr);
+      for (int f : s.dep_fields)
+        DV_CHECK_MSG(
+            f >= 0 && static_cast<std::size_t>(f) < prog.fields.size(),
+            "site dep-field out of range");
+    }
+  }
+
+  void run() const {
+    DV_CHECK_MSG(prog.init != nullptr, "program without init block");
+    walk(*prog.init);
+    for (const auto& stmt : prog.stmts) {
+      DV_CHECK_MSG(stmt.body != nullptr, "statement without body");
+      walk(*stmt.body);
+      if (stmt.kind == Stmt::Kind::kIter) {
+        DV_CHECK_MSG(stmt.until != nullptr, "iter without until");
+        walk(*stmt.until);
+      }
+    }
+    if (stage != VerifyStage::kAfterTypecheck) check_sites();
+  }
+};
+
+}  // namespace
+
+void verify_program(const Program& prog, VerifyStage stage) {
+  Verifier{prog, stage}.run();
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,25 @@
+// AST well-formedness verifier.
+//
+// Run after every transformation pass (compile() wires it in): checks the
+// structural invariants the interpreter and later passes rely on, so a
+// buggy pass fails loudly at compile time instead of corrupting a
+// computation superstep 40 into a run. Each rule names the pass whose
+// output it polices.
+#pragma once
+
+#include "dv/ast.h"
+#include "dv/diagnostics.h"
+
+namespace deltav::dv {
+
+/// Pipeline progress marker: which invariants apply.
+enum class VerifyStage {
+  kAfterTypecheck,   // surface forms only; everything typed & resolved
+  kAfterConversion,  // no kAgg/kNeighborField; folds & send loops exist
+  kFinal,            // fully compiled (either variant)
+};
+
+/// Throws CheckError with a description of the first violation.
+void verify_program(const Program& prog, VerifyStage stage);
+
+}  // namespace deltav::dv

@@ -1,0 +1,136 @@
+// Δ-message synthesis (§6.5) and application (§6.4).
+//
+// For each aggregation operator ⊞ the compiler needs a ∆_m(m′) such that
+//     x ⊞ m′ ≃ (x ⊞ m) ⊞ ∆_m(m′)                                  (Eq. 11)
+// and a receiver-side application rule that folds the ∆ into the memoized
+// accumulator. This header centralizes both directions so a single
+// property test can verify Eq. 11 over random update streams for every
+// operator (tests/dv_delta_test.cpp).
+//
+// Synthesis per operator (DESIGN.md documents the divergences from the
+// paper's underspecified §6.4.1):
+//   +       ∆ = m′ − m
+//   *       m,m′ ≠ 0 : ∆ = m′/m            (plain)
+//           m ≠ 0, m′ = 0 : ∆ = 1/m, null++ (removes m's factor from nnAcc;
+//                                            the paper's "tag" refined so
+//                                            nnAcc stays exact)
+//           m = 0, m′ ≠ 0 : ∆ = m′, denull++ (the paper's tag(m′))
+//   min/max ∆ = m′ (idempotent re-fold; exact under monotone updates)
+//   &&/||   only absorbing-state transitions carry information: null++ on
+//           entering the absorbing value, denull++ on leaving it.
+#pragma once
+
+#include "dv/runtime/value.h"
+
+namespace deltav::dv {
+
+/// A synthesized Δ-message (before the wire envelope is added).
+struct DeltaPayload {
+  Value value;          // the ∆ itself (identity when only counters matter)
+  std::int32_t nulls = 0;    // sender entered the absorbing state
+  std::int32_t denulls = 0;  // sender left the absorbing state
+  /// True when the message is a no-op (identity value, zero counters) and
+  /// can be suppressed entirely — the degenerate "meaningless" message.
+  bool noop = false;
+};
+
+/// ∆_old(next) for operator `op` at element type `t`.
+inline DeltaPayload synthesize_delta(AggOp op, Type t, const Value& old_v,
+                                     const Value& new_v) {
+  DeltaPayload d;
+  switch (op) {
+    case AggOp::kSum:
+      d.value = t == Type::kInt
+                    ? Value::of_int(new_v.as_i() - old_v.as_i())
+                    : Value::of_float(new_v.as_f() - old_v.as_f());
+      d.noop = is_identity(op, d.value);
+      return d;
+    case AggOp::kProd: {
+      const bool old_null = is_absorbing(op, old_v);
+      const bool new_null = is_absorbing(op, new_v);
+      if (!old_null && !new_null) {
+        // Integer products do not divide exactly in general; the compiler
+        // only admits float product aggregations (enforced in compiler.cpp).
+        d.value = Value::of_float(new_v.as_f() / old_v.as_f());
+        d.noop = is_identity(op, d.value);
+      } else if (!old_null && new_null) {
+        d.value = Value::of_float(1.0 / old_v.as_f());
+        d.nulls = 1;
+      } else if (old_null && !new_null) {
+        d.value = new_v.coerce(t);
+        d.denulls = 1;
+      } else {
+        d.value = agg_identity(op, t);
+        d.noop = true;
+      }
+      return d;
+    }
+    case AggOp::kMin:
+    case AggOp::kMax:
+      d.value = new_v.coerce(t);
+      d.noop = is_identity(op, d.value);
+      return d;
+    case AggOp::kAnd:
+    case AggOp::kOr: {
+      const bool old_null = is_absorbing(op, old_v);
+      const bool new_null = is_absorbing(op, new_v);
+      d.value = agg_identity(op, t);
+      if (!old_null && new_null) {
+        d.nulls = 1;
+      } else if (old_null && !new_null) {
+        d.denulls = 1;
+      } else {
+        d.noop = true;
+      }
+      return d;
+    }
+  }
+  DV_FAIL("unknown aggregation operator");
+}
+
+/// The "first send" (initial push after init, §6.1): the previous
+/// contribution is conceptually absent, i.e. the identity.
+inline DeltaPayload synthesize_first(AggOp op, Type t, const Value& v) {
+  DeltaPayload d;
+  switch (op) {
+    case AggOp::kProd:
+    case AggOp::kAnd:
+    case AggOp::kOr:
+      if (is_absorbing(op, v)) {
+        d.value = agg_identity(op, t);
+        d.nulls = 1;
+        return d;
+      }
+      d.value = v.coerce(op == AggOp::kProd ? t : Type::kBool);
+      d.noop = is_identity(op, d.value);
+      return d;
+    default:
+      d.value = v.coerce(t);
+      d.noop = is_identity(op, d.value);
+      return d;
+  }
+}
+
+/// Receiver state for one incrementalized aggregation site.
+struct AccumRef {
+  Value* acc;          // aggAccum
+  Value* nn = nullptr; // nnAcc (multiplicative only)
+  Value* nulls = nullptr;  // aggNulls as Value(int)
+};
+
+/// Folds one Δ-message into the memoized accumulator (Eq. 8 / Eq. 9).
+inline void apply_delta(AggOp op, Type t, const AccumRef& ref,
+                        const Value& payload, std::int32_t nulls,
+                        std::int32_t denulls) {
+  if (is_multiplicative(op)) {
+    DV_DCHECK(ref.nn && ref.nulls);
+    *ref.nn = agg_apply(op, t, *ref.nn, payload);
+    ref.nulls->i += nulls - denulls;
+    DV_DCHECK(ref.nulls->i >= 0);
+    *ref.acc = ref.nulls->i > 0 ? agg_absorbing(op, t) : *ref.nn;
+  } else {
+    *ref.acc = agg_apply(op, t, *ref.acc, payload);
+  }
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,61 @@
+// Tree-walking evaluator for compiled ΔV expression trees.
+//
+// One evaluator serves three contexts: per-vertex body execution during a
+// superstep (fields, messages, sends available), init-block execution, and
+// global `until` evaluation (no vertex bound). The compiled program is a
+// state machine over supersteps; this file is the per-superstep step
+// function, and runtime/runner.h drives it over the Pregel engine.
+#pragma once
+
+#include <span>
+
+#include "dv/ast.h"
+#include "dv/runtime/message.h"
+#include "dv/runtime/value.h"
+#include "graph/csr_graph.h"
+
+namespace deltav::dv {
+
+/// Where send loops deliver messages. The runner adapts this onto the
+/// Pregel engine context; tests use recording sinks.
+class SendSink {
+ public:
+  virtual ~SendSink() = default;
+  virtual void send(graph::VertexId dst, const DvMessage& msg) = 0;
+};
+
+struct EvalContext {
+  const Program* prog = nullptr;
+  const graph::CsrGraph* graph = nullptr;
+
+  // Per-vertex views (empty/unused for global until evaluation).
+  std::span<Value> fields;
+  std::span<Value> scratch;
+  std::span<const DvMessage> msgs;
+  graph::VertexId vertex = 0;
+  bool has_vertex = false;
+
+  // Program-wide bindings.
+  std::span<const Value> params;
+  std::int64_t iter = 1;   // 1-based iteration count of the current iter
+  bool stable = false;     // quiescence, for `stable` in until clauses
+
+  // Send machinery.
+  SendSink* sink = nullptr;
+  const std::vector<std::uint8_t>* site_wire = nullptr;  // bytes per site
+  std::uint64_t suppress_sites = 0;  // bitmask: skip sends for these sites
+
+  // Out-flags.
+  bool halt_requested = false;
+  bool any_field_assign = false;
+
+  // Transient: weight of the edge being broadcast over (u.edge).
+  double cur_edge_weight = 1.0;
+};
+
+/// Evaluates `e`, returning its value (unit expressions return a zero int).
+/// Throws CheckError on internal invariant violations (e.g. unconverted
+/// aggregation nodes — those indicate a compiler bug, not a user error).
+Value eval(const Expr& e, EvalContext& ctx);
+
+}  // namespace deltav::dv

@@ -1,0 +1,39 @@
+#include "dv/runtime/layout.h"
+
+#include <sstream>
+
+namespace deltav::dv {
+
+StateLayout StateLayout::of(const Program& prog) {
+  StateLayout l;
+  std::size_t words = 0, bools = 0;
+  for (const Field& f : prog.fields) {
+    const std::size_t bytes = type_state_bytes(f.type);
+    (f.type == Type::kBool ? bools : words) += bytes;
+    switch (f.origin) {
+      case Field::Origin::kUser: l.user_bytes += bytes; break;
+      case Field::Origin::kSentBinding: l.binding_bytes += bytes; break;
+      case Field::Origin::kAccumulator: l.accumulator_bytes += bytes; break;
+      case Field::Origin::kNnAcc:
+      case Field::Origin::kNullCount:
+        l.multiplicative_bytes += bytes;
+        break;
+      case Field::Origin::kLastSent: l.epsilon_bytes += bytes; break;
+    }
+  }
+  const std::size_t raw = words + bools;
+  l.total_bytes = (raw + 7) / 8 * 8;  // struct-align to 8
+  if (l.total_bytes == 0) l.total_bytes = 8;  // empty state still occupies
+  return l;
+}
+
+std::string StateLayout::summary() const {
+  std::ostringstream os;
+  os << total_bytes << " B (user " << user_bytes << ", bindings "
+     << binding_bytes << ", accumulators " << accumulator_bytes
+     << ", multiplicative " << multiplicative_bytes << ", epsilon "
+     << epsilon_bytes << ")";
+  return os.str();
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,31 @@
+// Vertex-state layout and size accounting (Table 2).
+//
+// The compiled vertex state is the program's field table packed like a C
+// struct: 8-byte numeric fields first, then bool fields byte-packed, the
+// total rounded up to 8-byte alignment. The per-origin breakdown lets the
+// Table-2 bench report exactly where ΔV's extra bytes over ΔV* come from
+// (accumulators and, for multiplicative sites, the nnAcc/aggNulls pair).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dv/ast.h"
+
+namespace deltav::dv {
+
+struct StateLayout {
+  std::size_t total_bytes = 0;   // aligned struct size
+  std::size_t user_bytes = 0;          // `local` fields
+  std::size_t binding_bytes = 0;       // §6.2 sent-value bindings
+  std::size_t accumulator_bytes = 0;   // §6.4 aggAccum
+  std::size_t multiplicative_bytes = 0;  // §6.4.1 nnAcc + aggNulls
+  std::size_t epsilon_bytes = 0;       // §9 last-sent fields
+
+  static StateLayout of(const Program& prog);
+
+  std::string summary() const;
+};
+
+}  // namespace deltav::dv

@@ -1,0 +1,505 @@
+#include "dv/runtime/runner.h"
+
+#include <algorithm>
+
+#include "dv/runtime/delta.h"
+#include "pregel/aggregator.h"
+
+namespace deltav::dv {
+
+namespace {
+
+/// Adapts the engine's per-vertex send API to the interpreter's SendSink,
+/// optionally teeing every message into the debug probe.
+class EngineSink : public SendSink {
+ public:
+  using Ctx = DvEngine::Context;
+  using Probe = std::function<void(graph::VertexId, graph::VertexId,
+                                   const DvMessage&)>;
+  void bind(Ctx* ctx, const Probe* probe) {
+    ctx_ = ctx;
+    probe_ = probe && *probe ? probe : nullptr;
+  }
+  void send(graph::VertexId dst, const DvMessage& msg) override {
+    if (probe_) (*probe_)(ctx_->vertex(), dst, msg);
+    ctx_->send(dst, msg);
+  }
+
+ private:
+  Ctx* ctx_ = nullptr;
+  const Probe* probe_ = nullptr;
+};
+
+/// Does any node of `e` contain `stable`? (Pre-analyzed by typecheck, but
+/// re-derived here to keep the runner independent of analysis plumbing.)
+bool uses_stable(const Expr& e) {
+  if (e.kind == ExprKind::kStableRef) return true;
+  for (const auto& k : e.kids)
+    if (uses_stable(*k)) return true;
+  return false;
+}
+
+class Runner {
+ public:
+  Runner(const CompiledProgram& cp, const graph::CsrGraph& g,
+         const DvRunOptions& options)
+      : cp_(cp), prog_(cp.program), g_(g), options_(options) {
+    validate();
+    const std::size_t n = g_.num_vertices();
+    stride_ = prog_.fields.size();
+    state_.assign(n * stride_, Value{});
+    init_compiler_fields();
+    bind_params();
+    compute_site_wires();
+
+    pregel::EngineOptions eopts = options_.engine;
+    eopts.use_combiner = options_.use_combiner;
+    DvCombiner combiner{&cp_.site_ops};
+    engine_ = std::make_unique<DvEngine>(n, eopts, combiner);
+
+    // Scratch slots are reset per vertex to typed zeros (dirty/assigned
+    // flags start false each superstep, §6.3).
+    scratch_defaults_.reserve(prog_.scratch.size());
+    for (const ScratchVar& sv : prog_.scratch) {
+      switch (sv.type) {
+        case Type::kBool: scratch_defaults_.push_back(Value::of_bool(false)); break;
+        case Type::kFloat: scratch_defaults_.push_back(Value::of_float(0.0)); break;
+        default: scratch_defaults_.push_back(Value::of_int(0)); break;
+      }
+    }
+    const int W = eopts.num_workers;
+    worker_scratch_.resize(static_cast<std::size_t>(W));
+    for (auto& s : worker_scratch_) s = scratch_defaults_;
+    assign_agg_ = std::make_unique<pregel::OrAggregator>(W, false,
+                                                         pregel::OrOp{});
+  }
+
+  DvRunResult run() {
+    run_init_superstep();
+    for (std::size_t si = 0; si < prog_.stmts.size(); ++si) {
+      if (si > 0) run_transition(si);
+      run_statement(si);
+    }
+    return collect_result();
+  }
+
+ private:
+  void validate() {
+    for (const AggSite& site : prog_.sites) {
+      if (site.pull_dir == GraphDir::kNeighbors && g_.directed())
+        DV_FAIL("program aggregates over #neighbors but the graph is "
+                "directed; use #in/#out");
+    }
+    for (const Param& p : prog_.params)
+      DV_CHECK_MSG(options_.params.count(p.name) == 1,
+                   "missing program parameter '" << p.name << "'");
+    for (const VertexDeletion& d : options_.deletions) {
+      DV_CHECK_MSG(d.stmt_index < prog_.stmts.size(),
+                   "deletion statement index out of range");
+      DV_CHECK_MSG(d.iteration >= 1, "deletion iteration is 1-based");
+      for (auto v : d.vertices)
+        DV_CHECK_MSG(v < g_.num_vertices(),
+                     "deleted vertex " << v << " out of range");
+      if (!cp_.options.incrementalize) continue;
+      for (const AggSite& site : prog_.sites) {
+        if (site.stmt_index != static_cast<int>(d.stmt_index)) continue;
+        DV_CHECK_MSG(!is_idempotent(site.op),
+                     "vertex deletion cannot retract a "
+                         << agg_op_name(site.op)
+                         << " contribution (min/max accumulators cannot "
+                            "forget); see §9 of the paper");
+      }
+    }
+  }
+
+  /// Broadcasts the §9 retraction for every site of statement `si`: a
+  /// Δ-message taking this vertex's last-sent contribution to the
+  /// aggregation identity. Runs in place of the victim's body.
+  void send_retractions(EvalContext& ctx, graph::VertexId v,
+                        std::size_t si) {
+    for (const AggSite& site : prog_.sites) {
+      if (site.stmt_index != static_cast<int>(si)) continue;
+      std::span<const graph::VertexId> targets;
+      std::span<const double> weights;
+      switch (push_direction(site.pull_dir)) {
+        case GraphDir::kOut:
+        case GraphDir::kNeighbors:
+          targets = g_.out_neighbors(v);
+          weights = g_.out_weights(v);
+          break;
+        case GraphDir::kIn:
+          targets = g_.in_neighbors(v);
+          weights = g_.in_weights(v);
+          break;
+      }
+      const Value identity = agg_identity(site.op, site.elem_type);
+      const auto wire = site_wire_[static_cast<std::size_t>(site.id)];
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
+        const Value last =
+            site.last_sent_slot >= 0
+                ? ctx.fields[static_cast<std::size_t>(site.last_sent_slot)]
+                : eval(*site.send_expr, ctx).coerce(site.elem_type);
+        const DeltaPayload d =
+            synthesize_delta(site.op, site.elem_type, last, identity);
+        if (d.noop) continue;
+        DvMessage msg;
+        msg.site = static_cast<std::uint8_t>(site.id);
+        msg.wire = wire;
+        msg.payload = d.value;
+        msg.nulls = d.nulls;
+        msg.denulls = d.denulls;
+        ctx.sink->send(targets[i], msg);
+      }
+    }
+  }
+
+  void init_compiler_fields() {
+    // Compiler-added fields have runtime-defined initial values; user
+    // fields are initialized by the init block.
+    std::vector<Value> defaults(stride_);
+    for (std::size_t fi = 0; fi < stride_; ++fi) {
+      const Field& f = prog_.fields[fi];
+      switch (f.origin) {
+        case Field::Origin::kAccumulator:
+        case Field::Origin::kNnAcc: {
+          const AggSite& site =
+              prog_.sites[static_cast<std::size_t>(f.site)];
+          defaults[fi] = agg_identity(site.op, site.elem_type);
+          break;
+        }
+        case Field::Origin::kNullCount:
+          defaults[fi] = Value::of_int(0);
+          break;
+        case Field::Origin::kLastSent: {
+          const AggSite& site =
+              prog_.sites[static_cast<std::size_t>(f.site)];
+          defaults[fi] = agg_identity(site.op, site.elem_type);
+          break;
+        }
+        case Field::Origin::kUser:
+        case Field::Origin::kSentBinding: {
+          Value zero;
+          switch (f.type) {
+            case Type::kFloat: zero = Value::of_float(0.0); break;
+            case Type::kBool: zero = Value::of_bool(false); break;
+            default: zero = Value::of_int(0); break;
+          }
+          defaults[fi] = zero;
+          break;
+        }
+      }
+    }
+    for (std::size_t v = 0; v < g_.num_vertices(); ++v)
+      std::copy(defaults.begin(), defaults.end(),
+                state_.begin() + static_cast<std::ptrdiff_t>(v * stride_));
+  }
+
+  void bind_params() {
+    params_.reserve(prog_.params.size());
+    for (const Param& p : prog_.params) {
+      const Value& v = options_.params.at(p.name);
+      params_.push_back(v.coerce(p.type));
+    }
+  }
+
+  void compute_site_wires() {
+    const bool multi_site = prog_.sites.size() > 1;
+    for (const AggSite& site : prog_.sites) {
+      std::size_t bytes = type_wire_bytes(site.elem_type);
+      if (multi_site) bytes += 1;  // site id rides along
+      if (cp_.options.incrementalize && site.multiplicative())
+        bytes += 1;  // §6.4.1 transition tags
+      site_wire_.push_back(static_cast<std::uint8_t>(bytes));
+    }
+  }
+
+  EvalContext make_ctx(int worker) {
+    EvalContext ctx;
+    ctx.prog = &prog_;
+    ctx.graph = &g_;
+    ctx.params = params_;
+    ctx.site_wire = &site_wire_;
+    ctx.scratch = worker_scratch_[static_cast<std::size_t>(worker)];
+    return ctx;
+  }
+
+  std::span<Value> fields_of(graph::VertexId v) {
+    return {state_.data() + static_cast<std::size_t>(v) * stride_, stride_};
+  }
+
+  /// Pushes the initial full values for all sites of statement `si` from
+  /// vertex `v` (the §6.1 "first superstep" sends), storing bound-field
+  /// values so later Δ computations see what was actually sent.
+  void push_first(EvalContext& ctx, graph::VertexId v, std::size_t si) {
+    for (const AggSite& site : prog_.sites) {
+      if (site.stmt_index != static_cast<int>(si)) continue;
+      std::span<const graph::VertexId> targets;
+      std::span<const double> weights;
+      switch (push_direction(site.pull_dir)) {
+        case GraphDir::kOut:
+        case GraphDir::kNeighbors:
+          targets = g_.out_neighbors(v);
+          weights = g_.out_weights(v);
+          break;
+        case GraphDir::kIn:
+          targets = g_.in_neighbors(v);
+          weights = g_.in_weights(v);
+          break;
+      }
+      const Expr& expr =
+          site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+      const auto wire = site_wire_[static_cast<std::size_t>(site.id)];
+      Value bound{};
+      bool bound_set = false;
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
+        const Value v0 = eval(expr, ctx).coerce(site.elem_type);
+        if (site.bound_field >= 0 && !bound_set) {
+          bound = v0;
+          bound_set = true;
+        }
+        DvMessage msg;
+        msg.site = static_cast<std::uint8_t>(site.id);
+        msg.wire = wire;
+        if (cp_.options.incrementalize) {
+          const DeltaPayload d =
+              synthesize_first(site.op, site.elem_type, v0);
+          if (d.noop) continue;
+          msg.payload = d.value;
+          msg.nulls = d.nulls;
+          msg.denulls = d.denulls;
+        } else {
+          if (is_identity(site.op, v0)) continue;
+          msg.payload = v0;
+        }
+        ctx.sink->send(targets[i], msg);
+      }
+      if (site.bound_field >= 0) {
+        // Record what this vertex's neighbors now believe its value is.
+        if (!bound_set) {
+          ctx.cur_edge_weight = 1.0;
+          bound = eval(expr, ctx).coerce(site.elem_type);
+        }
+        ctx.fields[static_cast<std::size_t>(site.bound_field)] = bound;
+        if (site.last_sent_slot >= 0)
+          ctx.fields[static_cast<std::size_t>(site.last_sent_slot)] = bound;
+      } else if (site.last_sent_slot >= 0) {
+        ctx.cur_edge_weight = 1.0;
+        ctx.fields[static_cast<std::size_t>(site.last_sent_slot)] =
+            eval(expr, ctx).coerce(site.elem_type);
+      }
+    }
+  }
+
+  void run_init_superstep() {
+    engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
+                      std::span<const DvMessage>) {
+      EngineSink sink;
+      sink.bind(&ectx, &options_.send_probe);
+      EvalContext ctx = make_ctx(ectx.worker());
+      ctx.sink = &sink;
+      ctx.has_vertex = true;
+      ctx.vertex = v;
+      ctx.fields = fields_of(v);
+      std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
+      eval(*prog_.init, ctx);
+      push_first(ctx, v, 0);
+      // No halt: statement 0's first superstep must run on every vertex.
+    });
+    ++supersteps_;
+  }
+
+  void run_transition(std::size_t next_si) {
+    engine_->activate_all();
+    bool has_sites = false;
+    for (const AggSite& site : prog_.sites)
+      has_sites = has_sites || site.stmt_index == static_cast<int>(next_si);
+    if (!has_sites) return;  // nothing to prime; vertices are awake
+    engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
+                      std::span<const DvMessage>) {
+      EngineSink sink;
+      sink.bind(&ectx, &options_.send_probe);
+      EvalContext ctx = make_ctx(ectx.worker());
+      ctx.sink = &sink;
+      ctx.has_vertex = true;
+      ctx.vertex = v;
+      ctx.fields = fields_of(v);
+      std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
+      push_first(ctx, v, next_si);
+    });
+    ++supersteps_;
+  }
+
+  /// Evaluates the until clause globally (no vertex context).
+  bool eval_until(const Stmt& stmt, std::int64_t iter, bool stable) {
+    EvalContext ctx = make_ctx(0);
+    ctx.has_vertex = false;
+    ctx.iter = iter;
+    ctx.stable = stable;
+    std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
+    return eval(*stmt.until, ctx).as_b();
+  }
+
+  /// Arms `victims_` for deletions scheduled at (statement, iteration).
+  /// ΔV victims are woken so they can broadcast retractions during the
+  /// superstep; ΔV* victims are simply removed up front (their
+  /// contribution vanishes because non-memoized folds only see what
+  /// arrives each superstep).
+  void prepare_deletions(std::size_t si, std::size_t iter) {
+    victims_.clear();
+    for (const VertexDeletion& d : options_.deletions) {
+      if (d.stmt_index != si || d.iteration != iter) continue;
+      if (cp_.options.incrementalize) {
+        if (victims_.empty()) victims_.assign(g_.num_vertices(), 0);
+        for (auto v : d.vertices) {
+          victims_[v] = 1;
+          engine_->activate(v);
+        }
+      } else {
+        for (auto v : d.vertices) engine_->mark_deleted(v);
+      }
+    }
+  }
+
+  std::uint64_t sites_mask_of(std::size_t si) const {
+    std::uint64_t mask = 0;
+    for (const AggSite& site : prog_.sites)
+      if (site.stmt_index == static_cast<int>(si))
+        mask |= 1ULL << site.id;
+    return mask;
+  }
+
+  void run_statement(std::size_t si) {
+    const Stmt& stmt = prog_.stmts[si];
+    const bool is_iter = stmt.kind == Stmt::Kind::kIter;
+    const bool stable_until = is_iter && uses_stable(*stmt.until);
+    const std::uint64_t own_sites = sites_mask_of(si);
+
+    std::size_t iter = 0;
+    for (;;) {
+      ++iter;
+      // Scheduled vertex removals for this (statement, iteration).
+      prepare_deletions(si, iter);
+      // Send suppression: if this superstep is provably the statement's
+      // last execution, its own-site sends could never be folded.
+      bool last_known = !is_iter;
+      if (is_iter && !stable_until)
+        last_known = eval_until(stmt, static_cast<std::int64_t>(iter),
+                                /*stable=*/false);
+      const std::uint64_t suppress = last_known ? own_sites : 0;
+
+      assign_agg_->reset();
+      engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
+                        std::span<const DvMessage> msgs) {
+        EngineSink sink;
+        sink.bind(&ectx, &options_.send_probe);
+        EvalContext ctx = make_ctx(ectx.worker());
+        ctx.sink = &sink;
+        ctx.has_vertex = true;
+        ctx.vertex = v;
+        ctx.fields = fields_of(v);
+        ctx.msgs = msgs;
+        ctx.iter = static_cast<std::int64_t>(iter);
+        ctx.suppress_sites = suppress;
+        std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
+        if (!victims_.empty() && victims_[v]) {
+          // §9: retract this vertex's contributions, then leave for good.
+          send_retractions(ctx, v, si);
+          engine_->mark_deleted(v);
+          return;
+        }
+        eval(*stmt.body, ctx);
+        if (ctx.halt_requested) ectx.vote_to_halt();
+        if (ctx.any_field_assign)
+          assign_agg_->contribute(ectx.worker(), true);
+      });
+      victims_.clear();
+      ++supersteps_;
+      DV_CHECK_MSG(supersteps_ <= options_.max_supersteps,
+                   "superstep limit exceeded (non-terminating until?)");
+
+      if (!is_iter) break;
+      if (last_known) break;
+      if (stable_until) {
+        // Quiescence: nothing was sent, so no vertex can learn anything
+        // new. For ΔV this is sufficient (bodies are idempotent under an
+        // unchanged accumulator). ΔV* additionally requires that nothing
+        // was assigned, because its non-memoized folds recompute from
+        // whatever arrives each superstep.
+        const auto& last = engine_->stats().supersteps.back();
+        const bool quiescent =
+            last.messages_sent == 0 &&
+            (cp_.options.incrementalize || !assign_agg_->reduce());
+        if (eval_until(stmt, static_cast<std::int64_t>(iter), quiescent))
+          break;
+      }
+      // Non-stable untils were pre-checked as last_known above; if the
+      // condition first becomes true *at* this iteration count, the next
+      // loop turn detects it before running another superstep.
+    }
+    iterations_.push_back(iter);
+  }
+
+  DvRunResult collect_result() {
+    DvRunResult r;
+    r.stats = engine_->stats();
+    r.supersteps = supersteps_;
+    r.iterations = iterations_;
+    r.state = std::move(state_);
+    for (const Field& f : prog_.fields) r.fields.push_back(f);
+    r.num_vertices = g_.num_vertices();
+    return r;
+  }
+
+  const CompiledProgram& cp_;
+  const Program& prog_;
+  const graph::CsrGraph& g_;
+  const DvRunOptions& options_;
+
+  std::size_t stride_ = 0;
+  std::vector<Value> state_;
+  std::vector<Value> params_;
+  std::vector<Value> scratch_defaults_;
+  std::vector<std::uint8_t> site_wire_;
+  std::vector<std::vector<Value>> worker_scratch_;
+  std::unique_ptr<DvEngine> engine_;
+  std::unique_ptr<pregel::OrAggregator> assign_agg_;
+  std::size_t supersteps_ = 0;
+  std::vector<std::size_t> iterations_;
+  std::vector<std::uint8_t> victims_;
+};
+
+}  // namespace
+
+int DvRunResult::field_slot(const std::string& name) const {
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    if (fields[i].name == name) return static_cast<int>(i);
+  DV_FAIL("no field named '" << name << "'");
+}
+
+std::vector<double> DvRunResult::field_as_double(
+    const std::string& name) const {
+  const int slot = field_slot(name);
+  std::vector<double> out(num_vertices);
+  for (std::size_t v = 0; v < num_vertices; ++v)
+    out[v] = at(static_cast<graph::VertexId>(v), slot).as_f();
+  return out;
+}
+
+std::vector<std::int64_t> DvRunResult::field_as_int(
+    const std::string& name) const {
+  const int slot = field_slot(name);
+  std::vector<std::int64_t> out(num_vertices);
+  for (std::size_t v = 0; v < num_vertices; ++v)
+    out[v] = at(static_cast<graph::VertexId>(v), slot).as_i();
+  return out;
+}
+
+DvRunResult run_program(const CompiledProgram& cp, const graph::CsrGraph& g,
+                        const DvRunOptions& options) {
+  Runner runner(cp, g, options);
+  return runner.run();
+}
+
+}  // namespace deltav::dv

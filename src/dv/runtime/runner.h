@@ -1,0 +1,97 @@
+// Executes a compiled ΔV program over a graph on the Pregel engine.
+//
+// The compiled program is a state machine over supersteps:
+//
+//   superstep 0        — run the init block on every vertex, then push the
+//                        initial full values for statement 0's aggregation
+//                        sites (§6.1 "at the first superstep ... send the
+//                        data from the neighbors' perspective").
+//   statement k        — one superstep per body execution. The body gathers
+//                        messages (folds), computes, sends (full values for
+//                        ΔV*, Δ-messages for ΔV), and — for ΔV — halts.
+//                        `iter` statements repeat until their until clause
+//                        holds; the runner evaluates until clauses globally
+//                        (they are restricted to globally-evaluable forms,
+//                        with `stable` bound to engine quiescence).
+//   transition k→k+1   — reactivate all vertices and run one priming
+//                        superstep that pushes initial values for statement
+//                        k+1's sites.
+//
+// Send suppression: when the runner can prove a superstep is the last
+// execution of its statement (step statements; iter statements with a
+// stable-free until), that superstep's own-site sends are suppressed —
+// they could never be folded.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dv/compiler.h"
+#include "dv/runtime/interpreter.h"
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::dv {
+
+/// A scheduled vertex removal (§9 future work): at the given body
+/// iteration of the given statement, the vertices broadcast retraction
+/// Δ-messages that restore their contribution to the aggregation identity
+/// ("a message that zeros out the value of the vertex to its neighbors"),
+/// then leave the computation permanently.
+struct VertexDeletion {
+  std::size_t stmt_index = 0;
+  std::size_t iteration = 1;  // 1-based body execution count
+  std::vector<graph::VertexId> vertices;
+};
+
+struct DvRunOptions {
+  pregel::EngineOptions engine;
+  bool use_combiner = true;
+  /// Program parameter bindings by name; must cover every `param`.
+  std::map<std::string, Value> params;
+  /// Hard cap guarding against non-terminating until clauses.
+  std::size_t max_supersteps = 100000;
+  /// Scheduled vertex removals. With incrementalization this requires all
+  /// of the statement's aggregation operators to admit retraction
+  /// (+, *, &&, ||); min/max accumulators cannot forget a contribution.
+  std::vector<VertexDeletion> deletions;
+
+  /// Debug/verification hook: observes every message as it is sent
+  /// (src, dst, message). Called from worker threads — the callee must be
+  /// thread-safe. Tests use this to check the meaningful-messages policy
+  /// (Definition 1) directly on live runs.
+  std::function<void(graph::VertexId src, graph::VertexId dst,
+                     const DvMessage&)>
+      send_probe;
+};
+
+struct DvRunResult {
+  pregel::RunStats stats;
+  std::size_t supersteps = 0;
+  std::vector<std::size_t> iterations;  // per statement
+
+  /// Final vertex state: num_vertices × num_fields, field-major stride.
+  std::vector<Value> state;
+  std::vector<Field> fields;
+  std::size_t num_vertices = 0;
+
+  const Value& at(graph::VertexId v, int field_slot) const {
+    return state[static_cast<std::size_t>(v) * fields.size() +
+                 static_cast<std::size_t>(field_slot)];
+  }
+
+  int field_slot(const std::string& name) const;
+
+  /// Extracts a field column as doubles (ints/bools widen).
+  std::vector<double> field_as_double(const std::string& name) const;
+  std::vector<std::int64_t> field_as_int(const std::string& name) const;
+};
+
+/// Runs `cp` over `g`. Throws CheckError/CompileError on misuse (missing
+/// params, #neighbors on a directed graph, superstep cap exceeded).
+DvRunResult run_program(const CompiledProgram& cp, const graph::CsrGraph& g,
+                        const DvRunOptions& options = {});
+
+}  // namespace deltav::dv

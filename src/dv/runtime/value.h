@@ -1,0 +1,156 @@
+// Runtime values of the ΔV interpreter, and the aggregation algebra over
+// them (identity / absorbing elements, the ⊞ fold).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "dv/types.h"
+
+namespace deltav::dv {
+
+/// A tagged runtime value. 16 bytes; vertex state is a dense array of
+/// these, messages carry one as payload.
+struct Value {
+  Type type = Type::kInt;
+  union {
+    std::int64_t i;
+    double f;
+    bool b;
+  };
+
+  Value() : i(0) {}
+
+  static Value of_int(std::int64_t v) {
+    Value x;
+    x.type = Type::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value of_float(double v) {
+    Value x;
+    x.type = Type::kFloat;
+    x.f = v;
+    return x;
+  }
+  static Value of_bool(bool v) {
+    Value x;
+    x.type = Type::kBool;
+    x.b = v;
+    return x;
+  }
+
+  double as_f() const {
+    switch (type) {
+      case Type::kFloat: return f;
+      case Type::kInt: return static_cast<double>(i);
+      case Type::kBool: return b ? 1.0 : 0.0;
+      default: DV_FAIL("as_f on non-value");
+    }
+  }
+  std::int64_t as_i() const {
+    switch (type) {
+      case Type::kInt: return i;
+      case Type::kFloat: return static_cast<std::int64_t>(f);
+      case Type::kBool: return b ? 1 : 0;
+      default: DV_FAIL("as_i on non-value");
+    }
+  }
+  bool as_b() const {
+    DV_CHECK(type == Type::kBool);
+    return b;
+  }
+
+  /// Converts to `t` (int→float widening and exact float→int for literals).
+  Value coerce(Type t) const {
+    if (t == type) return *this;
+    switch (t) {
+      case Type::kFloat: return of_float(as_f());
+      case Type::kInt: return of_int(as_i());
+      case Type::kBool: return of_bool(as_b());
+      default: DV_FAIL("coerce to " << type_name(t));
+    }
+  }
+
+  /// Structural equality after numeric unification — the comparison the
+  /// meaningful-message policy is defined over (m1 ≠ m2, Def. 1).
+  bool equals(const Value& o) const {
+    if (type == Type::kBool || o.type == Type::kBool)
+      return type == o.type && b == o.b;
+    if (type == Type::kInt && o.type == Type::kInt) return i == o.i;
+    return as_f() == o.as_f();
+  }
+};
+
+/// default_init(⊞, τ): the identity element (§6.1).
+inline Value agg_identity(AggOp op, Type t) {
+  switch (t) {
+    case Type::kFloat: return Value::of_float(agg_identity_double(op));
+    case Type::kInt: return Value::of_int(agg_identity_int(op));
+    case Type::kBool: return Value::of_bool(agg_identity_bool(op));
+    default: DV_FAIL("no identity for type " << type_name(t));
+  }
+}
+
+/// The absorbing element of a multiplicative operator (§6.4.1).
+inline Value agg_absorbing(AggOp op, Type t) {
+  switch (op) {
+    case AggOp::kProd:
+      return t == Type::kInt ? Value::of_int(0) : Value::of_float(0.0);
+    case AggOp::kAnd: return Value::of_bool(false);
+    case AggOp::kOr: return Value::of_bool(true);
+    default: DV_FAIL("no absorbing element for " << agg_op_name(op));
+  }
+}
+
+inline bool is_absorbing(AggOp op, const Value& v) {
+  switch (op) {
+    case AggOp::kProd: return v.as_f() == 0.0;
+    case AggOp::kAnd: return !v.as_b();
+    case AggOp::kOr: return v.as_b();
+    default: return false;
+  }
+}
+
+inline bool is_identity(AggOp op, const Value& v) {
+  switch (op) {
+    case AggOp::kSum: return v.as_f() == 0.0;
+    case AggOp::kProd: return v.as_f() == 1.0;
+    case AggOp::kMin:
+      return v.type == Type::kInt
+                 ? v.i == agg_identity_int(AggOp::kMin)
+                 : v.as_f() == agg_identity_double(AggOp::kMin);
+    case AggOp::kMax:
+      return v.type == Type::kInt
+                 ? v.i == agg_identity_int(AggOp::kMax)
+                 : v.as_f() == agg_identity_double(AggOp::kMax);
+    case AggOp::kAnd: return v.as_b();
+    case AggOp::kOr: return !v.as_b();
+  }
+  return false;
+}
+
+/// a ⊞ b at type `t`.
+inline Value agg_apply(AggOp op, Type t, const Value& a, const Value& b) {
+  switch (op) {
+    case AggOp::kSum:
+      return t == Type::kInt ? Value::of_int(a.as_i() + b.as_i())
+                             : Value::of_float(a.as_f() + b.as_f());
+    case AggOp::kProd:
+      return t == Type::kInt ? Value::of_int(a.as_i() * b.as_i())
+                             : Value::of_float(a.as_f() * b.as_f());
+    case AggOp::kMin:
+      if (t == Type::kInt)
+        return Value::of_int(a.as_i() < b.as_i() ? a.as_i() : b.as_i());
+      return Value::of_float(a.as_f() < b.as_f() ? a.as_f() : b.as_f());
+    case AggOp::kMax:
+      if (t == Type::kInt)
+        return Value::of_int(a.as_i() > b.as_i() ? a.as_i() : b.as_i());
+      return Value::of_float(a.as_f() > b.as_f() ? a.as_f() : b.as_f());
+    case AggOp::kAnd: return Value::of_bool(a.as_b() && b.as_b());
+    case AggOp::kOr: return Value::of_bool(a.as_b() || b.as_b());
+  }
+  DV_FAIL("unknown aggregation operator");
+}
+
+}  // namespace deltav::dv

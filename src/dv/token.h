@@ -1,0 +1,40 @@
+// Tokens of the ΔV surface syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dv/diagnostics.h"
+
+namespace deltav::dv {
+
+enum class Tok : std::uint8_t {
+  // literals / identifiers
+  kIntLit, kFloatLit, kTrue, kFalse, kIdent,
+  // keywords
+  kInit, kStep, kIter, kUntil, kLet, kLocal, kIn, kIf, kThen, kElse,
+  kParam, kGraphSize, kInfty, kVertexId, kStable,
+  kMin, kMax, kTypeInt, kTypeBool, kTypeFloat,
+  // graph expressions
+  kHashIn, kHashOut, kHashNeighbors,
+  // punctuation / operators
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket,
+  kSemi, kColon, kComma, kAssign, kArrow /* <- */, kBar /* | */,
+  kPlus, kMinus, kStar, kSlash,
+  kAndAnd, kOrOr, kNot,
+  kLt, kGt, kGe, kLe, kEqEq, kNe,
+  kDot,
+  kEof,
+};
+
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;       // identifier spelling / literal text
+  std::int64_t int_val = 0;
+  double float_val = 0;
+  Loc loc;
+};
+
+}  // namespace deltav::dv

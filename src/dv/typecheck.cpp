@@ -1,0 +1,334 @@
+#include "dv/typecheck.h"
+
+#include <sstream>
+
+namespace deltav::dv {
+
+namespace {
+
+bool is_numeric(Type t) { return t == Type::kInt || t == Type::kFloat; }
+
+/// Least upper bound of two value types, or kUnknown if incompatible.
+Type unify(Type a, Type b) {
+  if (a == b) return a;
+  if ((a == Type::kInt && b == Type::kFloat) ||
+      (a == Type::kFloat && b == Type::kInt))
+    return Type::kFloat;
+  return Type::kUnknown;
+}
+
+/// True if a value of type `from` may flow into a slot of type `to`.
+bool assignable(Type to, Type from) {
+  if (to == from) return true;
+  return to == Type::kFloat && from == Type::kInt;
+}
+
+class Checker {
+ public:
+  Checker(Program& prog, Diagnostics& diags) : prog_(prog), diags_(diags) {}
+
+  TypecheckResult run() {
+    TypecheckResult result;
+    in_init_ = true;
+    check(*prog_.init);
+    in_init_ = false;
+    if (prog_.fields.empty())
+      diags_.warn(prog_.loc, "program declares no vertex state fields");
+    for (std::size_t i = 0; i < prog_.stmts.size(); ++i) {
+      Stmt& s = prog_.stmts[i];
+      StmtAnalysis analysis;
+      analysis_ = &analysis;
+      iter_var_ = s.kind == Stmt::Kind::kIter ? s.iter_var : std::string();
+      if (!iter_var_.empty()) {
+        const int field = prog_.find_field(iter_var_);
+        if (field >= 0)
+          compile_error(s.loc, "iteration variable '" + iter_var_ +
+                                   "' shadows a vertex field");
+      }
+      check(*s.body);
+      if (s.until) {
+        in_until_ = true;
+        check(*s.until);
+        in_until_ = false;
+        if (s.until->type != Type::kBool)
+          compile_error(s.until->loc, "until condition must be bool, got " +
+                                          std::string(type_name(
+                                              s.until->type)));
+      }
+      iter_var_.clear();
+      result.stmts.push_back(analysis);
+    }
+    return result;
+  }
+
+ private:
+  struct LetBinding {
+    std::string name;
+    Type type;
+    int scratch_slot;
+  };
+
+  [[noreturn]] void err(const Expr& e, const std::string& msg) {
+    compile_error(e.loc, msg);
+  }
+
+  void check(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: e.type = Type::kInt; return;
+      case ExprKind::kFloatLit: e.type = Type::kFloat; return;
+      case ExprKind::kBoolLit: e.type = Type::kBool; return;
+      case ExprKind::kInfty: e.type = Type::kFloat; return;
+      case ExprKind::kGraphSize: e.type = Type::kInt; return;
+      case ExprKind::kVertexIdRef:
+        if (in_until_)
+          err(e, "'vertexId' is per-vertex and not allowed in until clauses");
+        e.type = Type::kInt;
+        return;
+      case ExprKind::kStableRef:
+        if (!in_until_) err(e, "'stable' is only valid in until clauses");
+        analysis_->until_uses_stable = true;
+        e.type = Type::kBool;
+        return;
+      case ExprKind::kVarRef: return check_var_ref(e);
+      case ExprKind::kBinary: return check_binary(e);
+      case ExprKind::kUnary: return check_unary(e);
+      case ExprKind::kPairOp: return check_pair_op(e);
+      case ExprKind::kIf: return check_if(e);
+      case ExprKind::kLet: return check_let(e);
+      case ExprKind::kSeq: return check_seq(e);
+      case ExprKind::kAssign: return check_assign(e);
+      case ExprKind::kLocalDecl: return check_local_decl(e);
+      case ExprKind::kAgg: return check_agg(e);
+      case ExprKind::kNeighborField: return check_neighbor_field(e);
+      case ExprKind::kEdgeWeight:
+        if (!in_agg_) err(e, "u.edge is only valid inside an aggregation");
+        e.type = Type::kFloat;
+        return;
+      case ExprKind::kDegree:
+        if (in_until_)
+          err(e, "degree is per-vertex and not allowed in until clauses");
+        e.type = Type::kInt;
+        return;
+      default:
+        err(e, std::string("internal form ") + expr_kind_name(e.kind) +
+                   " in source program");
+    }
+  }
+
+  void check_var_ref(Expr& e) {
+    // Resolution order: innermost let > iteration variable > field > param.
+    for (auto it = lets_.rbegin(); it != lets_.rend(); ++it) {
+      if (it->name == e.name) {
+        e.var_kind = VarKind::kLet;
+        e.slot = it->scratch_slot;
+        e.type = it->type;
+        return;
+      }
+    }
+    if (!iter_var_.empty() && e.name == iter_var_) {
+      e.var_kind = VarKind::kIter;
+      e.type = Type::kInt;
+      if (!in_until_) analysis_->body_reads_iter_var = true;
+      return;
+    }
+    const int field = prog_.find_field(e.name);
+    if (field >= 0) {
+      if (in_until_)
+        err(e, "until conditions may not read vertex fields (they must be "
+               "globally evaluable); use 'stable' for convergence");
+      e.kind = ExprKind::kFieldRef;
+      e.slot = field;
+      e.type = prog_.fields[static_cast<std::size_t>(field)].type;
+      return;
+    }
+    const int param = prog_.find_param(e.name);
+    if (param >= 0) {
+      e.kind = ExprKind::kParamRef;
+      e.slot = param;
+      e.type = prog_.params[static_cast<std::size_t>(param)].type;
+      return;
+    }
+    err(e, "undefined name '" + e.name + "'");
+  }
+
+  void check_binary(Expr& e) {
+    check(*e.kids[0]);
+    check(*e.kids[1]);
+    const Type lt = e.kids[0]->type, rt = e.kids[1]->type;
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul: {
+        if (!is_numeric(lt) || !is_numeric(rt))
+          err(e, "arithmetic on non-numeric operands");
+        e.type = unify(lt, rt);
+        return;
+      }
+      case BinOp::kDiv:
+        if (!is_numeric(lt) || !is_numeric(rt))
+          err(e, "division on non-numeric operands");
+        e.type = Type::kFloat;  // '/' always yields float (see DESIGN.md)
+        return;
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        if (lt != Type::kBool || rt != Type::kBool)
+          err(e, "&&/|| require bool operands");
+        e.type = Type::kBool;
+        return;
+      case BinOp::kLt:
+      case BinOp::kGt:
+      case BinOp::kGe:
+      case BinOp::kLe:
+        if (!is_numeric(lt) || !is_numeric(rt))
+          err(e, "comparison on non-numeric operands");
+        e.type = Type::kBool;
+        return;
+      case BinOp::kEq:
+      case BinOp::kNe:
+        if (unify(lt, rt) == Type::kUnknown)
+          err(e, "==/!= on incompatible types");
+        e.type = Type::kBool;
+        return;
+    }
+  }
+
+  void check_unary(Expr& e) {
+    check(*e.kids[0]);
+    if (e.un_op == UnOp::kNeg) {
+      if (!is_numeric(e.kids[0]->type)) err(e, "negation of non-number");
+      e.type = e.kids[0]->type;
+    } else {
+      if (e.kids[0]->type != Type::kBool) err(e, "'not' of non-bool");
+      e.type = Type::kBool;
+    }
+  }
+
+  void check_pair_op(Expr& e) {
+    check(*e.kids[0]);
+    check(*e.kids[1]);
+    if (!is_numeric(e.kids[0]->type) || !is_numeric(e.kids[1]->type))
+      err(e, "min/max require numeric arguments");
+    e.type = unify(e.kids[0]->type, e.kids[1]->type);
+  }
+
+  void check_if(Expr& e) {
+    const bool was_cond = under_conditional_;
+    check(*e.kids[0]);
+    if (e.kids[0]->type != Type::kBool)
+      err(*e.kids[0], "if condition must be bool");
+    under_conditional_ = true;
+    check(*e.kids[1]);
+    if (e.kids.size() == 3) {
+      check(*e.kids[2]);
+      e.type = unify(e.kids[1]->type, e.kids[2]->type);
+      if (e.type == Type::kUnknown) {
+        // Branch types disagree: the if is used for effect, not value.
+        e.type = Type::kUnit;
+      }
+    } else {
+      e.type = Type::kUnit;
+    }
+    under_conditional_ = was_cond;
+  }
+
+  void check_let(Expr& e) {
+    check(*e.kids[0]);
+    if (!assignable(e.decl_type, e.kids[0]->type))
+      err(e, "let '" + e.name + "' declared " + type_name(e.decl_type) +
+                 " but initialized with " +
+                 type_name(e.kids[0]->type));
+    const int slot =
+        prog_.add_scratch(e.name, e.decl_type, ScratchVar::Origin::kLet);
+    lets_.push_back(LetBinding{e.name, e.decl_type, slot});
+    e.slot = slot;
+    check(*e.kids[1]);
+    lets_.pop_back();
+    e.type = e.kids[1]->type;
+  }
+
+  void check_seq(Expr& e) {
+    for (auto& k : e.kids) check(*k);
+    e.type = e.kids.empty() ? Type::kUnit : e.kids.back()->type;
+  }
+
+  void check_assign(Expr& e) {
+    if (in_init_)
+      err(e, "assignments are not allowed in init; use 'local' declarations");
+    check(*e.kids[0]);
+    for (auto it = lets_.rbegin(); it != lets_.rend(); ++it)
+      if (it->name == e.name)
+        err(e, "let-bound variable '" + e.name + "' is immutable");
+    const int field = prog_.find_field(e.name);
+    if (field < 0) err(e, "assignment to undefined field '" + e.name + "'");
+    const Type ft = prog_.fields[static_cast<std::size_t>(field)].type;
+    if (!assignable(ft, e.kids[0]->type))
+      err(e, "cannot assign " + std::string(type_name(e.kids[0]->type)) +
+                 " to field '" + e.name + "' of type " + type_name(ft));
+    e.assign_target = AssignTarget::kField;
+    e.slot = field;
+    e.type = Type::kUnit;
+  }
+
+  void check_local_decl(Expr& e) {
+    if (!in_init_)
+      err(e, "'local' declarations are only allowed in the init block");
+    check(*e.kids[0]);
+    if (!assignable(e.decl_type, e.kids[0]->type))
+      err(e, "local '" + e.name + "' declared " + type_name(e.decl_type) +
+                 " but initialized with " + type_name(e.kids[0]->type));
+    if (prog_.find_field(e.name) >= 0)
+      err(e, "duplicate field '" + e.name + "'");
+    if (prog_.find_param(e.name) >= 0)
+      err(e, "field '" + e.name + "' shadows a parameter");
+    e.slot = prog_.add_field(e.name, e.decl_type, Field::Origin::kUser);
+    e.type = Type::kUnit;
+  }
+
+  void check_agg(Expr& e) {
+    if (in_init_)
+      err(e, "aggregations are not allowed in init (no communication has "
+             "happened yet)");
+    if (in_until_) err(e, "aggregations are not allowed in until clauses");
+    if (in_agg_) err(e, "nested aggregations are not supported");
+    if (under_conditional_)
+      err(e, "aggregation under a conditional cannot be incrementalized; "
+             "hoist it with a let above the if");
+    in_agg_ = true;
+    check(*e.kids[0]);
+    in_agg_ = false;
+    const Type elem = e.kids[0]->type;
+    if (!agg_supports_type(e.agg_op, elem))
+      err(e, std::string("aggregation ") + agg_op_name(e.agg_op) +
+                 " does not support element type " + type_name(elem));
+    e.type = elem;
+  }
+
+  void check_neighbor_field(Expr& e) {
+    if (!in_agg_)
+      err(e, "u." + e.name + " is only valid inside an aggregation");
+    const int field = prog_.find_field(e.name);
+    if (field < 0)
+      err(e, "aggregation references unknown field '" + e.name + "'");
+    e.slot = field;
+    e.type = prog_.fields[static_cast<std::size_t>(field)].type;
+  }
+
+  Program& prog_;
+  Diagnostics& diags_;
+  std::vector<LetBinding> lets_;
+  std::string iter_var_;
+  StmtAnalysis* analysis_ = nullptr;
+  bool in_init_ = false;
+  bool in_until_ = false;
+  bool in_agg_ = false;
+  bool under_conditional_ = false;
+};
+
+}  // namespace
+
+TypecheckResult typecheck(Program& prog, Diagnostics& diags) {
+  Checker checker(prog, diags);
+  return checker.run();
+}
+
+}  // namespace deltav::dv

@@ -1,0 +1,36 @@
+// Type checking and name resolution for ΔV.
+//
+// Annotates every expression with its type, resolves identifiers (let
+// variables → scratch slots, `local` declarations → vertex-state fields,
+// `param`s, iteration variables), registers user fields in the program's
+// field table, and enforces the structural restrictions the
+// incrementalization passes rely on:
+//
+//  * aggregations may not appear inside `init`, inside another aggregation,
+//    or under a conditional (the in-place message fold must execute
+//    unconditionally every superstep for accumulator coherence);
+//  * `until` clauses are globally evaluable: iteration variable, params,
+//    graphSize, literals, and the `stable` builtin only;
+//  * let-bound variables are immutable; only fields are assignable.
+#pragma once
+
+#include "dv/ast.h"
+#include "dv/diagnostics.h"
+
+namespace deltav::dv {
+
+/// Per-statement facts later passes and the runner need.
+struct StmtAnalysis {
+  bool body_reads_iter_var = false;
+  bool until_uses_stable = false;
+};
+
+struct TypecheckResult {
+  std::vector<StmtAnalysis> stmts;
+};
+
+/// Checks `prog` in place. Throws CompileError on the first error; appends
+/// warnings to `diags`.
+TypecheckResult typecheck(Program& prog, Diagnostics& diags);
+
+}  // namespace deltav::dv

@@ -1,0 +1,24 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace deltav::graph {
+
+std::size_t CsrGraph::max_out_degree() const {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < num_vertices(); ++v)
+    best = std::max(best, out_degree(static_cast<VertexId>(v)));
+  return best;
+}
+
+std::string CsrGraph::summary() const {
+  std::ostringstream os;
+  os << (directed_ ? "directed" : "undirected") << " |V|=" << num_vertices()
+     << " |E|=" << num_logical_edges()
+     << (weighted() ? " weighted" : " unweighted")
+     << " max-out-deg=" << max_out_degree();
+  return os.str();
+}
+
+}  // namespace deltav::graph

@@ -1,0 +1,100 @@
+// Immutable compressed-sparse-row graph.
+//
+// This is the storage substrate every vertex-centric computation in the
+// library runs over. Both out- and in-adjacency are materialized because the
+// ΔV language aggregates over #in, #out, and #neighbors (§5 of the paper),
+// and the push-conversion pass needs the reverse direction of whatever the
+// source program pulls from. For undirected graphs the two directions are
+// the same arrays.
+//
+// Vertices are dense ids [0, num_vertices). Edge weights are optional; an
+// unweighted graph reports weight 1.0 for every edge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace deltav::graph {
+
+using VertexId = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+
+class GraphBuilder;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  bool directed() const { return directed_; }
+  bool weighted() const { return !out_weights_.empty(); }
+
+  std::size_t num_vertices() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+
+  /// Number of stored arcs. For an undirected graph each logical edge is
+  /// stored twice (once per endpoint), mirroring how Pregel frameworks see
+  /// adjacency lists; num_logical_edges() undoes that.
+  EdgeIndex num_arcs() const { return out_targets_.size(); }
+  EdgeIndex num_logical_edges() const {
+    return directed_ ? num_arcs() : num_arcs() / 2;
+  }
+
+  std::span<const VertexId> out_neighbors(VertexId v) const {
+    DV_DCHECK(v < num_vertices());
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  std::span<const VertexId> in_neighbors(VertexId v) const {
+    DV_DCHECK(v < num_vertices());
+    if (!directed_) return out_neighbors(v);
+    return {in_targets_.data() + in_offsets_[v],
+            in_targets_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Neighbors regardless of direction; only meaningful for undirected
+  /// graphs (callers on directed graphs should pick a direction).
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return out_neighbors(v);
+  }
+
+  std::size_t out_degree(VertexId v) const { return out_neighbors(v).size(); }
+  std::size_t in_degree(VertexId v) const { return in_neighbors(v).size(); }
+
+  /// Weights aligned with out_neighbors(v); empty span if unweighted.
+  std::span<const double> out_weights(VertexId v) const {
+    if (!weighted()) return {};
+    return {out_weights_.data() + out_offsets_[v],
+            out_weights_.data() + out_offsets_[v + 1]};
+  }
+
+  std::span<const double> in_weights(VertexId v) const {
+    if (!weighted()) return {};
+    if (!directed_) return out_weights(v);
+    return {in_weights_.data() + in_offsets_[v],
+            in_weights_.data() + in_offsets_[v + 1]};
+  }
+
+  std::size_t max_out_degree() const;
+
+  /// Human-readable one-line summary ("directed |V|=1024 |E|=8192 ...").
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  bool directed_ = true;
+  std::vector<EdgeIndex> out_offsets_;  // size num_vertices()+1
+  std::vector<VertexId> out_targets_;
+  std::vector<double> out_weights_;  // empty if unweighted
+  std::vector<EdgeIndex> in_offsets_;
+  std::vector<VertexId> in_targets_;
+  std::vector<double> in_weights_;
+};
+
+}  // namespace deltav::graph

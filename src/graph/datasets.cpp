@@ -1,0 +1,53 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace deltav::graph {
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {"wikipedia-s", "Wikipedia (18.27M/136.54M)", /*directed=*/true,
+       262144, 1966080, /*weighted=*/false, 1, /*periphery=*/0.3},
+      {"livejournal-dg-s", "LiveJournal-DG (4.85M/68.48M)", /*directed=*/true,
+       131072, 1835008, /*weighted=*/false, 2, /*periphery=*/0.0},
+      {"facebook-s", "Facebook (59.22M/185.04M)", /*directed=*/false,
+       524288, 1638400, /*weighted=*/false, 3, /*periphery=*/0.0},
+      {"livejournal-ug-s", "LiveJournal-UG (3.99M/34.68M)",
+       /*directed=*/false, 131072, 1146880, /*weighted=*/false, 4,
+       /*periphery=*/0.0},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const auto& s : paper_datasets())
+    if (s.name == name) return s;
+  DV_FAIL("unknown dataset '" << name << "'");
+}
+
+CsrGraph make_dataset(const DatasetSpec& spec, double scale, bool weighted) {
+  DV_CHECK_MSG(scale > 0, "scale must be positive");
+  const auto v = std::max<std::size_t>(
+      16, static_cast<std::size_t>(spec.base_vertices * scale));
+  const auto e = std::max<std::size_t>(
+      32, static_cast<std::size_t>(spec.base_edges * scale));
+  RmatOptions o;
+  o.directed = spec.directed;
+  o.weighted = weighted || spec.weighted;
+  if (spec.periphery > 0.0) {
+    DV_CHECK(spec.directed);
+    WebCrawlOptions wo;
+    wo.periphery_fraction = spec.periphery;
+    wo.core = o;
+    return web_crawl(v, e, spec.seed, wo);
+  }
+  return rmat(v, e, spec.seed, o);
+}
+
+CsrGraph make_dataset(const std::string& name, double scale, bool weighted) {
+  return make_dataset(dataset_spec(name), scale, weighted);
+}
+
+}  // namespace deltav::graph

@@ -1,0 +1,47 @@
+// Scaled stand-ins for the paper's evaluation datasets (Table 1).
+//
+// The paper's graphs (Wikipedia 18.27M/136.5M directed, LiveJournal-DG
+// 4.85M/68.5M directed, Facebook 59.2M/185M undirected, LiveJournal-UG
+// 3.99M/34.7M undirected) are large crawls we do not ship. Each stand-in is
+// an R-MAT graph matching the original's directedness and approximate
+// density, scaled down by `scale` (1.0 = the default sizes in DESIGN.md §2,
+// chosen so the full Figure-4/5 sweep runs in minutes on one machine).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace deltav::graph {
+
+struct DatasetSpec {
+  std::string name;          // e.g. "wikipedia-s"
+  std::string mirrors;       // the paper dataset this stands in for
+  bool directed;
+  std::size_t base_vertices; // at scale 1.0
+  std::size_t base_edges;
+  bool weighted;             // SSSP needs weights; added on demand
+  std::uint64_t seed;
+  /// Pendant-periphery fraction (web_crawl generator) — 0 for pure R-MAT.
+  /// Wikipedia-like crawls get a stub-page periphery whose HITS scores
+  /// freeze, the structure behind the paper's HITS message reduction.
+  double periphery = 0.0;
+};
+
+/// The four Table-1 stand-ins, in the paper's order.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Looks a spec up by name; throws CheckError if unknown.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Materializes a dataset at the given scale (vertices and edges are both
+/// multiplied by `scale`). `weighted` overrides the spec, e.g. for SSSP.
+CsrGraph make_dataset(const DatasetSpec& spec, double scale = 1.0,
+                      bool weighted = false);
+
+CsrGraph make_dataset(const std::string& name, double scale = 1.0,
+                      bool weighted = false);
+
+}  // namespace deltav::graph

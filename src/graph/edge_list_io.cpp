@@ -1,0 +1,75 @@
+#include "graph/edge_list_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace deltav::graph {
+
+CsrGraph read_edge_list(std::istream& in, const EdgeListOptions& options) {
+  struct RawEdge {
+    std::uint64_t src, dst;
+    double weight;
+  };
+  std::vector<RawEdge> raw;
+  std::unordered_map<std::uint64_t, VertexId> dense;
+  auto densify = [&](std::uint64_t id) {
+    auto [it, inserted] =
+        dense.emplace(id, static_cast<VertexId>(dense.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t s, d;
+    if (!(ls >> s >> d))
+      DV_FAIL("edge list line " << lineno << ": expected 'src dst'");
+    double w = 1.0;
+    if (options.weighted && !(ls >> w))
+      DV_FAIL("edge list line " << lineno << ": expected weight");
+    raw.push_back(RawEdge{s, d, w});
+  }
+
+  // Two passes so ids are assigned in first-appearance order, which keeps
+  // round-trips deterministic.
+  for (const auto& e : raw) {
+    densify(e.src);
+    densify(e.dst);
+  }
+  GraphBuilder b(dense.size(), options.directed);
+  b.deduplicate(options.deduplicate).keep_weights(options.weighted);
+  for (const auto& e : raw)
+    b.add_edge(densify(e.src), densify(e.dst), e.weight);
+  return b.build();
+}
+
+CsrGraph read_edge_list_file(const std::string& path,
+                             const EdgeListOptions& options) {
+  std::ifstream in(path);
+  DV_CHECK_MSG(in.good(), "cannot open edge list: " << path);
+  return read_edge_list(in, options);
+}
+
+void write_edge_list(const CsrGraph& g, std::ostream& out) {
+  out << "# deltav edge list: " << g.summary() << "\n";
+  for (std::size_t u = 0; u < g.num_vertices(); ++u) {
+    const auto vid = static_cast<VertexId>(u);
+    const auto nbrs = g.out_neighbors(vid);
+    const auto wts = g.out_weights(vid);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!g.directed() && nbrs[i] < vid) continue;  // emit each edge once
+      out << u << ' ' << nbrs[i];
+      if (g.weighted()) out << ' ' << wts[i];
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace deltav::graph

@@ -1,0 +1,218 @@
+#include "graph/generators.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace deltav::graph {
+
+namespace {
+
+/// Samples one R-MAT edge in a 2^levels × 2^levels adjacency matrix.
+std::pair<std::uint64_t, std::uint64_t> rmat_edge(Rng& rng, int levels,
+                                                  const RmatOptions& o) {
+  std::uint64_t row = 0, col = 0;
+  for (int l = 0; l < levels; ++l) {
+    const double r = rng.next_double();
+    row <<= 1;
+    col <<= 1;
+    if (r < o.a) {
+      // top-left: nothing to add
+    } else if (r < o.a + o.b) {
+      col |= 1;
+    } else if (r < o.a + o.b + o.c) {
+      row |= 1;
+    } else {
+      row |= 1;
+      col |= 1;
+    }
+  }
+  return {row, col};
+}
+
+}  // namespace
+
+CsrGraph rmat(std::size_t num_vertices, std::size_t num_edges,
+              std::uint64_t seed, const RmatOptions& options) {
+  DV_CHECK(num_vertices >= 2);
+  DV_CHECK_MSG(options.a + options.b + options.c <= 1.0 + 1e-9,
+               "R-MAT probabilities exceed 1");
+  const int levels = std::bit_width(num_vertices - 1);
+  const std::uint64_t side = 1ULL << levels;
+  Rng rng(seed);
+  GraphBuilder b(num_vertices, options.directed);
+  b.deduplicate(options.deduplicate).keep_weights(options.weighted);
+  std::size_t produced = 0;
+  // Rejection-sample edges that land outside [0, num_vertices) when the
+  // requested size is not a power of two; cap attempts to stay total.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = num_edges * 8 + 1024;
+  while (produced < num_edges && attempts < max_attempts) {
+    ++attempts;
+    auto [u, v] = rmat_edge(rng, levels, options);
+    if (side != num_vertices &&
+        (u >= num_vertices || v >= num_vertices))
+      continue;
+    if (u == v) continue;
+    const double w = options.weighted
+                         ? rng.next_double(options.min_weight,
+                                           options.max_weight)
+                         : 1.0;
+    b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v), w);
+    ++produced;
+  }
+  return b.build();
+}
+
+CsrGraph web_crawl(std::size_t num_vertices, std::size_t num_edges,
+                   std::uint64_t seed, const WebCrawlOptions& options) {
+  DV_CHECK(options.periphery_fraction >= 0 &&
+           options.periphery_fraction < 1);
+  DV_CHECK(options.chain_length >= 1);
+  const auto periphery = static_cast<std::size_t>(
+      static_cast<double>(num_vertices) * options.periphery_fraction);
+  const std::size_t core = num_vertices - periphery;
+  DV_CHECK_MSG(core >= 2, "web_crawl core too small");
+  DV_CHECK_MSG(num_edges > periphery,
+               "edge budget must exceed the periphery arc count");
+
+  Rng rng(seed ^ 0xCAFEF00DULL);
+  GraphBuilder b(num_vertices, /*directed=*/true);
+  b.deduplicate(options.core.deduplicate)
+      .keep_weights(options.core.weighted);
+
+  // Core: R-MAT over vertex ids [0, core).
+  RmatOptions core_opts = options.core;
+  core_opts.directed = true;
+  const CsrGraph core_graph =
+      rmat(core, num_edges - periphery, seed, core_opts);
+  for (std::size_t u = 0; u < core; ++u) {
+    const auto vid = static_cast<VertexId>(u);
+    const auto nbrs = core_graph.out_neighbors(vid);
+    const auto wts = core_graph.out_weights(vid);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      b.add_edge(vid, nbrs[i], wts.empty() ? 1.0 : wts[i]);
+  }
+
+  // Periphery: ids [core, n) arranged as directed chains whose tail feeds
+  // a random core vertex — pendant "stub pages".
+  const auto chain_len = static_cast<std::size_t>(options.chain_length);
+  for (std::size_t i = core; i < num_vertices; i += chain_len) {
+    const std::size_t len = std::min(chain_len, num_vertices - i);
+    for (std::size_t k = 0; k + 1 < len; ++k)
+      b.add_edge(static_cast<VertexId>(i + k),
+                 static_cast<VertexId>(i + k + 1));
+    const double w = options.core.weighted
+                         ? rng.next_double(options.core.min_weight,
+                                           options.core.max_weight)
+                         : 1.0;
+    b.add_edge(static_cast<VertexId>(i + len - 1),
+               static_cast<VertexId>(rng.next_below(core)), w);
+  }
+  return b.build();
+}
+
+CsrGraph erdos_renyi(std::size_t num_vertices, std::size_t num_edges,
+                     std::uint64_t seed, bool directed, bool weighted) {
+  DV_CHECK(num_vertices >= 2);
+  Rng rng(seed);
+  GraphBuilder b(num_vertices, directed);
+  b.deduplicate(true).keep_weights(weighted);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    VertexId u = static_cast<VertexId>(rng.next_below(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.next_below(num_vertices));
+    if (u == v) {
+      v = static_cast<VertexId>((v + 1) % num_vertices);
+    }
+    const double w = weighted ? rng.next_double(1.0, 10.0) : 1.0;
+    b.add_edge(u, v, w);
+  }
+  return b.build();
+}
+
+CsrGraph barabasi_albert(std::size_t num_vertices, std::size_t attach,
+                         std::uint64_t seed) {
+  DV_CHECK(attach >= 1);
+  DV_CHECK(num_vertices > attach);
+  Rng rng(seed);
+  GraphBuilder b(num_vertices, /*directed=*/false);
+  b.deduplicate(true);
+  // Endpoint list doubles as the preferential-attachment distribution:
+  // sampling a uniform element of `endpoints` is degree-proportional.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(num_vertices * attach * 2);
+  // Seed clique over the first attach+1 vertices.
+  for (std::size_t u = 0; u <= attach; ++u) {
+    for (std::size_t v = u + 1; v <= attach; ++v) {
+      b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      endpoints.push_back(static_cast<VertexId>(u));
+      endpoints.push_back(static_cast<VertexId>(v));
+    }
+  }
+  for (std::size_t u = attach + 1; u < num_vertices; ++u) {
+    for (std::size_t k = 0; k < attach; ++k) {
+      const VertexId v = endpoints[rng.next_below(endpoints.size())];
+      b.add_edge(static_cast<VertexId>(u), v);
+      endpoints.push_back(static_cast<VertexId>(u));
+      endpoints.push_back(v);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph path(std::size_t num_vertices, bool directed) {
+  DV_CHECK(num_vertices >= 1);
+  GraphBuilder b(num_vertices, directed);
+  for (std::size_t v = 0; v + 1 < num_vertices; ++v)
+    b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(v + 1));
+  return b.build();
+}
+
+CsrGraph cycle(std::size_t num_vertices, bool directed) {
+  DV_CHECK(num_vertices >= 3);
+  GraphBuilder b(num_vertices, directed);
+  for (std::size_t v = 0; v < num_vertices; ++v)
+    b.add_edge(static_cast<VertexId>(v),
+               static_cast<VertexId>((v + 1) % num_vertices));
+  return b.build();
+}
+
+CsrGraph star(std::size_t num_leaves, bool directed) {
+  DV_CHECK(num_leaves >= 1);
+  GraphBuilder b(num_leaves + 1, directed);
+  for (std::size_t v = 1; v <= num_leaves; ++v)
+    b.add_edge(0, static_cast<VertexId>(v));
+  return b.build();
+}
+
+CsrGraph grid(std::size_t rows, std::size_t cols) {
+  DV_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols, /*directed=*/false);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+CsrGraph complete(std::size_t num_vertices, bool directed) {
+  DV_CHECK(num_vertices >= 2);
+  GraphBuilder b(num_vertices, directed);
+  for (std::size_t u = 0; u < num_vertices; ++u) {
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      if (u == v) continue;
+      if (!directed && u > v) continue;
+      b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace deltav::graph

@@ -1,0 +1,72 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on Wikipedia, LiveJournal and Facebook crawls we do
+// not have; these generators produce scaled stand-ins with the same shape
+// (see datasets.h). R-MAT is the workhorse — it yields the heavy-tailed
+// degree distributions that make incrementalization profitable, because hub
+// convergence is what turns messages "meaningless". The simple topologies
+// (path, star, grid, ...) exist for tests where exact expected results are
+// computable by hand.
+//
+// All generators are deterministic functions of their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace deltav::graph {
+
+struct RmatOptions {
+  /// Kronecker partition probabilities; must sum to ~1. Defaults are the
+  /// classic Graph500 skew (a=0.57) producing power-law-ish degrees.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  bool directed = true;
+  bool weighted = false;
+  /// Weights drawn uniformly from [min_weight, max_weight).
+  double min_weight = 1.0;
+  double max_weight = 10.0;
+  bool deduplicate = true;
+};
+
+/// R-MAT graph over `num_vertices` (rounded up to a power of two internally,
+/// then truncated) with `num_edges` sampled edges.
+CsrGraph rmat(std::size_t num_vertices, std::size_t num_edges,
+              std::uint64_t seed, const RmatOptions& options = {});
+
+struct WebCrawlOptions {
+  /// Fraction of vertices placed in the pendant periphery (directed chains
+  /// feeding into the core) instead of the R-MAT core. Web crawls have
+  /// large low-degree peripheries whose HITS-style scores freeze after a
+  /// round or two — the structural source of the paper's "meaningless"
+  /// HITS messages.
+  double periphery_fraction = 0.3;
+  int chain_length = 3;
+  RmatOptions core;
+};
+
+/// Web-crawl-like directed graph: an R-MAT core plus a pendant chain
+/// periphery. Total vertex/edge budget is split between the two parts.
+CsrGraph web_crawl(std::size_t num_vertices, std::size_t num_edges,
+                   std::uint64_t seed, const WebCrawlOptions& options = {});
+
+/// Erdős–Rényi G(n, m): m edges sampled uniformly.
+CsrGraph erdos_renyi(std::size_t num_vertices, std::size_t num_edges,
+                     std::uint64_t seed, bool directed = true,
+                     bool weighted = false);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices; undirected.
+CsrGraph barabasi_albert(std::size_t num_vertices, std::size_t attach,
+                         std::uint64_t seed);
+
+/// Simple deterministic topologies for tests.
+CsrGraph path(std::size_t num_vertices, bool directed = false);
+CsrGraph cycle(std::size_t num_vertices, bool directed = false);
+CsrGraph star(std::size_t num_leaves, bool directed = false);
+CsrGraph grid(std::size_t rows, std::size_t cols);
+CsrGraph complete(std::size_t num_vertices, bool directed = false);
+
+}  // namespace deltav::graph

@@ -1,0 +1,115 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace deltav::graph {
+
+GraphBuilder::GraphBuilder(std::size_t num_vertices, bool directed)
+    : num_vertices_(num_vertices), directed_(directed) {
+  DV_CHECK_MSG(num_vertices < (1ULL << 32), "vertex ids are 32-bit");
+}
+
+void GraphBuilder::add_edge(VertexId src, VertexId dst, double weight) {
+  DV_CHECK_MSG(src < num_vertices_ && dst < num_vertices_,
+               "edge (" << src << "," << dst << ") out of range for |V|="
+                        << num_vertices_);
+  edges_.push_back(Edge{src, dst, weight});
+}
+
+CsrGraph GraphBuilder::build() {
+  if (drop_self_loops_) {
+    std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (deduplicate_) {
+    // Undirected graphs deduplicate on the unordered pair so (u,v) and
+    // (v,u) collapse to one logical edge.
+    auto key = [this](const Edge& e) {
+      VertexId a = e.src, b = e.dst;
+      if (!directed_ && a > b) std::swap(a, b);
+      return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+    std::sort(edges_.begin(), edges_.end(),
+              [&](const Edge& x, const Edge& y) { return key(x) < key(y); });
+    edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                             [&](const Edge& x, const Edge& y) {
+                               return key(x) == key(y);
+                             }),
+                 edges_.end());
+  }
+
+  CsrGraph g;
+  g.directed_ = directed_;
+  const std::size_t n = num_vertices_;
+  const std::size_t arcs = directed_ ? edges_.size() : edges_.size() * 2;
+
+  // Counting sort into CSR: count per-source degrees, prefix sum, scatter.
+  g.out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.out_offsets_[e.src + 1];
+    if (!directed_) ++g.out_offsets_[e.dst + 1];
+  }
+  std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
+                   g.out_offsets_.begin());
+  g.out_targets_.resize(arcs);
+  if (keep_weights_) g.out_weights_.resize(arcs);
+  {
+    std::vector<EdgeIndex> cursor(g.out_offsets_.begin(),
+                                  g.out_offsets_.end() - 1);
+    auto place = [&](VertexId s, VertexId d, double w) {
+      EdgeIndex i = cursor[s]++;
+      g.out_targets_[i] = d;
+      if (keep_weights_) g.out_weights_[i] = w;
+    };
+    for (const Edge& e : edges_) {
+      place(e.src, e.dst, e.weight);
+      if (!directed_) place(e.dst, e.src, e.weight);
+    }
+  }
+
+  if (directed_) {
+    g.in_offsets_.assign(n + 1, 0);
+    for (const Edge& e : edges_) ++g.in_offsets_[e.dst + 1];
+    std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
+                     g.in_offsets_.begin());
+    g.in_targets_.resize(edges_.size());
+    if (keep_weights_) g.in_weights_.resize(edges_.size());
+    std::vector<EdgeIndex> cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      EdgeIndex i = cursor[e.dst]++;
+      g.in_targets_[i] = e.src;
+      if (keep_weights_) g.in_weights_[i] = e.weight;
+    }
+  }
+
+  // Sorted adjacency makes neighbor iteration cache-friendlier and gives
+  // deterministic message order regardless of how edges were added.
+  for (std::size_t v = 0; v < n; ++v) {
+    auto sort_range = [&](std::vector<EdgeIndex>& offs,
+                          std::vector<VertexId>& tgts,
+                          std::vector<double>& wts) {
+      const EdgeIndex lo = offs[v], hi = offs[v + 1];
+      if (wts.empty()) {
+        std::sort(tgts.begin() + lo, tgts.begin() + hi);
+      } else {
+        std::vector<std::pair<VertexId, double>> tmp;
+        tmp.reserve(hi - lo);
+        for (EdgeIndex i = lo; i < hi; ++i) tmp.emplace_back(tgts[i], wts[i]);
+        std::sort(tmp.begin(), tmp.end());
+        for (EdgeIndex i = lo; i < hi; ++i) {
+          tgts[i] = tmp[i - lo].first;
+          wts[i] = tmp[i - lo].second;
+        }
+      }
+    };
+    sort_range(g.out_offsets_, g.out_targets_, g.out_weights_);
+    if (directed_) sort_range(g.in_offsets_, g.in_targets_, g.in_weights_);
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace deltav::graph

@@ -1,0 +1,62 @@
+// Mutable edge accumulator that finalizes into a CsrGraph.
+//
+// Generators and the edge-list reader add edges in arbitrary order; build()
+// counts, prefix-sums, and scatters into CSR form (both directions for
+// directed graphs). Optional de-duplication removes parallel edges, and
+// self-loops can be dropped, both of which the synthetic generators rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace deltav::graph {
+
+class GraphBuilder {
+ public:
+  /// `directed` fixes the interpretation of add_edge: for undirected graphs
+  /// each added edge contributes an arc in both directions.
+  GraphBuilder(std::size_t num_vertices, bool directed);
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_added_edges() const { return edges_.size(); }
+
+  void add_edge(VertexId src, VertexId dst, double weight = 1.0);
+
+  GraphBuilder& drop_self_loops(bool value = true) {
+    drop_self_loops_ = value;
+    return *this;
+  }
+
+  GraphBuilder& deduplicate(bool value = true) {
+    deduplicate_ = value;
+    return *this;
+  }
+
+  /// If true, the produced graph stores per-edge weights; otherwise weights
+  /// passed to add_edge are discarded and the graph reports 1.0 everywhere.
+  GraphBuilder& keep_weights(bool value = true) {
+    keep_weights_ = value;
+    return *this;
+  }
+
+  /// Consumes the builder's edges and produces the immutable graph.
+  CsrGraph build();
+
+ private:
+  struct Edge {
+    VertexId src;
+    VertexId dst;
+    double weight;
+  };
+
+  std::size_t num_vertices_;
+  bool directed_;
+  bool drop_self_loops_ = true;
+  bool deduplicate_ = false;
+  bool keep_weights_ = false;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace deltav::graph

@@ -1,0 +1,27 @@
+#include "net/cluster_model.h"
+
+#include <algorithm>
+
+namespace deltav::net {
+
+double ClusterModel::superstep_seconds(
+    const std::vector<std::uint64_t>& egress,
+    const std::vector<std::uint64_t>& ingress) const {
+  DV_CHECK(egress.size() == static_cast<std::size_t>(config_.machines));
+  DV_CHECK(ingress.size() == static_cast<std::size_t>(config_.machines));
+  std::uint64_t bottleneck = 0;
+  for (int m = 0; m < config_.machines; ++m)
+    bottleneck = std::max({bottleneck, egress[m], ingress[m]});
+  return static_cast<double>(bottleneck) / config_.bandwidth_bytes_per_sec +
+         config_.barrier_latency_sec;
+}
+
+double ClusterModel::balanced_superstep_seconds(
+    std::uint64_t total_cross_bytes) const {
+  const double per_machine =
+      static_cast<double>(total_cross_bytes) / config_.machines;
+  return per_machine / config_.bandwidth_bytes_per_sec +
+         config_.barrier_latency_sec;
+}
+
+}  // namespace deltav::net

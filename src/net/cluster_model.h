@@ -1,0 +1,71 @@
+// Simulated cluster network model.
+//
+// The paper's evaluation ran on 8 EC2 m4.xlarge nodes (2 workers each)
+// joined by 750 Mbps ethernet; we run on one shared-memory machine. This
+// model is the documented substitution (DESIGN.md §2): the engine reports
+// exact message/byte traffic per superstep, and ClusterModel converts the
+// cross-machine portion of that traffic into a simulated communication time
+// using a bandwidth + latency cost model. Workers are mapped onto machines
+// round-robin-by-block exactly as a real deployment would pin them.
+//
+// The simulated time for one superstep is
+//     max_over_machines(max(egress_bytes, ingress_bytes)) / bandwidth
+//   + barrier_latency
+// i.e. the bottleneck NIC serializes its traffic, and every superstep pays
+// one synchronization round-trip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace deltav::net {
+
+struct ClusterConfig {
+  int machines = 8;
+  int workers_per_machine = 2;
+  /// Link bandwidth per machine NIC, bytes/second. 750 Mbps ≈ 93.75 MB/s.
+  double bandwidth_bytes_per_sec = 750e6 / 8.0;
+  /// Fixed cost of the barrier + message flush per superstep, seconds.
+  double barrier_latency_sec = 500e-6;
+
+  int total_workers() const { return machines * workers_per_machine; }
+};
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(const ClusterConfig& config = {}) : config_(config) {
+    DV_CHECK(config.machines >= 1);
+    DV_CHECK(config.workers_per_machine >= 1);
+    DV_CHECK(config.bandwidth_bytes_per_sec > 0);
+  }
+
+  const ClusterConfig& config() const { return config_; }
+  int total_workers() const { return config_.total_workers(); }
+
+  int machine_of_worker(int worker) const {
+    DV_DCHECK(worker >= 0 && worker < total_workers());
+    return worker / config_.workers_per_machine;
+  }
+
+  /// True if a message between these workers crosses the network (messages
+  /// within a machine are local in Pregel+ and cost no NIC bandwidth).
+  bool crosses_network(int src_worker, int dst_worker) const {
+    return machine_of_worker(src_worker) != machine_of_worker(dst_worker);
+  }
+
+  /// Simulated wall time for one superstep's communication given per-machine
+  /// egress/ingress byte counts (vectors of length machines).
+  double superstep_seconds(const std::vector<std::uint64_t>& egress,
+                           const std::vector<std::uint64_t>& ingress) const;
+
+  /// Convenience: simulated time if `total_cross_bytes` were spread
+  /// perfectly evenly over machines (used for quick estimates in docs).
+  double balanced_superstep_seconds(std::uint64_t total_cross_bytes) const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace deltav::net

@@ -1,0 +1,89 @@
+// Global aggregators, Pregel-style.
+//
+// An aggregator reduces one value contributed by each vertex (or worker)
+// during a superstep to a single global value visible to every vertex at
+// the next superstep. The ΔV runtime uses a boolean AND aggregator to
+// evaluate `until` clauses and the `stable` builtin globally; algorithms use
+// numeric ones for convergence checks.
+//
+// Contributions are gathered into per-worker slots (no atomics on the hot
+// path, deterministic reduction order) and folded by reduce().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace deltav::pregel {
+
+template <typename T, typename Merge>
+class Aggregator {
+ public:
+  Aggregator(int num_workers, T identity, Merge merge = Merge{})
+      : identity_(identity),
+        merge_(merge),
+        num_workers_(static_cast<std::size_t>(num_workers)),
+        // A plain array, not std::vector<T>: vector<bool> would bit-pack
+        // the per-worker slots and turn concurrent contributions into a
+        // data race.
+        slots_(std::make_unique<T[]>(num_workers_)) {
+    DV_CHECK(num_workers >= 1);
+    reset();
+  }
+
+  /// Folds `value` into this worker's slot. Safe to call concurrently from
+  /// distinct workers; never from the same worker on two threads.
+  void contribute(int worker, const T& value) {
+    T& slot = slots_[static_cast<std::size_t>(worker)];
+    slot = merge_(slot, value);
+  }
+
+  /// Folds all worker slots; call between supersteps (single-threaded).
+  T reduce() const {
+    T acc = identity_;
+    for (std::size_t i = 0; i < num_workers_; ++i)
+      acc = merge_(acc, slots_[i]);
+    return acc;
+  }
+
+  void reset() {
+    for (std::size_t i = 0; i < num_workers_; ++i) slots_[i] = identity_;
+  }
+
+ private:
+  T identity_;
+  Merge merge_;
+  std::size_t num_workers_;
+  std::unique_ptr<T[]> slots_;
+};
+
+struct AndOp {
+  bool operator()(bool a, bool b) const { return a && b; }
+};
+struct OrOp {
+  bool operator()(bool a, bool b) const { return a || b; }
+};
+struct SumOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a + b;
+  }
+};
+struct MinOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? a : b;
+  }
+};
+struct MaxOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? b : a;
+  }
+};
+
+using AndAggregator = Aggregator<bool, AndOp>;
+using OrAggregator = Aggregator<bool, OrOp>;
+
+}  // namespace deltav::pregel

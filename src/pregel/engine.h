@@ -1,0 +1,500 @@
+// A Pregel+-like Bulk Synchronous Parallel graph-computation engine.
+//
+// The engine owns the BSP mechanics the paper's frameworks provide:
+// vertex→worker partitioning, per-superstep fork-join execution of a
+// user compute function, message buffering and delivery, sender-side
+// combiners, vote-to-halt / reactivation semantics, termination detection,
+// and statistics (message/byte counts, per-phase timings, and a simulated
+// cluster communication time via net::ClusterModel).
+//
+// Vertex *state* deliberately lives outside the engine, in the algorithm
+// object (typically as structure-of-arrays vectors indexed by vertex id).
+// This keeps the engine reusable by both the hand-written Pregel+ baselines
+// and the ΔV interpreter, whose state layout is only known at run time.
+//
+// Threading model: one superstep = two fork-join phases over a persistent
+// WorkerPool. During compute, each worker touches only its owned vertices
+// and its own outboxes. During exchange, each worker builds only its own
+// inbox (reading all senders' outboxes for its slot — sender buffers are
+// immutable in this phase). Halt flags are owner-written only. No locks or
+// atomics appear on the per-message path.
+//
+// Determinism: given a fixed worker count and partition scheme, message
+// delivery order per vertex is fixed (senders visited in worker order, each
+// buffer in generation order), so floating-point reductions reproduce
+// bit-for-bit across runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/open_hash_map.h"
+#include "common/timer.h"
+#include "graph/csr_graph.h"
+#include "net/cluster_model.h"
+#include "pregel/partition.h"
+#include "pregel/stats.h"
+#include "pregel/worker_pool.h"
+
+namespace deltav::pregel {
+
+using graph::VertexId;
+
+/// Byte accounting hook. Specialize (or pass a custom Traits) when the
+/// logical wire size differs from sizeof(Message) — the ΔV runtime does
+/// this so Figure-4 byte counts reflect the paper's message format rather
+/// than our in-memory struct padding.
+template <typename Message>
+struct MessageTraits {
+  static std::size_t wire_size(const Message&) { return sizeof(Message); }
+};
+
+/// Tag type: no combiner; every message is delivered as sent.
+struct NoCombiner {};
+
+enum class ScheduleMode {
+  /// Every superstep scans all owned vertices and skips halted ones —
+  /// what stock Pregel+ does (§9 of the paper calls out its cost).
+  kScanAll,
+  /// Maintains an explicit per-worker queue of runnable vertices, fed by
+  /// message deliveries and non-halting vertices — the paper's proposed
+  /// halt-by-default scheduler (future work §9; our ablation A3).
+  kWorkQueue,
+};
+
+struct EngineOptions {
+  int num_workers = 4;
+  PartitionScheme partition = PartitionScheme::kBlock;
+  /// Applies only when a combiner type is supplied; lets benches toggle
+  /// combining without changing types.
+  bool use_combiner = true;
+  ScheduleMode schedule = ScheduleMode::kScanAll;
+  /// Simulated deployment used for cross-machine byte accounting. Engine
+  /// workers are block-mapped onto the model's machines.
+  net::ClusterConfig cluster;
+};
+
+template <typename Message, typename Combiner = NoCombiner,
+          typename Traits = MessageTraits<Message>>
+class Engine {
+  static constexpr bool kHasCombiner = !std::is_same_v<Combiner, NoCombiner>;
+
+  // A combiner may define key(dst, msg) to combine at a finer grain than
+  // the destination vertex (the ΔV runtime keys on (dst, aggregation
+  // site)). Without it, all messages to one vertex combine together.
+  template <typename C>
+  static constexpr bool kHasKey = requires(const C& c, VertexId v,
+                                           const Message& m) {
+    { c.key(v, m) } -> std::convertible_to<std::uint64_t>;
+  };
+
+ public:
+  static constexpr std::size_t kNoLimit =
+      std::numeric_limits<std::size_t>::max();
+
+  Engine(std::size_t num_vertices, EngineOptions options = {},
+         Combiner combiner = {})
+      : options_(options),
+        combiner_(std::move(combiner)),
+        partition_(num_vertices, options.num_workers, options.partition),
+        cluster_(options.cluster),
+        pool_(options.num_workers),
+        halted_(num_vertices, 0),
+        deleted_(num_vertices, 0),
+        scheduled_(num_vertices, 0) {
+    DV_CHECK(options.num_workers >= 1);
+    const int w = options.num_workers;
+    workers_.resize(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      auto& ws = workers_[static_cast<std::size_t>(i)];
+      ws.outbox.resize(static_cast<std::size_t>(w));
+      ws.combine_maps.resize(static_cast<std::size_t>(w));
+      ws.inbox_offsets.assign(partition_.local_capacity(i) + 1, 0);
+      ws.unhalted = partition_.count(i);
+      ws.cross_in_from.assign(
+          static_cast<std::size_t>(options.cluster.machines), 0);
+      if (options.schedule == ScheduleMode::kWorkQueue) {
+        partition_.for_each_owned(i, [&](VertexId v) {
+          ws.queue.push_back(v);
+          scheduled_[v] = 1;
+        });
+      }
+    }
+  }
+
+  /// Per-vertex API handed to the compute function — the moral equivalent
+  /// of Pregel's Vertex base class methods.
+  class Context {
+   public:
+    std::size_t superstep() const { return engine_->superstep_; }
+    std::size_t num_vertices() const { return engine_->partition_.num_vertices(); }
+    int worker() const { return worker_; }
+    VertexId vertex() const { return vertex_; }
+
+    void send(VertexId dst, const Message& msg) {
+      engine_->send_from(worker_, dst, msg);
+    }
+
+    /// Halts this vertex after the current compute call; it is reactivated
+    /// by any delivered message.
+    void vote_to_halt() { halt_requested_ = true; }
+
+   private:
+    friend class Engine;
+    Engine* engine_ = nullptr;
+    int worker_ = 0;
+    VertexId vertex_ = 0;
+    bool halt_requested_ = false;
+  };
+
+  /// Executes one superstep: runs `fn(ctx, v, msgs)` for every active owned
+  /// vertex on every worker, then exchanges messages. `msgs` is the span of
+  /// messages delivered to v at the end of the previous superstep.
+  template <typename ComputeFn>
+  void step(ComputeFn&& fn) {
+    SuperstepStats ss;
+    Timer phase_timer;
+
+    pool_.run([&](int w) { compute_phase(w, fn); });
+    ss.compute_seconds = phase_timer.elapsed_seconds();
+
+    phase_timer.restart();
+    pool_.run([&](int w) { exchange_phase(w); });
+    ss.exchange_seconds = phase_timer.elapsed_seconds();
+
+    finish_step(ss);
+  }
+
+  /// True once every vertex has halted and no messages are pending.
+  bool done() const {
+    std::uint64_t unhalted = 0, pending = 0;
+    for (const auto& ws : workers_) {
+      unhalted += ws.unhalted;
+      pending += ws.inbox_data.size();
+    }
+    return unhalted == 0 && pending == 0;
+  }
+
+  /// Runs supersteps until done() or `max_supersteps` steps have executed.
+  template <typename ComputeFn>
+  const RunStats& run(ComputeFn&& fn, std::size_t max_supersteps = kNoLimit) {
+    while (!done() && superstep_ < max_supersteps) step(fn);
+    return stats_;
+  }
+
+  std::size_t superstep() const { return superstep_; }
+  const RunStats& stats() const { return stats_; }
+  const VertexPartition& partition() const { return partition_; }
+  const net::ClusterModel& cluster() const { return cluster_; }
+  const EngineOptions& options() const { return options_; }
+
+  bool is_halted(VertexId v) const {
+    DV_CHECK(v < halted_.size());
+    return halted_[v] != 0;
+  }
+
+  /// Reactivates every (non-deleted) vertex (used by phase transitions in
+  /// compiled ΔV programs: a new statement's first superstep must run
+  /// everywhere).
+  void activate_all() {
+    for (int w = 0; w < options_.num_workers; ++w) {
+      auto& ws = workers_[static_cast<std::size_t>(w)];
+      ws.unhalted = 0;
+      if (options_.schedule == ScheduleMode::kWorkQueue) ws.queue.clear();
+      partition_.for_each_owned(w, [&](VertexId v) {
+        if (deleted_[v]) return;
+        halted_[v] = 0;
+        ++ws.unhalted;
+        if (options_.schedule == ScheduleMode::kWorkQueue &&
+            !scheduled_[v]) {
+          ws.queue.push_back(v);
+          scheduled_[v] = 1;
+        }
+      });
+    }
+  }
+
+  /// Wakes one vertex so it runs at the next superstep (e.g. so a vertex
+  /// about to be deleted can broadcast its retraction, §9 of the paper).
+  /// Call between supersteps only.
+  void activate(VertexId v) {
+    DV_CHECK(v < halted_.size());
+    if (deleted_[v] || !halted_[v]) return;
+    halted_[v] = 0;
+    auto& ws = workers_[static_cast<std::size_t>(partition_.owner(v))];
+    ++ws.unhalted;
+    if (options_.schedule == ScheduleMode::kWorkQueue && !scheduled_[v]) {
+      ws.queue.push_back(v);
+      scheduled_[v] = 1;
+    }
+  }
+
+  /// Permanently removes a vertex from the computation: it never computes
+  /// again and messages addressed to it are dropped (counted in
+  /// SuperstepStats::messages_dropped). Mirrors Pregel's vertex removal;
+  /// §9 of the paper extends incrementalization to it. Safe to call from
+  /// the vertex's own compute() (owner thread) or between supersteps.
+  void mark_deleted(VertexId v) {
+    DV_CHECK(v < deleted_.size());
+    if (deleted_[v]) return;
+    deleted_[v] = 1;
+    if (!halted_[v]) {
+      halted_[v] = 1;
+      --workers_[static_cast<std::size_t>(partition_.owner(v))].unhalted;
+    }
+  }
+
+  bool is_deleted(VertexId v) const {
+    DV_CHECK(v < deleted_.size());
+    return deleted_[v] != 0;
+  }
+
+  std::uint64_t num_unhalted() const {
+    std::uint64_t total = 0;
+    for (const auto& ws : workers_) total += ws.unhalted;
+    return total;
+  }
+
+ private:
+  struct Envelope {
+    // Default state is the "unset" sentinel so combiner map slots can tell
+    // first-touch from fold; GraphBuilder guarantees real ids stay below it.
+    VertexId dst = std::numeric_limits<VertexId>::max();
+    Message msg{};
+  };
+
+  struct WorkerState {
+    // Sender side: one buffer per destination worker.
+    std::vector<std::vector<Envelope>> outbox;
+    std::vector<OpenHashMap<Envelope>> combine_maps;
+    // Receiver side: CSR-of-messages over local vertex indices.
+    std::vector<Message> inbox_data;
+    std::vector<std::uint32_t> inbox_offsets;
+    // Work-queue scheduling.
+    std::vector<VertexId> queue;
+    std::vector<VertexId> next_queue;
+    // Owner-local bookkeeping.
+    std::uint64_t unhalted = 0;
+    // Per-step counters (summed into SuperstepStats by finish_step).
+    std::uint64_t sent = 0, sent_bytes = 0;
+    std::uint64_t delivered = 0, delivered_bytes = 0, cross_bytes = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t active = 0;
+    // Cross-machine bytes this worker received, bucketed by the *sender's*
+    // machine — lets finish_step compute exact per-machine egress.
+    std::vector<std::uint64_t> cross_in_from;
+  };
+
+  std::uint64_t combine_key(VertexId dst, const Message& msg) const {
+    if constexpr (kHasKey<Combiner>) {
+      return combiner_.key(dst, msg);
+    } else {
+      (void)msg;
+      return dst;
+    }
+  }
+
+  bool combining() const { return kHasCombiner && options_.use_combiner; }
+
+  void send_from(int worker, VertexId dst, const Message& msg) {
+    DV_CHECK_MSG(dst < partition_.num_vertices(),
+                 "send to out-of-range vertex " << dst);
+    auto& ws = workers_[static_cast<std::size_t>(worker)];
+    const int dw = partition_.owner(dst);
+    ++ws.sent;
+    ws.sent_bytes += Traits::wire_size(msg);
+    if constexpr (kHasCombiner) {
+      if (options_.use_combiner) {
+        auto& slot =
+            ws.combine_maps[static_cast<std::size_t>(dw)][combine_key(dst,
+                                                                      msg)];
+        if (slot.dst == kUnsetDst) {
+          slot.dst = dst;
+          slot.msg = msg;
+        } else {
+          combiner_(slot.msg, msg);
+        }
+        return;
+      }
+    }
+    ws.outbox[static_cast<std::size_t>(dw)].push_back(Envelope{dst, msg});
+  }
+
+  template <typename ComputeFn>
+  void compute_phase(int w, ComputeFn& fn) {
+    auto& ws = workers_[static_cast<std::size_t>(w)];
+    Context ctx;
+    ctx.engine_ = this;
+    ctx.worker_ = w;
+
+    auto run_vertex = [&](VertexId v) {
+      if (halted_[v]) return;
+      const std::size_t li = partition_.local_index(v);
+      const std::uint32_t lo = ws.inbox_offsets[li];
+      const std::uint32_t hi = ws.inbox_offsets[li + 1];
+      std::span<const Message> msgs(ws.inbox_data.data() + lo,
+                                    ws.inbox_data.data() + hi);
+      ctx.vertex_ = v;
+      ctx.halt_requested_ = false;
+      ++ws.active;
+      fn(ctx, v, msgs);
+      if (deleted_[v]) return;  // mark_deleted already updated the books
+      if (ctx.halt_requested_) {
+        halted_[v] = 1;
+        --ws.unhalted;
+      } else if (options_.schedule == ScheduleMode::kWorkQueue) {
+        // Still active next step without needing a message.
+        if (!scheduled_[v]) {
+          scheduled_[v] = 1;
+          ws.next_queue.push_back(v);
+        }
+      }
+    };
+
+    if (options_.schedule == ScheduleMode::kScanAll) {
+      partition_.for_each_owned(w, [&](VertexId v) { run_vertex(v); });
+    } else {
+      for (VertexId v : ws.queue) {
+        scheduled_[v] = 0;
+        run_vertex(v);
+      }
+      ws.queue.clear();
+    }
+
+    // Flush combiner maps into the outbox so the exchange phase sees one
+    // uniform representation.
+    if (combining()) {
+      for (std::size_t dw = 0; dw < ws.combine_maps.size(); ++dw) {
+        auto& map = ws.combine_maps[dw];
+        map.for_each([&](std::uint64_t, const Envelope& e) {
+          ws.outbox[dw].push_back(e);
+        });
+        map.clear();
+      }
+    }
+  }
+
+  void exchange_phase(int dw) {
+    auto& recv = workers_[static_cast<std::size_t>(dw)];
+    const int W = options_.num_workers;
+
+    // Pass 1: count messages per local vertex; messages to deleted
+    // vertices are dropped here (and at scatter below).
+    std::fill(recv.inbox_offsets.begin(), recv.inbox_offsets.end(), 0);
+    std::uint64_t total = 0;
+    for (int w = 0; w < W; ++w) {
+      const auto& out =
+          workers_[static_cast<std::size_t>(w)]
+              .outbox[static_cast<std::size_t>(dw)];
+      for (const Envelope& e : out) {
+        if (deleted_[e.dst]) continue;
+        ++recv.inbox_offsets[partition_.local_index(e.dst) + 1];
+        ++total;
+      }
+    }
+    DV_CHECK_MSG(total <= std::numeric_limits<std::uint32_t>::max(),
+                 "per-worker inbox exceeds 32-bit offsets");
+    for (std::size_t i = 1; i < recv.inbox_offsets.size(); ++i)
+      recv.inbox_offsets[i] += recv.inbox_offsets[i - 1];
+
+    // Pass 2: scatter, reactivate, account.
+    recv.inbox_data.resize(total);
+    std::vector<std::uint32_t> cursor(recv.inbox_offsets.begin(),
+                                      recv.inbox_offsets.end() - 1);
+    const int dst_machine = machine_of_worker(dw);
+    for (int w = 0; w < W; ++w) {
+      auto& out = workers_[static_cast<std::size_t>(w)]
+                      .outbox[static_cast<std::size_t>(dw)];
+      const int src_machine = machine_of_worker(w);
+      const bool cross = src_machine != dst_machine;
+      for (const Envelope& e : out) {
+        if (deleted_[e.dst]) {
+          ++recv.dropped;
+          continue;
+        }
+        const std::size_t li = partition_.local_index(e.dst);
+        recv.inbox_data[cursor[li]++] = e.msg;
+        const std::size_t bytes = Traits::wire_size(e.msg);
+        ++recv.delivered;
+        recv.delivered_bytes += bytes;
+        if (cross) {
+          recv.cross_bytes += bytes;
+          recv.cross_in_from[static_cast<std::size_t>(src_machine)] += bytes;
+        }
+        if (halted_[e.dst]) {
+          halted_[e.dst] = 0;
+          ++recv.unhalted;
+        }
+        if (options_.schedule == ScheduleMode::kWorkQueue &&
+            !scheduled_[e.dst]) {
+          scheduled_[e.dst] = 1;
+          recv.next_queue.push_back(e.dst);
+        }
+      }
+      out.clear();
+    }
+  }
+
+  void finish_step(SuperstepStats& ss) {
+    std::vector<std::uint64_t> egress(
+        static_cast<std::size_t>(cluster_.config().machines), 0);
+    std::vector<std::uint64_t> ingress(egress.size(), 0);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      auto& ws = workers_[w];
+      ss.messages_sent += ws.sent;
+      ss.bytes_sent += ws.sent_bytes;
+      ss.messages_delivered += ws.delivered;
+      ss.messages_dropped += ws.dropped;
+      ss.bytes_delivered += ws.delivered_bytes;
+      ss.cross_machine_bytes += ws.cross_bytes;
+      ss.active_vertices += ws.active;
+      const auto m =
+          static_cast<std::size_t>(machine_of_worker(static_cast<int>(w)));
+      ingress[m] += ws.cross_bytes;
+      for (std::size_t sm = 0; sm < ws.cross_in_from.size(); ++sm) {
+        egress[sm] += ws.cross_in_from[sm];
+        ws.cross_in_from[sm] = 0;
+      }
+      ws.sent = ws.sent_bytes = 0;
+      ws.delivered = ws.delivered_bytes = ws.cross_bytes = 0;
+      ws.dropped = 0;
+      ws.active = 0;
+      if (options_.schedule == ScheduleMode::kWorkQueue)
+        std::swap(ws.queue, ws.next_queue);
+    }
+    ss.sim_comm_seconds = cluster_.superstep_seconds(egress, ingress);
+    stats_.supersteps.push_back(ss);
+    ++superstep_;
+  }
+
+  int machine_of_worker(int w) const {
+    // Block-map engine workers onto the simulated machines; exact when
+    // num_workers == cluster.total_workers().
+    const int machines = cluster_.config().machines;
+    return static_cast<int>(
+        (static_cast<std::int64_t>(w) * machines) / options_.num_workers);
+  }
+
+  static constexpr VertexId kUnsetDst =
+      std::numeric_limits<VertexId>::max();
+
+  EngineOptions options_;
+  Combiner combiner_;
+  VertexPartition partition_;
+  net::ClusterModel cluster_;
+  WorkerPool pool_;
+  std::vector<std::uint8_t> halted_;
+  std::vector<std::uint8_t> deleted_;
+  std::vector<std::uint8_t> scheduled_;
+  std::vector<WorkerState> workers_;
+  RunStats stats_;
+  std::size_t superstep_ = 0;
+};
+
+}  // namespace deltav::pregel

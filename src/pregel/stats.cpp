@@ -1,0 +1,20 @@
+#include "pregel/stats.h"
+
+#include <sstream>
+
+namespace deltav::pregel {
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << "supersteps=" << num_supersteps()
+     << " msgs=" << total_messages_sent()
+     << " delivered=" << total_messages_delivered()
+     << " bytes=" << total_bytes_sent()
+     << " cross-machine-bytes=" << total_cross_machine_bytes()
+     << " compute=" << total_compute_seconds() << "s"
+     << " wall=" << total_wall_seconds() << "s"
+     << " sim=" << total_sim_seconds() << "s";
+  return os.str();
+}
+
+}  // namespace deltav::pregel

@@ -1,0 +1,83 @@
+// Per-superstep and whole-run statistics collected by the engine.
+//
+// These counters are the primary measurement surface for the paper's
+// evaluation: Figure 4's message counts come straight from
+// RunStats::total_messages_sent(), and the simulated cluster times come
+// from the per-superstep cross-machine byte counts fed through
+// net::ClusterModel.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace deltav::pregel {
+
+struct SuperstepStats {
+  std::uint64_t messages_sent = 0;       // emitted by compute()
+  std::uint64_t messages_delivered = 0;  // after sender-side combining
+  std::uint64_t messages_dropped = 0;    // addressed to deleted vertices
+  std::uint64_t bytes_sent = 0;          // wire bytes, pre-combine
+  std::uint64_t bytes_delivered = 0;     // wire bytes, post-combine
+  std::uint64_t cross_machine_bytes = 0; // delivered bytes crossing machines
+  std::uint64_t active_vertices = 0;     // vertices whose compute() ran
+  double compute_seconds = 0;            // wall time of the compute phase
+  double exchange_seconds = 0;           // wall time of the exchange phase
+  double sim_comm_seconds = 0;           // ClusterModel estimate
+};
+
+struct RunStats {
+  std::vector<SuperstepStats> supersteps;
+
+  std::size_t num_supersteps() const { return supersteps.size(); }
+
+  std::uint64_t total_messages_sent() const {
+    return sum(&SuperstepStats::messages_sent);
+  }
+  std::uint64_t total_messages_delivered() const {
+    return sum(&SuperstepStats::messages_delivered);
+  }
+  std::uint64_t total_messages_dropped() const {
+    return sum(&SuperstepStats::messages_dropped);
+  }
+  std::uint64_t total_bytes_sent() const {
+    return sum(&SuperstepStats::bytes_sent);
+  }
+  std::uint64_t total_cross_machine_bytes() const {
+    return sum(&SuperstepStats::cross_machine_bytes);
+  }
+  double total_compute_seconds() const {
+    return sumd(&SuperstepStats::compute_seconds);
+  }
+  double total_exchange_seconds() const {
+    return sumd(&SuperstepStats::exchange_seconds);
+  }
+  double total_sim_comm_seconds() const {
+    return sumd(&SuperstepStats::sim_comm_seconds);
+  }
+  /// Simulated cluster run time: local compute + modeled network.
+  double total_sim_seconds() const {
+    return total_compute_seconds() + total_sim_comm_seconds();
+  }
+  double total_wall_seconds() const {
+    return total_compute_seconds() + total_exchange_seconds();
+  }
+
+  std::string summary() const;
+
+ private:
+  template <typename T>
+  std::uint64_t sum(T SuperstepStats::* field) const {
+    std::uint64_t total = 0;
+    for (const auto& s : supersteps) total += s.*field;
+    return total;
+  }
+  double sumd(double SuperstepStats::* field) const {
+    double total = 0;
+    for (const auto& s : supersteps) total += s.*field;
+    return total;
+  }
+};
+
+}  // namespace deltav::pregel

@@ -1,0 +1,72 @@
+#include "pregel/worker_pool.h"
+
+namespace deltav::pregel {
+
+WorkerPool::WorkerPool(int num_workers) {
+  DV_CHECK_MSG(num_workers >= 1, "need at least one worker");
+  threads_.reserve(static_cast<std::size_t>(num_workers) - 1);
+  for (int id = 1; id < num_workers; ++id)
+    threads_.emplace_back([this, id] { worker_main(id); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    first_error_ = nullptr;
+    running_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // Worker 0 is the calling thread: no oversubscription, and single-worker
+  // configurations never context-switch.
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void WorkerPool::worker_main(int id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace deltav::pregel

@@ -1,0 +1,238 @@
+// Hand-written Pregel+ baselines vs. sequential oracles, plus their
+// message-count behaviour (the properties Figure 4/5 depend on).
+#include <gtest/gtest.h>
+
+#include "algorithms/connected_components.h"
+#include "graph/graph_builder.h"
+#include "algorithms/hits.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/pagerank_lookup.h"
+#include "algorithms/sssp.h"
+#include "test_util.h"
+
+namespace deltav::algorithms {
+namespace {
+
+using test::expect_close;
+using test::small_engine;
+
+// ---------------------------------------------------------------- PageRank
+
+TEST(PageRank, MatchesOracleOnRandomGraphs) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto g = graph::rmat(128, 512, seed);
+    PageRankOptions opt;
+    opt.engine = small_engine();
+    const auto result = pagerank_pregel(g, opt);
+    expect_close(result.rank, pagerank_oracle(g, 30), 1e-12);
+  }
+}
+
+TEST(PageRank, StarGraphHasDominantCenter) {
+  const auto g = graph::star(50);  // undirected star
+  PageRankOptions opt;
+  opt.engine = small_engine();
+  const auto result = pagerank_pregel(g, opt);
+  for (std::size_t leaf = 1; leaf <= 50; ++leaf)
+    EXPECT_GT(result.rank[0], result.rank[leaf]);
+}
+
+TEST(PageRank, SendsEverySuperstepBeforeHalt) {
+  const auto g = graph::cycle(10, /*directed=*/true);
+  PageRankOptions opt;
+  opt.iterations = 5;
+  opt.engine = small_engine();
+  opt.use_combiner = false;
+  const auto result = pagerank_pregel(g, opt);
+  // Each vertex sends one message per superstep while step+1 < 5.
+  EXPECT_EQ(result.stats.total_messages_sent(), 10u * 4);
+  EXPECT_EQ(result.stats.num_supersteps(), 5u);
+}
+
+TEST(PageRank, CombinerPreservesResults) {
+  const auto g = test::small_directed(51);
+  PageRankOptions with, without;
+  with.engine = without.engine = small_engine();
+  with.use_combiner = true;
+  without.use_combiner = false;
+  expect_close(pagerank_pregel(g, with).rank,
+               pagerank_pregel(g, without).rank, 1e-12);
+}
+
+TEST(PageRank, SinksDoNotCrash) {
+  // Path graph: last vertex has no out-edges (directed).
+  const auto g = graph::path(6, /*directed=*/true);
+  PageRankOptions opt;
+  opt.engine = small_engine(1);
+  const auto result = pagerank_pregel(g, opt);
+  for (double r : result.rank) EXPECT_TRUE(std::isfinite(r));
+}
+
+// -------------------------------------------------------------------- SSSP
+
+TEST(Sssp, MatchesDijkstraWeighted) {
+  graph::RmatOptions ro;
+  ro.weighted = true;
+  for (std::uint64_t seed : {4ULL, 5ULL}) {
+    const auto g = graph::rmat(128, 512, seed, ro);
+    SsspOptions opt;
+    opt.source = 0;
+    opt.engine = small_engine();
+    expect_close(sssp_pregel(g, opt).distance, sssp_oracle(g, 0), 1e-9);
+  }
+}
+
+TEST(Sssp, UnweightedEqualsBfsDepth) {
+  const auto g = graph::grid(8, 8);
+  SsspOptions opt;
+  opt.source = 0;
+  opt.engine = small_engine();
+  const auto d = sssp_pregel(g, opt).distance;
+  // Manhattan distance on a grid.
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      EXPECT_DOUBLE_EQ(d[r * 8 + c], static_cast<double>(r + c));
+}
+
+TEST(Sssp, UnreachableVerticesStayInfinite) {
+  graph::GraphBuilder b(4, true);
+  b.add_edge(0, 1);  // 2,3 unreachable
+  const auto g = b.build();
+  SsspOptions opt;
+  opt.source = 0;
+  opt.engine = small_engine(1);
+  const auto d = sssp_pregel(g, opt).distance;
+  EXPECT_DOUBLE_EQ(d[0], 0);
+  EXPECT_DOUBLE_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Sssp, OnlyImprovementsTriggerSends) {
+  // Path: each vertex improves exactly once → sends its out-edge once.
+  const auto g = graph::path(10, /*directed=*/true);
+  SsspOptions opt;
+  opt.source = 0;
+  opt.engine = small_engine(1);
+  opt.use_combiner = false;
+  const auto result = sssp_pregel(g, opt);
+  EXPECT_EQ(result.stats.total_messages_sent(), 9u);
+}
+
+TEST(Sssp, InvalidSourceThrows) {
+  const auto g = graph::path(4, true);
+  SsspOptions opt;
+  opt.source = 10;
+  EXPECT_THROW(sssp_pregel(g, opt), CheckError);
+}
+
+// ---------------------------------------------------------------------- CC
+
+TEST(ConnectedComponents, MatchesUnionFindOnRandom) {
+  for (std::uint64_t seed : {6ULL, 7ULL, 8ULL}) {
+    graph::RmatOptions ro;
+    ro.directed = false;
+    const auto g = graph::rmat(128, 200, seed, ro);  // sparse → many comps
+    CcOptions opt;
+    opt.engine = small_engine();
+    const auto result = connected_components_pregel(g, opt);
+    const auto oracle = connected_components_oracle(g);
+    for (std::size_t v = 0; v < oracle.size(); ++v)
+      EXPECT_EQ(result.component[v], oracle[v]);
+  }
+}
+
+TEST(ConnectedComponents, DisjointCliquesKeepSeparateLabels) {
+  graph::GraphBuilder b(6, false);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const auto g = b.build();
+  CcOptions opt;
+  opt.engine = small_engine(1);
+  const auto comp = connected_components_pregel(g, opt).component;
+  EXPECT_EQ(comp[0], 0u);
+  EXPECT_EQ(comp[2], 0u);
+  EXPECT_EQ(comp[3], 3u);
+  EXPECT_EQ(comp[5], 3u);
+}
+
+TEST(ConnectedComponents, RejectsDirectedGraphs) {
+  const auto g = graph::path(4, /*directed=*/true);
+  EXPECT_THROW(connected_components_pregel(g, {}), CheckError);
+}
+
+// -------------------------------------------------------------------- HITS
+
+TEST(Hits, MatchesOracle) {
+  for (std::uint64_t seed : {9ULL, 10ULL}) {
+    const auto g = graph::rmat(96, 400, seed);
+    HitsOptions opt;
+    opt.iterations = 5;
+    opt.engine = small_engine();
+    const auto result = hits_pregel(g, opt);
+    std::vector<double> oh, oa;
+    hits_oracle(g, 5, oh, oa);
+    expect_close(result.hub, oh, 1e-9);
+    expect_close(result.authority, oa, 1e-9);
+  }
+}
+
+TEST(Hits, SourceSinkStructure) {
+  // 0 → 1, 0 → 2: vertex 0 is a pure hub, 1 and 2 pure authorities.
+  graph::GraphBuilder b(3, true);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const auto g = b.build();
+  HitsOptions opt;
+  opt.iterations = 3;
+  opt.engine = small_engine(1);
+  const auto r = hits_pregel(g, opt);
+  EXPECT_GT(r.hub[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.authority[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.hub[1], 0.0);
+  EXPECT_GT(r.authority[1], 0.0);
+}
+
+TEST(Hits, CombinerAgreesWithUncombined) {
+  const auto g = test::small_directed(61);
+  HitsOptions with, without;
+  with.engine = without.engine = small_engine();
+  with.use_combiner = true;
+  without.use_combiner = false;
+  const auto a = hits_pregel(g, with);
+  const auto b = hits_pregel(g, without);
+  expect_close(a.hub, b.hub, 1e-9);
+  expect_close(a.authority, b.authority, 1e-9);
+}
+
+// --------------------------------------------------- lookup-table strawman
+
+TEST(PageRankLookup, MatchesPlainPageRank) {
+  const auto g = test::small_directed(71);
+  PageRankOptions plain;
+  plain.engine = small_engine();
+  PageRankLookupOptions lookup;
+  lookup.engine = small_engine();
+  expect_close(pagerank_lookup_table(g, lookup).rank,
+               pagerank_pregel(g, plain).rank, 1e-9);
+}
+
+TEST(PageRankLookup, SendsFewerMessagesButBiggerOnes) {
+  const auto g = graph::rmat(256, 2048, 81);
+  PageRankOptions plain;
+  plain.engine = small_engine();
+  plain.use_combiner = false;
+  PageRankLookupOptions lookup;
+  lookup.engine = small_engine();
+  const auto p = pagerank_pregel(g, plain);
+  const auto l = pagerank_lookup_table(g, lookup);
+  EXPECT_LT(l.stats.total_messages_sent(), p.stats.total_messages_sent());
+  // §4.2.1's cost: id-tagged messages are 12 bytes vs 8, and the cache
+  // grows vertex state.
+  EXPECT_GT(l.table_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace deltav::algorithms

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "common/args.h"
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/open_hash_map.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace deltav {
+namespace {
+
+// ----------------------------------------------------------------- check.h
+
+TEST(Check, PassingCheckIsSilent) { DV_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(DV_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIncludesExpressionAndDetail) {
+  try {
+    DV_CHECK_MSG(2 > 3, "math broke: " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 > 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math broke: 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, FailAlwaysThrows) { EXPECT_THROW(DV_FAIL("boom"), CheckError); }
+
+// ------------------------------------------------------------------- rng.h
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsRoughlyHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+// ------------------------------------------------------------------ hash.h
+
+TEST(Hash, Mix64IsBijectiveOnSamples) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 4096; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 4096u);
+}
+
+TEST(Hash, Mix64Avalanches) {
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit)
+    total += std::popcount(mix64(0x1234567890ABCDEFULL) ^
+                           mix64(0x1234567890ABCDEFULL ^ (1ULL << bit)));
+  EXPECT_NEAR(static_cast<double>(total) / 64, 32.0, 6.0);
+}
+
+TEST(Hash, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(fnv1a("hello"), fnv1a("hellp"));
+  EXPECT_EQ(fnv1a("same"), fnv1a("same"));
+}
+
+TEST(Hash, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+// --------------------------------------------------------- open_hash_map.h
+
+TEST(OpenHashMap, InsertAndFind) {
+  OpenHashMap<int> m;
+  m[42] = 7;
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 7);
+  EXPECT_EQ(m.find(43), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(OpenHashMap, OperatorBracketDefaultConstructs) {
+  OpenHashMap<int> m;
+  EXPECT_EQ(m[5], 0);
+  m[5] += 3;
+  EXPECT_EQ(m[5], 3);
+}
+
+TEST(OpenHashMap, GrowsPastInitialCapacity) {
+  OpenHashMap<std::uint64_t> m(16);
+  for (std::uint64_t k = 0; k < 10000; ++k) m[k * 977] = k;
+  EXPECT_EQ(m.size(), 10000u);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(m.find(k * 977), nullptr) << k;
+    EXPECT_EQ(*m.find(k * 977), k);
+  }
+}
+
+TEST(OpenHashMap, ClearKeepsCapacityDropsEntries) {
+  OpenHashMap<int> m;
+  for (std::uint64_t k = 1; k <= 100; ++k) m[k] = 1;
+  const auto cap = m.capacity();
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.find(50), nullptr);
+}
+
+TEST(OpenHashMap, ForEachVisitsEverything) {
+  OpenHashMap<int> m;
+  for (std::uint64_t k = 1; k <= 64; ++k) m[k] = static_cast<int>(k);
+  int sum = 0, count = 0;
+  m.for_each([&](std::uint64_t, const int& v) {
+    sum += v;
+    ++count;
+  });
+  EXPECT_EQ(count, 64);
+  EXPECT_EQ(sum, 64 * 65 / 2);
+}
+
+TEST(OpenHashMap, AdversarialCollidingKeys) {
+  OpenHashMap<int> m(16);
+  for (std::uint64_t k = 0; k < 200; ++k) m[k << 32] = static_cast<int>(k);
+  for (std::uint64_t k = 0; k < 200; ++k)
+    EXPECT_EQ(*m.find(k << 32), static_cast<int>(k));
+}
+
+// ----------------------------------------------------------------- table.h
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(42LL);
+  t.row().cell("beta").cell(3.14159, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RatioFormatting) {
+  Table t({"x"});
+  t.row().ratio(4.4);
+  EXPECT_NE(t.to_string().find("4.40x"), std::string::npos);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("oops"), CheckError);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"x"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), CheckError);
+}
+
+// ------------------------------------------------------------------ args.h
+
+Args make_args(std::vector<std::string> argv) {
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(argv);
+  std::vector<const char*> ptrs;
+  ptrs.push_back("prog");
+  for (const auto& a : storage) ptrs.push_back(a.c_str());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Args, ParsesEqualsAndSpaceForms) {
+  auto args = make_args({"--alpha=3", "--beta", "4"});
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 4);
+  args.check_unused();
+}
+
+TEST(Args, DefaultsApply) {
+  auto args = make_args({});
+  EXPECT_EQ(args.get_int("n", 17), 17);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+  EXPECT_TRUE(args.get_bool("b", true));
+  EXPECT_DOUBLE_EQ(args.get_double("d", 2.5), 2.5);
+}
+
+TEST(Args, BareBooleanFlag) {
+  auto args = make_args({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Args, UnknownFlagDetected) {
+  auto args = make_args({"--typo=1"});
+  args.get_int("scale", 1);
+  EXPECT_THROW(args.check_unused(), CheckError);
+}
+
+TEST(Args, MalformedIntRejected) {
+  auto args = make_args({"--n=12x"});
+  EXPECT_THROW(args.get_int("n", 0), CheckError);
+}
+
+TEST(Args, HelpRequested) {
+  auto args = make_args({"--help"});
+  EXPECT_TRUE(args.help_requested());
+  args.get_int("n", 3, "a number");
+  EXPECT_NE(args.help().find("a number"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- timer.h
+
+TEST(Timer, MeasuresElapsedMonotonically) {
+  Timer t;
+  const double a = t.elapsed_seconds();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.restart();
+  EXPECT_LE(t.elapsed_seconds(), b + 1.0);
+}
+
+}  // namespace
+}  // namespace deltav

@@ -1,0 +1,282 @@
+// §9 future work: vertex removal with retraction Δ-messages.
+//
+// Engine level: deleted vertices never compute again and messages to them
+// are dropped. Runtime level: a deleted vertex first broadcasts Δ-messages
+// restoring its contribution to the aggregation identity ("zeros out the
+// value of the vertex to its neighbors"), so ΔV's memoized accumulators
+// remain coherent with ΔV*'s from-scratch folds on the shrunken graph.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+
+#include "dv/programs/programs.h"
+#include "graph/graph_builder.h"
+#include "pregel/engine.h"
+#include "test_util.h"
+
+namespace deltav {
+namespace {
+
+using dv::Value;
+using test::compile_dv;
+using test::small_engine;
+
+// ------------------------------------------------------------ engine level
+
+TEST(EngineDeletion, DeletedVertexNeverComputes) {
+  pregel::Engine<int> e(4, small_engine(2));
+  e.mark_deleted(2);
+  std::array<std::atomic<int>, 4> runs{};
+  for (int s = 0; s < 3; ++s)
+    e.step([&](auto& ctx, graph::VertexId v, std::span<const int>) {
+      ++runs[v];
+      if (ctx.superstep() >= 2) ctx.vote_to_halt();
+    });
+  EXPECT_EQ(runs[2].load(), 0);
+  EXPECT_GT(runs[0].load(), 0);
+}
+
+TEST(EngineDeletion, MessagesToDeletedAreDropped) {
+  pregel::Engine<int> e(3, small_engine(1));
+  e.mark_deleted(1);
+  e.step([&](auto& ctx, graph::VertexId v, std::span<const int>) {
+    if (v == 0) {
+      ctx.send(1, 7);  // dropped
+      ctx.send(2, 8);  // delivered
+    }
+    ctx.vote_to_halt();
+  });
+  int received_by_2 = 0;
+  e.step([&](auto& ctx, graph::VertexId v, std::span<const int> msgs) {
+    if (v == 2) received_by_2 = static_cast<int>(msgs.size());
+    EXPECT_NE(v, 1u);
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(received_by_2, 1);
+  EXPECT_EQ(e.stats().supersteps[0].messages_dropped, 1u);
+  EXPECT_EQ(e.stats().supersteps[0].messages_delivered, 1u);
+  EXPECT_TRUE(e.is_deleted(1));
+}
+
+TEST(EngineDeletion, DeletedVertexNotRevivedByActivateAll) {
+  pregel::Engine<int> e(5, small_engine(2));
+  e.mark_deleted(3);
+  e.step([](auto& ctx, graph::VertexId, std::span<const int>) {
+    ctx.vote_to_halt();
+  });
+  e.activate_all();
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, graph::VertexId v, std::span<const int>) {
+    EXPECT_NE(v, 3u);
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(EngineDeletion, MarkDeletedFromComputeIsSafe) {
+  pregel::Engine<int>* engine_ptr = nullptr;
+  pregel::Engine<int> e(4, small_engine(2));
+  engine_ptr = &e;
+  e.step([&](auto& ctx, graph::VertexId v, std::span<const int>) {
+    if (v == 1) engine_ptr->mark_deleted(v);
+    else ctx.vote_to_halt();
+  });
+  EXPECT_TRUE(e.is_deleted(1));
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, graph::VertexId v, std::span<const int>) {
+    EXPECT_NE(v, 1u);
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  (void)ran;
+}
+
+// ----------------------------------------------------------- runtime level
+
+/// A +-aggregation "mass gossip": each vertex repeatedly publishes a fixed
+/// weight; living vertices see the sum of their in-neighbors' weights.
+/// Deleting a vertex must remove exactly its contribution.
+constexpr const char* kMassProgram = R"(
+  param rounds : int;
+  init {
+    local mass : float = 1.0 + vertexId;
+    local seen : float = 0.0
+  };
+  iter i {
+    seen = + [ u.mass | u <- #in ];
+    mass = mass  -- republish unchanged (keeps ΔV* folds complete)
+  } until { i >= rounds }
+)";
+
+TEST(DvDeletion, RetractionMatchesFromScratchRecomputation) {
+  const auto g = test::small_directed(123);
+  const std::map<std::string, Value> params = {
+      {"rounds", Value::of_int(8)}};
+
+  dv::VertexDeletion del;
+  del.stmt_index = 0;
+  del.iteration = 4;
+  del.vertices = {1, 5, 9, 13};
+
+  dv::DvRunOptions o;
+  o.engine = small_engine();
+  o.params = params;
+  o.deletions = {del};
+
+  const auto full =
+      dv::run_program(compile_dv(kMassProgram, true), g, o);
+  const auto star =
+      dv::run_program(compile_dv(kMassProgram, false), g, o);
+
+  const int seen = full.field_slot("seen");
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const auto vid = static_cast<graph::VertexId>(v);
+    bool deleted = false;
+    for (auto d : del.vertices) deleted = deleted || d == vid;
+    if (deleted) continue;  // victims' state is frozen at deletion
+    EXPECT_NEAR(full.at(vid, seen).as_f(), star.at(vid, seen).as_f(), 1e-9)
+        << "vertex " << v;
+  }
+}
+
+TEST(DvDeletion, AnalyticCheckOnStar) {
+  // Directed star: leaves 1..n point at the hub 0. Hub's sum = Σ leaf
+  // masses; deleting leaf 3 (mass 4.0) must drop the sum by exactly 4.
+  const std::size_t leaves = 6;
+  graph::GraphBuilder b(leaves + 1, /*directed=*/true);
+  for (std::size_t l = 1; l <= leaves; ++l)
+    b.add_edge(static_cast<graph::VertexId>(l), 0);
+  const auto g = b.build();
+
+  dv::DvRunOptions o;
+  o.engine = small_engine(1);
+  o.params = {{"rounds", Value::of_int(6)}};
+
+  const auto before =
+      dv::run_program(compile_dv(kMassProgram, true), g, o);
+  const double sum_before = before.at(0, before.field_slot("seen")).as_f();
+
+  dv::VertexDeletion del;
+  del.iteration = 3;
+  del.vertices = {3};
+  o.deletions = {del};
+  const auto after = dv::run_program(compile_dv(kMassProgram, true), g, o);
+  const double sum_after = after.at(0, after.field_slot("seen")).as_f();
+
+  EXPECT_NEAR(sum_before - sum_after, 4.0, 1e-12);  // mass of vertex 3
+}
+
+TEST(DvDeletion, BooleanRetractionDenulls) {
+  // && over neighbors: vertex 2 is the only 'false' (absorbing); deleting
+  // it must send a denull so neighbors' aggregation recovers to true.
+  const char* src = R"(
+    param rounds : int;
+    init {
+      local flag : bool = vertexId != 2;
+      local all : bool = true
+    };
+    iter i {
+      all = && [ u.flag | u <- #neighbors ];
+      flag = flag
+    } until { i >= rounds }
+  )";
+  const auto g = graph::cycle(5);
+  dv::DvRunOptions o;
+  o.engine = small_engine(1);
+  o.params = {{"rounds", Value::of_int(6)}};
+
+  const auto before = dv::run_program(compile_dv(src, true), g, o);
+  EXPECT_FALSE(before.at(1, before.field_slot("all")).as_b());
+  EXPECT_FALSE(before.at(3, before.field_slot("all")).as_b());
+
+  dv::VertexDeletion del;
+  del.iteration = 3;
+  del.vertices = {2};
+  o.deletions = {del};
+  const auto after = dv::run_program(compile_dv(src, true), g, o);
+  // Neighbors of 2 recover: their remaining neighborhood is all-true.
+  EXPECT_TRUE(after.at(1, after.field_slot("all")).as_b());
+  EXPECT_TRUE(after.at(3, after.field_slot("all")).as_b());
+}
+
+TEST(DvDeletion, MinAggregationRejectedForDeltaV) {
+  const auto g = test::small_directed();
+  dv::DvRunOptions o;
+  o.engine = small_engine(1);
+  o.params = {{"source", Value::of_int(0)}};
+  dv::VertexDeletion del;
+  del.iteration = 2;
+  del.vertices = {1};
+  o.deletions = {del};
+  EXPECT_THROW(
+      dv::run_program(compile_dv(dv::programs::kSssp, true), g, o),
+      CheckError);
+  // ΔV* recomputes from scratch; deletion is fine there.
+  EXPECT_NO_THROW(
+      dv::run_program(compile_dv(dv::programs::kSssp, false), g, o));
+}
+
+TEST(DvDeletion, ValidationCatchesBadSchedules) {
+  const auto g = graph::cycle(4);
+  dv::DvRunOptions o;
+  o.engine = small_engine(1);
+  o.params = {{"rounds", Value::of_int(3)}};
+  dv::VertexDeletion del;
+  del.stmt_index = 7;  // out of range
+  del.vertices = {0};
+  o.deletions = {del};
+  EXPECT_THROW(dv::run_program(compile_dv(kMassProgram, true), g, o),
+               CheckError);
+  del.stmt_index = 0;
+  del.iteration = 0;  // 1-based
+  o.deletions = {del};
+  EXPECT_THROW(dv::run_program(compile_dv(kMassProgram, true), g, o),
+               CheckError);
+  del.iteration = 1;
+  del.vertices = {99};  // out of range
+  o.deletions = {del};
+  EXPECT_THROW(dv::run_program(compile_dv(kMassProgram, true), g, o),
+               CheckError);
+}
+
+TEST(DvDeletion, DeletedVerticesStopCostingMessages) {
+  // A decaying broadcast: every vertex's published value changes each
+  // round, so living vertices keep sending — deletion must remove the
+  // victims' ongoing traffic (minus the one-off retraction round).
+  const char* decaying = R"(
+    param rounds : int;
+    init {
+      local mass : float = 1.0 + vertexId;
+      local seen : float = 0.0
+    };
+    iter i {
+      seen = + [ u.mass | u <- #in ];
+      mass = mass * 0.9
+    } until { i >= rounds }
+  )";
+  const auto g = test::small_directed(321);
+  dv::DvRunOptions o;
+  o.engine = small_engine();
+  o.params = {{"rounds", Value::of_int(10)}};
+
+  // Delete a third of the graph early; late-superstep traffic must drop.
+  dv::VertexDeletion del;
+  del.iteration = 2;
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 3)
+    del.vertices.push_back(v);
+  o.deletions = {del};
+  const auto with_del =
+      dv::run_program(compile_dv(decaying, true), g, o);
+
+  dv::DvRunOptions o2 = o;
+  o2.deletions.clear();
+  const auto without =
+      dv::run_program(compile_dv(decaying, true), g, o2);
+  EXPECT_LT(with_del.stats.total_messages_sent(),
+            without.stats.total_messages_sent());
+}
+
+}  // namespace
+}  // namespace deltav

@@ -1,0 +1,113 @@
+// Vertex-state layout accounting — the substance behind Table 2.
+#include <gtest/gtest.h>
+
+#include "dv/compiler.h"
+#include "dv/programs/programs.h"
+#include "dv/runtime/layout.h"
+
+namespace deltav::dv {
+namespace {
+
+CompiledProgram dv_full(const char* src) { return compile(src, {}); }
+CompiledProgram dv_star(const char* src) {
+  return compile(src, CompileOptions{.incrementalize = false});
+}
+
+TEST(Layout, PageRankStarIsTwoFloats) {
+  const auto cp = dv_star(programs::kPageRank);
+  EXPECT_EQ(cp.layout.user_bytes, 16u);  // vl + pr
+  EXPECT_EQ(cp.layout.accumulator_bytes, 0u);
+  EXPECT_EQ(cp.state_bytes(), 16u);
+}
+
+TEST(Layout, PageRankFullAddsOneAccumulator) {
+  const auto cp = dv_full(programs::kPageRank);
+  EXPECT_EQ(cp.layout.user_bytes, 16u);
+  EXPECT_EQ(cp.layout.accumulator_bytes, 8u);  // one + site
+  EXPECT_EQ(cp.state_bytes(), 24u);
+}
+
+TEST(Layout, SsspAddsOneAccumulator) {
+  const auto star = dv_star(programs::kSssp);
+  const auto full = dv_full(programs::kSssp);
+  EXPECT_EQ(star.state_bytes(), 8u);   // dist
+  EXPECT_EQ(full.state_bytes(), 16u);  // dist + min-accumulator
+}
+
+TEST(Layout, HitsAddsTwoAccumulators) {
+  const auto star = dv_star(programs::kHits);
+  const auto full = dv_full(programs::kHits);
+  EXPECT_EQ(star.state_bytes(), 16u);  // hub + auth
+  EXPECT_EQ(full.state_bytes(), 32u);  // + two sum accumulators
+}
+
+TEST(Layout, MultiplicativeSiteAddsTriple) {
+  const char* prod_src =
+      "init { local a : float = 2.0 };"
+      "iter i { a = * [ u.a | u <- #in ] } until { i >= 2 }";
+  const auto star = dv_star(prod_src);
+  const auto full = dv_full(prod_src);
+  EXPECT_EQ(star.state_bytes(), 8u);
+  // aggAccum + nnAcc + aggNulls = 24 extra bytes (§6.4.1).
+  EXPECT_EQ(full.layout.accumulator_bytes, 8u);
+  EXPECT_EQ(full.layout.multiplicative_bytes, 16u);
+  EXPECT_EQ(full.state_bytes(), 32u);
+}
+
+TEST(Layout, BoolFieldsBytePack) {
+  const auto cp = dv_star(
+      "init { local a : bool = true; local b : bool = false;"
+      "       local x : float = 0.0 };"
+      "step { x = 1.0 }");
+  // 8 (float) + 2×1 (bools) → aligned to 16.
+  EXPECT_EQ(cp.state_bytes(), 16u);
+}
+
+TEST(Layout, SentBindingCountsSeparately) {
+  const auto cp = dv_full(
+      "init { local a : float = 1.0; local b : float = 0.0 };"
+      "iter i { b = + [ u.a * 2.0 | u <- #in ]; a = b } until { i >= 2 }");
+  EXPECT_EQ(cp.layout.binding_bytes, 8u);  // the §6.2 freshVar
+}
+
+TEST(Layout, EpsilonModeAddsLastSentField) {
+  CompileOptions o;
+  o.epsilon = 0.01;
+  const auto cp = compile(programs::kPageRank, o);
+  EXPECT_EQ(cp.layout.epsilon_bytes, 8u);
+  EXPECT_EQ(cp.state_bytes(), 32u);  // 16 user + 8 acc + 8 last-sent
+}
+
+TEST(Layout, TableTwoOrderingHolds) {
+  // The paper's Table-2 shape: Pregel+ (raw fields) < ΔV* ≤ ΔV, with ΔV's
+  // overhead small (≤ 8 bytes per aggregation site for non-multiplicative
+  // programs).
+  struct Row {
+    const char* src;
+    std::size_t sites;
+  };
+  for (const Row& row : {Row{programs::kPageRank, 1},
+                         Row{programs::kSssp, 1},
+                         Row{programs::kConnectedComponents, 1},
+                         Row{programs::kHits, 2}}) {
+    const auto star = dv_star(row.src);
+    const auto full = dv_full(row.src);
+    EXPECT_LE(star.state_bytes(), full.state_bytes());
+    EXPECT_EQ(full.state_bytes() - star.state_bytes(), 8u * row.sites);
+  }
+}
+
+TEST(Layout, SummaryMentionsBreakdown) {
+  const auto cp = dv_full(programs::kPageRank);
+  const auto s = cp.layout.summary();
+  EXPECT_NE(s.find("24 B"), std::string::npos);
+  EXPECT_NE(s.find("accumulators 8"), std::string::npos);
+}
+
+TEST(Layout, EmptyStateStillOneWord) {
+  Program p;
+  EXPECT_EQ(StateLayout::of(p).total_bytes, 8u);
+}
+
+}  // namespace
+}  // namespace deltav::dv

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "dv/lexer.h"
+
+namespace deltav::dv {
+namespace {
+
+std::vector<Token> lex(const std::string& src) {
+  return Lexer(src).tokenize();
+}
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto k = kinds("init step iter until let local in if then else foo");
+  const std::vector<Tok> expected = {
+      Tok::kInit, Tok::kStep, Tok::kIter, Tok::kUntil, Tok::kLet,
+      Tok::kLocal, Tok::kIn, Tok::kIf, Tok::kThen, Tok::kElse,
+      Tok::kIdent, Tok::kEof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, NumericLiterals) {
+  const auto toks = lex("42 3.25 1e3 2.5e-2");
+  EXPECT_EQ(toks[0].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].kind, Tok::kFloatLit);
+  EXPECT_DOUBLE_EQ(toks[1].float_val, 3.25);
+  EXPECT_EQ(toks[2].kind, Tok::kFloatLit);
+  EXPECT_DOUBLE_EQ(toks[2].float_val, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_val, 0.025);
+}
+
+TEST(Lexer, GraphExpressions) {
+  const auto k = kinds("#in #out #neighbors");
+  EXPECT_EQ(k[0], Tok::kHashIn);
+  EXPECT_EQ(k[1], Tok::kHashOut);
+  EXPECT_EQ(k[2], Tok::kHashNeighbors);
+}
+
+TEST(Lexer, UnknownGraphExpressionRejected) {
+  EXPECT_THROW(lex("#sideways"), CompileError);
+}
+
+TEST(Lexer, OperatorsAndCompounds) {
+  const auto k = kinds("+ - * / && || < > >= <= == != = <- | . not");
+  const std::vector<Tok> expected = {
+      Tok::kPlus, Tok::kMinus, Tok::kStar, Tok::kSlash, Tok::kAndAnd,
+      Tok::kOrOr, Tok::kLt, Tok::kGt, Tok::kGe, Tok::kLe, Tok::kEqEq,
+      Tok::kNe, Tok::kAssign, Tok::kArrow, Tok::kBar, Tok::kDot,
+      Tok::kNot, Tok::kEof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto k = kinds("a -- rest of line\nb // also comment\nc");
+  const std::vector<Tok> expected = {Tok::kIdent, Tok::kIdent, Tok::kIdent,
+                                     Tok::kEof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, LocationsTracked) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.col, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(Lexer, StrayAmpersandRejected) { EXPECT_THROW(lex("a & b"), CompileError); }
+
+TEST(Lexer, StrayBangRejected) { EXPECT_THROW(lex("!x"), CompileError); }
+
+TEST(Lexer, UnknownCharacterRejected) { EXPECT_THROW(lex("a @ b"), CompileError); }
+
+TEST(Lexer, MalformedExponentRejected) { EXPECT_THROW(lex("1e+"), CompileError); }
+
+TEST(Lexer, BuiltinsAndTypes) {
+  const auto k = kinds("graphSize infty vertexId stable int bool float "
+                       "true false min max param");
+  const std::vector<Tok> expected = {
+      Tok::kGraphSize, Tok::kInfty, Tok::kVertexId, Tok::kStable,
+      Tok::kTypeInt, Tok::kTypeBool, Tok::kTypeFloat, Tok::kTrue,
+      Tok::kFalse, Tok::kMin, Tok::kMax, Tok::kParam, Tok::kEof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, IdentifierWithUnderscoreAndDigits) {
+  const auto toks = lex("old_msg2");
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "old_msg2");
+}
+
+}  // namespace
+}  // namespace deltav::dv

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "dv/lexer.h"
+#include "dv/parser.h"
+#include "dv/programs/programs.h"
+
+namespace deltav::dv {
+namespace {
+
+Program parse(const std::string& src) {
+  Lexer lexer(src);
+  Parser parser(lexer.tokenize());
+  return parser.parse_program();
+}
+
+ExprPtr parse_expr(const std::string& src) {
+  Lexer lexer(src);
+  Parser parser(lexer.tokenize());
+  return parser.parse_expression_only();
+}
+
+TEST(Parser, MinimalProgram) {
+  const auto p = parse("init { local x : int = 0 }; step { x = 1 }");
+  ASSERT_EQ(p.stmts.size(), 1u);
+  EXPECT_EQ(p.stmts[0].kind, Stmt::Kind::kStep);
+  EXPECT_EQ(p.init->kind, ExprKind::kLocalDecl);
+}
+
+TEST(Parser, IterWithUntil) {
+  const auto p = parse(
+      "init { local x : int = 0 }; iter i { x = 1 } until { i >= 3 }");
+  ASSERT_EQ(p.stmts.size(), 1u);
+  EXPECT_EQ(p.stmts[0].kind, Stmt::Kind::kIter);
+  EXPECT_EQ(p.stmts[0].iter_var, "i");
+  ASSERT_NE(p.stmts[0].until, nullptr);
+}
+
+TEST(Parser, MultipleStatements) {
+  const auto p = parse(
+      "init { local x : int = 0 };"
+      "step { x = 1 };"
+      "iter i { x = 2 } until { i >= 1 };"
+      "step { x = 3 }");
+  EXPECT_EQ(p.stmts.size(), 3u);
+}
+
+TEST(Parser, Params) {
+  const auto p = parse(
+      "param source : int;"
+      "param tol : float;"
+      "init { local x : int = 0 }; step { x = 1 }");
+  ASSERT_EQ(p.params.size(), 2u);
+  EXPECT_EQ(p.params[0].name, "source");
+  EXPECT_EQ(p.params[0].type, Type::kInt);
+  EXPECT_EQ(p.params[1].type, Type::kFloat);
+}
+
+TEST(Parser, AggregationForm) {
+  const auto e = parse_expr("+ [ u.pr | u <- #neighbors ]");
+  ASSERT_EQ(e->kind, ExprKind::kAgg);
+  EXPECT_EQ(e->agg_op, AggOp::kSum);
+  EXPECT_EQ(e->dir, GraphDir::kNeighbors);
+  EXPECT_EQ(e->kids[0]->kind, ExprKind::kNeighborField);
+  EXPECT_EQ(e->kids[0]->name, "pr");
+}
+
+TEST(Parser, AllAggregationOperators) {
+  EXPECT_EQ(parse_expr("+ [ u.a | u <- #in ]")->agg_op, AggOp::kSum);
+  EXPECT_EQ(parse_expr("* [ u.a | u <- #in ]")->agg_op, AggOp::kProd);
+  EXPECT_EQ(parse_expr("min [ u.a | u <- #in ]")->agg_op, AggOp::kMin);
+  EXPECT_EQ(parse_expr("max [ u.a | u <- #in ]")->agg_op, AggOp::kMax);
+  EXPECT_EQ(parse_expr("&& [ u.a | u <- #in ]")->agg_op, AggOp::kAnd);
+  EXPECT_EQ(parse_expr("|| [ u.a | u <- #in ]")->agg_op, AggOp::kOr);
+}
+
+TEST(Parser, AggregationWithEdgeWeight) {
+  const auto e = parse_expr("min [ u.dist + u.edge | u <- #in ]");
+  ASSERT_EQ(e->kind, ExprKind::kAgg);
+  const Expr& plus = *e->kids[0];
+  EXPECT_EQ(plus.kind, ExprKind::kBinary);
+  EXPECT_EQ(plus.kids[1]->kind, ExprKind::kEdgeWeight);
+}
+
+TEST(Parser, AggregationWithCustomBinder) {
+  const auto e = parse_expr("+ [ w.val * 2 | w <- #out ]");
+  ASSERT_EQ(e->kind, ExprKind::kAgg);
+  EXPECT_EQ(e->name, "w");
+}
+
+TEST(Parser, DegreeForm) {
+  const auto e = parse_expr("|#neighbors|");
+  EXPECT_EQ(e->kind, ExprKind::kDegree);
+  EXPECT_EQ(e->dir, GraphDir::kNeighbors);
+}
+
+TEST(Parser, DegreeInsideExpression) {
+  const auto e = parse_expr("pr / |#out|");
+  EXPECT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->bin_op, BinOp::kDiv);
+  EXPECT_EQ(e->kids[1]->kind, ExprKind::kDegree);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3)
+  const auto e = parse_expr("1 + 2 * 3");
+  EXPECT_EQ(e->bin_op, BinOp::kAdd);
+  EXPECT_EQ(e->kids[1]->bin_op, BinOp::kMul);
+  // comparison binds looser than arithmetic
+  const auto c = parse_expr("1 + 2 < 3 * 4");
+  EXPECT_EQ(c->bin_op, BinOp::kLt);
+  // && binds tighter than ||
+  const auto b = parse_expr("a || b && c");
+  EXPECT_EQ(b->bin_op, BinOp::kOr);
+  EXPECT_EQ(b->kids[1]->bin_op, BinOp::kAnd);
+}
+
+TEST(Parser, LetBodyExtendsToBlockEnd) {
+  const auto e = parse_expr("let s : float = 1.0 in x = s; y = s");
+  ASSERT_EQ(e->kind, ExprKind::kLet);
+  EXPECT_EQ(e->kids[1]->kind, ExprKind::kSeq);
+  EXPECT_EQ(e->kids[1]->kids.size(), 2u);
+}
+
+TEST(Parser, IfThenElseAsValue) {
+  const auto e = parse_expr("if vertexId == 3 then 0 else infty");
+  ASSERT_EQ(e->kind, ExprKind::kIf);
+  EXPECT_EQ(e->kids.size(), 3u);
+}
+
+TEST(Parser, IfWithoutElse) {
+  const auto e = parse_expr("if a < b then x = 1");
+  ASSERT_EQ(e->kind, ExprKind::kIf);
+  EXPECT_EQ(e->kids.size(), 2u);
+  EXPECT_EQ(e->kids[1]->kind, ExprKind::kAssign);
+}
+
+TEST(Parser, MinMaxCallForm) {
+  const auto e = parse_expr("min(dist, best)");
+  EXPECT_EQ(e->kind, ExprKind::kPairOp);
+  EXPECT_EQ(e->pair_op, PairOp::kMin);
+}
+
+TEST(Parser, SequencesAndTrailingSemicolons) {
+  const auto p = parse("init { local x : int = 0; }; step { x = 1; x = 2; }");
+  EXPECT_EQ(p.stmts[0].body->kind, ExprKind::kSeq);
+  EXPECT_EQ(p.stmts[0].body->kids.size(), 2u);
+}
+
+TEST(Parser, ParenthesizedSequence) {
+  const auto e = parse_expr("if a then (x = 1; y = 2)");
+  EXPECT_EQ(e->kids[1]->kind, ExprKind::kSeq);
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(parse_expr("-x")->un_op, UnOp::kNeg);
+  EXPECT_EQ(parse_expr("not x")->un_op, UnOp::kNot);
+  EXPECT_EQ(parse_expr("- - 3")->kids[0]->un_op, UnOp::kNeg);
+}
+
+TEST(Parser, PaperBenchmarkProgramsParse) {
+  EXPECT_NO_THROW(parse(programs::kPageRank));
+  EXPECT_NO_THROW(parse(programs::kPageRankUndirected));
+  EXPECT_NO_THROW(parse(programs::kSssp));
+  EXPECT_NO_THROW(parse(programs::kConnectedComponents));
+  EXPECT_NO_THROW(parse(programs::kHits));
+  EXPECT_NO_THROW(parse(programs::kReachability));
+  EXPECT_NO_THROW(parse(programs::kMaxGossip));
+}
+
+// ------------------------------------------------------------ error cases
+
+TEST(ParserErrors, MissingInit) {
+  EXPECT_THROW(parse("step { x = 1 }"), CompileError);
+}
+
+TEST(ParserErrors, MissingUntil) {
+  EXPECT_THROW(parse("init { local x : int = 0 }; iter i { x = 1 }"),
+               CompileError);
+}
+
+TEST(ParserErrors, AggregationMissingBinderClause) {
+  EXPECT_THROW(parse_expr("+ [ u.pr ]"), CompileError);
+}
+
+TEST(ParserErrors, DotOnNonBinder) {
+  EXPECT_THROW(parse_expr("+ [ v.pr | u <- #in ]"), CompileError);
+}
+
+TEST(ParserErrors, UnclosedBrace) {
+  EXPECT_THROW(parse("init { local x : int = 0 ; step { x = 1 }"),
+               CompileError);
+}
+
+TEST(ParserErrors, BadType) {
+  EXPECT_THROW(parse("init { local x : quux = 0 }; step { x = 1 }"),
+               CompileError);
+}
+
+TEST(ParserErrors, GarbageAfterProgram) {
+  EXPECT_THROW(parse("init { local x : int = 0 }; step { x = 1 } trailing"),
+               CompileError);
+}
+
+TEST(ParserErrors, ErrorCarriesLocation) {
+  try {
+    parse("init { local x : int = 0 };\nstep { x = @ }");
+    FAIL();
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.loc().line, 2);
+  }
+}
+
+}  // namespace
+}  // namespace deltav::dv

@@ -1,0 +1,458 @@
+// Structural post-condition tests for each §6 transformation pass.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "dv/compiler.h"
+#include "dv/lexer.h"
+#include "dv/parser.h"
+#include "dv/passes/passes.h"
+#include "dv/programs/programs.h"
+
+namespace deltav::dv {
+namespace {
+
+Program front_end(const std::string& src, Diagnostics& diags) {
+  return parse_and_check(src, diags);
+}
+
+/// Walks all statement bodies.
+void walk(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  for (const auto& k : e.kids) walk(*k, fn);
+}
+
+int count_kind(const Program& p, ExprKind kind) {
+  int n = 0;
+  for (const auto& s : p.stmts)
+    walk(*s.body, [&](const Expr& e) { n += e.kind == kind; });
+  return n;
+}
+
+const char* kSimpleSum =
+    "init { local a : float = 1.0; local b : float = 0.0 };"
+    "iter i { b = + [ u.a | u <- #in ]; a = b * 0.5 } until { i >= 3 }";
+
+// ------------------------------------------------------------ A-normalize
+
+TEST(Anormalize, HoistsBuriedAggregation) {
+  Diagnostics diags;
+  auto p = front_end(
+      "init { local a : float = 1.0 };"
+      "step { a = 1.0 + + [ u.a | u <- #in ] }",
+      diags);
+  pass_anormalize(p, diags);
+  // The aggregation now sits in a canonical position: RHS of a scratch
+  // assignment, with the original expression reading the scratch var.
+  bool found_canonical = false;
+  walk(*p.stmts[0].body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kAssign && !e.kids.empty() &&
+        e.kids[0]->kind == ExprKind::kAgg)
+      found_canonical = true;
+  });
+  EXPECT_TRUE(found_canonical);
+  EXPECT_EQ(p.scratch.size(), 1u);
+  // No aggregation remains in a non-canonical position.
+  walk(*p.stmts[0].body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kBinary) {
+      for (const auto& k : e.kids) EXPECT_NE(k->kind, ExprKind::kAgg);
+    }
+  });
+}
+
+TEST(Anormalize, CanonicalAggregationLeftAlone) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  EXPECT_EQ(p.scratch.size(), 0u);  // already canonical; nothing hoisted
+}
+
+TEST(Anormalize, AggregationInLetValueLeftAlone) {
+  Diagnostics diags;
+  auto p = front_end(
+      "init { local a : float = 1.0 };"
+      "step { let s : float = + [ u.a | u <- #in ] in a = s }",
+      diags);
+  const auto lets_before = p.scratch.size();  // let binding slot
+  pass_anormalize(p, diags);
+  EXPECT_EQ(p.scratch.size(), lets_before);
+}
+
+// ------------------------------------------------- aggregation conversion
+
+TEST(AggregationConversion, RegistersSiteWithSenderView) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  ASSERT_EQ(p.sites.size(), 1u);
+  const AggSite& site = p.sites[0];
+  EXPECT_EQ(site.op, AggOp::kSum);
+  EXPECT_EQ(site.pull_dir, GraphDir::kIn);
+  EXPECT_EQ(site.stmt_index, 0);
+  // Sender view: u.a became a read of the sender's own field a (slot 0).
+  ASSERT_EQ(site.send_expr->kind, ExprKind::kFieldRef);
+  EXPECT_EQ(site.send_expr->slot, 0);
+  ASSERT_EQ(site.dep_fields.size(), 1u);
+  EXPECT_EQ(site.dep_fields[0], 0);
+}
+
+TEST(AggregationConversion, ReplacesAggWithFoldAndAppendsSendLoop) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  EXPECT_EQ(count_kind(p, ExprKind::kAgg), 0);
+  EXPECT_EQ(count_kind(p, ExprKind::kFoldMessages), 1);
+  EXPECT_EQ(count_kind(p, ExprKind::kSendLoop), 1);
+  // Pull from #in → push along #out.
+  walk(*p.stmts[0].body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kSendLoop) {
+      EXPECT_EQ(e.dir, GraphDir::kOut);
+      EXPECT_FALSE(e.flag);  // full values until §6.5
+    }
+    if (e.kind == ExprKind::kFoldMessages) {
+      EXPECT_FALSE(e.flag);
+    }
+  });
+}
+
+TEST(AggregationConversion, PushDirectionTable) {
+  EXPECT_EQ(push_direction(GraphDir::kIn), GraphDir::kOut);
+  EXPECT_EQ(push_direction(GraphDir::kOut), GraphDir::kIn);
+  EXPECT_EQ(push_direction(GraphDir::kNeighbors), GraphDir::kNeighbors);
+}
+
+TEST(AggregationConversion, MultipleSitesNumbered) {
+  Diagnostics diags;
+  auto p = front_end(programs::kHits, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  ASSERT_EQ(p.sites.size(), 2u);
+  EXPECT_EQ(p.sites[0].id, 0);
+  EXPECT_EQ(p.sites[1].id, 1);
+  EXPECT_EQ(count_kind(p, ExprKind::kSendLoop), 2);
+}
+
+TEST(AggregationConversion, WarnsOnConstantElement) {
+  Diagnostics diags;
+  auto p = front_end(
+      "init { local a : float = 0.0 };"
+      "step { a = + [ 1.0 | u <- #in ] }",
+      diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  EXPECT_TRUE(diags.has_warning_containing("reads no vertex fields"));
+}
+
+// ------------------------------------------------------------ §6.2 binding
+
+TEST(StateBinding, PlainFieldNeedsNoBinding) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  const auto fields_before = p.fields.size();
+  pass_state_binding(p, diags);
+  EXPECT_EQ(p.fields.size(), fields_before);
+  EXPECT_EQ(p.sites[0].bound_field, -1);
+}
+
+TEST(StateBinding, ExpressionPayloadGetsBoundField) {
+  Diagnostics diags;
+  auto p = front_end(
+      "init { local a : float = 1.0; local b : float = 0.0 };"
+      "iter i { b = + [ u.a * 2.0 | u <- #in ]; a = b } until { i >= 2 }",
+      diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  const AggSite& site = p.sites[0];
+  EXPECT_GE(site.bound_field, 0);
+  EXPECT_EQ(p.fields[static_cast<std::size_t>(site.bound_field)].origin,
+            Field::Origin::kSentBinding);
+  // Eq. 4: the send loop now transmits the bound field, and an assignment
+  // to it precedes the loop.
+  EXPECT_EQ(site.send_expr->kind, ExprKind::kFieldRef);
+  EXPECT_EQ(site.send_expr->slot, site.bound_field);
+  ASSERT_NE(site.init_send_expr, nullptr);
+  bool bind_before_loop = false;
+  bool seen_bind = false;
+  for (const auto& kid : p.stmts[0].body->kids) {
+    if (kid->kind == ExprKind::kAssign && kid->slot == site.bound_field)
+      seen_bind = true;
+    if (kid->kind == ExprKind::kSendLoop) bind_before_loop = seen_bind;
+  }
+  EXPECT_TRUE(bind_before_loop);
+}
+
+TEST(StateBinding, EdgeDependentPayloadLeftInPlace) {
+  Diagnostics diags;
+  auto p = front_end(programs::kSssp, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  EXPECT_EQ(p.sites[0].bound_field, -1);
+  EXPECT_TRUE(diags.has_warning_containing("connecting edge"));
+}
+
+// ----------------------------------------------------- ΔV* send policy
+
+TEST(AssignedSendPolicy, GuardsLoopAndFlagsAssignments) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  pass_assigned_send_policy(p, diags);
+  const AggSite& site = p.sites[0];
+  EXPECT_GE(site.assigned_scratch, 0);
+  EXPECT_EQ(p.scratch[static_cast<std::size_t>(site.assigned_scratch)]
+                .origin,
+            ScratchVar::Origin::kAssignedFlag);
+  // The send loop is now under an if whose condition reads the flag.
+  bool guarded = false;
+  walk(*p.stmts[0].body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kIf && e.kids.size() == 2 &&
+        e.kids[0]->kind == ExprKind::kScratchRef &&
+        e.kids[0]->slot == site.assigned_scratch &&
+        e.kids[1]->kind == ExprKind::kSendLoop)
+      guarded = true;
+  });
+  EXPECT_TRUE(guarded);
+}
+
+// ------------------------------------------------------- §6.3 change checks
+
+TEST(ChangeChecks, AddsOldCopiesDirtyFlagAndGuards) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  pass_change_checks(p, CompileOptions{}, diags);
+  const AggSite& site = p.sites[0];
+  EXPECT_GE(site.dirty_scratch, 0);
+  ASSERT_EQ(site.old_scratch.size(), 1u);
+  EXPECT_EQ(p.scratch[static_cast<std::size_t>(site.old_scratch[0])].origin,
+            ScratchVar::Origin::kOldCopy);
+
+  // Prologue: the first body item saves the old copy.
+  const Expr& body = *p.stmts[0].body;
+  ASSERT_EQ(body.kind, ExprKind::kSeq);
+  const Expr& first = *body.kids[0];
+  EXPECT_EQ(first.kind, ExprKind::kAssign);
+  EXPECT_EQ(first.assign_target, AssignTarget::kScratch);
+  EXPECT_EQ(first.slot, site.old_scratch[0]);
+
+  // Eq. 5: the assignment to the dep field is followed by a dirty update.
+  bool dirty_update = false;
+  walk(body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kAssign &&
+        e.assign_target == AssignTarget::kScratch &&
+        e.slot == site.dirty_scratch &&
+        e.kids[0]->kind == ExprKind::kBinary &&
+        e.kids[0]->bin_op == BinOp::kOr)
+      dirty_update = true;
+  });
+  EXPECT_TRUE(dirty_update);
+
+  // Eq. 6/7: the send loop is guarded by the dirty flag.
+  bool guarded = false;
+  walk(body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kIf && e.kids.size() == 2 &&
+        e.kids[0]->kind == ExprKind::kScratchRef &&
+        e.kids[0]->slot == site.dirty_scratch &&
+        e.kids[1]->kind == ExprKind::kSendLoop)
+      guarded = true;
+  });
+  EXPECT_TRUE(guarded);
+}
+
+TEST(ChangeChecks, SharedFieldGetsOneOldCopy) {
+  // Two sites depending on the same field share the o_f scratch.
+  Diagnostics diags;
+  auto p = front_end(
+      "init { local a : float = 1.0; local x : float = 0.0;"
+      "       local y : float = 0.0 };"
+      "iter i { x = + [ u.a | u <- #in ]; y = min [ u.a | u <- #out ];"
+      "         a = x + y } until { i >= 2 }",
+      diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  pass_change_checks(p, CompileOptions{}, diags);
+  ASSERT_EQ(p.sites.size(), 2u);
+  EXPECT_EQ(p.sites[0].old_scratch[0], p.sites[1].old_scratch[0]);
+  int old_copies = 0;
+  for (const auto& sv : p.scratch)
+    old_copies += sv.origin == ScratchVar::Origin::kOldCopy;
+  EXPECT_EQ(old_copies, 1);
+}
+
+// ------------------------------------------------- §6.4 incrementalization
+
+TEST(Incrementalize, AddsAccumulatorAndFlipsFold) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  pass_change_checks(p, CompileOptions{}, diags);
+  pass_incrementalize_aggregations(p, diags);
+  const AggSite& site = p.sites[0];
+  ASSERT_GE(site.acc_slot, 0);
+  EXPECT_EQ(p.fields[static_cast<std::size_t>(site.acc_slot)].origin,
+            Field::Origin::kAccumulator);
+  EXPECT_EQ(site.nn_slot, -1);  // + is not multiplicative
+  bool incremental_fold = false;
+  walk(*p.stmts[0].body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kFoldMessages) incremental_fold = e.flag;
+  });
+  EXPECT_TRUE(incremental_fold);
+}
+
+TEST(Incrementalize, MultiplicativeTripleForProduct) {
+  Diagnostics diags;
+  auto p = front_end(
+      "init { local a : float = 2.0 };"
+      "iter i { a = * [ u.a | u <- #in ] } until { i >= 2 }",
+      diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  pass_change_checks(p, CompileOptions{}, diags);
+  pass_incrementalize_aggregations(p, diags);
+  const AggSite& site = p.sites[0];
+  EXPECT_GE(site.acc_slot, 0);
+  EXPECT_GE(site.nn_slot, 0);
+  EXPECT_GE(site.nulls_slot, 0);
+  EXPECT_EQ(p.fields[static_cast<std::size_t>(site.nulls_slot)].type,
+            Type::kInt);
+}
+
+TEST(Incrementalize, WarnsOnIdempotentOperators) {
+  Diagnostics diags;
+  auto p = front_end(programs::kSssp, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  pass_change_checks(p, CompileOptions{}, diags);
+  pass_incrementalize_aggregations(p, diags);
+  EXPECT_TRUE(diags.has_warning_containing("monotone"));
+}
+
+// ------------------------------------------------------ §6.5 Δ-messages
+
+TEST(DeltaMessages, SendLoopBecomesDeltaWithOldView) {
+  Diagnostics diags;
+  auto p = front_end(kSimpleSum, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_state_binding(p, diags);
+  CompileOptions opts;
+  pass_change_checks(p, opts, diags);
+  pass_incrementalize_aggregations(p, diags);
+  pass_delta_messages(p, opts, diags);
+  const AggSite& site = p.sites[0];
+  bool delta_loop = false;
+  walk(*p.stmts[0].body, [&](const Expr& e) {
+    if (e.kind == ExprKind::kSendLoop) {
+      EXPECT_TRUE(e.flag);
+      ASSERT_EQ(e.kids.size(), 2u);
+      // The old view reads the saved o_f scratch, not the live field.
+      EXPECT_EQ(e.kids[1]->kind, ExprKind::kScratchRef);
+      EXPECT_EQ(e.kids[1]->slot, site.old_scratch[0]);
+      delta_loop = true;
+    }
+  });
+  EXPECT_TRUE(delta_loop);
+}
+
+// ---------------------------------------------------------- §6.6 halts
+
+TEST(InsertHalts, AppendsHaltToEveryStatement) {
+  Diagnostics diags;
+  Lexer lexer(kSimpleSum);
+  Parser parser(lexer.tokenize());
+  Program p = parser.parse_program();
+  const TypecheckResult analysis = typecheck(p, diags);
+  pass_anormalize(p, diags);
+  pass_aggregation_conversion(p, diags);
+  pass_insert_halts(p, analysis, diags);
+  const Expr& body = *p.stmts[0].body;
+  ASSERT_EQ(body.kind, ExprKind::kSeq);
+  EXPECT_EQ(body.kids.back()->kind, ExprKind::kHalt);
+}
+
+TEST(InsertHalts, WarnsWhenBodyReadsIterVar) {
+  // Full pipeline on a body that reads the iteration variable.
+  const auto cp = compile(
+      "init { local a : int = 0 };"
+      "iter i { a = i } until { i >= 3 }",
+      CompileOptions{});
+  EXPECT_TRUE(
+      cp.diagnostics.has_warning_containing("iteration variable"));
+}
+
+// ------------------------------------------------------------ full pipeline
+
+TEST(Pipeline, DeltaVAddsOnlyAccumulatorStateOverDeltaVStar) {
+  const auto star = compile(programs::kPageRank,
+                            CompileOptions{.incrementalize = false});
+  const auto full = compile(programs::kPageRank, CompileOptions{});
+  // ΔV = ΔV* + one 8-byte accumulator (Table 2's PR delta).
+  EXPECT_EQ(full.state_bytes(), star.state_bytes() + 8);
+}
+
+TEST(Pipeline, DumpShowsPaperNotation) {
+  const auto full = compile(programs::kPageRank, CompileOptions{});
+  const std::string dump = full.dump();
+  EXPECT_NE(dump.find("Δ#0"), std::string::npos);
+  EXPECT_NE(dump.find("aggAccum#0"), std::string::npos);
+  EXPECT_NE(dump.find("halt"), std::string::npos);
+  EXPECT_NE(dump.find("$dirtied_0"), std::string::npos);
+}
+
+TEST(Pipeline, StarDumpHasNoDeltaForms) {
+  const auto star = compile(programs::kPageRank,
+                            CompileOptions{.incrementalize = false});
+  const std::string dump = star.dump();
+  EXPECT_EQ(dump.find("Δ#"), std::string::npos);
+  EXPECT_EQ(dump.find("halt"), std::string::npos);
+  EXPECT_NE(dump.find("$assigned_0"), std::string::npos);
+}
+
+TEST(Pipeline, IntegerProductAggregationRejected) {
+  EXPECT_THROW(
+      compile("init { local a : int = 2 };"
+              "iter i { a = * [ u.a | u <- #in ] } until { i >= 2 }",
+              CompileOptions{}),
+      CompileError);
+  // ...but fine without incrementalization.
+  EXPECT_NO_THROW(
+      compile("init { local a : int = 2 };"
+              "iter i { a = * [ u.a | u <- #in ] } until { i >= 2 }",
+              CompileOptions{.incrementalize = false}));
+}
+
+TEST(Pipeline, NaiveSendsIncompatibleWithIncrementalization) {
+  CompileOptions o;
+  o.naive_sends = true;
+  EXPECT_THROW(compile(programs::kPageRank, o), CompileError);
+  o.incrementalize = false;
+  EXPECT_NO_THROW(compile(programs::kPageRank, o));
+}
+
+TEST(Pipeline, AllBenchmarksCompileBothWays) {
+  for (const char* src :
+       {programs::kPageRank, programs::kPageRankUndirected, programs::kSssp,
+        programs::kConnectedComponents, programs::kHits,
+        programs::kReachability, programs::kMaxGossip}) {
+    EXPECT_NO_THROW(compile(src, CompileOptions{}));
+    EXPECT_NO_THROW(compile(src, CompileOptions{.incrementalize = false}));
+  }
+}
+
+}  // namespace
+}  // namespace deltav::dv

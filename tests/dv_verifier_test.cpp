@@ -1,0 +1,115 @@
+// The AST verifier must catch the corruption modes a buggy pass could
+// introduce — each test hand-breaks a well-formed program and expects a
+// loud failure.
+#include <gtest/gtest.h>
+
+#include "dv/compiler.h"
+#include "dv/passes/verifier.h"
+#include "dv/programs/programs.h"
+
+namespace deltav::dv {
+namespace {
+
+CompiledProgram well_formed() {
+  return compile(programs::kPageRank, {});
+}
+
+/// Finds the first node of `kind` in the statement bodies (depth-first).
+Expr* find_node(Program& prog, ExprKind kind) {
+  Expr* found = nullptr;
+  auto walk = [&](auto&& self, Expr& e) -> void {
+    if (found) return;
+    if (e.kind == kind) {
+      found = &e;
+      return;
+    }
+    for (auto& k : e.kids) self(self, *k);
+  };
+  for (auto& s : prog.stmts) walk(walk, *s.body);
+  return found;
+}
+
+TEST(Verifier, AcceptsAllCompiledBenchmarks) {
+  for (const char* src :
+       {programs::kPageRank, programs::kSssp, programs::kHits,
+        programs::kConnectedComponents, programs::kReachability}) {
+    for (bool inc : {false, true}) {
+      CompileOptions o;
+      o.incrementalize = inc;
+      const auto cp = compile(src, o);  // compile() runs the verifier
+      EXPECT_NO_THROW(
+          verify_program(cp.program, VerifyStage::kFinal));
+    }
+  }
+}
+
+TEST(Verifier, CatchesFieldSlotOutOfRange) {
+  auto cp = well_formed();
+  Expr* ref = find_node(cp.program, ExprKind::kFieldRef);
+  ASSERT_NE(ref, nullptr);
+  ref->slot = 999;
+  EXPECT_THROW(verify_program(cp.program, VerifyStage::kFinal), CheckError);
+}
+
+TEST(Verifier, CatchesTypeTableDisagreement) {
+  auto cp = well_formed();
+  Expr* ref = find_node(cp.program, ExprKind::kFieldRef);
+  ASSERT_NE(ref, nullptr);
+  ref->type = Type::kBool;  // field table says float
+  EXPECT_THROW(verify_program(cp.program, VerifyStage::kFinal), CheckError);
+}
+
+TEST(Verifier, CatchesSurvivingAggregation) {
+  auto cp = well_formed();
+  Expr* fold = find_node(cp.program, ExprKind::kFoldMessages);
+  ASSERT_NE(fold, nullptr);
+  fold->kind = ExprKind::kAgg;  // pretend §6.1 missed one
+  fold->kids.push_back(mk_int(1));
+  EXPECT_THROW(verify_program(cp.program, VerifyStage::kFinal), CheckError);
+}
+
+TEST(Verifier, CatchesWrongSendDirection) {
+  auto cp = well_formed();
+  Expr* loop = find_node(cp.program, ExprKind::kSendLoop);
+  ASSERT_NE(loop, nullptr);
+  loop->dir = GraphDir::kIn;  // PageRank pulls #in → must push #out
+  EXPECT_THROW(verify_program(cp.program, VerifyStage::kFinal), CheckError);
+}
+
+TEST(Verifier, CatchesIncrementalFoldWithoutAccumulator) {
+  auto cp = well_formed();
+  cp.program.sites[0].acc_slot = -1;  // §6.4 "forgot" the field
+  EXPECT_THROW(verify_program(cp.program, VerifyStage::kFinal), CheckError);
+}
+
+TEST(Verifier, CatchesUntypedNode) {
+  auto cp = well_formed();
+  Expr* ref = find_node(cp.program, ExprKind::kBinary);
+  ASSERT_NE(ref, nullptr);
+  ref->type = Type::kUnknown;
+  EXPECT_THROW(verify_program(cp.program, VerifyStage::kFinal), CheckError);
+}
+
+TEST(Verifier, CatchesWrongKidCount) {
+  auto cp = well_formed();
+  Expr* bin = find_node(cp.program, ExprKind::kBinary);
+  ASSERT_NE(bin, nullptr);
+  bin->kids.pop_back();
+  EXPECT_THROW(verify_program(cp.program, VerifyStage::kFinal), CheckError);
+}
+
+TEST(Verifier, StageGatesInternalForms) {
+  // A surface-stage program may contain kAgg but not kFoldMessages.
+  Diagnostics diags;
+  auto prog = parse_and_check(
+      "init { local a : float = 1.0 };"
+      "step { a = + [ u.a | u <- #in ] }",
+      diags);
+  EXPECT_NO_THROW(verify_program(prog, VerifyStage::kAfterTypecheck));
+  Expr* agg = find_node(prog, ExprKind::kAgg);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_THROW(verify_program(prog, VerifyStage::kFinal), CheckError);
+}
+
+}  // namespace
+}  // namespace deltav::dv

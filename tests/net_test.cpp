@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "net/cluster_model.h"
+
+namespace deltav::net {
+namespace {
+
+TEST(ClusterModel, DefaultMatchesPaperDeployment) {
+  ClusterModel m;
+  EXPECT_EQ(m.config().machines, 8);
+  EXPECT_EQ(m.config().workers_per_machine, 2);
+  EXPECT_EQ(m.total_workers(), 16);
+  EXPECT_DOUBLE_EQ(m.config().bandwidth_bytes_per_sec, 750e6 / 8.0);
+}
+
+TEST(ClusterModel, WorkerToMachineMapping) {
+  ClusterModel m;
+  EXPECT_EQ(m.machine_of_worker(0), 0);
+  EXPECT_EQ(m.machine_of_worker(1), 0);
+  EXPECT_EQ(m.machine_of_worker(2), 1);
+  EXPECT_EQ(m.machine_of_worker(15), 7);
+}
+
+TEST(ClusterModel, CrossNetworkDetection) {
+  ClusterModel m;
+  EXPECT_FALSE(m.crosses_network(0, 1));  // same machine
+  EXPECT_TRUE(m.crosses_network(0, 2));
+  EXPECT_TRUE(m.crosses_network(3, 14));
+}
+
+TEST(ClusterModel, SuperstepTimeIsBottleneckPlusLatency) {
+  ClusterConfig c;
+  c.machines = 2;
+  c.workers_per_machine = 1;
+  c.bandwidth_bytes_per_sec = 1000.0;
+  c.barrier_latency_sec = 0.5;
+  ClusterModel m(c);
+  // Machine 0 sends 2000 bytes, machine 1 sends 500.
+  const double t = m.superstep_seconds({2000, 500}, {500, 2000});
+  EXPECT_DOUBLE_EQ(t, 2000.0 / 1000.0 + 0.5);
+}
+
+TEST(ClusterModel, ZeroTrafficStillPaysBarrier) {
+  ClusterConfig c;
+  c.machines = 2;
+  c.workers_per_machine = 1;
+  c.barrier_latency_sec = 0.25;
+  ClusterModel m(c);
+  EXPECT_DOUBLE_EQ(m.superstep_seconds({0, 0}, {0, 0}), 0.25);
+}
+
+TEST(ClusterModel, BalancedEstimate) {
+  ClusterConfig c;
+  c.machines = 4;
+  c.bandwidth_bytes_per_sec = 100.0;
+  c.barrier_latency_sec = 0.0;
+  ClusterModel m(c);
+  EXPECT_DOUBLE_EQ(m.balanced_superstep_seconds(400), 1.0);
+}
+
+TEST(ClusterModel, MismatchedVectorSizesThrow) {
+  ClusterModel m;
+  EXPECT_THROW(m.superstep_seconds({1, 2}, {1, 2, 3, 4, 5, 6, 7, 8}),
+               CheckError);
+}
+
+TEST(ClusterModel, InvalidConfigRejected) {
+  ClusterConfig c;
+  c.machines = 0;
+  EXPECT_THROW(ClusterModel{c}, CheckError);
+  ClusterConfig c2;
+  c2.bandwidth_bytes_per_sec = 0;
+  EXPECT_THROW(ClusterModel{c2}, CheckError);
+}
+
+}  // namespace
+}  // namespace deltav::net

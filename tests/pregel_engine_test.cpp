@@ -1,0 +1,344 @@
+// Semantics tests for the BSP engine: superstep structure, vote-to-halt /
+// reactivation, termination detection, combiners, statistics, scheduling
+// modes, and determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "pregel/engine.h"
+#include "test_util.h"
+
+namespace deltav::pregel {
+namespace {
+
+struct SumCombiner {
+  void operator()(int& acc, int in) const { acc += in; }
+};
+
+using IntEngine = Engine<int>;
+using IntSumEngine = Engine<int, SumCombiner>;
+
+TEST(Engine, AllVerticesActiveAtSuperstepZero) {
+  IntEngine e(10, test::small_engine());
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_TRUE(e.done());
+}
+
+TEST(Engine, MessagesDeliveredNextSuperstep) {
+  IntEngine e(4, test::small_engine());
+  std::vector<int> got(4, -1);
+  e.step([&](auto& ctx, VertexId v, std::span<const int> msgs) {
+    EXPECT_TRUE(msgs.empty());
+    if (v == 0) ctx.send(3, 42);
+    ctx.vote_to_halt();
+  });
+  EXPECT_FALSE(e.done());  // message in flight
+  e.step([&](auto& ctx, VertexId v, std::span<const int> msgs) {
+    got[v] = msgs.empty() ? 0 : msgs[0];
+    ctx.vote_to_halt();
+  });
+  // Only vertex 3 was reactivated.
+  EXPECT_EQ(got[3], 42);
+  EXPECT_EQ(got[0], -1);
+  EXPECT_EQ(got[1], -1);
+  EXPECT_TRUE(e.done());
+}
+
+TEST(Engine, HaltedVertexSkippedUntilMessage) {
+  IntEngine e(2, test::small_engine(1));
+  int runs_of_1 = 0;
+  // Superstep 0: vertex 1 halts, vertex 0 stays active.
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 1) {
+      ++runs_of_1;
+      ctx.vote_to_halt();
+    }
+  });
+  // Superstep 1: vertex 1 must not run.
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 1) ++runs_of_1;
+    if (v == 0) {
+      ctx.send(1, 5);
+      ctx.vote_to_halt();
+    }
+  });
+  EXPECT_EQ(runs_of_1, 1);
+  // Superstep 2: message wakes vertex 1.
+  e.step([&](auto& ctx, VertexId v, std::span<const int> msgs) {
+    if (v == 1) {
+      ++runs_of_1;
+      EXPECT_EQ(msgs.size(), 1u);
+      EXPECT_EQ(msgs[0], 5);
+    }
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(runs_of_1, 2);
+  EXPECT_TRUE(e.done());
+}
+
+TEST(Engine, NotHaltingKeepsVertexActive) {
+  IntEngine e(1, test::small_engine(1));
+  int runs = 0;
+  for (int s = 0; s < 5; ++s)
+    e.step([&](auto& ctx, VertexId, std::span<const int>) {
+      ++runs;
+      if (runs == 5) ctx.vote_to_halt();
+    });
+  EXPECT_EQ(runs, 5);
+  EXPECT_TRUE(e.done());
+}
+
+TEST(Engine, RunDrivesToQuiescence) {
+  // Token passing along a ring: each vertex forwards once then halts.
+  const std::size_t n = 16;
+  IntEngine e(n, test::small_engine());
+  const RunStats& stats = e.run([&](auto& ctx, VertexId v,
+                                    std::span<const int> msgs) {
+    if (ctx.superstep() == 0) {
+      if (v == 0) ctx.send(1, 1);
+    } else {
+      for (int m : msgs)
+        if (v + 1 < n) ctx.send(static_cast<VertexId>(v + 1), m + 1);
+    }
+    ctx.vote_to_halt();
+  });
+  EXPECT_TRUE(e.done());
+  EXPECT_EQ(stats.total_messages_sent(), n - 1);
+  EXPECT_EQ(stats.num_supersteps(), n);  // 0..n-1
+}
+
+TEST(Engine, RunRespectsMaxSupersteps) {
+  IntEngine e(1, test::small_engine(1));
+  e.run([](auto&, VertexId, std::span<const int>) { /* never halts */ },
+        7);
+  EXPECT_EQ(e.superstep(), 7u);
+  EXPECT_FALSE(e.done());
+}
+
+TEST(Engine, SendToOutOfRangeVertexThrows) {
+  IntEngine e(3, test::small_engine(1));
+  EXPECT_THROW(e.step([](auto& ctx, VertexId, std::span<const int>) {
+    ctx.send(99, 1);
+  }),
+               CheckError);
+}
+
+TEST(Engine, CombinerReducesDeliveredNotSent) {
+  const std::size_t n = 8;
+  EngineOptions opts = test::small_engine(2);
+  opts.use_combiner = true;
+  IntSumEngine e(n, opts);
+  // Everyone sends 1 to vertex 0.
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ctx.send(0, 1);
+    ctx.vote_to_halt();
+  });
+  int total = -1;
+  e.step([&](auto& ctx, VertexId v, std::span<const int> msgs) {
+    if (v == 0) {
+      total = 0;
+      for (int m : msgs) total += m;
+    }
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(total, static_cast<int>(n));  // combined sum preserved
+  const auto& s0 = e.stats().supersteps[0];
+  EXPECT_EQ(s0.messages_sent, n);
+  // Sender-side combining: at most one message per (worker, dst).
+  EXPECT_LE(s0.messages_delivered, 2u);
+}
+
+TEST(Engine, CombinerDisabledDeliversAll) {
+  const std::size_t n = 8;
+  EngineOptions opts = test::small_engine(2);
+  opts.use_combiner = false;
+  IntSumEngine e(n, opts);
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ctx.send(0, 1);
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().supersteps[0].messages_delivered, n);
+}
+
+TEST(Engine, StatsCountBytesAndActiveVertices) {
+  IntEngine e(4, test::small_engine(1));
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v < 2) ctx.send(3, 7);
+    ctx.vote_to_halt();
+  });
+  const auto& s = e.stats().supersteps[0];
+  EXPECT_EQ(s.active_vertices, 4u);
+  EXPECT_EQ(s.messages_sent, 2u);
+  EXPECT_EQ(s.bytes_sent, 2 * sizeof(int));
+}
+
+TEST(Engine, CrossMachineBytesTracked) {
+  EngineOptions opts;
+  opts.num_workers = 4;
+  opts.cluster.machines = 4;
+  opts.cluster.workers_per_machine = 1;
+  opts.partition = PartitionScheme::kBlock;
+  IntEngine e(4, opts);  // one vertex per worker per machine
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    ctx.send(static_cast<VertexId>((v + 1) % 4), 1);  // all cross-machine
+    ctx.vote_to_halt();
+  });
+  e.step([](auto& ctx, VertexId, std::span<const int>) {
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().supersteps[0].cross_machine_bytes, 4 * sizeof(int));
+  EXPECT_GT(e.stats().supersteps[0].sim_comm_seconds, 0.0);
+}
+
+TEST(Engine, IntraMachineTrafficIsFree) {
+  EngineOptions opts;
+  opts.num_workers = 2;
+  opts.cluster.machines = 1;
+  opts.cluster.workers_per_machine = 2;
+  IntEngine e(8, opts);
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    ctx.send(static_cast<VertexId>((v + 5) % 8), 1);
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().supersteps[0].cross_machine_bytes, 0u);
+}
+
+TEST(Engine, ActivateAllWakesEveryone) {
+  IntEngine e(6, test::small_engine());
+  e.step([](auto& ctx, VertexId, std::span<const int>) {
+    ctx.vote_to_halt();
+  });
+  EXPECT_TRUE(e.done());
+  e.activate_all();
+  EXPECT_FALSE(e.done());
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(Engine, WorkerExceptionPropagates) {
+  IntEngine e(4, test::small_engine(2));
+  EXPECT_THROW(e.step([](auto&, VertexId v, std::span<const int>) {
+    if (v == 3) throw std::runtime_error("worker boom");
+  }),
+               std::runtime_error);
+}
+
+// Scheduling-mode equivalence: the same computation under kScanAll and
+// kWorkQueue produces the same results and the same message counts.
+TEST(Engine, WorkQueueMatchesScanAll) {
+  const auto g = test::small_undirected(77);
+  auto run_mode = [&](ScheduleMode mode) {
+    EngineOptions opts = test::small_engine(4);
+    opts.schedule = mode;
+    Engine<std::uint32_t> e(g.num_vertices(), opts);
+    std::vector<std::uint32_t> comp(g.num_vertices());
+    for (std::size_t v = 0; v < comp.size(); ++v)
+      comp[v] = static_cast<std::uint32_t>(v);
+    e.run([&](auto& ctx, VertexId v, std::span<const std::uint32_t> msgs) {
+      std::uint32_t best = comp[v];
+      for (auto m : msgs) best = std::min(best, m);
+      const bool changed = best < comp[v];
+      if (changed) comp[v] = best;
+      if (ctx.superstep() == 0 || changed)
+        for (auto u : g.neighbors(v)) ctx.send(u, comp[v]);
+      ctx.vote_to_halt();
+    });
+    return std::make_pair(comp, e.stats().total_messages_sent());
+  };
+  const auto [scan_comp, scan_msgs] = run_mode(ScheduleMode::kScanAll);
+  const auto [queue_comp, queue_msgs] = run_mode(ScheduleMode::kWorkQueue);
+  EXPECT_EQ(scan_comp, queue_comp);
+  EXPECT_EQ(scan_msgs, queue_msgs);
+}
+
+TEST(Engine, DeterministicAcrossRunsSameWorkerCount) {
+  auto run_once = [] {
+    const auto g = test::small_directed(31);
+    EngineOptions opts = test::small_engine(4);
+    Engine<double> e(g.num_vertices(), opts);
+    std::vector<double> val(g.num_vertices(), 1.0);
+    e.run(
+        [&](auto& ctx, VertexId v, std::span<const double> msgs) {
+          double sum = 0;
+          for (double m : msgs) sum += m;
+          if (ctx.superstep() > 0) val[v] = sum * 0.5 + 0.1;
+          if (ctx.superstep() < 6) {
+            for (auto u : g.out_neighbors(v)) ctx.send(u, val[v]);
+          } else {
+            ctx.vote_to_halt();
+          }
+        },
+        20);
+    return val;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);  // bitwise equality
+}
+
+TEST(Engine, SingleWorkerWorks) {
+  IntEngine e(5, test::small_engine(1));
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(Engine, ManyWorkersMoreThanVertices) {
+  IntEngine e(3, test::small_engine(8));
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+
+TEST(Engine, CustomWireSizeTraitsDriveByteCounters) {
+  struct TinyTraits {
+    static std::size_t wire_size(const int&) { return 3; }
+  };
+  Engine<int, NoCombiner, TinyTraits> e(4, test::small_engine(1));
+  e.step([](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) ctx.send(1, 42);
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().supersteps[0].bytes_sent, 3u);
+}
+
+TEST(Engine, RunStatsSummaryMentionsTotals) {
+  IntEngine e(4, test::small_engine(1));
+  e.step([](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) ctx.send(1, 1);
+    ctx.vote_to_halt();
+  });
+  const std::string s = e.stats().summary();
+  EXPECT_NE(s.find("supersteps=1"), std::string::npos);
+  EXPECT_NE(s.find("msgs=1"), std::string::npos);
+}
+
+TEST(Engine, DroppedMessagesRollUpInRunStats) {
+  IntEngine e(3, test::small_engine(1));
+  e.mark_deleted(2);
+  e.step([](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) ctx.send(2, 1);
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().total_messages_dropped(), 1u);
+  EXPECT_EQ(e.stats().total_messages_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace deltav::pregel

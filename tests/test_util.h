@@ -1,0 +1,56 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dv/compiler.h"
+#include "dv/runtime/runner.h"
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+
+namespace deltav::test {
+
+/// Engine options sized for unit tests (small worker count, tiny cluster).
+inline pregel::EngineOptions small_engine(int workers = 3) {
+  pregel::EngineOptions o;
+  o.num_workers = workers;
+  o.cluster.machines = 2;
+  o.cluster.workers_per_machine = 2;
+  return o;
+}
+
+/// Compiles with defaults (ΔV) or as ΔV*.
+inline dv::CompiledProgram compile_dv(const std::string& src,
+                                      bool incremental = true) {
+  dv::CompileOptions o;
+  o.incrementalize = incremental;
+  return dv::compile(src, o);
+}
+
+/// EXPECT element-wise closeness of two double vectors.
+inline void expect_close(const std::vector<double>& a,
+                         const std::vector<double>& b, double tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isinf(a[i]) || std::isinf(b[i])) {
+      EXPECT_EQ(a[i], b[i]) << "at index " << i;
+    } else {
+      EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+    }
+  }
+}
+
+/// A small battery of graphs exercising different shapes.
+inline graph::CsrGraph small_directed(std::uint64_t seed = 7) {
+  return graph::rmat(64, 256, seed);
+}
+
+inline graph::CsrGraph small_undirected(std::uint64_t seed = 7) {
+  graph::RmatOptions o;
+  o.directed = false;
+  return graph::rmat(64, 200, seed, o);
+}
+
+}  // namespace deltav::test
