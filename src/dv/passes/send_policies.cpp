@@ -68,7 +68,18 @@ void pass_assigned_send_policy(Program& prog, Diagnostics&) {
     UpdateMap updates;
     for (const AggSite& site : prog.sites) {
       if (site.stmt_index != static_cast<int>(i)) continue;
-      for (int f : site.dep_fields) updates[f].push_back(&site);
+      if (site.bound_field >= 0) {
+        // The bound sent-field (Eq. 4) is recomputed unconditionally
+        // right before the send loop; keying the assigned flag on it
+        // would fire the send every superstep and the program could never
+        // quiesce under `until stable`. Key on the user fields the bound
+        // expression reads instead — the same change grain as the
+        // edge-dependent fallback.
+        for (int f : collect_field_reads(*site.init_send_expr))
+          updates[f].push_back(&site);
+      } else {
+        for (int f : site.dep_fields) updates[f].push_back(&site);
+      }
     }
     if (updates.empty()) continue;
     rewrite_assignments(

@@ -191,7 +191,10 @@ Value eval(const Expr& e, EvalContext& ctx) {
         const Field& f = ctx.prog->fields[static_cast<std::size_t>(e.slot)];
         ctx.fields[static_cast<std::size_t>(e.slot)] =
             eval(*e.kids[0], ctx).coerce(f.type);
-        ctx.any_field_assign = true;
+        // Quiescence tracks user-visible writes only: compiler-introduced
+        // fields (sent bindings, last-sent copies) may be rewritten
+        // unconditionally without implying the computation is still live.
+        if (f.origin == Field::Origin::kUser) ctx.any_field_assign = true;
       } else {
         const ScratchVar& sv =
             ctx.prog->scratch[static_cast<std::size_t>(e.slot)];

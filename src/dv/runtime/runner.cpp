@@ -382,9 +382,13 @@ class Runner {
       // Scheduled vertex removals for this (statement, iteration).
       prepare_deletions(si, iter);
       // Send suppression: if this superstep is provably the statement's
-      // last execution, its own-site sends could never be folded.
+      // last execution, its own-site sends could never be folded. This
+      // also covers mixed untils like `stable || i >= N`: evaluating with
+      // stable=false under-approximates the condition (stable only occurs
+      // positively in any sensible until), so a true result means the
+      // statement ends here no matter what this superstep does.
       bool last_known = !is_iter;
-      if (is_iter && !stable_until)
+      if (is_iter)
         last_known = eval_until(stmt, static_cast<std::int64_t>(iter),
                                 /*stable=*/false);
       const std::uint64_t suppress = last_known ? own_sites : 0;

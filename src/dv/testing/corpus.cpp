@@ -1,0 +1,154 @@
+#include "dv/testing/corpus.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace deltav::dv::testing {
+
+namespace {
+
+constexpr const char* kMagic = "--! dv_fuzz v1";
+
+std::string format_value(const Value& v) {
+  switch (v.type) {
+    case Type::kInt: return "int " + std::to_string(v.i);
+    case Type::kBool: return std::string("bool ") + (v.b ? "1" : "0");
+    case Type::kFloat: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "float %.17g", v.f);
+      return buf;
+    }
+    default: DV_FAIL("unsupported param value type");
+  }
+}
+
+Value parse_value(const std::string& type, const std::string& text) {
+  if (type == "int") return Value::of_int(std::stoll(text));
+  if (type == "bool") return Value::of_bool(text != "0");
+  if (type == "float") return Value::of_float(std::stod(text));
+  DV_FAIL("unsupported param value type '" << type << "'");
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string serialize_case(const FuzzCase& fc, const std::string& note) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  if (!note.empty()) {
+    // Keep the note single-line so it stays a valid comment.
+    std::string clean = note;
+    for (char& c : clean)
+      if (c == '\n' || c == '\r') c = ' ';
+    os << "--! note " << clean << "\n";
+  }
+  os << "--! graph " << fc.graph.describe() << "\n";
+  os << "--! workers";
+  for (const int w : fc.worker_counts) os << " " << w;
+  os << "\n";
+  for (const auto& [name, value] : fc.params)
+    os << "--! param " << name << " " << format_value(value) << "\n";
+  os << fc.source;
+  if (fc.source.empty() || fc.source.back() != '\n') os << "\n";
+  return os.str();
+}
+
+FuzzCase parse_case(const std::string& text) {
+  FuzzCase fc;
+  fc.worker_counts.clear();
+  std::istringstream is(text);
+  std::string line;
+  bool saw_magic = false;
+  std::ostringstream source;
+  bool in_source = false;
+  while (std::getline(is, line)) {
+    if (!in_source && line.rfind("--!", 0) == 0) {
+      std::istringstream ls(line.substr(3));
+      std::string key;
+      ls >> key;
+      if (key == "dv_fuzz") {
+        saw_magic = true;
+      } else if (key == "note") {
+        // informational only
+      } else if (key == "graph") {
+        std::string rest;
+        std::getline(ls, rest);
+        fc.graph = GraphSpec::parse(rest);
+      } else if (key == "workers") {
+        int w;
+        while (ls >> w) fc.worker_counts.push_back(w);
+      } else if (key == "param") {
+        std::string name, type, value;
+        ls >> name >> type >> value;
+        DV_CHECK_MSG(!name.empty() && !type.empty() && !value.empty(),
+                     "malformed corpus param line: " << line);
+        fc.params[name] = parse_value(type, value);
+      } else {
+        DV_FAIL("unknown corpus metadata key '" << key << "'");
+      }
+      continue;
+    }
+    in_source = true;
+    source << line << "\n";
+  }
+  DV_CHECK_MSG(saw_magic, "corpus entry lacks the '" << kMagic
+                                                     << "' header");
+  if (fc.worker_counts.empty()) fc.worker_counts = {1, 4};
+  fc.source = source.str();
+  return fc;
+}
+
+std::vector<std::pair<std::string, FuzzCase>> load_corpus_dir(
+    const std::string& dir) {
+  std::vector<std::pair<std::string, FuzzCase>> out;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return out;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".dv")
+      paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    std::ifstream in(p);
+    DV_CHECK_MSG(in.good(), "cannot read corpus entry " << p.string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      out.emplace_back(p.string(), parse_case(text.str()));
+    } catch (const std::exception& e) {
+      DV_FAIL("corpus entry " << p.string() << ": " << e.what());
+    }
+  }
+  return out;
+}
+
+std::string save_case(const std::string& dir, const FuzzCase& fc,
+                      const std::string& note) {
+  const std::string text = serialize_case(fc, note);
+  std::filesystem::create_directories(dir);
+  char name[32];
+  std::snprintf(name, sizeof name, "case_%016llx.dv",
+                static_cast<unsigned long long>(fnv1a(text)));
+  const std::string path = (std::filesystem::path(dir) / name).string();
+  std::ofstream out(path);
+  DV_CHECK_MSG(out.good(), "cannot write corpus entry " << path);
+  out << text;
+  return path;
+}
+
+}  // namespace deltav::dv::testing

@@ -1,0 +1,42 @@
+// Corpus persistence for failing fuzz cases.
+//
+// A corpus entry is a plain .dv source file whose leading `--!` comment
+// lines carry the bindings the differential harness needs to replay it:
+//
+//   --! dv_fuzz v1
+//   --! note messages check failed at 4 workers
+//   --! graph kind=rmat n=16 m=48 seed=9 directed=1 weighted=0
+//   --! workers 1 4
+//   --! param steps int 3
+//   <program text>
+//
+// `--` starts a ΔV comment, so an entry is also a self-describing program
+// a human can paste into any tool. Saved failures are replayed by
+// tests/dv_fuzz_corpus_test.cpp as a deterministic regression suite.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dv/testing/program_gen.h"
+
+namespace deltav::dv::testing {
+
+/// Renders a FuzzCase into the corpus text format.
+std::string serialize_case(const FuzzCase& fc, const std::string& note = "");
+
+/// Inverse of serialize_case. Throws CheckError on malformed input.
+FuzzCase parse_case(const std::string& text);
+
+/// Loads every *.dv entry under `dir` in sorted path order. Returns an
+/// empty vector when the directory is missing or empty.
+std::vector<std::pair<std::string, FuzzCase>> load_corpus_dir(
+    const std::string& dir);
+
+/// Serializes and writes `fc` into `dir` under a content-hash filename;
+/// returns the path. Creates the directory when needed.
+std::string save_case(const std::string& dir, const FuzzCase& fc,
+                      const std::string& note = "");
+
+}  // namespace deltav::dv::testing

@@ -1,0 +1,311 @@
+#include "dv/testing/differential.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "dv/codegen/cpp_backend.h"
+#include "dv/compiler.h"
+#include "dv/passes/verifier.h"
+#include "dv/runtime/delta.h"
+#include "dv/runtime/runner.h"
+
+namespace deltav::dv::testing {
+
+namespace {
+
+bool value_close(const Value& a, const Value& b, double tol) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Type::kInt: return a.i == b.i;
+    case Type::kBool: return a.b == b.b;
+    case Type::kFloat: {
+      if (std::isnan(a.f) || std::isnan(b.f)) return false;
+      if (std::isinf(a.f) || std::isinf(b.f)) return a.f == b.f;
+      const double scale = std::max({1.0, std::fabs(a.f), std::fabs(b.f)});
+      return std::fabs(a.f - b.f) <= tol * scale;
+    }
+    default: return false;
+  }
+}
+
+bool value_bits_equal(const Value& a, const Value& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Type::kInt: return a.i == b.i;
+    case Type::kBool: return a.b == b.b;
+    case Type::kFloat:
+      return std::bit_cast<std::uint64_t>(a.f) ==
+             std::bit_cast<std::uint64_t>(b.f);
+    default: return true;
+  }
+}
+
+std::string show(const Value& v) {
+  std::ostringstream os;
+  switch (v.type) {
+    case Type::kInt: os << v.i; break;
+    case Type::kBool: os << (v.b ? "true" : "false"); break;
+    case Type::kFloat: os << v.f; break;
+    default: os << "<unit>"; break;
+  }
+  return os.str();
+}
+
+/// Worker-count axis doubles as a schedule/partition axis: even counts run
+/// the work-queue scheduler over a hash partition, odd counts the scan-all
+/// scheduler over a block partition, so one case covers both code paths
+/// deterministically (the pairing is a pure function of the count, which
+/// keeps saved corpus cases replayable).
+pregel::EngineOptions engine_for(int workers) {
+  pregel::EngineOptions o;
+  o.num_workers = workers;
+  const bool even = workers % 2 == 0;
+  o.partition =
+      even ? pregel::PartitionScheme::kHash : pregel::PartitionScheme::kBlock;
+  o.schedule =
+      even ? pregel::ScheduleMode::kWorkQueue : pregel::ScheduleMode::kScanAll;
+  o.cluster.machines = 2;
+  o.cluster.workers_per_machine = 2;
+  return o;
+}
+
+/// Reconstructed receiver state for one (vertex, site) message stream.
+struct StreamAcc {
+  Value acc;
+  Value nn;
+  Value nulls;
+};
+
+struct ProbeState {
+  std::mutex mu;
+  std::vector<StreamAcc> streams;  // num_vertices × num_sites
+  std::vector<std::string> errors;
+};
+
+DvRunOptions base_run_options(const FuzzCase& fc, const DiffOptions& opts,
+                              int workers) {
+  DvRunOptions ro;
+  ro.engine = engine_for(workers);
+  ro.params = fc.params;
+  ro.max_supersteps = opts.max_supersteps;
+  return ro;
+}
+
+}  // namespace
+
+std::optional<DiffFailure> check_case(const FuzzCase& fc,
+                                      const DiffOptions& opts) {
+  CompiledProgram dv_cp, star_cp;
+  try {
+    dv_cp = compile(fc.source, CompileOptions{});
+    CompileOptions star_opts;
+    star_opts.incrementalize = false;
+    star_cp = compile(fc.source, star_opts);
+  } catch (const std::exception& e) {
+    return DiffFailure{"compile", e.what()};
+  }
+
+  // compile() runs the verifier after every pass; re-running the final
+  // stage here also covers the stored AST the runner will interpret.
+  try {
+    verify_program(dv_cp.program, VerifyStage::kFinal);
+    verify_program(star_cp.program, VerifyStage::kFinal);
+  } catch (const std::exception& e) {
+    return DiffFailure{"verifier", e.what()};
+  }
+
+  if (opts.check_codegen && dv_cp.program.stmts.size() == 1) {
+    try {
+      const std::string dv_cpp = emit_cpp(dv_cp, "FuzzDv");
+      const std::string star_cpp = emit_cpp(star_cp, "FuzzDvStar");
+      if (dv_cpp.find("FuzzDv") == std::string::npos ||
+          star_cpp.find("FuzzDvStar") == std::string::npos)
+        return DiffFailure{"codegen", "emitted unit lacks the class name"};
+    } catch (const std::exception& e) {
+      return DiffFailure{"codegen", e.what()};
+    }
+  }
+
+  const graph::CsrGraph g = fc.graph.build();
+  const std::size_t n = g.num_vertices();
+  const std::size_t num_sites = dv_cp.num_sites();
+
+  std::optional<DvRunResult> first_dv;  // for the cross-worker-count check
+  int first_workers = 0;
+
+  for (const int workers : fc.worker_counts) {
+    // --- ΔV* reference run -------------------------------------------
+    DvRunResult star;
+    try {
+      star = run_program(star_cp, g, base_run_options(fc, opts, workers));
+    } catch (const std::exception& e) {
+      return DiffFailure{"run", std::string("ΔV* (") +
+                                    std::to_string(workers) +
+                                    " workers): " + e.what()};
+    }
+
+    // --- ΔV run with the live-stream probe ---------------------------
+    ProbeState probe;
+    probe.streams.resize(n * num_sites);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t s = 0; s < num_sites; ++s) {
+        auto& st = probe.streams[v * num_sites + s];
+        const AggOp op = dv_cp.site_ops.ops[s];
+        const Type t = dv_cp.site_ops.types[s];
+        st.acc = agg_identity(op, t);
+        st.nn = agg_identity(op, t);
+        st.nulls = Value::of_int(0);
+      }
+    }
+
+    DvRunOptions dv_ro = base_run_options(fc, opts, workers);
+    dv_ro.send_probe = [&](graph::VertexId, graph::VertexId dst,
+                           const DvMessage& m) {
+      std::lock_guard<std::mutex> lock(probe.mu);
+      const auto s = static_cast<std::size_t>(m.site);
+      const AggOp op = dv_cp.site_ops.ops[s];
+      const Type t = dv_cp.site_ops.types[s];
+      if (is_identity(op, m.payload) && m.nulls == 0 && m.denulls == 0 &&
+          probe.errors.size() < 8) {
+        probe.errors.push_back("meaningless message to vertex " +
+                               std::to_string(dst) + " site " +
+                               std::to_string(s) + " payload " +
+                               show(m.payload));
+      }
+      auto& st = probe.streams[static_cast<std::size_t>(dst) * num_sites + s];
+      apply_delta(op, t, AccumRef{&st.acc, &st.nn, &st.nulls}, m.payload,
+                  m.nulls, m.denulls);
+    };
+
+    DvRunResult dv;
+    try {
+      dv = run_program(dv_cp, g, dv_ro);
+    } catch (const std::exception& e) {
+      return DiffFailure{"run", std::string("ΔV (") +
+                                    std::to_string(workers) +
+                                    " workers): " + e.what()};
+    }
+
+    if (!probe.errors.empty())
+      return DiffFailure{"meaningful", probe.errors.front() + " (" +
+                                           std::to_string(workers) +
+                                           " workers)"};
+
+    // --- Eq. 11: replayed stream vs. final memoized accumulators ------
+    if (opts.check_eq11) {
+      for (const auto& site : dv_cp.program.sites) {
+        if (site.acc_slot < 0) continue;
+        const auto s = static_cast<std::size_t>(site.id);
+        for (std::size_t v = 0; v < n; ++v) {
+          const auto& st = probe.streams[v * num_sites + s];
+          const Value& acc = dv.at(static_cast<graph::VertexId>(v),
+                                   site.acc_slot);
+          if (!value_close(acc, st.acc, opts.float_tol))
+            return DiffFailure{
+                "eq11", "site " + std::to_string(site.id) + " vertex " +
+                            std::to_string(v) + ": accumulator " +
+                            show(acc) + " != replayed stream fold " +
+                            show(st.acc) + " (" + std::to_string(workers) +
+                            " workers)"};
+          if (site.multiplicative()) {
+            const Value& nn = dv.at(static_cast<graph::VertexId>(v),
+                                    site.nn_slot);
+            const Value& nulls = dv.at(static_cast<graph::VertexId>(v),
+                                       site.nulls_slot);
+            if (!value_close(nn, st.nn, opts.float_tol) ||
+                nulls.i != st.nulls.i)
+              return DiffFailure{
+                  "eq11", "site " + std::to_string(site.id) + " vertex " +
+                              std::to_string(v) + ": nn/nulls " + show(nn) +
+                              "/" + show(nulls) + " != replayed " +
+                              show(st.nn) + "/" + show(st.nulls) + " (" +
+                              std::to_string(workers) + " workers)"};
+          }
+        }
+      }
+    }
+
+    // --- user-visible state equivalence -------------------------------
+    for (std::size_t slot = 0; slot < dv.fields.size(); ++slot) {
+      const Field& f = dv.fields[slot];
+      if (f.origin != Field::Origin::kUser) continue;
+      const int star_slot = star.field_slot(f.name);
+      if (star_slot < 0)
+        return DiffFailure{"values", "field " + f.name + " missing in ΔV*"};
+      for (std::size_t v = 0; v < n; ++v) {
+        const Value& a = dv.at(static_cast<graph::VertexId>(v),
+                               static_cast<int>(slot));
+        const Value& b =
+            star.at(static_cast<graph::VertexId>(v), star_slot);
+        if (!value_close(a, b, opts.float_tol))
+          return DiffFailure{
+              "values", "field " + f.name + " vertex " + std::to_string(v) +
+                            ": ΔV " + show(a) + " != ΔV* " + show(b) +
+                            " (" + std::to_string(workers) + " workers)"};
+      }
+      if (first_dv) {
+        const int prev_slot = first_dv->field_slot(f.name);
+        for (std::size_t v = 0; v < n; ++v) {
+          const Value& a = dv.at(static_cast<graph::VertexId>(v),
+                                 static_cast<int>(slot));
+          const Value& b =
+              first_dv->at(static_cast<graph::VertexId>(v), prev_slot);
+          if (!value_close(a, b, opts.float_tol))
+            return DiffFailure{
+                "values", "field " + f.name + " vertex " +
+                              std::to_string(v) + ": " +
+                              std::to_string(workers) + " workers " +
+                              show(a) + " != " +
+                              std::to_string(first_workers) + " workers " +
+                              show(b)};
+        }
+      }
+    }
+
+    // --- the paper's headline inequality ------------------------------
+    if (opts.check_message_counts &&
+        dv.stats.total_messages_sent() > star.stats.total_messages_sent())
+      return DiffFailure{
+          "messages", "ΔV sent " +
+                          std::to_string(dv.stats.total_messages_sent()) +
+                          " > ΔV* " +
+                          std::to_string(star.stats.total_messages_sent()) +
+                          " (" + std::to_string(workers) + " workers)"};
+
+    // --- bit-exact determinism ----------------------------------------
+    if (opts.check_determinism) {
+      DvRunResult again;
+      try {
+        again = run_program(dv_cp, g, base_run_options(fc, opts, workers));
+      } catch (const std::exception& e) {
+        return DiffFailure{"determinism", e.what()};
+      }
+      if (again.supersteps != dv.supersteps ||
+          again.state.size() != dv.state.size())
+        return DiffFailure{"determinism",
+                           "superstep/state shape differs between runs (" +
+                               std::to_string(workers) + " workers)"};
+      for (std::size_t i = 0; i < dv.state.size(); ++i) {
+        if (!value_bits_equal(dv.state[i], again.state[i]))
+          return DiffFailure{
+              "determinism",
+              "state word " + std::to_string(i) + " differs: " +
+                  show(dv.state[i]) + " vs " + show(again.state[i]) + " (" +
+                  std::to_string(workers) + " workers)"};
+      }
+    }
+
+    if (!first_dv) {
+      first_dv = std::move(dv);
+      first_workers = workers;
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace deltav::dv::testing

@@ -1,0 +1,52 @@
+// Differential execution harness: one FuzzCase in, one verdict out.
+//
+// For each case the harness compiles the program twice (ΔV and ΔV*), runs
+// both on the case's graph across the worker-count axis, and checks the
+// properties the paper claims for the incrementalizing pipeline:
+//
+//   compile      both variants compile; the final-stage verifier accepts
+//                both ASTs
+//   codegen      single-statement programs survive the C++ backend
+//   values       user-visible vertex state agrees between ΔV and ΔV*
+//                (and between worker counts, for the ΔV variant)
+//   meaningful   every live ΔV message is meaningful (Definition 1):
+//                never an identity payload with zero transition counters
+//   eq11         folding the live ΔV message stream per (receiver, site)
+//                with apply_delta reproduces the final memoized
+//                accumulator state (Eq. 11 checked end-to-end)
+//   messages     messages(ΔV) ≤ messages(ΔV*)
+//   determinism  two identical ΔV runs produce bit-identical state
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "dv/testing/program_gen.h"
+
+namespace deltav::dv::testing {
+
+struct DiffOptions {
+  /// Relative/absolute tolerance for float comparisons. Reassociation is
+  /// expected: combiners and worker counts reorder float folds, and the
+  /// ΔV product accumulator multiplies ratios instead of raw values.
+  double float_tol = 1e-6;
+  std::size_t max_supersteps = 5000;
+  bool check_codegen = true;
+  bool check_eq11 = true;
+  bool check_message_counts = true;
+  bool check_determinism = true;
+};
+
+struct DiffFailure {
+  std::string check;   // which property failed (names above)
+  std::string detail;  // human-readable evidence
+};
+
+/// Runs every check; returns the first failure, or nullopt when the case
+/// passes. Never throws for program-level misbehaviour — compile/run
+/// exceptions are converted into failures.
+std::optional<DiffFailure> check_case(const FuzzCase& fc,
+                                      const DiffOptions& opts = {});
+
+}  // namespace deltav::dv::testing

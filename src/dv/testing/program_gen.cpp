@@ -1,0 +1,575 @@
+#include "dv/testing/program_gen.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace deltav::dv::testing {
+
+namespace {
+
+const char* kind_token(GraphSpec::Kind k) {
+  switch (k) {
+    case GraphSpec::Kind::kRmat: return "rmat";
+    case GraphSpec::Kind::kPath: return "path";
+    case GraphSpec::Kind::kCycle: return "cycle";
+    case GraphSpec::Kind::kStar: return "star";
+    case GraphSpec::Kind::kComplete: return "complete";
+    case GraphSpec::Kind::kEmpty: return "empty";
+  }
+  return "?";
+}
+
+GraphSpec::Kind kind_from_token(const std::string& s) {
+  if (s == "rmat") return GraphSpec::Kind::kRmat;
+  if (s == "path") return GraphSpec::Kind::kPath;
+  if (s == "cycle") return GraphSpec::Kind::kCycle;
+  if (s == "star") return GraphSpec::Kind::kStar;
+  if (s == "complete") return GraphSpec::Kind::kComplete;
+  if (s == "empty") return GraphSpec::Kind::kEmpty;
+  DV_FAIL("unknown graph kind '" << s << "'");
+}
+
+}  // namespace
+
+graph::CsrGraph GraphSpec::build() const {
+  switch (kind) {
+    case Kind::kRmat: {
+      graph::RmatOptions o;
+      o.directed = directed;
+      o.weighted = weighted;
+      return graph::rmat(n, m, seed, o);
+    }
+    case Kind::kPath: return graph::path(n, directed);
+    case Kind::kCycle: return graph::cycle(n, directed);
+    case Kind::kStar: return graph::star(n > 0 ? n - 1 : 0, directed);
+    case Kind::kComplete: return graph::complete(n, directed);
+    case Kind::kEmpty: return graph::GraphBuilder(0, directed).build();
+  }
+  DV_FAIL("unknown graph kind");
+}
+
+std::string GraphSpec::describe() const {
+  std::ostringstream os;
+  os << "kind=" << kind_token(kind) << " n=" << n << " m=" << m
+     << " seed=" << seed << " directed=" << (directed ? 1 : 0)
+     << " weighted=" << (weighted ? 1 : 0);
+  return os.str();
+}
+
+GraphSpec GraphSpec::parse(const std::string& text) {
+  GraphSpec g;
+  std::istringstream is(text);
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    DV_CHECK_MSG(eq != std::string::npos,
+                 "malformed graph spec token '" << tok << "'");
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "kind") {
+      g.kind = kind_from_token(val);
+    } else if (key == "n") {
+      g.n = static_cast<std::size_t>(std::stoull(val));
+    } else if (key == "m") {
+      g.m = static_cast<std::size_t>(std::stoull(val));
+    } else if (key == "seed") {
+      g.seed = std::stoull(val);
+    } else if (key == "directed") {
+      g.directed = val != "0";
+    } else if (key == "weighted") {
+      g.weighted = val != "0";
+    } else {
+      DV_FAIL("unknown graph spec key '" << key << "'");
+    }
+  }
+  return g;
+}
+
+const char* pattern_kind_name(PatternKind k) {
+  switch (k) {
+    case PatternKind::kSumDamped: return "sum-damped";
+    case PatternKind::kSumCount: return "sum-count";
+    case PatternKind::kSumPair: return "sum-pair";
+    case PatternKind::kMinRelaxFloat: return "min-relax-float";
+    case PatternKind::kMinRelaxInt: return "min-relax-int";
+    case PatternKind::kMaxGossip: return "max-gossip";
+    case PatternKind::kProdClamp: return "prod-clamp";
+    case PatternKind::kOrReach: return "or-reach";
+    case PatternKind::kAndGuard: return "and-guard";
+    case PatternKind::kAndEvery: return "and-every";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Patterns whose every assignment is guarded to fire only on a monotone
+/// improvement. Only these may sit under a `stable` until: an unconditional
+/// reassign keeps the ΔV* variant assigning (and therefore not quiescing)
+/// forever, and a non-monotone stream can revisit the operator identity,
+/// which would break the messages(ΔV) ≤ messages(ΔV*) property.
+bool is_guarded_monotone(PatternKind k) {
+  switch (k) {
+    case PatternKind::kMinRelaxFloat:
+    case PatternKind::kMinRelaxInt:
+    case PatternKind::kMaxGossip:
+    case PatternKind::kOrReach:
+    case PatternKind::kAndGuard:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_src(PatternKind k) {
+  switch (k) {
+    case PatternKind::kMinRelaxFloat:
+    case PatternKind::kOrReach:
+    case PatternKind::kAndGuard:
+    case PatternKind::kAndEvery:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Float fields that stay finite and bounded — the only legal targets of a
+/// cross-field reference (a min-relax field may be infty, and infty feeding
+/// a sum would synthesize NaN deltas).
+bool bounded_float_field(PatternKind k) {
+  return k == PatternKind::kSumDamped || k == PatternKind::kProdClamp ||
+         k == PatternKind::kSumPair;
+}
+
+GraphDir random_dir(Rng& rng, bool undirected) {
+  if (undirected) {
+    // #neighbors is the idiomatic form; #in/#out are legal aliases on an
+    // undirected CSR and worth occasional coverage.
+    const double r = rng.next_double();
+    if (r < 0.7) return GraphDir::kNeighbors;
+    return r < 0.85 ? GraphDir::kIn : GraphDir::kOut;
+  }
+  return rng.next_bool() ? GraphDir::kIn : GraphDir::kOut;
+}
+
+PatternKind pick_kind(Rng& rng, bool stable_stmt) {
+  static constexpr PatternKind kMonotone[] = {
+      PatternKind::kMinRelaxFloat, PatternKind::kMinRelaxInt,
+      PatternKind::kMaxGossip, PatternKind::kOrReach, PatternKind::kAndGuard,
+  };
+  static constexpr PatternKind kAll[] = {
+      PatternKind::kSumDamped,     PatternKind::kSumCount,
+      PatternKind::kSumPair,       PatternKind::kMinRelaxFloat,
+      PatternKind::kMinRelaxInt,   PatternKind::kMaxGossip,
+      PatternKind::kProdClamp,     PatternKind::kOrReach,
+      PatternKind::kAndGuard,      PatternKind::kAndEvery,
+  };
+  if (stable_stmt)
+    return kMonotone[rng.next_below(std::size(kMonotone))];
+  return kAll[rng.next_below(std::size(kAll))];
+}
+
+std::string fld(const PatternSpec& p) { return "f" + std::to_string(p.id); }
+std::string fld2(const PatternSpec& p) { return "g" + std::to_string(p.id); }
+std::string lvar(const PatternSpec& p, char c) {
+  return std::string(1, c) + std::to_string(p.id);
+}
+
+std::string src_expr(const ProgramSpec& spec, const PatternSpec& p) {
+  return p.use_src_param ? "src" : std::to_string(p.src_literal);
+  (void)spec;
+}
+
+std::string dir_str(GraphDir d) { return graph_dir_name(d); }
+
+/// Appends this pattern's `local` declarations to the init block.
+void render_decls(const ProgramSpec& spec, const PatternSpec& p,
+                  std::vector<std::string>& out) {
+  switch (p.kind) {
+    case PatternKind::kSumDamped:
+      out.push_back("local " + fld(p) + " : float = " +
+                    (p.use_degree_init
+                         ? "1.0 / (|" + dir_str(p.dir) + "| + 1)"
+                         : "1.0 / graphSize"));
+      return;
+    case PatternKind::kSumCount:
+      out.push_back("local " + fld(p) + " : int = 1");
+      return;
+    case PatternKind::kSumPair:
+      out.push_back("local " + fld(p) + " : float = 1.0");
+      out.push_back("local " + fld2(p) + " : float = 0.5");
+      return;
+    case PatternKind::kMinRelaxFloat:
+      out.push_back("local " + fld(p) + " : float = if vertexId == " +
+                    src_expr(spec, p) + " then 0.0 else infty");
+      return;
+    case PatternKind::kMinRelaxInt:
+      out.push_back("local " + fld(p) + " : int = vertexId");
+      return;
+    case PatternKind::kMaxGossip:
+      out.push_back("local " + fld(p) + " : int = vertexId");
+      return;
+    case PatternKind::kProdClamp:
+      // Strictly inside (1, 2): never the * identity, never absorbing.
+      out.push_back("local " + fld(p) +
+                    " : float = 1.0 + (vertexId + 1) / (graphSize + 1)");
+      return;
+    case PatternKind::kOrReach:
+      out.push_back("local " + fld(p) + " : bool = vertexId == " +
+                    src_expr(spec, p));
+      return;
+    case PatternKind::kAndGuard:
+    case PatternKind::kAndEvery:
+      out.push_back("local " + fld(p) + " : bool = vertexId != " +
+                    src_expr(spec, p));
+      return;
+  }
+  DV_FAIL("unknown pattern kind");
+}
+
+/// Appends the pattern's aggregation `let`s (lets) and its field updates
+/// (upds). `declared_bounded_floats` lists the finite float fields
+/// available as cross-reference targets.
+void render_body(const PatternSpec& p,
+                 const std::vector<std::string>& declared_bounded_floats,
+                 std::vector<std::string>& lets,
+                 std::vector<std::string>& upds) {
+  const std::string D = dir_str(p.dir);
+  const bool cross_ok =
+      !p.cross_field.empty() && p.cross_field != fld(p) &&
+      std::find(declared_bounded_floats.begin(),
+                declared_bounded_floats.end(),
+                p.cross_field) != declared_bounded_floats.end();
+  switch (p.kind) {
+    case PatternKind::kSumDamped: {
+      const std::string s = lvar(p, 's');
+      const std::string elem =
+          "u." + fld(p) + (p.use_edge ? " + u.edge" : "");
+      lets.push_back("let " + s + " : float = + [ " + elem + " | u <- " + D +
+                     " ] in");
+      std::string upd = fld(p) + " = 0.125 + " +
+                        (p.use_param_scale ? std::string("c")
+                                           : std::string("0.5")) +
+                        " * (" + s + " / graphSize)";
+      if (cross_ok) upd += " + " + p.cross_field + " * 0.125";
+      upds.push_back(upd);
+      return;
+    }
+    case PatternKind::kSumCount: {
+      const std::string s = lvar(p, 's');
+      lets.push_back("let " + s + " : int = + [ u." + fld(p) + " | u <- " +
+                     D + " ] in");
+      // `+ 1` keeps the value off the sum identity 0 even for vertices with
+      // an empty pull set (ΔV* suppresses identity sends; a stream that
+      // enters the identity would undercut the message-count property).
+      upds.push_back(fld(p) + " = min(" + s + " + 1, 1000)");
+      return;
+    }
+    case PatternKind::kSumPair: {
+      const std::string s = lvar(p, 's');
+      const std::string t = lvar(p, 't');
+      lets.push_back("let " + s + " : float = + [ u." + fld(p) +
+                     " | u <- " + D + " ] in");
+      lets.push_back("let " + t + " : float = + [ u." + fld2(p) +
+                     " | u <- " + dir_str(p.dir2) + " ] in");
+      upds.push_back(fld2(p) + " = " + s + " / graphSize + 0.25");
+      upds.push_back(fld(p) + " = " + t + " / graphSize + 0.5");
+      return;
+    }
+    case PatternKind::kMinRelaxFloat: {
+      const std::string b = lvar(p, 'b');
+      lets.push_back("let " + b + " : float = min [ u." + fld(p) + " + " +
+                     (p.use_edge ? "u.edge" : "1.0") + " | u <- " + D +
+                     " ] in");
+      upds.push_back("if " + b + " < " + fld(p) + " then " + fld(p) + " = " +
+                     b);
+      return;
+    }
+    case PatternKind::kMinRelaxInt: {
+      const std::string b = lvar(p, 'b');
+      lets.push_back("let " + b + " : int = min [ u." + fld(p) +
+                     " | u <- " + D + " ] in");
+      upds.push_back("if " + b + " < " + fld(p) + " then " + fld(p) + " = " +
+                     b);
+      return;
+    }
+    case PatternKind::kMaxGossip: {
+      const std::string b = lvar(p, 'b');
+      lets.push_back("let " + b + " : int = max [ u." + fld(p) +
+                     " | u <- " + D + " ] in");
+      upds.push_back("if " + b + " > " + fld(p) + " then " + fld(p) + " = " +
+                     b);
+      return;
+    }
+    case PatternKind::kProdClamp: {
+      const std::string pv = lvar(p, 'p');
+      lets.push_back("let " + pv + " : float = * [ u." + fld(p) +
+                     " | u <- " + D + " ] in");
+      // Lands in [1.0625, 2.0] — off both the identity 1 and absorbing 0 —
+      // even when the pull set is empty (fold = identity).
+      const std::string base =
+          fld(p) + " = min(1.0625 + " + pv + " / 8.0, 2.0)";
+      if (p.absorbing_dip) {
+        // Value-driven flip through the absorbing element: any pull set
+        // with an updated neighbor (each ≥ 1.0625) trips the threshold
+        // and forces 0.0; a 0 in the pull set drags the product back
+        // under it, so vertices oscillate 0 ↔ [1.0625, 2] purely as a
+        // function of messages — unlike an `i == 1` trigger, the body
+        // stays an idempotent function of the fold, so a ΔV vertex
+        // sleeping through a superstep (the Eq. 12 halts) observes
+        // nothing stale. The threshold 1.03125 sits in the reachable-
+        // value gap: products are 0, the identity 1, ≥ 1.0625 once any
+        // factor is post-update, or can only hit 1.03125 *exactly* (a
+        // single initial value with (vertexId+1)/(graphSize+1) == 1/32,
+        // where a one-element fold is exact in both variants) — so float
+        // drift between the memoized (ΔV) and recomputed (ΔV*) folds
+        // cannot flip the branch.
+        upds.push_back("if " + pv + " > 1.03125 then " + fld(p) +
+                       " = 0.0 else " + base);
+      } else {
+        upds.push_back(base);
+      }
+      return;
+    }
+    case PatternKind::kOrReach: {
+      const std::string a = lvar(p, 'a');
+      lets.push_back("let " + a + " : bool = || [ u." + fld(p) +
+                     " | u <- " + D + " ] in");
+      upds.push_back("if " + a + " && not " + fld(p) + " then " + fld(p) +
+                     " = true");
+      return;
+    }
+    case PatternKind::kAndGuard: {
+      const std::string a = lvar(p, 'a');
+      lets.push_back("let " + a + " : bool = && [ u." + fld(p) +
+                     " | u <- " + D + " ] in");
+      upds.push_back("if " + fld(p) + " && not " + a + " then " + fld(p) +
+                     " = false");
+      return;
+    }
+    case PatternKind::kAndEvery: {
+      const std::string a = lvar(p, 'a');
+      lets.push_back("let " + a + " : bool = && [ u." + fld(p) +
+                     " | u <- " + D + " ] in");
+      upds.push_back(fld(p) + " = " + fld(p) + " && " + a);
+      return;
+    }
+  }
+  DV_FAIL("unknown pattern kind");
+}
+
+std::string render_until(const UntilSpec& u) {
+  switch (u.kind) {
+    case UntilSpec::Kind::kCount:
+      return "i >= " + std::to_string(u.bound);
+    case UntilSpec::Kind::kParamCount:
+      return "i >= steps";
+    case UntilSpec::Kind::kStable:
+      return "stable";
+    case UntilSpec::Kind::kStableCapped:
+      return "stable || i >= " + std::to_string(u.bound);
+  }
+  DV_FAIL("unknown until kind");
+}
+
+}  // namespace
+
+ProgramSpec generate_spec(Rng& rng, const GenOptions& opts) {
+  ProgramSpec spec;
+  spec.undirected = rng.next_bool(0.4);
+  spec.steps_value = 2 + static_cast<int>(rng.next_below(4));
+  spec.src_value = static_cast<int>(rng.next_below(4));
+  spec.c_value = 0.25 + 0.05 * static_cast<double>(rng.next_below(8));
+
+  int next_id = 0;
+  std::vector<std::string> bounded_floats;  // cross-reference candidates
+
+  const int n_stmts =
+      1 + static_cast<int>(rng.next_below(
+              static_cast<std::uint64_t>(std::max(1, opts.max_stmts))));
+  for (int si = 0; si < n_stmts; ++si) {
+    StmtSpec st;
+    st.is_iter = rng.next_bool(0.85);
+    bool stable_stmt = false;
+    if (st.is_iter) {
+      const double r = rng.next_double();
+      if (r < 0.45) {
+        st.until.kind = UntilSpec::Kind::kCount;
+        st.until.bound = 2 + static_cast<int>(rng.next_below(5));
+      } else if (r < 0.6) {
+        st.until.kind = UntilSpec::Kind::kParamCount;
+      } else if (r < 0.85) {
+        st.until.kind = UntilSpec::Kind::kStable;
+        stable_stmt = true;
+      } else {
+        st.until.kind = UntilSpec::Kind::kStableCapped;
+        st.until.bound = 8 + static_cast<int>(rng.next_below(12));
+        stable_stmt = true;
+      }
+    }
+
+    const int n_patterns =
+        1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                std::max(1, opts.max_patterns_per_stmt))));
+    for (int pi = 0; pi < n_patterns; ++pi) {
+      PatternSpec p;
+      p.kind = pick_kind(rng, stable_stmt);
+      p.id = next_id++;
+      p.dir = random_dir(rng, spec.undirected);
+      p.dir2 = random_dir(rng, spec.undirected);
+      p.src_literal = static_cast<int>(rng.next_below(4));
+      switch (p.kind) {
+        case PatternKind::kSumDamped:
+          p.use_edge = rng.next_bool(0.3);
+          p.use_param_scale = rng.next_bool(0.3);
+          p.use_degree_init = rng.next_bool(0.3);
+          if (!bounded_floats.empty() && rng.next_bool(0.35))
+            p.cross_field =
+                bounded_floats[rng.next_below(bounded_floats.size())];
+          break;
+        case PatternKind::kMinRelaxFloat:
+          p.use_edge = rng.next_bool(0.5);
+          break;
+        case PatternKind::kProdClamp:
+          p.absorbing_dip = rng.next_bool(0.5);
+          break;
+        default:
+          break;
+      }
+      if (uses_src(p.kind)) p.use_src_param = rng.next_bool(0.4);
+      if (bounded_float_field(p.kind)) bounded_floats.push_back(fld(p));
+      // The absorbing flip needs a few iterations to exercise both the
+      // null (→0) and denull (recovery) transitions.
+      if (p.kind == PatternKind::kProdClamp && p.absorbing_dip &&
+          st.is_iter && st.until.kind == UntilSpec::Kind::kCount)
+        st.until.bound = std::max(st.until.bound, 3);
+      st.patterns.push_back(std::move(p));
+    }
+    spec.stmts.push_back(std::move(st));
+  }
+  return spec;
+}
+
+std::string render(const ProgramSpec& spec) {
+  bool p_steps = false, p_src = false, p_c = false;
+  for (const auto& st : spec.stmts) {
+    if (st.is_iter && st.until.kind == UntilSpec::Kind::kParamCount)
+      p_steps = true;
+    for (const auto& p : st.patterns) {
+      if (p.use_src_param) p_src = true;
+      if (p.use_param_scale) p_c = true;
+    }
+  }
+
+  std::ostringstream os;
+  if (p_steps) os << "param steps : int;\n";
+  if (p_src) os << "param src : int;\n";
+  if (p_c) os << "param c : float;\n";
+
+  std::vector<std::string> decls;
+  for (const auto& st : spec.stmts)
+    for (const auto& p : st.patterns) render_decls(spec, p, decls);
+  os << "init {\n";
+  for (std::size_t i = 0; i < decls.size(); ++i)
+    os << "  " << decls[i] << (i + 1 < decls.size() ? ";" : "") << "\n";
+  os << "};\n";
+
+  // Cross-references may only target finite float fields (tracked in
+  // declaration order; render_body re-validates so reduction that deletes
+  // the target simply drops the reference term).
+  std::vector<std::string> bounded_floats;
+  for (const auto& st : spec.stmts)
+    for (const auto& p : st.patterns)
+      if (bounded_float_field(p.kind)) bounded_floats.push_back(fld(p));
+
+  for (std::size_t si = 0; si < spec.stmts.size(); ++si) {
+    const auto& st = spec.stmts[si];
+    std::vector<std::string> lets, upds;
+    for (const auto& p : st.patterns)
+      render_body(p, bounded_floats, lets, upds);
+    os << (st.is_iter ? "iter i {\n" : "step {\n");
+    for (const auto& l : lets) os << "  " << l << "\n";
+    for (std::size_t i = 0; i < upds.size(); ++i)
+      os << "  " << upds[i] << (i + 1 < upds.size() ? ";" : "") << "\n";
+    os << "}";
+    if (st.is_iter) os << " until { " << render_until(st.until) << " }";
+    if (si + 1 < spec.stmts.size()) os << ";";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::map<std::string, Value> param_bindings(const ProgramSpec& spec) {
+  std::map<std::string, Value> params;
+  for (const auto& st : spec.stmts) {
+    if (st.is_iter && st.until.kind == UntilSpec::Kind::kParamCount)
+      params["steps"] = Value::of_int(spec.steps_value);
+    for (const auto& p : st.patterns) {
+      if (p.use_src_param) params["src"] = Value::of_int(spec.src_value);
+      if (p.use_param_scale) params["c"] = Value::of_float(spec.c_value);
+    }
+  }
+  return params;
+}
+
+GraphSpec random_graph_spec(Rng& rng, const ProgramSpec& spec,
+                            const GenOptions& opts) {
+  GraphSpec g;
+  g.directed = !spec.undirected;
+  g.seed = rng.next_u64() | 1;
+
+  if (rng.next_bool(opts.empty_graph_prob)) {
+    g.kind = GraphSpec::Kind::kEmpty;
+    g.n = 0;
+    g.m = 0;
+    return g;
+  }
+
+  bool wants_edge = false;
+  for (const auto& st : spec.stmts)
+    for (const auto& p : st.patterns) wants_edge |= p.use_edge;
+
+  static constexpr std::size_t kSizes[] = {2, 3, 5, 8, 16, 24, 48};
+  g.n = std::min(kSizes[rng.next_below(std::size(kSizes))],
+                 opts.max_vertices);
+
+  const double r = rng.next_double();
+  // Edge-weight coverage needs R-MAT (the only weighted generator); the
+  // fixed topologies report weight 1.0, which is legal but uninteresting.
+  if (wants_edge || r < 0.55) {
+    g.kind = GraphSpec::Kind::kRmat;
+    g.m = g.n * (1 + rng.next_below(5));
+    g.weighted = wants_edge || rng.next_bool(0.3);
+  } else if (r < 0.67) {
+    g.kind = GraphSpec::Kind::kPath;
+  } else if (r < 0.79) {
+    g.kind = GraphSpec::Kind::kCycle;
+    g.n = std::max<std::size_t>(g.n, 3);  // graph::cycle precondition
+  } else if (r < 0.91) {
+    g.kind = GraphSpec::Kind::kStar;
+  } else {
+    g.kind = GraphSpec::Kind::kComplete;
+    g.n = std::min<std::size_t>(g.n, 12);
+  }
+  if (g.kind != GraphSpec::Kind::kRmat) {
+    g.m = 0;
+    g.weighted = false;
+  }
+  return g;
+}
+
+FuzzCase make_case(const ProgramSpec& spec, const GraphSpec& graph,
+                   std::vector<int> worker_counts) {
+  FuzzCase fc;
+  fc.source = render(spec);
+  fc.params = param_bindings(spec);
+  fc.graph = graph;
+  fc.worker_counts = std::move(worker_counts);
+  return fc;
+}
+
+}  // namespace deltav::dv::testing

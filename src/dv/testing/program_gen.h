@@ -1,0 +1,139 @@
+// Seeded random ΔV program generator for differential fuzzing.
+//
+// Programs are generated as structured specs (ProgramSpec) rather than raw
+// text so the reducer (reducer.h) can shrink a failing case by deleting
+// statements/patterns and clearing decorations, then re-render.
+//
+// Every pattern in the pool is constructed to keep the two compiled
+// variants (ΔV and ΔV*) observationally equivalent and terminating:
+//
+//  * Value streams never revisit the operator identity (a prod value that
+//    returns to exactly 1.0, or an oscillating boolean, would let ΔV* skip
+//    an identity resend that ΔV must pay a null/denull pair for, breaking
+//    the messages(ΔV) ≤ messages(ΔV*) property on legitimate programs).
+//  * Fields feeding an aggregation site are either reassigned on every
+//    body execution or updated guarded-monotone w.r.t. the site operator,
+//    so ΔV*'s non-memoized folds (which only see this superstep's senders)
+//    agree with ΔV's memoized accumulators.
+//  * `stable` until clauses are only attached to guarded-monotone
+//    patterns — an unconditional reassign never quiesces under ΔV*.
+//  * Numerics stay finite and bounded: sums are damped contractions,
+//    products are clamped into {0} ∪ (1, 2], int growth is clamped, and
+//    `infty` only appears in idempotent min relaxations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dv/runtime/value.h"
+#include "graph/csr_graph.h"
+
+namespace deltav::dv::testing {
+
+/// A deterministic description of an input graph; build() materializes it.
+struct GraphSpec {
+  enum class Kind { kRmat, kPath, kCycle, kStar, kComplete, kEmpty };
+  Kind kind = Kind::kRmat;
+  std::size_t n = 32;
+  std::size_t m = 96;
+  std::uint64_t seed = 1;
+  bool directed = true;
+  bool weighted = false;  // only the R-MAT generator produces weights
+
+  graph::CsrGraph build() const;
+  /// "kind=rmat n=32 m=96 seed=1 directed=1 weighted=0"
+  std::string describe() const;
+  /// Parses describe() output. Throws CheckError on malformed input.
+  static GraphSpec parse(const std::string& text);
+};
+
+enum class PatternKind {
+  kSumDamped,     // float contraction: f = 0.125 + c*(Σ/graphSize)
+  kSumCount,      // int: f = min(Σ u.f, 1000)
+  kSumPair,       // HITS-like coupled pair of float sum sites
+  kMinRelaxFloat, // SSSP-like guarded relax over u.f + u.edge; infty init
+  kMinRelaxInt,   // CC-like guarded min over vertex ids
+  kMaxGossip,     // guarded max over vertex ids
+  kProdClamp,     // float product clamped to (1,2], optional absorbing flip
+  kOrReach,       // guarded monotone reachability (|| absorbing = true)
+  kAndGuard,      // guarded monotone && (absorbing = false)
+  kAndEvery,      // unconditional && reassign (count-until only)
+};
+
+const char* pattern_kind_name(PatternKind k);
+
+/// One update pattern inside a statement. `id` is assigned once at
+/// generation time and names the pattern's field(s) (`f<id>`, `g<id>`) —
+/// it stays stable under reduction so cross-field references survive
+/// pattern deletion (a dangling reference is simply dropped at render).
+struct PatternSpec {
+  PatternKind kind{};
+  int id = 0;
+  GraphDir dir = GraphDir::kIn;
+  GraphDir dir2 = GraphDir::kOut;  // kSumPair's second site
+  bool use_edge = false;           // element expression mixes in u.edge
+  bool use_param_scale = false;    // kSumDamped: damping from float param c
+  bool use_degree_init = false;    // kSumDamped: init = 1.0 / (|д| + 1)
+  bool use_src_param = false;      // source vertex from int param src
+  bool absorbing_dip = false;      // kProdClamp: product above a threshold
+                                   // flips the value to the absorbing 0.0
+  int src_literal = 0;             // source vertex when !use_src_param
+  std::string cross_field;         // earlier float field mixed into update
+};
+
+struct UntilSpec {
+  enum class Kind { kCount, kParamCount, kStable, kStableCapped };
+  Kind kind = Kind::kCount;
+  int bound = 3;  // kCount / kStableCapped cap
+};
+
+struct StmtSpec {
+  bool is_iter = true;
+  UntilSpec until;  // meaningful for iter statements only
+  std::vector<PatternSpec> patterns;
+};
+
+struct ProgramSpec {
+  bool undirected = false;
+  int steps_value = 3;   // binding for `param steps` when referenced
+  int src_value = 0;     // binding for `param src` when referenced
+  double c_value = 0.5;  // binding for `param c` when referenced
+  std::vector<StmtSpec> stmts;
+};
+
+struct GenOptions {
+  int max_stmts = 3;
+  int max_patterns_per_stmt = 2;
+  std::size_t max_vertices = 48;
+  double empty_graph_prob = 0.02;
+};
+
+/// Draws a random well-typed, terminating, variant-equivalent program.
+ProgramSpec generate_spec(Rng& rng, const GenOptions& opts = {});
+
+/// Renders the spec to ΔV source text.
+std::string render(const ProgramSpec& spec);
+
+/// Parameter bindings for every `param` the rendered source declares.
+std::map<std::string, Value> param_bindings(const ProgramSpec& spec);
+
+/// Draws a graph compatible with the spec (directedness, weights, size).
+GraphSpec random_graph_spec(Rng& rng, const ProgramSpec& spec,
+                            const GenOptions& opts = {});
+
+/// A fully-bound differential test case: program text, parameter values,
+/// input graph, and the engine worker counts to sweep.
+struct FuzzCase {
+  std::string source;
+  std::map<std::string, Value> params;
+  GraphSpec graph;
+  std::vector<int> worker_counts{1, 4};
+};
+
+FuzzCase make_case(const ProgramSpec& spec, const GraphSpec& graph,
+                   std::vector<int> worker_counts = {1, 4});
+
+}  // namespace deltav::dv::testing

@@ -1,0 +1,158 @@
+#include "dv/testing/reducer.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace deltav::dv::testing {
+
+namespace {
+
+bool has_decorations(const PatternSpec& p) {
+  return p.use_edge || p.use_param_scale || p.use_degree_init ||
+         p.use_src_param || p.absorbing_dip || !p.cross_field.empty();
+}
+
+void clear_decorations(PatternSpec& p) {
+  p.use_edge = false;
+  p.use_param_scale = false;
+  p.use_degree_init = false;
+  p.use_src_param = false;
+  p.absorbing_dip = false;
+  p.cross_field.clear();
+}
+
+/// Enumerates candidate one-step reductions of `spec`; returns them via
+/// `emit`. Candidates are ordered most-aggressive-first so the greedy loop
+/// takes big bites before polishing.
+template <typename Emit>
+void spec_candidates(const ProgramSpec& spec, Emit&& emit) {
+  if (spec.stmts.size() > 1) {
+    for (std::size_t i = 0; i < spec.stmts.size(); ++i) {
+      ProgramSpec c = spec;
+      c.stmts.erase(c.stmts.begin() + static_cast<std::ptrdiff_t>(i));
+      emit(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < spec.stmts.size(); ++i) {
+    if (spec.stmts[i].patterns.size() <= 1) continue;
+    for (std::size_t j = 0; j < spec.stmts[i].patterns.size(); ++j) {
+      ProgramSpec c = spec;
+      c.stmts[i].patterns.erase(c.stmts[i].patterns.begin() +
+                                static_cast<std::ptrdiff_t>(j));
+      emit(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < spec.stmts.size(); ++i) {
+    for (std::size_t j = 0; j < spec.stmts[i].patterns.size(); ++j) {
+      if (!has_decorations(spec.stmts[i].patterns[j])) continue;
+      ProgramSpec c = spec;
+      clear_decorations(c.stmts[i].patterns[j]);
+      emit(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < spec.stmts.size(); ++i) {
+    const auto& st = spec.stmts[i];
+    if (!st.is_iter) continue;
+    if (st.until.kind == UntilSpec::Kind::kParamCount) {
+      ProgramSpec c = spec;
+      c.stmts[i].until.kind = UntilSpec::Kind::kCount;
+      c.stmts[i].until.bound = 2;
+      emit(std::move(c));
+    }
+    if (st.until.kind == UntilSpec::Kind::kStableCapped) {
+      ProgramSpec c = spec;
+      c.stmts[i].until.kind = UntilSpec::Kind::kStable;
+      emit(std::move(c));
+    }
+    if (st.until.kind == UntilSpec::Kind::kCount && st.until.bound > 1) {
+      ProgramSpec c = spec;
+      c.stmts[i].until.bound = std::max(1, st.until.bound / 2);
+      emit(std::move(c));
+    }
+  }
+}
+
+template <typename Emit>
+void graph_candidates(const GraphSpec& g, Emit&& emit) {
+  if (g.kind == GraphSpec::Kind::kEmpty) return;
+  const std::size_t min_n = g.kind == GraphSpec::Kind::kCycle ? 3 : 2;
+  if (g.n > min_n) {
+    GraphSpec c = g;
+    c.n = std::max<std::size_t>(min_n, g.n / 2);
+    c.m = std::max<std::size_t>(c.n, g.m / 2);
+    emit(c);
+  }
+  if (g.kind == GraphSpec::Kind::kRmat) {
+    GraphSpec c = g;
+    c.kind = GraphSpec::Kind::kPath;
+    c.m = 0;
+    c.weighted = false;
+    emit(c);
+    if (g.weighted) {
+      GraphSpec w = g;
+      w.weighted = false;
+      emit(w);
+    }
+  }
+}
+
+}  // namespace
+
+ReducedCase reduce_case(ProgramSpec spec, GraphSpec graph,
+                        std::vector<int> workers,
+                        const std::function<bool(const FuzzCase&)>& still_fails,
+                        int max_attempts) {
+  ReducedCase best{std::move(spec), graph, std::move(workers), 0};
+
+  const auto try_candidate = [&](const ProgramSpec& s, const GraphSpec& g,
+                                 const std::vector<int>& w) {
+    if (best.attempts >= max_attempts) return false;
+    ++best.attempts;
+    return still_fails(make_case(s, g, w));
+  };
+
+  bool progressed = true;
+  while (progressed && best.attempts < max_attempts) {
+    progressed = false;
+
+    // The candidate enumerators hold a reference to `best` — adopting a
+    // winner mid-enumeration would free the very spec still being walked,
+    // so stash it and commit only after the enumerator returns.
+    std::optional<ProgramSpec> spec_won;
+    spec_candidates(best.spec, [&](ProgramSpec c) {
+      if (spec_won) return;
+      if (try_candidate(c, best.graph, best.workers))
+        spec_won = std::move(c);
+    });
+    if (spec_won) {
+      best.spec = std::move(*spec_won);
+      progressed = true;
+      continue;
+    }
+
+    std::optional<GraphSpec> graph_won;
+    graph_candidates(best.graph, [&](const GraphSpec& c) {
+      if (graph_won) return;
+      if (try_candidate(best.spec, c, best.workers)) graph_won = c;
+    });
+    if (graph_won) {
+      best.graph = *graph_won;
+      progressed = true;
+      continue;
+    }
+
+    if (best.workers.size() > 1) {
+      for (const int w : best.workers) {
+        if (try_candidate(best.spec, best.graph, {w})) {
+          best.workers = {w};
+          progressed = true;
+          break;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace deltav::dv::testing

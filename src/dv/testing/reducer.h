@@ -1,0 +1,36 @@
+// Greedy shrinker for failing fuzz cases.
+//
+// Works on the structured ProgramSpec rather than source text: candidate
+// reductions delete statements and patterns, strip decorations (edge
+// weights, params, cross-field references, absorbing dips), simplify until
+// clauses, shrink the graph, and drop worker counts. Each candidate is
+// re-rendered and re-checked through the caller's predicate; a reduction is
+// kept only when the failure reproduces, and the loop runs to a fixpoint.
+//
+// The predicate should compare failure *kinds*, not mere failure: a sloppy
+// "any failure" predicate lets the reducer wander onto an unrelated bug
+// (classic test-case-reduction slippage).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dv/testing/program_gen.h"
+
+namespace deltav::dv::testing {
+
+struct ReducedCase {
+  ProgramSpec spec;
+  GraphSpec graph;
+  std::vector<int> workers;
+  int attempts = 0;  // predicate evaluations spent
+};
+
+/// Shrinks (spec, graph, workers) while `still_fails(rendered case)` holds.
+/// `max_attempts` bounds total predicate evaluations.
+ReducedCase reduce_case(ProgramSpec spec, GraphSpec graph,
+                        std::vector<int> workers,
+                        const std::function<bool(const FuzzCase&)>& still_fails,
+                        int max_attempts = 300);
+
+}  // namespace deltav::dv::testing

@@ -206,7 +206,12 @@ class Engine {
     for (int w = 0; w < options_.num_workers; ++w) {
       auto& ws = workers_[static_cast<std::size_t>(w)];
       ws.unhalted = 0;
-      if (options_.schedule == ScheduleMode::kWorkQueue) ws.queue.clear();
+      // Existing queue entries are exactly the vertices with scheduled_
+      // set (e.g. by a message delivered last superstep); keep them and
+      // append only the unscheduled rest, so every live vertex is queued
+      // exactly once. Clearing the queue here would strand any
+      // already-scheduled vertex: its flag stays set, so the loop below
+      // would never re-queue it.
       partition_.for_each_owned(w, [&](VertexId v) {
         if (deleted_[v]) return;
         halted_[v] = 0;

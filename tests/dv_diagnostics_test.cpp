@@ -1,0 +1,166 @@
+// Negative-path sweep over the language-extension diagnostics: `param`,
+// `vertexId`, `u.edge`, degree (`|д|`), and `stable` misuse must be
+// rejected with a precise source position, not just "somewhere".
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dv/compiler.h"
+#include "dv/diagnostics.h"
+
+namespace deltav::dv {
+namespace {
+
+void expect_error_at(const std::string& src, int line, int col,
+                     const std::string& substr) {
+  try {
+    compile(src);
+    FAIL() << "expected CompileError containing '" << substr
+           << "' for:\n" << src;
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.loc().line, line) << e.what() << "\nsource:\n" << src;
+    EXPECT_EQ(e.loc().col, col) << e.what() << "\nsource:\n" << src;
+    EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << substr << "'";
+  }
+}
+
+TEST(Diagnostics, FieldShadowingParamIsPositioned) {
+  expect_error_at(
+      "param steps : int;\n"
+      "init {\n"
+      "  local steps : float = 1.0\n"
+      "};\n"
+      "step {\n"
+      "  steps = 2.0\n"
+      "}\n",
+      3, 3, "shadows a parameter");
+}
+
+TEST(Diagnostics, ParamTypeMismatchInLocalInit) {
+  expect_error_at(
+      "param src : int;\n"
+      "init {\n"
+      "  local x : bool = src\n"
+      "};\n"
+      "step {\n"
+      "  x = true\n"
+      "}\n",
+      3, 3, "declared bool");
+}
+
+TEST(Diagnostics, VertexIdInUntilClause) {
+  expect_error_at(
+      "init {\n"
+      "  local x : int = vertexId\n"
+      "};\n"
+      "iter i {\n"
+      "  x = x + 1\n"
+      "} until { vertexId > 0 }\n",
+      6, 11, "'vertexId' is per-vertex");
+}
+
+TEST(Diagnostics, StableOutsideUntilClause) {
+  expect_error_at(
+      "init {\n"
+      "  local x : bool = stable\n"
+      "};\n"
+      "step {\n"
+      "  x = true\n"
+      "}\n",
+      2, 20, "'stable' is only valid in until clauses");
+}
+
+TEST(Diagnostics, EdgeWeightOutsideAggregation) {
+  expect_error_at(
+      "init {\n"
+      "  local x : float = 0.0\n"
+      "};\n"
+      "step {\n"
+      "  x = u.edge\n"
+      "}\n",
+      5, 8, "field access is only valid on the aggregation");
+}
+
+TEST(Diagnostics, DegreeInUntilClause) {
+  expect_error_at(
+      "init {\n"
+      "  local x : int = |#out|\n"
+      "};\n"
+      "iter i {\n"
+      "  x = x + 1\n"
+      "} until { |#out| > 3 }\n",
+      6, 11, "degree is per-vertex");
+}
+
+TEST(Diagnostics, AggregationInInitBlock) {
+  expect_error_at(
+      "init {\n"
+      "  local x : float = + [ u.x | u <- #in ]\n"
+      "};\n"
+      "step {\n"
+      "  x = 1.0\n"
+      "}\n",
+      2, 21, "aggregations are not allowed in init");
+}
+
+TEST(Diagnostics, AggregationUnderConditional) {
+  expect_error_at(
+      "init {\n"
+      "  local x : float = 0.0\n"
+      "};\n"
+      "step {\n"
+      "  if x > 0.0 then x = + [ u.x | u <- #in ]\n"
+      "}\n",
+      5, 23, "aggregation under a conditional");
+}
+
+TEST(Diagnostics, UntilReadsVertexField) {
+  expect_error_at(
+      "init {\n"
+      "  local x : int = 0\n"
+      "};\n"
+      "iter i {\n"
+      "  x = x + 1\n"
+      "} until { x > 3 }\n",
+      6, 11, "until conditions may not read vertex fields");
+}
+
+TEST(Diagnostics, UndefinedName) {
+  expect_error_at(
+      "init {\n"
+      "  local x : int = 0\n"
+      "};\n"
+      "step {\n"
+      "  x = y + 1\n"
+      "}\n",
+      5, 7, "undefined name 'y'");
+}
+
+TEST(Diagnostics, DuplicateFieldDeclaration) {
+  expect_error_at(
+      "init {\n"
+      "  local x : int = 0;\n"
+      "  local x : int = 1\n"
+      "};\n"
+      "step {\n"
+      "  x = x + 1\n"
+      "}\n",
+      3, 3, "duplicate field 'x'");
+}
+
+TEST(Diagnostics, AggregationInUntilClause) {
+  expect_error_at(
+      "init {\n"
+      "  local x : float = 0.0\n"
+      "};\n"
+      "iter i {\n"
+      "  let s : float = + [ u.x | u <- #in ] in\n"
+      "  x = s\n"
+      "} until { + [ u.x | u <- #in ] > 1.0 }\n",
+      7, 11, "aggregations are not allowed in until clauses");
+}
+
+}  // namespace
+}  // namespace deltav::dv

@@ -1,0 +1,98 @@
+// Replays tests/corpus/*.dv — failures saved by tools/dv_fuzz — through
+// the differential harness as a deterministic regression suite. The test
+// passes (vacuously) when the corpus directory is empty: its job is to
+// guarantee that once a fuzz failure is fixed and its reduced case saved,
+// the case stays fixed.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dv/testing/corpus.h"
+#include "dv/testing/differential.h"
+
+#ifndef DV_CORPUS_DIR
+#define DV_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace deltav::dv::testing {
+namespace {
+
+TEST(FuzzCorpus, AllSavedCasesPass) {
+  const auto entries = load_corpus_dir(DV_CORPUS_DIR);
+  // An empty corpus is a legitimate state (no outstanding regressions);
+  // the replay loop below simply has nothing to do.
+  for (const auto& [path, fc] : entries) {
+    SCOPED_TRACE(path);
+    const auto fail = check_case(fc);
+    EXPECT_FALSE(fail.has_value())
+        << path << " [" << fail->check << "] " << fail->detail << "\n"
+        << fc.source;
+  }
+}
+
+TEST(FuzzCorpus, SerializationRoundTrips) {
+  FuzzCase fc;
+  fc.source = "init {\n  local x : int = vertexId\n};\n"
+              "iter i {\n  let b : int = min [ u.x | u <- #in ] in\n"
+              "  if b < x then x = b\n} until { i >= 3 }\n";
+  fc.params["steps"] = Value::of_int(4);
+  fc.params["c"] = Value::of_float(0.3125);
+  fc.params["flag"] = Value::of_bool(true);
+  fc.graph.kind = GraphSpec::Kind::kRmat;
+  fc.graph.n = 16;
+  fc.graph.m = 48;
+  fc.graph.seed = 99;
+  fc.graph.directed = true;
+  fc.graph.weighted = true;
+  fc.worker_counts = {1, 3, 4};
+
+  const std::string text = serialize_case(fc, "round-trip\nnote");
+  const FuzzCase back = parse_case(text);
+  EXPECT_EQ(back.source, fc.source);
+  EXPECT_EQ(back.graph.describe(), fc.graph.describe());
+  EXPECT_EQ(back.worker_counts, fc.worker_counts);
+  ASSERT_EQ(back.params.size(), 3u);
+  EXPECT_EQ(back.params.at("steps").i, 4);
+  EXPECT_DOUBLE_EQ(back.params.at("c").f, 0.3125);
+  EXPECT_TRUE(back.params.at("flag").b);
+  // Serializing the parse is a fixpoint (modulo the dropped note).
+  EXPECT_EQ(serialize_case(back), serialize_case(parse_case(
+                                      serialize_case(back))));
+}
+
+TEST(FuzzCorpus, SaveAndLoadDirectory) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "dv_fuzz_corpus_test_dir";
+  std::filesystem::remove_all(dir);
+
+  // Missing directory → empty corpus, not an error.
+  EXPECT_TRUE(load_corpus_dir(dir.string()).empty());
+
+  FuzzCase fc;
+  fc.source = "init {\n  local x : int = 1\n};\n"
+              "step {\n  let s : int = + [ u.x | u <- #out ] in\n"
+              "  x = min(s + 1, 1000)\n}\n";
+  fc.graph.kind = GraphSpec::Kind::kPath;
+  fc.graph.n = 4;
+  fc.graph.m = 0;
+  fc.worker_counts = {2};
+
+  const std::string path = save_case(dir.string(), fc, "sample");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const auto entries = load_corpus_dir(dir.string());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, path);
+  EXPECT_EQ(entries[0].second.source, fc.source);
+  EXPECT_EQ(entries[0].second.worker_counts, fc.worker_counts);
+
+  // Saved cases must replay cleanly through the harness.
+  EXPECT_FALSE(check_case(entries[0].second).has_value());
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace deltav::dv::testing

@@ -1,0 +1,122 @@
+// Bounded differential fuzz smoke: a fixed-seed sweep of generated
+// programs through the full ΔV/ΔV* differential harness, plus sanity
+// checks on the generator and reducer themselves. The long-soak version of
+// this loop lives in tools/dv_fuzz.cpp.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "dv/compiler.h"
+#include "dv/testing/differential.h"
+#include "dv/testing/program_gen.h"
+#include "dv/testing/reducer.h"
+#include "test_util.h"
+
+namespace deltav::dv::testing {
+namespace {
+
+constexpr int kSmokePrograms = 200;
+
+TEST(FuzzGenerator, ProducesWellTypedProgramsCoveringAllOperators) {
+  const std::uint64_t seed = test::effective_seed(0xD1FF5EED);
+  Rng rng(seed);
+  std::set<AggOp> ops_seen;
+  std::set<std::size_t> stmt_counts;
+  bool saw_param = false, saw_edge = false, saw_stable = false;
+  for (int k = 0; k < 300; ++k) {
+    Rng prng = rng.split();
+    const ProgramSpec spec = generate_spec(prng);
+    const std::string src = render(spec);
+    SCOPED_TRACE(test::seed_banner(seed) + " program " +
+                 std::to_string(k) + "\n" + src);
+    CompiledProgram cp;
+    ASSERT_NO_THROW(cp = compile(src)) << src;
+    for (const auto& site : cp.program.sites) ops_seen.insert(site.op);
+    stmt_counts.insert(cp.program.stmts.size());
+    saw_param |= !cp.program.params.empty();
+    saw_edge |= src.find("u.edge") != std::string::npos;
+    saw_stable |= src.find("stable") != std::string::npos;
+  }
+  EXPECT_EQ(ops_seen.size(), 6u) << "all six ⊞ operators should appear";
+  EXPECT_GT(stmt_counts.size(), 1u) << "multi-statement programs expected";
+  EXPECT_TRUE(saw_param);
+  EXPECT_TRUE(saw_edge);
+  EXPECT_TRUE(saw_stable);
+}
+
+TEST(FuzzSmoke, GeneratedProgramsPassDifferentialChecks) {
+  const std::uint64_t seed = test::effective_seed(0xF0225EED);
+  Rng rng(seed);
+  int checked = 0;
+  for (int k = 0; k < kSmokePrograms; ++k) {
+    Rng prng = rng.split();
+    const ProgramSpec spec = generate_spec(prng);
+    const GraphSpec gspec = random_graph_spec(prng, spec);
+    const FuzzCase fc = make_case(spec, gspec);
+    const auto fail = check_case(fc);
+    ASSERT_FALSE(fail.has_value())
+        << test::seed_banner(seed) << " program " << k << " ["
+        << fail->check << "] " << fail->detail << "\ngraph "
+        << gspec.describe() << "\n"
+        << fc.source;
+    ++checked;
+  }
+  EXPECT_EQ(checked, kSmokePrograms);
+}
+
+TEST(FuzzReducer, ShrinksToMinimalFailingCase) {
+  // Synthetic predicate: "fails" iff the program still contains a product
+  // aggregation. The reducer should strip everything else away.
+  const std::uint64_t seed = test::effective_seed(0x4ED0CE);
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    Rng prng = rng.split();
+    ProgramSpec spec = generate_spec(prng);
+    GraphSpec gspec = random_graph_spec(prng, spec);
+    const auto has_prod = [](const FuzzCase& fc) {
+      return fc.source.find("* [") != std::string::npos;
+    };
+    if (!has_prod(make_case(spec, gspec))) continue;
+
+    const ReducedCase r = reduce_case(spec, gspec, {1, 4}, has_prod);
+    const FuzzCase reduced = make_case(r.spec, r.graph, r.workers);
+    SCOPED_TRACE(test::seed_banner(seed) + "\n" + reduced.source);
+    EXPECT_TRUE(has_prod(reduced)) << "reducer must preserve the failure";
+    ASSERT_EQ(r.spec.stmts.size(), 1u);
+    ASSERT_EQ(r.spec.stmts[0].patterns.size(), 1u);
+    EXPECT_EQ(r.spec.stmts[0].patterns[0].kind, PatternKind::kProdClamp);
+    EXPECT_EQ(r.workers.size(), 1u);
+    EXPECT_NO_THROW(compile(reduced.source))
+        << "reduced case must stay well-formed:\n"
+        << reduced.source;
+    return;  // one reduction exercise is enough
+  }
+  FAIL() << "no generated program contained a product aggregation";
+}
+
+TEST(FuzzSmoke, EmptyGraphRunsAllPatterns) {
+  const std::uint64_t seed = test::effective_seed(0xE117);
+  Rng rng(seed);
+  GraphSpec empty;
+  empty.kind = GraphSpec::Kind::kEmpty;
+  empty.n = 0;
+  empty.m = 0;
+  for (int k = 0; k < 20; ++k) {
+    Rng prng = rng.split();
+    const ProgramSpec spec = generate_spec(prng);
+    GraphSpec g = empty;
+    g.directed = !spec.undirected;
+    const FuzzCase fc = make_case(spec, g);
+    const auto fail = check_case(fc);
+    ASSERT_FALSE(fail.has_value())
+        << test::seed_banner(seed) << " program " << k << " ["
+        << fail->check << "] " << fail->detail << "\n"
+        << fc.source;
+  }
+}
+
+}  // namespace
+}  // namespace deltav::dv::testing

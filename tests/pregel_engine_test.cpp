@@ -340,5 +340,155 @@ TEST(Engine, DroppedMessagesRollUpInRunStats) {
   EXPECT_EQ(e.stats().total_messages_delivered(), 0u);
 }
 
+// A vertex that deletes itself from inside compute() while messages to it
+// are already in flight: the messages must be dropped (and counted), the
+// halt books must stay consistent, and the vertex must never run again —
+// not even via activate_all().
+TEST(Engine, MarkDeletedMidComputeDropsInFlightMessages) {
+  IntEngine e(4, test::small_engine(2));
+  std::atomic<int> runs_of_2{0};
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0 || v == 1) ctx.send(2, 7);  // in flight toward 2
+    if (v == 2) {
+      ++runs_of_2;
+      e.mark_deleted(2);
+      return;  // no vote_to_halt: deletion alone must settle the books
+    }
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().supersteps[0].messages_sent, 2u);
+  EXPECT_EQ(e.stats().supersteps[0].messages_dropped, 2u);
+  EXPECT_EQ(e.stats().supersteps[0].messages_delivered, 0u);
+  EXPECT_TRUE(e.is_deleted(2));
+  EXPECT_EQ(e.num_unhalted(), 0u);
+  EXPECT_TRUE(e.done());  // dropped messages are not "pending"
+
+  e.activate_all();
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    ++ran;
+    if (v == 2) ++runs_of_2;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), 3);  // everyone but the deleted vertex
+  EXPECT_EQ(runs_of_2.load(), 1);
+  EXPECT_TRUE(e.done());
+}
+
+// Messages sent to a vertex *after* it deleted itself in the same
+// superstep are dropped too: deletion is visible to the exchange phase
+// regardless of compute ordering across workers.
+TEST(Engine, MessagesToSelfDeletedVertexNeverWakeIt) {
+  IntEngine e(2, test::small_engine(1));
+  int runs_of_1 = 0;
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) {
+      ctx.send(1, 1);
+      ctx.vote_to_halt();
+    } else {
+      ++runs_of_1;
+      e.mark_deleted(1);
+    }
+  });
+  EXPECT_TRUE(e.done());
+  EXPECT_EQ(e.stats().total_messages_dropped(), 1u);
+  // Nothing left to run: the dropped message must not have reactivated 1.
+  e.step([&](auto&, VertexId v, std::span<const int>) {
+    if (v == 1) ++runs_of_1;
+  });
+  EXPECT_EQ(runs_of_1, 1);
+}
+
+// activate_all() under kWorkQueue must produce exactly one queue entry per
+// live vertex, even when a vertex is already scheduled by a pending
+// message delivery, and must leave deleted vertices out of the queue.
+TEST(Engine, ActivateAllUnderWorkQueueNoDuplicateEntries) {
+  const std::size_t n = 6;
+  EngineOptions opts = test::small_engine(2);
+  opts.schedule = ScheduleMode::kWorkQueue;
+  IntEngine e(n, opts);
+  e.mark_deleted(5);
+  // Superstep 0: vertex 0 messages vertex 1 (scheduling it for step 1),
+  // everyone halts.
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) ctx.send(1, 1);
+    ctx.vote_to_halt();
+  });
+  EXPECT_FALSE(e.done());
+  // Vertex 1 is now both message-scheduled and re-activated here; it must
+  // still run exactly once.
+  e.activate_all();
+  std::vector<std::atomic<int>> runs(n);
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    ++runs[v];
+    ctx.vote_to_halt();
+  });
+  for (std::size_t v = 0; v + 1 < n; ++v)
+    EXPECT_EQ(runs[v].load(), 1) << "vertex " << v;
+  EXPECT_EQ(runs[n - 1].load(), 0) << "deleted vertex must not be queued";
+  EXPECT_TRUE(e.done());
+
+  // Back-to-back activate_all() calls are idempotent.
+  e.activate_all();
+  e.activate_all();
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), static_cast<int>(n) - 1);
+}
+
+// Full fixpoint computation (min-label propagation) at the degenerate
+// worker configurations: 1 worker and far more workers than vertices must
+// both reach the reference answer computed at the default worker count.
+TEST(Engine, FullComputationAtDegenerateWorkerCounts) {
+  const auto g = test::small_undirected(123);
+  auto run_with = [&](int workers) {
+    EngineOptions opts = test::small_engine(workers);
+    Engine<std::uint32_t> e(g.num_vertices(), opts);
+    std::vector<std::uint32_t> comp(g.num_vertices());
+    for (std::size_t v = 0; v < comp.size(); ++v)
+      comp[v] = static_cast<std::uint32_t>(v);
+    e.run([&](auto& ctx, VertexId v, std::span<const std::uint32_t> msgs) {
+      std::uint32_t best = comp[v];
+      for (auto m : msgs) best = std::min(best, m);
+      const bool changed = best < comp[v];
+      if (changed) comp[v] = best;
+      if (ctx.superstep() == 0 || changed)
+        for (auto u : g.neighbors(v)) ctx.send(u, comp[v]);
+      ctx.vote_to_halt();
+    });
+    EXPECT_TRUE(e.done());
+    return comp;
+  };
+  const auto reference = run_with(4);
+  EXPECT_EQ(run_with(1), reference);
+  const int many = static_cast<int>(g.num_vertices()) + 13;
+  EXPECT_EQ(run_with(many), reference);
+}
+
+// An engine over zero vertices is legal: immediately done, and stepping /
+// activate_all are harmless no-ops under both schedulers.
+TEST(Engine, ZeroVertexEngine) {
+  for (const ScheduleMode mode :
+       {ScheduleMode::kScanAll, ScheduleMode::kWorkQueue}) {
+    EngineOptions opts = test::small_engine(3);
+    opts.schedule = mode;
+    IntEngine e(0, opts);
+    EXPECT_TRUE(e.done());
+    EXPECT_EQ(e.num_unhalted(), 0u);
+    std::atomic<int> ran{0};
+    e.step([&](auto&, VertexId, std::span<const int>) { ++ran; });
+    EXPECT_EQ(ran.load(), 0);
+    e.activate_all();
+    EXPECT_TRUE(e.done());
+    const RunStats& stats =
+        e.run([&](auto&, VertexId, std::span<const int>) { ++ran; }, 10);
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(stats.total_messages_sent(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace deltav::pregel

@@ -1,0 +1,146 @@
+// Long-soak differential fuzzer for the ΔV compiler pipeline.
+//
+//   dv_fuzz --seed=1 --programs=10000            # soak
+//   dv_fuzz --seed=1 --programs=10000 --save     # persist reduced failures
+//   dv_fuzz --replay=tests/corpus                # re-run saved failures
+//
+// Each program is generated from an independent split of the base seed, so
+// any failure reproduces from (--seed, reported index) alone. Failures are
+// greedily reduced (same failing check, smaller program/graph) before being
+// reported or saved.
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+
+#include "common/args.h"
+#include "common/rng.h"
+#include "dv/testing/corpus.h"
+#include "dv/testing/differential.h"
+#include "dv/testing/program_gen.h"
+#include "dv/testing/reducer.h"
+
+namespace {
+
+using namespace deltav;
+using namespace deltav::dv::testing;
+
+int replay_corpus(const std::string& dir, const DiffOptions& opts) {
+  // An empty directory is a legitimate corpus (no outstanding
+  // regressions); a missing one is a typo'd path that must not read as
+  // a clean replay.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::fprintf(stderr, "error: corpus %s is not a directory\n",
+                 dir.c_str());
+    return 2;
+  }
+  const auto entries = load_corpus_dir(dir);
+  if (entries.empty()) {
+    std::printf("corpus %s: no entries\n", dir.c_str());
+    return 0;
+  }
+  int failures = 0;
+  for (const auto& [path, fc] : entries) {
+    const auto fail = check_case(fc, opts);
+    if (fail) {
+      ++failures;
+      std::printf("FAIL %s [%s] %s\n", path.c_str(), fail->check.c_str(),
+                  fail->detail.c_str());
+    } else {
+      std::printf("ok   %s\n", path.c_str());
+    }
+  }
+  std::printf("%zu entries, %d failing\n", entries.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args(argc, argv);
+    const auto seed = static_cast<std::uint64_t>(
+        args.get_int("seed", 1, "base seed; each program splits from it"));
+    const auto programs =
+        args.get_int("programs", 1000, "number of programs to generate");
+    const std::string corpus_dir = args.get_string(
+        "corpus", "tests/corpus", "directory for saved failures");
+    const bool save =
+        args.get_bool("save", false, "save reduced failures to --corpus");
+    const bool reduce =
+        args.get_bool("reduce", true, "greedily shrink failing cases");
+    const std::string replay = args.get_string(
+        "replay", "", "replay a corpus directory instead of fuzzing");
+    const bool verbose =
+        args.get_bool("verbose", false, "print every generated program");
+    const auto max_failures = args.get_int(
+        "max_failures", 10, "stop after this many distinct failures");
+    DiffOptions diff;
+    diff.float_tol =
+        args.get_double("tolerance", diff.float_tol, "float comparison tol");
+    if (args.help_requested()) {
+      std::printf("%s", args.help().c_str());
+      return 0;
+    }
+    args.check_unused();
+
+    if (!replay.empty()) return replay_corpus(replay, diff);
+
+    Rng rng(seed);
+    GenOptions gen;
+    std::int64_t failures = 0;
+    for (std::int64_t k = 0; k < programs; ++k) {
+      Rng prng = rng.split();
+      const ProgramSpec spec = generate_spec(prng, gen);
+      const GraphSpec gspec = random_graph_spec(prng, spec, gen);
+      const FuzzCase fc = make_case(spec, gspec);
+      if (verbose)
+        std::printf("--- program %lld (graph %s)\n%s", (long long)k,
+                    gspec.describe().c_str(), fc.source.c_str());
+      const auto fail = check_case(fc, diff);
+      if (!fail) continue;
+
+      ++failures;
+      std::printf("FAIL program %lld seed %llu [%s] %s\n", (long long)k,
+                  (unsigned long long)seed, fail->check.c_str(),
+                  fail->detail.c_str());
+      FuzzCase to_report = fc;
+      if (reduce) {
+        const std::string kind = fail->check;
+        const auto reduced = reduce_case(
+            spec, gspec, fc.worker_counts,
+            [&](const FuzzCase& candidate) {
+              const auto f = check_case(candidate, diff);
+              return f && f->check == kind;
+            });
+        to_report =
+            make_case(reduced.spec, reduced.graph, reduced.workers);
+        std::printf("reduced (%d attempts) to graph %s:\n%s",
+                    reduced.attempts, reduced.graph.describe().c_str(),
+                    to_report.source.c_str());
+      } else {
+        std::printf("graph %s:\n%s", gspec.describe().c_str(),
+                    fc.source.c_str());
+      }
+      if (save) {
+        const std::string note =
+            "[" + fail->check + "] " + fail->detail + " (seed " +
+            std::to_string(seed) + " program " + std::to_string(k) + ")";
+        const std::string path = save_case(corpus_dir, to_report, note);
+        std::printf("saved %s\n", path.c_str());
+      }
+      if (failures >= max_failures) {
+        std::printf("stopping after %lld failures\n", (long long)failures);
+        break;
+      }
+    }
+    std::printf("%lld programs, %lld failing\n", (long long)programs,
+                (long long)failures);
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dv_fuzz: %s\n", e.what());
+    return 2;
+  }
+}
