@@ -17,9 +17,13 @@
 // (who wins, roughly by how much), not the absolute EC2 numbers.
 #pragma once
 
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/args.h"
 #include "common/table.h"
@@ -64,13 +68,17 @@ inline pregel::EngineOptions paper_engine(int workers = 4) {
   return o;
 }
 
-/// Runs a compiled ΔV program, returning metrics.
+/// Runs a compiled ΔV program on the given execution tier, returning
+/// metrics. Both tiers produce identical message/byte counts (the
+/// differential fuzzer enforces bit-equality); only the timings differ.
 inline Metrics run_dv(const dv::CompiledProgram& cp,
                       const graph::CsrGraph& g,
-                      std::map<std::string, dv::Value> params, int workers) {
+                      std::map<std::string, dv::Value> params, int workers,
+                      dv::ExecTier tier = dv::ExecTier::kVm) {
   dv::DvRunOptions o;
   o.engine = paper_engine(workers);
   o.params = std::move(params);
+  o.tier = tier;
   Timer t;
   const auto result = dv::run_program(cp, g, o);
   Metrics m = from_stats(result.stats, t.elapsed_seconds());
@@ -78,9 +86,26 @@ inline Metrics run_dv(const dv::CompiledProgram& cp,
   return m;
 }
 
-/// Repeats a measurement `reps` times (the paper reports 3-run averages),
-/// averaging the timings; message/byte counts must be identical across
-/// runs (the engine is deterministic) and are verified to be.
+/// Parses a --tiers flag value ("vm", "tree", or "vm,tree").
+inline std::vector<dv::ExecTier> parse_tiers(const std::string& flag) {
+  std::vector<dv::ExecTier> tiers;
+  std::size_t pos = 0;
+  while (pos <= flag.size()) {
+    const std::size_t comma = flag.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? flag.size() : comma;
+    tiers.push_back(dv::parse_exec_tier(flag.substr(pos, end - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  DV_CHECK_MSG(!tiers.empty(), "--tiers must name at least one tier");
+  return tiers;
+}
+
+/// Repeats a measurement `reps` times, keeping the minimum wall-clock —
+/// the noise-robust statistic for a deterministic workload, where every
+/// deviation from the true cost is additive interference. Simulated time
+/// and message/byte counts are deterministic and must be identical across
+/// runs; this is verified.
 template <typename Fn>
 Metrics averaged(int reps, Fn&& fn) {
   Metrics acc = fn();
@@ -88,21 +113,20 @@ Metrics averaged(int reps, Fn&& fn) {
     const Metrics m = fn();
     DV_CHECK_MSG(m.messages == acc.messages && m.bytes == acc.bytes,
                  "nondeterministic message counts across repetitions");
-    acc.wall_seconds += m.wall_seconds;
-    acc.sim_seconds += m.sim_seconds;
+    acc.wall_seconds = std::min(acc.wall_seconds, m.wall_seconds);
+    acc.sim_seconds = std::min(acc.sim_seconds, m.sim_seconds);
   }
-  acc.wall_seconds /= reps;
-  acc.sim_seconds /= reps;
   return acc;
 }
 
 inline void add_row(Table& table, const std::string& graph,
                     const std::string& algo, const std::string& system,
-                    const Metrics& m) {
+                    const Metrics& m, const std::string& tier = "vm") {
   table.row()
       .cell(graph)
       .cell(algo)
       .cell(system)
+      .cell(tier)
       .cell(m.wall_seconds, 3)
       .cell(m.sim_seconds, 3)
       .cell(static_cast<unsigned long long>(m.messages))
@@ -111,9 +135,56 @@ inline void add_row(Table& table, const std::string& graph,
 }
 
 inline Table make_metrics_table() {
-  return Table({"graph", "algorithm", "system", "wall(s)", "sim(s)", "msgs",
-                "MB", "supersteps"});
+  return Table({"graph", "algorithm", "system", "tier", "wall(s)", "sim(s)",
+                "msgs", "MB", "supersteps"});
 }
+
+/// Machine-readable benchmark output (`--json <path>`): one object per
+/// measured row, written once at exit. The schema is the CI perf-tracking
+/// contract — BENCH_fig4.json in the repo root is the committed baseline —
+/// so fields are only ever added, never renamed.
+class JsonReport {
+ public:
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& graph, const std::string& algo,
+           const std::string& system, const std::string& tier,
+           const Metrics& m) {
+    if (enabled()) rows_.push_back(Row{graph, algo, system, tier, m});
+  }
+
+  void write(const std::string& bench_name) const {
+    if (!enabled()) return;
+    std::ofstream out(path_);
+    DV_CHECK_MSG(out.good(), "cannot open --json path '" << path_ << "'");
+    out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      const Metrics& m = r.metrics;
+      out << (i ? ",\n" : "\n")
+          << "    {\"graph\": \"" << r.graph << "\", \"algorithm\": \""
+          << r.algo << "\", \"system\": \"" << r.system
+          << "\", \"tier\": \"" << r.tier << "\", \"wall_seconds\": "
+          << std::setprecision(6) << m.wall_seconds
+          << ", \"sim_seconds\": " << m.sim_seconds
+          << ", \"messages\": " << m.messages << ", \"bytes\": " << m.bytes
+          << ", \"supersteps\": " << m.supersteps
+          << ", \"state_bytes\": " << m.state_bytes << "}";
+    }
+    out << "\n  ]\n}\n";
+    DV_CHECK_MSG(out.good(), "failed writing --json path '" << path_ << "'");
+    std::cout << "\nwrote " << rows_.size() << " rows to " << path_ << "\n";
+  }
+
+ private:
+  struct Row {
+    std::string graph, algo, system, tier;
+    Metrics metrics;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 /// Prints the standard bench banner.
 inline void banner(const std::string& title, const std::string& paper_ref) {

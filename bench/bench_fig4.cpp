@@ -6,6 +6,11 @@
 // interpretation overhead); ΔV beats both on PR (avg 4.4× vs Pregel+, 5.8×
 // fewer messages) and HITS (1.9× both); SSSP sends exactly the same number
 // of messages in all three systems and ΔV shows no slowdown.
+//
+// The --tiers axis additionally runs the compiled programs on both ΔV
+// execution substrates (bytecode VM vs reference tree interpreter) so the
+// interpretation tax is tracked end-to-end; --json writes the rows for CI
+// perf tracking (BENCH_fig4.json is the committed baseline).
 #include <iostream>
 
 #include "algorithms/hits.h"
@@ -59,22 +64,77 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
   const int reps = static_cast<int>(
       args.get_int("reps", 3, "repetitions averaged (paper: 3)"));
+  const std::string tiers_flag = args.get_string(
+      "tiers", "vm,tree", "ΔV execution tiers to run (vm, tree, or both)");
+  const std::string json_path = args.get_string(
+      "json", "", "write machine-readable rows to this path");
   if (args.help_requested()) {
     std::cout << args.help();
     return 0;
   }
   args.check_unused();
+  const std::vector<dv::ExecTier> tiers = bench::parse_tiers(tiers_flag);
 
   bench::banner("Runtime and messages: PG / SSSP / HITS",
                 "Figure 4 (Wikipedia & LiveJournal-DG, ΔV vs ΔV* vs "
                 "Pregel+)");
 
   Table t = bench::make_metrics_table();
+  bench::JsonReport json;
+  json.set_path(json_path);
   struct Ratio {
     std::string graph, algo;
     double msg_reduction, star_speedup_sim;
   };
   std::vector<Ratio> ratios;
+  struct TierRatio {
+    std::string graph, algo, system;
+    double vm_speedup;  // wall(tree) / wall(vm)
+  };
+  std::vector<TierRatio> tier_ratios;
+
+  // Runs one compiled (ΔV, ΔV*) pair across the tier axis, recording
+  // table rows, JSON rows and the two ratio series.
+  const auto bench_pair = [&](const std::string& ds, const std::string& algo,
+                              const dv::CompiledProgram& full,
+                              const dv::CompiledProgram& star,
+                              const graph::CsrGraph& g,
+                              const std::map<std::string, dv::Value>& params) {
+    bench::Metrics full_by_tier[2], star_by_tier[2];
+    bool have[2] = {false, false};
+    for (const dv::ExecTier tier : tiers) {
+      const auto m_full = bench::averaged(reps, [&] {
+        return bench::run_dv(full, g, params, workers, tier);
+      });
+      const auto m_star = bench::averaged(reps, [&] {
+        return bench::run_dv(star, g, params, workers, tier);
+      });
+      const char* tn = dv::exec_tier_name(tier);
+      bench::add_row(t, ds, algo, "DV", m_full, tn);
+      bench::add_row(t, ds, algo, "DV*", m_star, tn);
+      json.add(ds, algo, "DV", tn, m_full);
+      json.add(ds, algo, "DV*", tn, m_star);
+      const auto ti = static_cast<std::size_t>(tier);
+      full_by_tier[ti] = m_full;
+      star_by_tier[ti] = m_star;
+      have[ti] = true;
+      if (tier == dv::ExecTier::kVm)
+        ratios.push_back({ds, algo,
+                          static_cast<double>(m_star.messages) /
+                              static_cast<double>(m_full.messages),
+                          m_star.sim_seconds / m_full.sim_seconds});
+    }
+    const auto tree = static_cast<std::size_t>(dv::ExecTier::kTree);
+    const auto vm = static_cast<std::size_t>(dv::ExecTier::kVm);
+    if (have[tree] && have[vm]) {
+      tier_ratios.push_back({ds, algo, "DV",
+                             full_by_tier[tree].wall_seconds /
+                                 full_by_tier[vm].wall_seconds});
+      tier_ratios.push_back({ds, algo, "DV*",
+                             star_by_tier[tree].wall_seconds /
+                                 star_by_tier[vm].wall_seconds});
+    }
+  };
 
   for (const char* ds : {"wikipedia-s", "livejournal-dg-s"}) {
     const auto g = graph::make_dataset(ds, scale);
@@ -91,19 +151,11 @@ int main(int argc, char** argv) {
       const auto [full, star] = compile_both(dv::programs::kPageRank);
       const std::map<std::string, dv::Value> params = {
           {"steps", dv::Value::of_int(kPrSupersteps - 1)}};
-      const auto m_full = bench::averaged(
-          reps, [&] { return bench::run_dv(full, g, params, workers); });
-      const auto m_star = bench::averaged(
-          reps, [&] { return bench::run_dv(star, g, params, workers); });
+      bench_pair(ds, "PageRank", full, star, g, params);
       const auto m_hand =
           bench::averaged(reps, [&] { return run_pagerank_hand(g, workers); });
-      bench::add_row(t, ds, "PageRank", "DV", m_full);
-      bench::add_row(t, ds, "PageRank", "DV*", m_star);
-      bench::add_row(t, ds, "PageRank", "Pregel+", m_hand);
-      ratios.push_back({ds, "PageRank",
-                        static_cast<double>(m_star.messages) /
-                            static_cast<double>(m_full.messages),
-                        m_star.sim_seconds / m_full.sim_seconds});
+      bench::add_row(t, ds, "PageRank", "Pregel+", m_hand, "-");
+      json.add(ds, "PageRank", "Pregel+", "-", m_hand);
     }
 
     // ---- SSSP ----
@@ -111,19 +163,11 @@ int main(int argc, char** argv) {
       const auto [full, star] = compile_both(dv::programs::kSssp);
       const std::map<std::string, dv::Value> params = {
           {"source", dv::Value::of_int(0)}};
-      const auto m_full = bench::averaged(
-          reps, [&] { return bench::run_dv(full, gw, params, workers); });
-      const auto m_star = bench::averaged(
-          reps, [&] { return bench::run_dv(star, gw, params, workers); });
+      bench_pair(ds, "SSSP", full, star, gw, params);
       const auto m_hand =
           bench::averaged(reps, [&] { return run_sssp_hand(gw, workers); });
-      bench::add_row(t, ds, "SSSP", "DV", m_full);
-      bench::add_row(t, ds, "SSSP", "DV*", m_star);
-      bench::add_row(t, ds, "SSSP", "Pregel+", m_hand);
-      ratios.push_back({ds, "SSSP",
-                        static_cast<double>(m_star.messages) /
-                            static_cast<double>(m_full.messages),
-                        m_star.sim_seconds / m_full.sim_seconds});
+      bench::add_row(t, ds, "SSSP", "Pregel+", m_hand, "-");
+      json.add(ds, "SSSP", "Pregel+", "-", m_hand);
     }
 
     // ---- HITS ----
@@ -131,32 +175,34 @@ int main(int argc, char** argv) {
       const auto [full, star] = compile_both(dv::programs::kHits);
       const std::map<std::string, dv::Value> params = {
           {"steps", dv::Value::of_int(kHitsRounds)}};
-      const auto m_full = bench::averaged(
-          reps, [&] { return bench::run_dv(full, g, params, workers); });
-      const auto m_star = bench::averaged(
-          reps, [&] { return bench::run_dv(star, g, params, workers); });
+      bench_pair(ds, "HITS", full, star, g, params);
       const auto m_hand =
           bench::averaged(reps, [&] { return run_hits_hand(g, workers); });
-      bench::add_row(t, ds, "HITS", "DV", m_full);
-      bench::add_row(t, ds, "HITS", "DV*", m_star);
-      bench::add_row(t, ds, "HITS", "Pregel+", m_hand);
-      ratios.push_back({ds, "HITS",
-                        static_cast<double>(m_star.messages) /
-                            static_cast<double>(m_full.messages),
-                        m_star.sim_seconds / m_full.sim_seconds});
+      bench::add_row(t, ds, "HITS", "Pregel+", m_hand, "-");
+      json.add(ds, "HITS", "Pregel+", "-", m_hand);
     }
   }
   t.print(std::cout);
 
-  std::cout << "\nIncrementalization effect (ΔV* / ΔV):\n";
+  std::cout << "\nIncrementalization effect (ΔV* / ΔV, vm tier):\n";
   Table rt({"graph", "algorithm", "message reduction", "sim-time speedup"});
   for (const auto& r : ratios)
     rt.row().cell(r.graph).cell(r.algo).ratio(r.msg_reduction).ratio(
         r.star_speedup_sim);
   rt.print(std::cout);
+
+  if (!tier_ratios.empty()) {
+    std::cout << "\nInterpretation tax (tree / vm wall-clock):\n";
+    Table tt({"graph", "algorithm", "system", "vm speedup"});
+    for (const auto& r : tier_ratios)
+      tt.row().cell(r.graph).cell(r.algo).cell(r.system).ratio(r.vm_speedup);
+    tt.print(std::cout);
+  }
+
   std::cout <<
       "\nShape checks (paper §7.2): PR and HITS show multi-x message\n"
       "reduction and speedup; SSSP shows 1.00x (identical messages) and\n"
       "no slowdown. Scale=" << scale << ".\n";
+  json.write("fig4");
   return 0;
 }

@@ -1,7 +1,8 @@
 // µ — google-benchmark micro-benchmarks for the engine and runtime hot
 // paths: the combiner map, message exchange, interpreter dispatch, and
 // Δ-message synthesis. These quantify the constant factors behind the
-// Figure-4 "Pregel+ is always faster than ΔV*" observation.
+// Figure-4 "Pregel+ is always faster than ΔV*" observation, and — via the
+// */tree vs */vm pairs — the interpretation tax the bytecode tier removes.
 #include <benchmark/benchmark.h>
 
 #include "common/open_hash_map.h"
@@ -10,6 +11,7 @@
 #include "dv/programs/programs.h"
 #include "dv/runtime/delta.h"
 #include "dv/runtime/runner.h"
+#include "dv/runtime/vm.h"
 #include "graph/generators.h"
 #include "pregel/engine.h"
 
@@ -102,6 +104,194 @@ void BM_InterpreterPageRankSuperstep(benchmark::State& state) {
                           30 * 4096);
 }
 BENCHMARK(BM_InterpreterPageRankSuperstep);
+
+// ---- VM vs tree dispatch cost ------------------------------------------
+//
+// The tier benchmarks run the SAME compiled expression trees on both
+// execution substrates (Arg(0) = tree interpreter, Arg(1) = bytecode VM),
+// bypassing the engine so only evaluation dispatch is measured. Three
+// shapes cover the runtime's hot paths: a pure PageRank-shaped arithmetic
+// body, the Δ-send loop over CSR neighbor spans, and the receiver-side
+// Δ-fold (Eq. 8/9).
+
+dv::ExecTier tier_of(const benchmark::State& state) {
+  return state.range(0) ? dv::ExecTier::kVm : dv::ExecTier::kTree;
+}
+
+class DevNullSink final : public dv::SendSink {
+ public:
+  std::uint64_t count = 0;
+  void send(graph::VertexId, const dv::DvMessage&) override { ++count; }
+  void send_span(std::span<const graph::VertexId> dsts,
+                 const dv::DvMessage&) override {
+    count += dsts.size();
+  }
+};
+
+/// Owns everything an EvalContext needs for standalone body evaluation:
+/// per-vertex state initialized the way the runner does (identities for
+/// accumulator slots, typed zeros for user fields), bound params, wire
+/// sizes, and the lowered VM program.
+struct TierFixture {
+  explicit TierFixture(const char* src,
+                       std::map<std::string, dv::Value> params = {})
+      : g(graph::rmat(4096, 32768, 11)), cp(dv::compile(src, {})), vm(cp) {
+    stride = cp.program.fields.size();
+    std::vector<dv::Value> defaults(stride);
+    for (std::size_t fi = 0; fi < stride; ++fi) {
+      const dv::Field& f = cp.program.fields[fi];
+      switch (f.origin) {
+        case dv::Field::Origin::kAccumulator:
+        case dv::Field::Origin::kNnAcc:
+        case dv::Field::Origin::kLastSent: {
+          const dv::AggSite& site =
+              cp.program.sites[static_cast<std::size_t>(f.site)];
+          defaults[fi] = dv::agg_identity(site.op, site.elem_type);
+          break;
+        }
+        case dv::Field::Origin::kNullCount:
+          defaults[fi] = dv::Value::of_int(0);
+          break;
+        default:
+          defaults[fi] = f.type == dv::Type::kFloat ? dv::Value::of_float(0.5)
+                         : f.type == dv::Type::kBool
+                             ? dv::Value::of_bool(false)
+                             : dv::Value::of_int(0);
+          break;
+      }
+    }
+    state0.reserve(g.num_vertices() * stride);
+    for (std::size_t v = 0; v < g.num_vertices(); ++v)
+      state0.insert(state0.end(), defaults.begin(), defaults.end());
+    state = state0;
+    for (const dv::ScratchVar& sv : cp.program.scratch)
+      scratch_defaults.push_back(sv.type == dv::Type::kFloat
+                                     ? dv::Value::of_float(0.0)
+                                 : sv.type == dv::Type::kBool
+                                     ? dv::Value::of_bool(false)
+                                     : dv::Value::of_int(0));
+    scratch = scratch_defaults;
+    for (const dv::Param& p : cp.program.params)
+      bound_params.push_back(params.at(p.name).coerce(p.type));
+    const bool multi = cp.program.sites.size() > 1;
+    for (const dv::AggSite& site : cp.program.sites) {
+      std::size_t bytes = dv::type_wire_bytes(site.elem_type);
+      if (multi) bytes += 1;
+      if (cp.options.incrementalize && site.multiplicative()) bytes += 1;
+      site_wire.push_back(static_cast<std::uint8_t>(bytes));
+    }
+  }
+
+  dv::EvalContext ctx_for(graph::VertexId v) {
+    dv::EvalContext ctx;
+    ctx.prog = &cp.program;
+    ctx.graph = &g;
+    ctx.fields = {state.data() + static_cast<std::size_t>(v) * stride,
+                  stride};
+    std::copy(scratch_defaults.begin(), scratch_defaults.end(),
+              scratch.begin());
+    ctx.scratch = scratch;
+    ctx.params = bound_params;
+    ctx.site_wire = &site_wire;
+    ctx.sink = &sink;
+    ctx.vertex = v;
+    ctx.has_vertex = true;
+    return ctx;
+  }
+
+  const dv::Expr& body() const { return *cp.program.stmts[0].body; }
+
+  /// Evaluates the statement body for `v` on the selected tier.
+  void run_body(dv::ExecTier tier, dv::EvalContext& ctx) {
+    if (tier == dv::ExecTier::kVm)
+      vm.eval_root(body(), ctx);
+    else
+      dv::eval(body(), ctx);
+  }
+
+  graph::CsrGraph g;
+  dv::CompiledProgram cp;
+  dv::Vm vm;
+  std::size_t stride = 0;
+  std::vector<dv::Value> state0, state;
+  std::vector<dv::Value> scratch_defaults, scratch;
+  std::vector<dv::Value> bound_params;
+  std::vector<std::uint8_t> site_wire;
+  DevNullSink sink;
+};
+
+/// The PageRank recurrence without its aggregation — pure typed arithmetic
+/// (const, field, param, graphSize, degree, ÷, ×, +), so the measured gap
+/// is exactly expression-dispatch overhead.
+constexpr const char* kPrShapedExpr = R"(
+param steps : int;
+init { local vl : float = 1.0 / graphSize; local pr : float = 0.0 };
+iter i {
+  vl = 0.15 + 0.85 * ((vl + pr) / graphSize);
+  pr = vl / |#out|
+} until { i >= steps }
+)";
+
+void BM_TierPageRankExprEval(benchmark::State& state) {
+  TierFixture fx(kPrShapedExpr, {{"steps", dv::Value::of_int(1)}});
+  const dv::ExecTier tier = tier_of(state);
+  auto ctx = fx.ctx_for(0);
+  for (auto _ : state) {
+    fx.run_body(tier, ctx);
+    benchmark::DoNotOptimize(ctx.fields.data());
+  }
+  state.SetLabel(dv::exec_tier_name(tier));
+}
+BENCHMARK(BM_TierPageRankExprEval)->Arg(0)->Arg(1)->ArgNames({"vm"});
+
+void BM_TierDeltaSendLoop(benchmark::State& state) {
+  // Full ΔV PageRank body per vertex: Δ-fold over an empty inbox, the
+  // recurrence, then the Δ-send loop over the out-neighbor span. One
+  // benchmark iteration sweeps every vertex; state is restored first so
+  // noop suppression never converges the sends away.
+  TierFixture fx(dv::programs::kPageRank,
+                 {{"steps", dv::Value::of_int(1)}});
+  const dv::ExecTier tier = tier_of(state);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.state = fx.state0;
+    state.ResumeTiming();
+    for (std::size_t v = 0; v < fx.g.num_vertices(); ++v) {
+      auto ctx = fx.ctx_for(static_cast<graph::VertexId>(v));
+      fx.run_body(tier, ctx);
+    }
+    benchmark::DoNotOptimize(fx.sink.count);
+  }
+  state.SetLabel(dv::exec_tier_name(tier));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.g.num_arcs()));
+}
+BENCHMARK(BM_TierDeltaSendLoop)->Arg(0)->Arg(1)->ArgNames({"vm"});
+
+void BM_TierDeltaFold(benchmark::State& state) {
+  // Receiver side: fold a 16-message Δ-inbox into the memoized
+  // accumulator (Eq. 8/9). Sends are suppressed so the fold dominates.
+  TierFixture fx(dv::programs::kPageRank,
+                 {{"steps", dv::Value::of_int(1)}});
+  const dv::ExecTier tier = tier_of(state);
+  std::vector<dv::DvMessage> inbox(16);
+  for (auto& m : inbox) {
+    m.payload = dv::Value::of_float(1e-3);
+    m.site = 0;
+    m.wire = fx.site_wire[0];
+  }
+  auto ctx = fx.ctx_for(0);
+  ctx.msgs = inbox;
+  ctx.suppress_sites = ~std::uint64_t{0};
+  for (auto _ : state) {
+    fx.run_body(tier, ctx);
+    benchmark::DoNotOptimize(ctx.fields.data());
+  }
+  state.SetLabel(dv::exec_tier_name(tier));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inbox.size()));
+}
+BENCHMARK(BM_TierDeltaFold)->Arg(0)->Arg(1)->ArgNames({"vm"});
 
 void BM_HandwrittenPageRank(benchmark::State& state) {
   // The native-code equivalent of the interpreter benchmark above; the

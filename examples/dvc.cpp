@@ -18,6 +18,7 @@
 #include "dv/compiler.h"
 #include "dv/programs/programs.h"
 #include "dv/runtime/runner.h"
+#include "dv/runtime/vm.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
 
@@ -72,7 +73,7 @@ int main(int argc, char** argv) {
         "variant", "dv", "dv (incrementalized) | dvstar | naive");
     const std::string emit = args.get_string(
         "emit", "summary",
-        "summary | ast | layout | sites | warnings | cpp");
+        "summary | ast | layout | sites | warnings | cpp | bytecode");
     const std::string cpp_class = args.get_string(
         "class", "DvProgram", "class name for --emit=cpp");
     const double epsilon =
@@ -91,6 +92,8 @@ int main(int argc, char** argv) {
         "param", "", "program parameters, e.g. source=0,steps=29");
     const int workers =
         static_cast<int>(args.get_int("workers", 4, "worker threads"));
+    const std::string tier = args.get_string(
+        "tier", "vm", "execution tier for --run: vm | tree");
     if (args.help_requested()) {
       std::cout << args.help();
       return 0;
@@ -133,6 +136,8 @@ int main(int argc, char** argv) {
 
     if (emit == "cpp") {
       std::cout << dv::emit_cpp(cp, cpp_class);
+    } else if (emit == "bytecode") {
+      std::cout << dv::to_string(dv::lower_program(cp));
     } else if (emit == "ast") {
       std::cout << cp.dump();
     } else if (emit == "layout") {
@@ -165,6 +170,7 @@ int main(int argc, char** argv) {
       std::cout << "graph: " << g.summary() << "\n";
       dv::DvRunOptions ropts;
       ropts.engine.num_workers = workers;
+      ropts.tier = dv::parse_exec_tier(tier);
       ropts.params = parse_params(param_spec);
       const auto result = dv::run_program(cp, g, ropts);
       std::cout << "done: " << result.stats.summary() << "\n";

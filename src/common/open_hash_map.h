@@ -25,16 +25,28 @@ class OpenHashMap {
 
   explicit OpenHashMap(std::size_t initial_capacity = 16) {
     rehash(round_up(initial_capacity));
+    tracking_ = true;  // the table rehash() saw was empty, nothing is stale
   }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Removes all entries; keeps the allocated table.
+  /// Removes all entries; keeps the allocated table. When few slots were
+  /// touched since the last clear (the combiner clears once per worker per
+  /// destination per superstep, often after a handful of inserts into a
+  /// large retained table), only those slots are re-zeroed instead of
+  /// walking the whole table.
   void clear() {
-    if (size_ == 0) return;
-    for (auto& s : slots_) s.key = kEmptyKey;
-    size_ = 0;
+    if (size_ != 0) {
+      if (tracking_) {
+        for (std::size_t i : touched_) slots_[i].key = kEmptyKey;
+      } else {
+        for (auto& s : slots_) s.key = kEmptyKey;
+      }
+      size_ = 0;
+    }
+    touched_.clear();
+    tracking_ = true;
   }
 
   /// Returns the value slot for `key`, default-constructing it on first use.
@@ -49,6 +61,16 @@ class OpenHashMap {
         s.key = key;
         s.value = V{};
         ++size_;
+        // Past 1/8 occupancy a full-table walk is as cheap as replaying
+        // the list, so stop paying for the bookkeeping.
+        if (tracking_) {
+          if (touched_.size() < capacity() / 8) {
+            touched_.push_back(i);
+          } else {
+            tracking_ = false;
+            touched_.clear();
+          }
+        }
         return s.value;
       }
       i = (i + 1) & mask_;
@@ -101,6 +123,10 @@ class OpenHashMap {
     slots_.assign(new_capacity, Slot{});
     mask_ = new_capacity - 1;
     size_ = 0;
+    // Entries relocate, so the touched list is stale; fall back to the
+    // full-table clear until the next clear() restarts tracking.
+    tracking_ = false;
+    touched_.clear();
     for (auto& s : old) {
       if (s.key == kEmptyKey) continue;
       std::size_t i = probe_start(s.key);
@@ -111,6 +137,8 @@ class OpenHashMap {
   }
 
   std::vector<Slot> slots_;
+  std::vector<std::size_t> touched_;  // slots occupied since last clear
+  bool tracking_ = true;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
 };

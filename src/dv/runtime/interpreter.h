@@ -22,6 +22,14 @@ class SendSink {
  public:
   virtual ~SendSink() = default;
   virtual void send(graph::VertexId dst, const DvMessage& msg) = 0;
+  /// Sends one identical message to every destination in `dsts`, in order.
+  /// Equivalent to dsts.size() send() calls (the default does exactly
+  /// that); sinks on the engine hot path override it to amortize
+  /// per-message bookkeeping for span-invariant broadcasts.
+  virtual void send_span(std::span<const graph::VertexId> dsts,
+                         const DvMessage& msg) {
+    for (const graph::VertexId dst : dsts) send(dst, msg);
+  }
 };
 
 struct EvalContext {

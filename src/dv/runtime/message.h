@@ -48,8 +48,18 @@ struct DvCombiner {
   void operator()(DvMessage& acc, const DvMessage& in) const {
     DV_DCHECK(acc.site == in.site);
     const auto s = static_cast<std::size_t>(acc.site);
-    acc.payload =
-        agg_apply(table->ops[s], table->types[s], acc.payload, in.payload);
+    const AggOp op = table->ops[s];
+    const Type t = table->types[s];
+    // Float-sum is the dominant combine (PageRank/HITS contributions); its
+    // agg_apply reduces to one add when both payloads already carry the
+    // float tag, skipping the operator switch and Value re-boxing.
+    if (op == AggOp::kSum && t == Type::kFloat &&
+        acc.payload.type == Type::kFloat &&
+        in.payload.type == Type::kFloat) {
+      acc.payload.f += in.payload.f;
+    } else {
+      acc.payload = agg_apply(op, t, acc.payload, in.payload);
+    }
     acc.nulls += in.nulls;
     acc.denulls += in.denulls;
   }
@@ -59,6 +69,11 @@ struct DvCombiner {
   std::uint64_t key(graph::VertexId dst, const DvMessage& m) const {
     return (static_cast<std::uint64_t>(dst) << 8) | m.site;
   }
+
+  /// Dense factoring of the same key — the engine combines through a
+  /// direct-indexed (vertex × site) slot array when the domain is small.
+  std::size_t num_subkeys() const { return table->ops.size(); }
+  std::size_t subkey(const DvMessage& m) const { return m.site; }
 };
 
 using DvEngine = pregel::Engine<DvMessage, DvCombiner, DvMessageTraits>;

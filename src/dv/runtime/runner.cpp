@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dv/runtime/delta.h"
+#include "dv/runtime/vm.h"
 #include "pregel/aggregator.h"
 
 namespace deltav::dv {
@@ -23,6 +24,12 @@ class EngineSink : public SendSink {
   void send(graph::VertexId dst, const DvMessage& msg) override {
     if (probe_) (*probe_)(ctx_->vertex(), dst, msg);
     ctx_->send(dst, msg);
+  }
+  void send_span(std::span<const graph::VertexId> dsts,
+                 const DvMessage& msg) override {
+    if (probe_)
+      for (const graph::VertexId dst : dsts) (*probe_)(ctx_->vertex(), dst, msg);
+    ctx_->send_span(dsts, msg);
   }
 
  private:
@@ -72,6 +79,18 @@ class Runner {
     for (auto& s : worker_scratch_) s = scratch_defaults_;
     assign_agg_ = std::make_unique<pregel::OrAggregator>(W, false,
                                                          pregel::OrOp{});
+    // The VM is immutable and holds no execution state, so one instance
+    // serves every worker thread.
+    if (options_.tier == ExecTier::kVm) {
+      vm_ = std::make_unique<Vm>(cp_);
+      // Per-site chunk ids for push_first's send expressions, so the
+      // per-vertex priming loop dispatches without a root-map lookup.
+      for (const AggSite& site : prog_.sites) {
+        const Expr& e =
+            site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+        site_send_chunk_.push_back(vm_->program().chunk_of(e));
+      }
+    }
   }
 
   DvRunResult run() {
@@ -84,6 +103,11 @@ class Runner {
   }
 
  private:
+  /// Evaluates a runner-visible root expression on the selected tier.
+  Value eval_root(const Expr& e, EvalContext& ctx) {
+    return vm_ ? vm_->eval_root(e, ctx) : eval(e, ctx);
+  }
+
   void validate() {
     for (const AggSite& site : prog_.sites) {
       if (site.pull_dir == GraphDir::kNeighbors && g_.directed())
@@ -139,7 +163,7 @@ class Runner {
         const Value last =
             site.last_sent_slot >= 0
                 ? ctx.fields[static_cast<std::size_t>(site.last_sent_slot)]
-                : eval(*site.send_expr, ctx).coerce(site.elem_type);
+                : eval_root(*site.send_expr, ctx).coerce(site.elem_type);
         const DeltaPayload d =
             synthesize_delta(site.op, site.elem_type, last, identity);
         if (d.noop) continue;
@@ -231,6 +255,15 @@ class Runner {
   /// Pushes the initial full values for all sites of statement `si` from
   /// vertex `v` (the §6.1 "first superstep" sends), storing bound-field
   /// values so later Δ computations see what was actually sent.
+  /// True if evaluating `e` can read ctx.cur_edge_weight — the only way a
+  /// send payload can vary across the target span (expressions are pure).
+  static bool uses_edge_weight(const Expr& e) {
+    if (e.kind == ExprKind::kEdgeWeight) return true;
+    for (const ExprPtr& k : e.kids)
+      if (k && uses_edge_weight(*k)) return true;
+    return false;
+  }
+
   void push_first(EvalContext& ctx, graph::VertexId v, std::size_t si) {
     for (const AggSite& site : prog_.sites) {
       if (site.stmt_index != static_cast<int>(si)) continue;
@@ -249,37 +282,74 @@ class Runner {
       }
       const Expr& expr =
           site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+      const int send_chunk =
+          vm_ ? site_send_chunk_[static_cast<std::size_t>(site.id)] : -1;
+      const auto eval_send = [&](EvalContext& c) {
+        return send_chunk >= 0 ? vm_->run_chunk(send_chunk, c)
+                               : eval_root(expr, c);
+      };
       const auto wire = site_wire_[static_cast<std::size_t>(site.id)];
       Value bound{};
       bool bound_set = false;
-      for (std::size_t i = 0; i < targets.size(); ++i) {
-        ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
-        const Value v0 = eval(expr, ctx).coerce(site.elem_type);
-        if (site.bound_field >= 0 && !bound_set) {
+      if (!targets.empty() &&
+          (weights.empty() || !uses_edge_weight(expr))) {
+        // Edge-invariant payload (the common case — PageRank/HITS seed
+        // their rank over the whole span): evaluate once, broadcast or
+        // skip once. Purity makes this message-identical to the per-edge
+        // loop below.
+        ctx.cur_edge_weight =
+            weights.empty() ? 1.0 : weights[targets.size() - 1];
+        const Value v0 = eval_send(ctx).coerce(site.elem_type);
+        if (site.bound_field >= 0) {
           bound = v0;
           bound_set = true;
         }
         DvMessage msg;
         msg.site = static_cast<std::uint8_t>(site.id);
         msg.wire = wire;
+        bool noop;
         if (cp_.options.incrementalize) {
           const DeltaPayload d =
               synthesize_first(site.op, site.elem_type, v0);
-          if (d.noop) continue;
+          noop = d.noop;
           msg.payload = d.value;
           msg.nulls = d.nulls;
           msg.denulls = d.denulls;
         } else {
-          if (is_identity(site.op, v0)) continue;
+          noop = is_identity(site.op, v0);
           msg.payload = v0;
         }
-        ctx.sink->send(targets[i], msg);
+        if (!noop) ctx.sink->send_span(targets, msg);
+      } else {
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
+          const Value v0 = eval_send(ctx).coerce(site.elem_type);
+          if (site.bound_field >= 0 && !bound_set) {
+            bound = v0;
+            bound_set = true;
+          }
+          DvMessage msg;
+          msg.site = static_cast<std::uint8_t>(site.id);
+          msg.wire = wire;
+          if (cp_.options.incrementalize) {
+            const DeltaPayload d =
+                synthesize_first(site.op, site.elem_type, v0);
+            if (d.noop) continue;
+            msg.payload = d.value;
+            msg.nulls = d.nulls;
+            msg.denulls = d.denulls;
+          } else {
+            if (is_identity(site.op, v0)) continue;
+            msg.payload = v0;
+          }
+          ctx.sink->send(targets[i], msg);
+        }
       }
       if (site.bound_field >= 0) {
         // Record what this vertex's neighbors now believe its value is.
         if (!bound_set) {
           ctx.cur_edge_weight = 1.0;
-          bound = eval(expr, ctx).coerce(site.elem_type);
+          bound = eval_send(ctx).coerce(site.elem_type);
         }
         ctx.fields[static_cast<std::size_t>(site.bound_field)] = bound;
         if (site.last_sent_slot >= 0)
@@ -287,27 +357,22 @@ class Runner {
       } else if (site.last_sent_slot >= 0) {
         ctx.cur_edge_weight = 1.0;
         ctx.fields[static_cast<std::size_t>(site.last_sent_slot)] =
-            eval(expr, ctx).coerce(site.elem_type);
+            eval_send(ctx).coerce(site.elem_type);
       }
     }
   }
 
   void run_init_superstep() {
-    engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
-                      std::span<const DvMessage>) {
-      EngineSink sink;
-      sink.bind(&ectx, &options_.send_probe);
-      EvalContext ctx = make_ctx(ectx.worker());
-      ctx.sink = &sink;
-      ctx.has_vertex = true;
-      ctx.vertex = v;
-      ctx.fields = fields_of(v);
-      std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
-      eval(*prog_.init, ctx);
+    const int init_chunk =
+        vm_ ? vm_->program().chunk_of(*prog_.init) : -1;
+    run_priming_step([&](EvalContext& ctx, graph::VertexId v) {
+      if (init_chunk >= 0)
+        vm_->run_chunk(init_chunk, ctx);
+      else
+        eval_root(*prog_.init, ctx);
       push_first(ctx, v, 0);
       // No halt: statement 0's first superstep must run on every vertex.
     });
-    ++supersteps_;
   }
 
   void run_transition(std::size_t next_si) {
@@ -316,17 +381,41 @@ class Runner {
     for (const AggSite& site : prog_.sites)
       has_sites = has_sites || site.stmt_index == static_cast<int>(next_si);
     if (!has_sites) return;  // nothing to prime; vertices are awake
+    run_priming_step([&](EvalContext& ctx, graph::VertexId v) {
+      push_first(ctx, v, next_si);
+    });
+  }
+
+  /// One superstep of per-vertex priming work (init block, push_first)
+  /// with the same per-worker context hoisting as run_statement's hot
+  /// loop: lanes are cache-line aligned and built once, the per-vertex
+  /// cost is only the vertex-varying views.
+  template <typename PerVertex>
+  void run_priming_step(PerVertex&& per_vertex) {
+    struct alignas(64) WorkerLane {
+      EngineSink sink;
+      EvalContext ctx;
+    };
+    const std::size_t W = worker_scratch_.size();
+    std::vector<WorkerLane> lanes(W);
+    for (std::size_t w = 0; w < W; ++w) {
+      EvalContext& c = lanes[w].ctx;
+      c = make_ctx(static_cast<int>(w));
+      c.sink = &lanes[w].sink;
+      c.has_vertex = true;
+    }
     engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
                       std::span<const DvMessage>) {
-      EngineSink sink;
-      sink.bind(&ectx, &options_.send_probe);
-      EvalContext ctx = make_ctx(ectx.worker());
-      ctx.sink = &sink;
-      ctx.has_vertex = true;
+      const std::size_t w = static_cast<std::size_t>(ectx.worker());
+      lanes[w].sink.bind(&ectx, &options_.send_probe);
+      EvalContext& ctx = lanes[w].ctx;
       ctx.vertex = v;
       ctx.fields = fields_of(v);
-      std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
-      push_first(ctx, v, next_si);
+      ctx.halt_requested = false;
+      ctx.any_field_assign = false;
+      std::copy(scratch_defaults_.begin(), scratch_defaults_.end(),
+                ctx.scratch.begin());
+      per_vertex(ctx, v);
     });
     ++supersteps_;
   }
@@ -338,7 +427,7 @@ class Runner {
     ctx.iter = iter;
     ctx.stable = stable;
     std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
-    return eval(*stmt.until, ctx).as_b();
+    return eval_root(*stmt.until, ctx).as_b();
   }
 
   /// Arms `victims_` for deletions scheduled at (statement, iteration).
@@ -394,18 +483,41 @@ class Runner {
       const std::uint64_t suppress = last_known ? own_sites : 0;
 
       assign_agg_->reset();
+      // Hot loop: contexts are built once per worker per superstep; the
+      // per-vertex work is only the vertex-varying views and out-flags.
+      // The VM chunk id is resolved here too, so the per-vertex dispatch
+      // is a direct call rather than a root-map lookup.
+      const int body_chunk =
+          vm_ ? vm_->program().chunk_of(*stmt.body) : -1;
+      DV_CHECK_MSG(!vm_ || body_chunk >= 0,
+                   "statement body was not lowered as a VM root");
+      const std::size_t W = worker_scratch_.size();
+      // Cache-line aligned per-worker lanes: the context's per-vertex
+      // fields are rewritten millions of times from distinct threads, and
+      // packing them back-to-back would false-share across workers.
+      struct alignas(64) WorkerLane {
+        EngineSink sink;
+        EvalContext ctx;
+      };
+      std::vector<WorkerLane> lanes(W);
+      for (std::size_t w = 0; w < W; ++w) {
+        EvalContext& c = lanes[w].ctx;
+        c = make_ctx(static_cast<int>(w));
+        c.sink = &lanes[w].sink;
+        c.has_vertex = true;
+        c.iter = static_cast<std::int64_t>(iter);
+        c.suppress_sites = suppress;
+      }
       engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
                         std::span<const DvMessage> msgs) {
-        EngineSink sink;
-        sink.bind(&ectx, &options_.send_probe);
-        EvalContext ctx = make_ctx(ectx.worker());
-        ctx.sink = &sink;
-        ctx.has_vertex = true;
+        const std::size_t w = static_cast<std::size_t>(ectx.worker());
+        lanes[w].sink.bind(&ectx, &options_.send_probe);
+        EvalContext& ctx = lanes[w].ctx;
         ctx.vertex = v;
         ctx.fields = fields_of(v);
         ctx.msgs = msgs;
-        ctx.iter = static_cast<std::int64_t>(iter);
-        ctx.suppress_sites = suppress;
+        ctx.halt_requested = false;
+        ctx.any_field_assign = false;
         std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
         if (!victims_.empty() && victims_[v]) {
           // §9: retract this vertex's contributions, then leave for good.
@@ -413,7 +525,10 @@ class Runner {
           engine_->mark_deleted(v);
           return;
         }
-        eval(*stmt.body, ctx);
+        if (body_chunk >= 0)
+          vm_->run_chunk(body_chunk, ctx);
+        else
+          eval(*stmt.body, ctx);
         if (ctx.halt_requested) ectx.vote_to_halt();
         if (ctx.any_field_assign)
           assign_agg_->contribute(ectx.worker(), true);
@@ -468,6 +583,8 @@ class Runner {
   std::vector<std::uint8_t> site_wire_;
   std::vector<std::vector<Value>> worker_scratch_;
   std::unique_ptr<DvEngine> engine_;
+  std::unique_ptr<Vm> vm_;  // null on the tree tier
+  std::vector<int> site_send_chunk_;  // per site.id; VM tier only
   std::unique_ptr<pregel::OrAggregator> assign_agg_;
   std::size_t supersteps_ = 0;
   std::vector<std::size_t> iterations_;
@@ -475,6 +592,16 @@ class Runner {
 };
 
 }  // namespace
+
+const char* exec_tier_name(ExecTier tier) {
+  return tier == ExecTier::kTree ? "tree" : "vm";
+}
+
+ExecTier parse_exec_tier(const std::string& name) {
+  if (name == "tree") return ExecTier::kTree;
+  if (name == "vm") return ExecTier::kVm;
+  DV_FAIL("unknown execution tier '" << name << "' (expected tree|vm)");
+}
 
 int DvRunResult::field_slot(const std::string& name) const {
   for (std::size_t i = 0; i < fields.size(); ++i)

@@ -46,9 +46,26 @@ struct VertexDeletion {
   std::vector<graph::VertexId> vertices;
 };
 
+/// Which execution substrate evaluates compiled expression trees.
+/// The tree interpreter is the reference semantics; the bytecode VM
+/// (runtime/vm.h) is the default and is bit-identical by contract —
+/// the differential fuzzer cross-checks the two on every generated
+/// program. C++ codegen (codegen/) remains the deployment tier.
+enum class ExecTier {
+  kTree,  // recursive tree-walking interpreter
+  kVm,    // register-based bytecode VM (default)
+};
+
+const char* exec_tier_name(ExecTier tier);
+/// Parses "tree"/"vm" (CLI flags); throws CheckError otherwise.
+ExecTier parse_exec_tier(const std::string& name);
+
 struct DvRunOptions {
   pregel::EngineOptions engine;
   bool use_combiner = true;
+  /// Execution tier for all expression evaluation (init block, statement
+  /// bodies, until clauses, send expressions).
+  ExecTier tier = ExecTier::kVm;
   /// Program parameter bindings by name; must cover every `param`.
   std::map<std::string, Value> params;
   /// Hard cap guarding against non-terminating until clauses.

@@ -95,6 +95,27 @@ DvRunOptions base_run_options(const FuzzCase& fc, const DiffOptions& opts,
   return ro;
 }
 
+/// Bit-level equivalence of two runs of the *same* compiled program on
+/// different execution tiers: identical shape, state words, and
+/// message/byte counts. Returns a human-readable mismatch, or empty.
+std::string diff_runs(const DvRunResult& vm, const DvRunResult& tree) {
+  if (vm.supersteps != tree.supersteps)
+    return "supersteps " + std::to_string(vm.supersteps) + " vs " +
+           std::to_string(tree.supersteps);
+  if (vm.stats.total_messages_sent() != tree.stats.total_messages_sent())
+    return "messages " + std::to_string(vm.stats.total_messages_sent()) +
+           " vs " + std::to_string(tree.stats.total_messages_sent());
+  if (vm.stats.total_bytes_sent() != tree.stats.total_bytes_sent())
+    return "bytes " + std::to_string(vm.stats.total_bytes_sent()) + " vs " +
+           std::to_string(tree.stats.total_bytes_sent());
+  if (vm.state.size() != tree.state.size()) return "state shape differs";
+  for (std::size_t i = 0; i < vm.state.size(); ++i)
+    if (!value_bits_equal(vm.state[i], tree.state[i]))
+      return "state word " + std::to_string(i) + ": " + show(vm.state[i]) +
+             " vs " + show(tree.state[i]);
+  return {};
+}
+
 }  // namespace
 
 std::optional<DiffFailure> check_case(const FuzzCase& fc,
@@ -149,18 +170,21 @@ std::optional<DiffFailure> check_case(const FuzzCase& fc,
     }
 
     // --- ΔV run with the live-stream probe ---------------------------
-    ProbeState probe;
-    probe.streams.resize(n * num_sites);
-    for (std::size_t v = 0; v < n; ++v) {
-      for (std::size_t s = 0; s < num_sites; ++s) {
-        auto& st = probe.streams[v * num_sites + s];
-        const AggOp op = dv_cp.site_ops.ops[s];
-        const Type t = dv_cp.site_ops.types[s];
-        st.acc = agg_identity(op, t);
-        st.nn = agg_identity(op, t);
-        st.nulls = Value::of_int(0);
+    const auto init_streams = [&](ProbeState& p) {
+      p.streams.assign(n * num_sites, StreamAcc{});
+      for (std::size_t v = 0; v < n; ++v) {
+        for (std::size_t s = 0; s < num_sites; ++s) {
+          auto& st = p.streams[v * num_sites + s];
+          const AggOp op = dv_cp.site_ops.ops[s];
+          const Type t = dv_cp.site_ops.types[s];
+          st.acc = agg_identity(op, t);
+          st.nn = agg_identity(op, t);
+          st.nulls = Value::of_int(0);
+        }
       }
-    }
+    };
+    ProbeState probe;
+    init_streams(probe);
 
     DvRunOptions dv_ro = base_run_options(fc, opts, workers);
     dv_ro.send_probe = [&](graph::VertexId, graph::VertexId dst,
@@ -297,6 +321,76 @@ std::optional<DiffFailure> check_case(const FuzzCase& fc,
                   show(dv.state[i]) + " vs " + show(again.state[i]) + " (" +
                   std::to_string(workers) + " workers)"};
       }
+    }
+
+    // --- execution-tier equivalence -----------------------------------
+    // The reference tree interpreter must reproduce the bytecode VM runs
+    // above (the tier default) bit-for-bit — state words, message and
+    // byte counts — for both variants, and replay an equivalent Eq. 11
+    // stream. With one worker the send order is deterministic, so the
+    // replayed stream folds are compared bit-exactly; with more workers
+    // thread interleaving reassociates the float folds and the comparison
+    // falls back to the harness tolerance.
+    if (opts.check_tiers) {
+      ProbeState tree_probe;
+      init_streams(tree_probe);
+      DvRunOptions tree_ro = base_run_options(fc, opts, workers);
+      tree_ro.tier = ExecTier::kTree;
+      tree_ro.send_probe = [&](graph::VertexId, graph::VertexId dst,
+                               const DvMessage& m) {
+        std::lock_guard<std::mutex> lock(tree_probe.mu);
+        const auto s = static_cast<std::size_t>(m.site);
+        auto& st =
+            tree_probe.streams[static_cast<std::size_t>(dst) * num_sites + s];
+        apply_delta(dv_cp.site_ops.ops[s], dv_cp.site_ops.types[s],
+                    AccumRef{&st.acc, &st.nn, &st.nulls}, m.payload, m.nulls,
+                    m.denulls);
+      };
+      DvRunResult tree_dv;
+      try {
+        tree_dv = run_program(dv_cp, g, tree_ro);
+      } catch (const std::exception& e) {
+        return DiffFailure{"tiers", std::string("ΔV tree tier (") +
+                                        std::to_string(workers) +
+                                        " workers): " + e.what()};
+      }
+      if (std::string d = diff_runs(dv, tree_dv); !d.empty())
+        return DiffFailure{"tiers", "ΔV vm vs tree: " + d + " (" +
+                                        std::to_string(workers) +
+                                        " workers)"};
+      const bool exact_stream = workers == 1;
+      for (std::size_t i = 0; i < probe.streams.size(); ++i) {
+        const StreamAcc& a = probe.streams[i];
+        const StreamAcc& b = tree_probe.streams[i];
+        const bool ok =
+            a.nulls.i == b.nulls.i &&
+            (exact_stream
+                 ? value_bits_equal(a.acc, b.acc) &&
+                       value_bits_equal(a.nn, b.nn)
+                 : value_close(a.acc, b.acc, opts.float_tol) &&
+                       value_close(a.nn, b.nn, opts.float_tol));
+        if (!ok)
+          return DiffFailure{
+              "tiers", "Eq. 11 stream " + std::to_string(i) +
+                           " differs between tiers: vm " + show(a.acc) +
+                           " vs tree " + show(b.acc) + " (" +
+                           std::to_string(workers) + " workers)"};
+      }
+
+      DvRunOptions star_tree_ro = base_run_options(fc, opts, workers);
+      star_tree_ro.tier = ExecTier::kTree;
+      DvRunResult tree_star;
+      try {
+        tree_star = run_program(star_cp, g, star_tree_ro);
+      } catch (const std::exception& e) {
+        return DiffFailure{"tiers", std::string("ΔV* tree tier (") +
+                                        std::to_string(workers) +
+                                        " workers): " + e.what()};
+      }
+      if (std::string d = diff_runs(star, tree_star); !d.empty())
+        return DiffFailure{"tiers", "ΔV* vm vs tree: " + d + " (" +
+                                        std::to_string(workers) +
+                                        " workers)"};
     }
 
     if (!first_dv) {

@@ -16,6 +16,10 @@
 //                accumulator state (Eq. 11 checked end-to-end)
 //   messages     messages(ΔV) ≤ messages(ΔV*)
 //   determinism  two identical ΔV runs produce bit-identical state
+//   tiers        re-running both variants on the tree-interpreter tier
+//                reproduces the bytecode VM's state bit-for-bit, with
+//                identical message/byte counts and an identical replayed
+//                Eq. 11 message stream
 #pragma once
 
 #include <cstddef>
@@ -36,6 +40,10 @@ struct DiffOptions {
   bool check_eq11 = true;
   bool check_message_counts = true;
   bool check_determinism = true;
+  /// Cross-check the bytecode VM against the tree interpreter (the
+  /// reference semantics): bit-exact state, equal message/byte counts,
+  /// bit-exact Eq. 11 stream replay.
+  bool check_tiers = true;
 };
 
 struct DiffFailure {

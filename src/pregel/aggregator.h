@@ -24,10 +24,11 @@ class Aggregator {
       : identity_(identity),
         merge_(merge),
         num_workers_(static_cast<std::size_t>(num_workers)),
-        // A plain array, not std::vector<T>: vector<bool> would bit-pack
-        // the per-worker slots and turn concurrent contributions into a
-        // data race.
-        slots_(std::make_unique<T[]>(num_workers_)) {
+        // One cache line per worker: contribute() is called from the
+        // per-vertex hot loop, and adjacent slots would false-share.
+        // (A plain array, not std::vector<bool>, which would bit-pack the
+        // slots and turn concurrent contributions into a data race.)
+        slots_(std::make_unique<Slot[]>(num_workers_)) {
     DV_CHECK(num_workers >= 1);
     reset();
   }
@@ -35,7 +36,7 @@ class Aggregator {
   /// Folds `value` into this worker's slot. Safe to call concurrently from
   /// distinct workers; never from the same worker on two threads.
   void contribute(int worker, const T& value) {
-    T& slot = slots_[static_cast<std::size_t>(worker)];
+    T& slot = slots_[static_cast<std::size_t>(worker)].value;
     slot = merge_(slot, value);
   }
 
@@ -43,19 +44,24 @@ class Aggregator {
   T reduce() const {
     T acc = identity_;
     for (std::size_t i = 0; i < num_workers_; ++i)
-      acc = merge_(acc, slots_[i]);
+      acc = merge_(acc, slots_[i].value);
     return acc;
   }
 
   void reset() {
-    for (std::size_t i = 0; i < num_workers_; ++i) slots_[i] = identity_;
+    for (std::size_t i = 0; i < num_workers_; ++i)
+      slots_[i].value = identity_;
   }
 
  private:
+  struct alignas(64) Slot {
+    T value;
+  };
+
   T identity_;
   Merge merge_;
   std::size_t num_workers_;
-  std::unique_ptr<T[]> slots_;
+  std::unique_ptr<Slot[]> slots_;
 };
 
 struct AndOp {

@@ -26,9 +26,11 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -94,6 +96,17 @@ class Engine {
     { c.key(v, m) } -> std::convertible_to<std::uint64_t>;
   };
 
+  // A combiner whose key space factors as (destination vertex × small
+  // subkey) may additionally define num_subkeys()/subkey(msg); the engine
+  // then combines through a direct-indexed slot array (one slot per owned
+  // vertex per subkey) instead of probing a hash map per message — the
+  // combine lookup is the single hottest engine operation.
+  template <typename C>
+  static constexpr bool kHasSubkey = requires(const C& c, const Message& m) {
+    { c.num_subkeys() } -> std::convertible_to<std::size_t>;
+    { c.subkey(m) } -> std::convertible_to<std::size_t>;
+  };
+
  public:
   static constexpr std::size_t kNoLimit =
       std::numeric_limits<std::size_t>::max();
@@ -110,11 +123,30 @@ class Engine {
         scheduled_(num_vertices, 0) {
     DV_CHECK(options.num_workers >= 1);
     const int w = options.num_workers;
+    if constexpr (kHasCombiner && kHasSubkey<Combiner>) {
+      if (options.use_combiner) {
+        const std::size_t s = combiner_.num_subkeys();
+        // Every worker keeps one slot per (owned vertex, subkey) per
+        // destination worker; fall back to the hash maps when that would
+        // be an unreasonable allocation.
+        if (s > 0 && num_vertices * s * static_cast<std::size_t>(w) <=
+                         kDenseCombineSlotCap)
+          dense_subkeys_ = s;
+      }
+    }
     workers_.resize(static_cast<std::size_t>(w));
     for (int i = 0; i < w; ++i) {
       auto& ws = workers_[static_cast<std::size_t>(i)];
       ws.outbox.resize(static_cast<std::size_t>(w));
+      ws.outbox_hwm.assign(static_cast<std::size_t>(w), 0);
       ws.combine_maps.resize(static_cast<std::size_t>(w));
+      if (dense_subkeys_ > 0) {
+        ws.dense_slots.resize(static_cast<std::size_t>(w));
+        ws.dense_touched.resize(static_cast<std::size_t>(w));
+        for (int dw = 0; dw < w; ++dw)
+          ws.dense_slots[static_cast<std::size_t>(dw)].resize(
+              partition_.local_capacity(dw) * dense_subkeys_);
+      }
       ws.inbox_offsets.assign(partition_.local_capacity(i) + 1, 0);
       ws.unhalted = partition_.count(i);
       ws.cross_in_from.assign(
@@ -141,6 +173,14 @@ class Engine {
       engine_->send_from(worker_, dst, msg);
     }
 
+    /// Sends one identical message to every destination in `dsts`. Stats
+    /// and routing match `dsts.size()` individual send() calls; the batch
+    /// form exists so span-invariant broadcasts (the VM's fused Δ-send)
+    /// amortize the per-message bookkeeping.
+    void send_span(std::span<const VertexId> dsts, const Message& msg) {
+      engine_->send_span_from(worker_, dsts, msg);
+    }
+
     /// Halts this vertex after the current compute call; it is reactivated
     /// by any delivered message.
     void vote_to_halt() { halt_requested_ = true; }
@@ -161,12 +201,34 @@ class Engine {
     SuperstepStats ss;
     Timer phase_timer;
 
-    pool_.run([&](int w) { compute_phase(w, fn); });
-    ss.compute_seconds = phase_timer.elapsed_seconds();
-
-    phase_timer.restart();
-    pool_.run([&](int w) { exchange_phase(w); });
-    ss.exchange_seconds = phase_timer.elapsed_seconds();
+    // Both phases run inside ONE fork-join region: a lightweight barrier
+    // separates compute from exchange so the workers stay hot instead of
+    // paying a second condvar wake/sleep per superstep. The barrier's
+    // acquire/release pair publishes every worker's outbox writes to every
+    // exchange reader. A worker that throws still arrives (so nobody spins
+    // forever), flags the failure so exchange is skipped engine-wide, and
+    // rethrows for the pool to propagate.
+    const int W = options_.num_workers;
+    std::atomic<int> arrived{0};
+    std::atomic<bool> failed{false};
+    double compute_secs = 0;
+    pool_.run([&](int w) {
+      std::exception_ptr err;
+      try {
+        compute_phase(w, fn);
+      } catch (...) {
+        err = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+      if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == W)
+        compute_secs = phase_timer.elapsed_seconds();
+      while (arrived.load(std::memory_order_acquire) < W)
+        std::this_thread::yield();
+      if (err) std::rethrow_exception(err);
+      if (!failed.load(std::memory_order_relaxed)) exchange_phase(w);
+    });
+    ss.compute_seconds = compute_secs;
+    ss.exchange_seconds = phase_timer.elapsed_seconds() - compute_secs;
 
     finish_step(ss);
   }
@@ -274,13 +336,27 @@ class Engine {
     Message msg{};
   };
 
-  struct WorkerState {
+  // Cache-line aligned: the per-step counters are bumped from the compute
+  // hot loop, and adjacent workers' states must not share a line.
+  struct alignas(64) WorkerState {
     // Sender side: one buffer per destination worker.
     std::vector<std::vector<Envelope>> outbox;
     std::vector<OpenHashMap<Envelope>> combine_maps;
+    // Dense combine slots (see kHasSubkey): per destination worker, one
+    // slot per (owned local vertex × subkey), plus the indices touched
+    // this superstep for O(messages) flush and reset.
+    std::vector<std::vector<Envelope>> dense_slots;
+    std::vector<std::vector<std::uint32_t>> dense_touched;
     // Receiver side: CSR-of-messages over local vertex indices.
     std::vector<Message> inbox_data;
     std::vector<std::uint32_t> inbox_offsets;
+    // Scatter cursors, one per local vertex — scratch for exchange_phase,
+    // kept here so the allocation is reused across supersteps.
+    std::vector<std::uint32_t> scatter_cursor;
+    // Per-destination outbox high-water marks across past supersteps;
+    // compute_phase pre-reserves to these so steady-state sends never
+    // reallocate mid-superstep.
+    std::vector<std::size_t> outbox_hwm;
     // Work-queue scheduling.
     std::vector<VertexId> queue;
     std::vector<VertexId> next_queue;
@@ -307,14 +383,30 @@ class Engine {
 
   bool combining() const { return kHasCombiner && options_.use_combiner; }
 
-  void send_from(int worker, VertexId dst, const Message& msg) {
-    DV_CHECK_MSG(dst < partition_.num_vertices(),
-                 "send to out-of-range vertex " << dst);
-    auto& ws = workers_[static_cast<std::size_t>(worker)];
-    const int dw = partition_.owner(dst);
-    ++ws.sent;
-    ws.sent_bytes += Traits::wire_size(msg);
+  /// Routes one message past the stats counters: combine (dense slots or
+  /// hash map) or append to the destination worker's outbox.
+  void route(WorkerState& ws, VertexId dst, const Message& msg) {
+    const auto [dw, li] = partition_.locate(dst);
     if constexpr (kHasCombiner) {
+      if constexpr (kHasSubkey<Combiner>) {
+        if (dense_subkeys_ > 0) {
+          const std::size_t idx =
+              li * dense_subkeys_ +
+              static_cast<std::size_t>(combiner_.subkey(msg));
+          auto& dslots = ws.dense_slots[static_cast<std::size_t>(dw)];
+          DV_DCHECK(idx < dslots.size());
+          Envelope& slot = dslots[idx];
+          if (slot.dst == kUnsetDst) {
+            slot.dst = dst;
+            slot.msg = msg;
+            ws.dense_touched[static_cast<std::size_t>(dw)].push_back(
+                static_cast<std::uint32_t>(idx));
+          } else {
+            combiner_(slot.msg, msg);
+          }
+          return;
+        }
+      }
       if (options_.use_combiner) {
         auto& slot =
             ws.combine_maps[static_cast<std::size_t>(dw)][combine_key(dst,
@@ -331,9 +423,32 @@ class Engine {
     ws.outbox[static_cast<std::size_t>(dw)].push_back(Envelope{dst, msg});
   }
 
+  void send_from(int worker, VertexId dst, const Message& msg) {
+    DV_CHECK_MSG(dst < partition_.num_vertices(),
+                 "send to out-of-range vertex " << dst);
+    auto& ws = workers_[static_cast<std::size_t>(worker)];
+    ++ws.sent;
+    ws.sent_bytes += Traits::wire_size(msg);
+    route(ws, dst, msg);
+  }
+
+  void send_span_from(int worker, std::span<const VertexId> dsts,
+                      const Message& msg) {
+    auto& ws = workers_[static_cast<std::size_t>(worker)];
+    ws.sent += dsts.size();
+    ws.sent_bytes += Traits::wire_size(msg) * dsts.size();
+    for (const VertexId dst : dsts) {
+      DV_CHECK_MSG(dst < partition_.num_vertices(),
+                   "send to out-of-range vertex " << dst);
+      route(ws, dst, msg);
+    }
+  }
+
   template <typename ComputeFn>
   void compute_phase(int w, ComputeFn& fn) {
     auto& ws = workers_[static_cast<std::size_t>(w)];
+    for (std::size_t dw = 0; dw < ws.outbox.size(); ++dw)
+      ws.outbox[dw].reserve(ws.outbox_hwm[dw]);
     Context ctx;
     ctx.engine_ = this;
     ctx.worker_ = w;
@@ -372,11 +487,23 @@ class Engine {
       ws.queue.clear();
     }
 
-    // Flush combiner maps into the outbox so the exchange phase sees one
-    // uniform representation.
-    if (combining()) {
+    // Flush combined messages into the outbox so the exchange phase sees
+    // one uniform representation.
+    if (dense_subkeys_ > 0) {
+      for (std::size_t dw = 0; dw < ws.dense_slots.size(); ++dw) {
+        auto& touched = ws.dense_touched[dw];
+        auto& dslots = ws.dense_slots[dw];
+        ws.outbox[dw].reserve(ws.outbox[dw].size() + touched.size());
+        for (const std::uint32_t idx : touched) {
+          ws.outbox[dw].push_back(dslots[idx]);
+          dslots[idx].dst = kUnsetDst;
+        }
+        touched.clear();
+      }
+    } else if (combining()) {
       for (std::size_t dw = 0; dw < ws.combine_maps.size(); ++dw) {
         auto& map = ws.combine_maps[dw];
+        ws.outbox[dw].reserve(ws.outbox[dw].size() + map.size());
         map.for_each([&](std::uint64_t, const Envelope& e) {
           ws.outbox[dw].push_back(e);
         });
@@ -410,8 +537,8 @@ class Engine {
 
     // Pass 2: scatter, reactivate, account.
     recv.inbox_data.resize(total);
-    std::vector<std::uint32_t> cursor(recv.inbox_offsets.begin(),
-                                      recv.inbox_offsets.end() - 1);
+    auto& cursor = recv.scatter_cursor;
+    cursor.assign(recv.inbox_offsets.begin(), recv.inbox_offsets.end() - 1);
     const int dst_machine = machine_of_worker(dw);
     for (int w = 0; w < W; ++w) {
       auto& out = workers_[static_cast<std::size_t>(w)]
@@ -442,6 +569,9 @@ class Engine {
           recv.next_queue.push_back(e.dst);
         }
       }
+      auto& hwm = workers_[static_cast<std::size_t>(w)]
+                      .outbox_hwm[static_cast<std::size_t>(dw)];
+      if (out.size() > hwm) hwm = out.size();
       out.clear();
     }
   }
@@ -488,9 +618,13 @@ class Engine {
 
   static constexpr VertexId kUnsetDst =
       std::numeric_limits<VertexId>::max();
+  /// Upper bound on total dense combine slots (all workers × destination
+  /// workers); larger key domains fall back to the hash maps.
+  static constexpr std::size_t kDenseCombineSlotCap = std::size_t{1} << 22;
 
   EngineOptions options_;
   Combiner combiner_;
+  std::size_t dense_subkeys_ = 0;  // 0 = dense combining disabled
   VertexPartition partition_;
   net::ClusterModel cluster_;
   WorkerPool pool_;

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -33,7 +34,16 @@ class VertexPartition {
         workers_(num_workers),
         scheme_(scheme),
         block_((num_vertices + num_workers - 1) /
-               static_cast<std::size_t>(num_workers)) {
+               static_cast<std::size_t>(num_workers)),
+        // Reciprocal for division-free owner lookup (Lemire/Kaser):
+        // ⌈2^64 / block_⌉; mulhi(inv_, v) == v / block_ exactly for all
+        // 32-bit v and block_ ≥ 2. owner() sits on the engine's
+        // per-message routing path, where a hardware divide per call is
+        // measurable. block_ ≤ 1 (more workers than vertices) would wrap
+        // the reciprocal; owner() special-cases it to v / 1 = v.
+        block_inv_(block_ <= 1
+                       ? 0
+                       : ~std::uint64_t{0} / block_ + 1) {
     DV_CHECK(num_workers >= 1);
     if (scheme_ == PartitionScheme::kHash) {
       // Precompute a dense per-owner index: hashing gives the owner but no
@@ -55,9 +65,23 @@ class VertexPartition {
 
   int owner(graph::VertexId v) const {
     DV_DCHECK(v < n_);
-    if (scheme_ == PartitionScheme::kBlock)
-      return block_ == 0 ? 0 : static_cast<int>(v / block_);
+    if (scheme_ == PartitionScheme::kBlock) {
+      if (block_ <= 1) return static_cast<int>(v);
+      return static_cast<int>(mulhi64(block_inv_, v));
+    }
     return static_cast<int>(mix64(v) % static_cast<std::uint64_t>(workers_));
+  }
+
+  /// owner() and local_index() in one lookup — the message-routing hot
+  /// path needs both and shares the owner computation.
+  std::pair<int, std::size_t> locate(graph::VertexId v) const {
+    DV_DCHECK(v < n_);
+    if (scheme_ == PartitionScheme::kBlock) {
+      const int w = owner(v);
+      return {w, v - begin_of(w)};
+    }
+    const int w = owner(v);
+    return {w, local_[v]};
   }
 
   /// Number of vertices owned by `worker`.
@@ -96,6 +120,11 @@ class VertexPartition {
   }
 
  private:
+  static std::uint64_t mulhi64(std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 64);
+  }
+
   std::size_t begin_of(int worker) const {
     return static_cast<std::size_t>(worker) * block_;
   }
@@ -104,6 +133,7 @@ class VertexPartition {
   int workers_;
   PartitionScheme scheme_;
   std::size_t block_;
+  std::uint64_t block_inv_;            // block scheme only
   std::vector<std::uint32_t> local_;   // hash scheme only
   std::vector<std::size_t> counts_;    // hash scheme only
 };

@@ -1,0 +1,235 @@
+// Bytecode-tier tests: lowering golden checks on the disassembly,
+// expression-level VM-vs-interpreter bit-equivalence, and end-to-end tier
+// equality (state words, message/byte counts, supersteps) on the paper's
+// four benchmark programs. The differential fuzzer covers the same
+// contract on generated programs; these are the deterministic anchors.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "dv/compiler.h"
+#include "dv/programs/programs.h"
+#include "dv/runtime/interpreter.h"
+#include "dv/runtime/runner.h"
+#include "dv/runtime/vm.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace deltav::dv {
+namespace {
+
+bool same_bits(const Value& a, const Value& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Type::kFloat:
+      return std::bit_cast<std::uint64_t>(a.f) ==
+             std::bit_cast<std::uint64_t>(b.f);
+    case Type::kBool:
+      return a.b == b.b;
+    default:
+      return a.i == b.i;
+  }
+}
+
+std::string show(const Value& v) {
+  switch (v.type) {
+    case Type::kFloat: return "f:" + std::to_string(v.f);
+    case Type::kBool: return v.b ? "b:true" : "b:false";
+    default: return "i:" + std::to_string(v.i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering golden checks
+// ---------------------------------------------------------------------------
+
+TEST(VmLowering, PageRankDisassemblyUsesSuperinstructionsAndFusions) {
+  const auto cp = compile(programs::kPageRank, {});
+  const std::string dis = to_string(lower_program(cp));
+  // The two dominant loops are superinstructions, not bytecode loops.
+  EXPECT_NE(dis.find("fold.delta"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("send.delta"), std::string::npos) << dis;
+  // Peephole fusion collapses the normalizing divisions and the damped
+  // multiply-add of the recurrence.
+  EXPECT_NE(dis.find("div.n.f"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("div.degout.f"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("muladd.f"), std::string::npos) << dis;
+  // The unfused three-instruction division sequences must be gone: no
+  // bare load.n should survive in any chunk.
+  EXPECT_EQ(dis.find("load.n"), std::string::npos) << dis;
+}
+
+TEST(VmLowering, NonIncrementalLoweringUsesFullVariants) {
+  const auto cp =
+      compile(programs::kPageRank, CompileOptions{.incrementalize = false});
+  const std::string dis = to_string(lower_program(cp));
+  EXPECT_NE(dis.find("fold.full"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("send.full"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("fold.delta"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("send.delta"), std::string::npos) << dis;
+}
+
+TEST(VmLowering, EveryBenchmarkProgramLowersBothVariants) {
+  for (const char* src :
+       {programs::kPageRank, programs::kSssp, programs::kConnectedComponents,
+        programs::kHits, programs::kReachability, programs::kMaxGossip}) {
+    for (const bool inc : {true, false}) {
+      const auto cp = compile(src, CompileOptions{.incrementalize = inc});
+      const VmProgram vp = lower_program(cp);
+      EXPECT_FALSE(vp.chunks.empty());
+      // Every runner-visible root has a chunk, and the statement bodies
+      // resolve through the root map.
+      for (const Stmt& s : cp.program.stmts)
+        EXPECT_GE(vp.chunk_of(*s.body), 0);
+      if (cp.program.init) {
+        EXPECT_GE(vp.chunk_of(*cp.program.init), 0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expression-level equivalence via lower_root
+// ---------------------------------------------------------------------------
+
+/// Compiles a one-statement program around `expr_src`, then evaluates the
+/// body once per tier from identical state and requires bit-identical
+/// results and field stores.
+void expect_tier_equal_expr(const std::string& out_type,
+                            const std::string& expr_src) {
+  const std::string src = "init { local out : " + out_type + " = " +
+                          (out_type == "bool" ? "false" : "0") +
+                          " };"
+                          "step { out = " +
+                          expr_src + " }";
+  Diagnostics diags;
+  Program prog = parse_and_check(src, diags);
+  VmProgram vp;
+  const int chunk = lower_root(vp, prog, *prog.stmts[0].body);
+  const Vm vm(std::move(vp));
+  const auto g = graph::cycle(4);
+
+  const auto run = [&](bool use_vm) {
+    std::vector<Value> fields(prog.fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      switch (prog.fields[i].type) {
+        case Type::kBool: fields[i] = Value::of_bool(false); break;
+        case Type::kFloat: fields[i] = Value::of_float(0); break;
+        default: fields[i] = Value::of_int(0); break;
+      }
+    }
+    std::vector<Value> scratch(prog.scratch.size() + 8, Value::of_int(0));
+    EvalContext ctx;
+    ctx.prog = &prog;
+    ctx.graph = &g;
+    ctx.fields = fields;
+    ctx.scratch = scratch;
+    ctx.has_vertex = true;
+    ctx.vertex = 1;
+    ctx.iter = 3;
+    if (use_vm)
+      vm.run_chunk(chunk, ctx);
+    else
+      eval(*prog.stmts[0].body, ctx);
+    return fields[0];
+  };
+
+  const Value tree = run(false);
+  const Value bytecode = run(true);
+  EXPECT_TRUE(same_bits(tree, bytecode))
+      << expr_src << ": tree " << show(tree) << " vs vm " << show(bytecode);
+}
+
+TEST(VmExpr, ArithmeticMatchesInterpreterBitExactly) {
+  expect_tier_equal_expr("int", "1 + 2 * 3");
+  expect_tier_equal_expr("float", "7 / 2");
+  expect_tier_equal_expr("float", "0.15 + 0.85 * (3.0 / graphSize)");
+  expect_tier_equal_expr("float", "1 / 0");     // IEEE inf
+  expect_tier_equal_expr("float", "0 / 0");     // IEEE nan bit pattern
+  expect_tier_equal_expr("int", "-5 + 2");
+  expect_tier_equal_expr("float", "2.5 * 4");   // int operand widening
+}
+
+TEST(VmExpr, ComparisonsAndLogicMatchInterpreter) {
+  expect_tier_equal_expr("bool", "1 < 2");
+  expect_tier_equal_expr("bool", "2 == 2.0");
+  expect_tier_equal_expr("bool", "true || (0 / 0) > 0");   // short-circuit
+  expect_tier_equal_expr("bool", "false && (0 / 0) > 0");
+  expect_tier_equal_expr("bool", "not false");
+}
+
+TEST(VmExpr, ControlFlowAndContextLoadsMatchInterpreter) {
+  expect_tier_equal_expr("int", "if 1 < 2 then 10 else 20");
+  expect_tier_equal_expr("float", "if vertexId == 0 then 0 else infty");
+  expect_tier_equal_expr("int",
+                         "(let x : int = 4 in let y : int = x + 1 in x * y)");
+  expect_tier_equal_expr("int", "(let x : int = 1 in let x : int = 2 in x)");
+  expect_tier_equal_expr("float", "min(2.5, 2)");
+  expect_tier_equal_expr("int", "max(3, 7)");
+  expect_tier_equal_expr("int", "|#out| + |#in| * 10");
+  expect_tier_equal_expr("int", "vertexId + 1");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end tier equality on the benchmark programs
+// ---------------------------------------------------------------------------
+
+struct TierCase {
+  const char* name;
+  const char* src;
+  bool directed;
+  bool weighted;
+  std::map<std::string, Value> params;
+};
+
+void expect_tiers_identical(const TierCase& tc, bool incrementalize) {
+  graph::RmatOptions ro;
+  ro.directed = tc.directed;
+  ro.weighted = tc.weighted;
+  const auto g = graph::rmat(96, 384, test::effective_seed(13), ro);
+  const auto cp =
+      compile(tc.src, CompileOptions{.incrementalize = incrementalize});
+
+  DvRunOptions o;
+  o.engine = test::small_engine();
+  o.params = tc.params;
+  o.tier = ExecTier::kVm;
+  const auto vm_r = run_program(cp, g, o);
+  o.tier = ExecTier::kTree;
+  const auto tree_r = run_program(cp, g, o);
+
+  const std::string label = std::string(tc.name) +
+                            (incrementalize ? " (DV) " : " (DV*) ") +
+                            test::seed_banner(test::effective_seed(13));
+  ASSERT_EQ(vm_r.state.size(), tree_r.state.size()) << label;
+  for (std::size_t i = 0; i < vm_r.state.size(); ++i)
+    ASSERT_TRUE(same_bits(vm_r.state[i], tree_r.state[i]))
+        << label << " state word " << i << ": vm " << show(vm_r.state[i])
+        << " vs tree " << show(tree_r.state[i]);
+  EXPECT_EQ(vm_r.stats.total_messages_sent(),
+            tree_r.stats.total_messages_sent())
+      << label;
+  EXPECT_EQ(vm_r.stats.total_bytes_sent(), tree_r.stats.total_bytes_sent())
+      << label;
+  EXPECT_EQ(vm_r.supersteps, tree_r.supersteps) << label;
+}
+
+TEST(VmTiers, BenchmarkProgramsBitIdenticalAcrossTiers) {
+  const TierCase cases[] = {
+      {"PageRank", programs::kPageRank, true, false,
+       {{"steps", Value::of_int(8)}}},
+      {"SSSP", programs::kSssp, true, true,
+       {{"source", Value::of_int(0)}}},
+      {"CC", programs::kConnectedComponents, false, false, {}},
+      {"HITS", programs::kHits, true, false,
+       {{"steps", Value::of_int(4)}}},
+  };
+  for (const TierCase& tc : cases) {
+    expect_tiers_identical(tc, true);
+    expect_tiers_identical(tc, false);
+  }
+}
+
+}  // namespace
+}  // namespace deltav::dv
