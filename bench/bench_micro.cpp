@@ -185,7 +185,7 @@ struct TierFixture {
   dv::EvalContext ctx_for(graph::VertexId v) {
     dv::EvalContext ctx;
     ctx.prog = &cp.program;
-    ctx.graph = &g;
+    ctx.graph = &gv;
     ctx.fields = {state.data() + static_cast<std::size_t>(v) * stride,
                   stride};
     std::copy(scratch_defaults.begin(), scratch_defaults.end(),
@@ -210,6 +210,7 @@ struct TierFixture {
   }
 
   graph::CsrGraph g;
+  graph::GraphView gv{g};
   dv::CompiledProgram cp;
   dv::Vm vm;
   std::size_t stride = 0;

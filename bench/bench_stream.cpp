@@ -1,0 +1,193 @@
+// Streaming epochs: warm incremental re-execution vs cold re-runs.
+//
+// Drives two until-quiescence programs through a mutation stream of
+// small insert-only batches on an R-MAT graph:
+//
+//   pagerank-eps — a damped PageRank-style contraction compiled with an
+//                  ε-slop so it quiesces (until { stable }); graphSize
+//                  pins |V|, so the stream mutates edges only;
+//   cc           — the paper's connected-components min-label relaxation.
+//
+// For each program the same stream is applied to a warm session
+// (DvRunner::apply_epoch patches accumulators and wakes only the mutation
+// frontier) and to a force_cold session (every batch rebuilds and re-runs
+// from scratch — the §9 "recompute on change" strawman). The headline
+// quantity is supersteps summed over all epochs: warm must converge in
+// fewer, and --tiers=vm,tree must agree on the count (warm parity is part
+// of the fuzz contract; here it is visible in the table).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "dv/streaming/stream_session.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace deltav;
+
+constexpr const char* kPageRankEps = R"(
+init { local rank : float = 1.0 };
+iter i {
+  let s : float = + [ u.rank | u <- #in ] in
+  rank = 0.15 + 0.85 * (s / graphSize)
+} until { stable }
+)";
+
+struct StreamWorkload {
+  std::string name;
+  dv::CompiledProgram cp;
+  graph::CsrGraph graph;
+  std::vector<graph::MutationBatch> stream;
+};
+
+std::vector<graph::MutationBatch> insert_only_stream(std::uint64_t seed,
+                                                     std::size_t n,
+                                                     std::int64_t batches,
+                                                     std::int64_t edits) {
+  Rng rng(seed);
+  std::vector<graph::MutationBatch> out;
+  for (std::int64_t b = 0; b < batches; ++b) {
+    graph::MutationBatch mb;
+    for (std::int64_t e = 0; e < edits; ++e) {
+      const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+      const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      if (u == v) continue;
+      mb.insert_edge(u, v);
+    }
+    if (!mb.empty()) out.push_back(std::move(mb));
+  }
+  return out;
+}
+
+/// Converges a session, applies the whole stream, and reports the summed
+/// epoch cost (supersteps/messages across every apply(); wall-clock of
+/// the apply loop only — epoch 0 is identical for warm and cold).
+bench::Metrics run_stream(const StreamWorkload& w, dv::ExecTier tier,
+                          int workers, bool force_cold,
+                          std::size_t* warm_epochs = nullptr) {
+  dv::streaming::SessionOptions so;
+  so.run.engine = bench::paper_engine(workers);
+  so.run.tier = tier;
+  so.force_cold = force_cold;
+  dv::streaming::DvStreamSession s(w.cp, w.graph, so);
+  s.converge();
+  bench::Metrics m;
+  if (warm_epochs) *warm_epochs = 0;
+  Timer t;
+  for (const graph::MutationBatch& b : w.stream) {
+    const dv::streaming::SessionEpoch ep = s.apply(b);
+    m.supersteps += ep.stats.supersteps;
+    m.messages += ep.stats.messages;
+    if (warm_epochs && ep.warm) ++*warm_epochs;
+  }
+  m.wall_seconds = t.elapsed_seconds();
+  m.state_bytes = w.cp.state_bytes();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args(argc, argv);
+    const auto scale =
+        args.get_int("scale", 10, "R-MAT vertices = 2^scale");
+    const auto degree =
+        args.get_int("degree", 4, "R-MAT edges per vertex");
+    const int workers =
+        static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
+    const int reps = static_cast<int>(
+        args.get_int("reps", 3, "repetitions (min wall-clock kept)"));
+    const auto batches =
+        args.get_int("batches", 8, "mutation batches per stream");
+    const auto edits =
+        args.get_int("edits", 4, "edge insertions per batch");
+    const auto seed = static_cast<std::uint64_t>(
+        args.get_int("seed", 42, "graph and stream seed"));
+    const std::string tiers_flag = args.get_string(
+        "tiers", "vm", "execution tiers to run: vm, tree, or vm,tree");
+    bench::JsonReport json;
+    json.set_path(args.get_string("json", "", "write JSON rows here"));
+    if (args.help_requested()) {
+      std::cout << args.help();
+      return 0;
+    }
+    args.check_unused();
+
+    bench::banner("streaming epochs: warm vs cold re-execution",
+                  "§9 dynamic graphs (DESIGN.md \"streaming epochs\")");
+
+    const auto n = static_cast<std::size_t>(1) << scale;
+    const auto m = n * static_cast<std::size_t>(degree);
+    const std::string graph_tag =
+        "rmat-2^" + std::to_string(scale) + "x" + std::to_string(degree);
+
+    std::vector<StreamWorkload> workloads;
+    {
+      dv::CompileOptions co;
+      co.epsilon = 1e-10;
+      graph::RmatOptions ro;
+      workloads.push_back({"pagerank-eps", dv::compile(kPageRankEps, co),
+                           graph::rmat(n, m, seed, ro),
+                           insert_only_stream(seed + 1, n, batches, edits)});
+    }
+    {
+      graph::RmatOptions ro;
+      ro.directed = false;
+      workloads.push_back(
+          {"cc", dv::compile(dv::programs::kConnectedComponents, {}),
+           graph::rmat(n, m, seed, ro),
+           insert_only_stream(seed + 2, n, batches, edits)});
+    }
+
+    Table t({"graph", "algorithm", "system", "tier", "wall(s)", "msgs",
+             "supersteps", "warm epochs"});
+    bool warm_wins = true;
+    for (const StreamWorkload& w : workloads) {
+      for (const dv::ExecTier tier : bench::parse_tiers(tiers_flag)) {
+        std::size_t warm_epochs = 0;
+        const bench::Metrics warm = bench::averaged(reps, [&] {
+          return run_stream(w, tier, workers, /*force_cold=*/false,
+                            &warm_epochs);
+        });
+        const bench::Metrics cold = bench::averaged(reps, [&] {
+          return run_stream(w, tier, workers, /*force_cold=*/true);
+        });
+        for (const auto& [system, met, we] :
+             {std::tuple{"warm", &warm, warm_epochs},
+              std::tuple{"cold", &cold, std::size_t{0}}}) {
+          t.row()
+              .cell(graph_tag)
+              .cell(w.name)
+              .cell(system)
+              .cell(dv::exec_tier_name(tier))
+              .cell(met->wall_seconds, 4)
+              .cell(static_cast<unsigned long long>(met->messages))
+              .cell(static_cast<unsigned long long>(met->supersteps))
+              .cell(static_cast<unsigned long long>(we));
+          json.add(graph_tag, w.name, system, dv::exec_tier_name(tier),
+                   *met);
+        }
+        warm_wins = warm_wins && warm.supersteps < cold.supersteps &&
+                    warm_epochs == w.stream.size();
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\nShape checks: every batch resumes warm; warm supersteps"
+                 " < cold supersteps\nfor each (algorithm, tier); tiers"
+                 " agree on superstep counts.\n";
+    json.write("bench_stream");
+    if (!warm_wins) {
+      std::cerr << "bench_stream: warm epochs did not beat cold re-runs\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_stream: " << e.what() << "\n";
+    return 2;
+  }
+}

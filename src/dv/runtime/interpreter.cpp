@@ -75,7 +75,7 @@ Value eval_send_loop(const Expr& e, EvalContext& ctx) {
   DV_CHECK_MSG(ctx.has_vertex && ctx.sink, "send loop outside superstep");
   if (ctx.suppress_sites & (1ULL << e.site)) return unit();
   const AggSite& site = ctx.prog->sites[static_cast<std::size_t>(e.site)];
-  const graph::CsrGraph& g = *ctx.graph;
+  const graph::GraphView& g = *ctx.graph;
   const graph::VertexId v = ctx.vertex;
 
   std::span<const graph::VertexId> targets;

@@ -12,7 +12,7 @@
 #include "dv/ast.h"
 #include "dv/runtime/message.h"
 #include "dv/runtime/value.h"
-#include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 
 namespace deltav::dv {
 
@@ -34,7 +34,9 @@ class SendSink {
 
 struct EvalContext {
   const Program* prog = nullptr;
-  const graph::CsrGraph* graph = nullptr;
+  // Points at a view owned by the runner lane; views either an immutable
+  // CSR (cold runs) or the streaming overlay (warm epochs).
+  const graph::GraphView* graph = nullptr;
 
   // Per-vertex views (empty/unused for global until evaluation).
   std::span<Value> fields;

@@ -46,11 +46,29 @@ bool uses_stable(const Expr& e) {
   return false;
 }
 
-class Runner {
+/// Does any node of `e` have kind `k`? (warm_blocker's dependency scans.)
+bool expr_contains(const Expr& e, ExprKind k) {
+  if (e.kind == k) return true;
+  for (const auto& kid : e.kids)
+    if (kid && expr_contains(*kid, k)) return true;
+  return false;
+}
+
+/// Does `e` read the enclosing statement's iteration variable?
+bool expr_reads_iter(const Expr& e) {
+  if (e.kind == ExprKind::kVarRef && e.var_kind == VarKind::kIter)
+    return true;
+  for (const auto& kid : e.kids)
+    if (kid && expr_reads_iter(*kid)) return true;
+  return false;
+}
+
+}  // namespace
+
+class DvRunner::Impl {
  public:
-  Runner(const CompiledProgram& cp, const graph::CsrGraph& g,
-         const DvRunOptions& options)
-      : cp_(cp), prog_(cp.program), g_(g), options_(options) {
+  Impl(const CompiledProgram& cp, graph::GraphView g, DvRunOptions options)
+      : cp_(cp), prog_(cp.program), g_(g), options_(std::move(options)) {
     validate();
     const std::size_t n = g_.num_vertices();
     stride_ = prog_.fields.size();
@@ -94,15 +112,250 @@ class Runner {
   }
 
   DvRunResult run() {
+    DV_CHECK_MSG(!converged_, "converge() may only run once");
     run_init_superstep();
     for (std::size_t si = 0; si < prog_.stmts.size(); ++si) {
       if (si > 0) run_transition(si);
       run_statement(si);
     }
+    converged_ = true;
     return collect_result();
   }
 
+  EpochStats apply_epoch(graph::DynamicGraph& dyn,
+                         const graph::GraphDelta& delta) {
+    const char* blocker = DvRunner::warm_blocker(cp_, delta);
+    DV_CHECK_MSG(blocker == nullptr,
+                 "apply_epoch on a warm-blocked delta: " << blocker);
+    DV_CHECK_MSG(options_.deletions.empty(),
+                 "apply_epoch cannot run with scheduled vertex deletions");
+    DV_CHECK_MSG(converged_, "apply_epoch before converge()");
+    DV_CHECK_MSG(g_.num_vertices() == delta.old_num_vertices,
+                 "delta was planned against a different graph snapshot");
+
+    EpochStats es;
+    const std::size_t old_n = delta.old_num_vertices;
+    const std::size_t new_n = delta.new_num_vertices;
+    const std::size_t stats_base = engine_->stats().supersteps.size();
+    const std::size_t steps_base = supersteps_;
+    deltas_applied_ = 0;
+    wake_.assign(new_n, 0);
+    for (const graph::VertexId v : delta.touched) wake_[v] = 1;
+
+    // ---- Phase A (old topology): per touched sender × site, record what
+    // each receiver currently holds from it — the send_retractions rule:
+    // the ε-gated last-sent slot when present, else the (possibly
+    // per-edge) send expression, which for bound sites reads the memoized
+    // sent_k field.
+    std::vector<std::map<graph::VertexId,
+                         std::vector<std::pair<graph::VertexId, Value>>>>
+        olds(prog_.sites.size());
+    {
+      EvalContext ctx = make_ctx(0);
+      ctx.has_vertex = true;
+      for (const graph::VertexId v : delta.touched) {
+        if (v >= old_n) continue;
+        ctx.vertex = v;
+        ctx.fields = fields_of(v);
+        std::copy(scratch_defaults_.begin(), scratch_defaults_.end(),
+                  ctx.scratch.begin());
+        for (const AggSite& site : prog_.sites) {
+          const auto [targets, weights] = push_targets(site, v);
+          if (targets.empty()) continue;
+          auto& list = olds[static_cast<std::size_t>(site.id)][v];
+          list.reserve(targets.size());
+          for (std::size_t i = 0; i < targets.size(); ++i) {
+            ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
+            const Value last =
+                site.last_sent_slot >= 0
+                    ? ctx.fields[static_cast<std::size_t>(
+                          site.last_sent_slot)]
+                    : eval_root(*site.send_expr, ctx).coerce(site.elem_type);
+            list.emplace_back(targets[i], last);
+          }
+        }
+      }
+    }
+
+    // ---- Commit: every read below sees the mutated topology through g_.
+    dyn.commit(delta);
+
+    // ---- Growth: engine capacity, state rows with compiler-field
+    // defaults, init block, and the §6.1 first push — delivered
+    // synchronously into receiver accumulators by the ApplySink rather
+    // than through the engine (the epoch has not started stepping yet).
+    ApplySink apply_sink(this);
+    if (new_n > old_n) {
+      engine_->grow(new_n);
+      state_.resize(new_n * stride_);
+      const std::vector<Value> defaults = compiler_field_defaults();
+      for (std::size_t v = old_n; v < new_n; ++v)
+        std::copy(defaults.begin(), defaults.end(),
+                  state_.begin() + static_cast<std::ptrdiff_t>(v * stride_));
+      EvalContext ctx = make_ctx(0);
+      ctx.has_vertex = true;
+      ctx.sink = &apply_sink;
+      const int init_chunk =
+          vm_ ? vm_->program().chunk_of(*prog_.init) : -1;
+      for (std::size_t vv = old_n; vv < new_n; ++vv) {
+        const auto v = static_cast<graph::VertexId>(vv);
+        ctx.vertex = v;
+        ctx.fields = fields_of(v);
+        std::copy(scratch_defaults_.begin(), scratch_defaults_.end(),
+                  ctx.scratch.begin());
+        if (init_chunk >= 0)
+          vm_->run_chunk(init_chunk, ctx);
+        else
+          eval_root(*prog_.init, ctx);
+        push_first(ctx, v, 0);
+        wake_[v] = 1;
+      }
+    }
+
+    // ---- Phase B (new topology): for each surviving touched sender,
+    // merge its old and new target sets and synthesize one Δ per target:
+    // old→new where the arc survives, an injection (first send) for new
+    // arcs, a retraction (→ identity) for removed ones. Deltas fold
+    // directly into receiver slots — single-threaded, deterministic.
+    {
+      EvalContext ctx = make_ctx(0);
+      ctx.has_vertex = true;
+      for (const graph::VertexId v : delta.touched) {
+        if (v >= old_n) continue;
+        ctx.vertex = v;
+        ctx.fields = fields_of(v);
+        std::copy(scratch_defaults_.begin(), scratch_defaults_.end(),
+                  ctx.scratch.begin());
+        for (const AggSite& site : prog_.sites) {
+          // The sender's *current* contribution must reflect the new
+          // topology (degrees!), so evaluate the original expression —
+          // for bound sites send_expr is just the stale sent_k ref.
+          const Expr& original =
+              site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+          const auto [targets, weights] = push_targets(site, v);
+          const auto site_idx = static_cast<std::size_t>(site.id);
+          const auto& site_olds = olds[site_idx];
+          static const std::vector<std::pair<graph::VertexId, Value>>
+              kNoOlds;
+          const auto it = site_olds.find(v);
+          const auto& old_list = it == site_olds.end() ? kNoOlds : it->second;
+          const Value identity = agg_identity(site.op, site.elem_type);
+          std::size_t oi = 0, ni = 0;
+          while (oi < old_list.size() || ni < targets.size()) {
+            DeltaPayload d;
+            graph::VertexId dst;
+            const bool take_old =
+                ni >= targets.size() ||
+                (oi < old_list.size() && old_list[oi].first < targets[ni]);
+            if (take_old) {
+              dst = old_list[oi].first;
+              d = synthesize_delta(site.op, site.elem_type,
+                                   old_list[oi].second, identity);
+              ++oi;
+            } else {
+              dst = targets[ni];
+              ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[ni];
+              const Value now =
+                  eval_root(original, ctx).coerce(site.elem_type);
+              if (oi < old_list.size() && old_list[oi].first == dst) {
+                d = synthesize_delta(site.op, site.elem_type,
+                                     old_list[oi].second, now);
+                ++oi;
+              } else {
+                d = synthesize_first(site.op, site.elem_type, now);
+              }
+              ++ni;
+            }
+            if (d.noop) continue;
+            DvMessage msg;
+            msg.site = static_cast<std::uint8_t>(site.id);
+            msg.wire = site_wire_[site_idx];
+            msg.payload = d.value;
+            msg.nulls = d.nulls;
+            msg.denulls = d.denulls;
+            apply_direct(dst, msg);
+          }
+          // Re-memoize what this sender's neighbors now believe its value
+          // is, so the woken body's Δ against it is a no-op.
+          if (site.bound_field >= 0 || site.last_sent_slot >= 0) {
+            ctx.cur_edge_weight = 1.0;
+            const Value now =
+                eval_root(original, ctx).coerce(site.elem_type);
+            if (site.bound_field >= 0)
+              ctx.fields[static_cast<std::size_t>(site.bound_field)] = now;
+            if (site.last_sent_slot >= 0)
+              ctx.fields[static_cast<std::size_t>(site.last_sent_slot)] =
+                  now;
+          }
+        }
+      }
+    }
+
+    // ---- Wake exactly the mutation frontier (touched endpoints, Δ
+    // receivers, new vertices) and re-converge the statement.
+    engine_->halt_all();
+    for (std::size_t v = 0; v < new_n; ++v) {
+      if (!wake_[v] || engine_->is_deleted(static_cast<graph::VertexId>(v)))
+        continue;
+      engine_->activate(static_cast<graph::VertexId>(v));
+      ++es.woken;
+    }
+    if (es.woken > 0) run_statement(0);
+
+    es.deltas_applied = deltas_applied_;
+    es.supersteps = supersteps_ - steps_base;
+    const auto& log = engine_->stats().supersteps;
+    for (std::size_t i = stats_base; i < log.size(); ++i)
+      es.messages += log[i].messages_sent;
+    return es;
+  }
+
+  DvRunResult snapshot_result() { return collect_result(); }
+
  private:
+  /// Applies a synthesized Δ-message synchronously into the receiver's
+  /// accumulator slots (Eq. 8/9) — the epoch-start equivalent of the
+  /// fold's per-message apply_delta — and marks it for wake-up.
+  void apply_direct(graph::VertexId dst, const DvMessage& m) {
+    const AggSite& site = prog_.sites[m.site];
+    const auto fields = fields_of(dst);
+    AccumRef ref;
+    ref.acc = &fields[static_cast<std::size_t>(site.acc_slot)];
+    if (site.multiplicative()) {
+      ref.nn = &fields[static_cast<std::size_t>(site.nn_slot)];
+      ref.nulls = &fields[static_cast<std::size_t>(site.nulls_slot)];
+    }
+    apply_delta(site.op, site.elem_type, ref, m.payload, m.nulls, m.denulls);
+    ++deltas_applied_;
+    wake_[dst] = 1;
+  }
+
+  /// SendSink that short-circuits the engine: messages land in receiver
+  /// state immediately. Used for epoch-start synthesis only (push_first
+  /// of added vertices routes through it).
+  class ApplySink : public SendSink {
+   public:
+    explicit ApplySink(Impl* runner) : runner_(runner) {}
+    void send(graph::VertexId dst, const DvMessage& msg) override {
+      runner_->apply_direct(dst, msg);
+    }
+
+   private:
+    Impl* runner_;
+  };
+
+  /// The stored-arc span a site's push sends traverse from `v`.
+  std::pair<std::span<const graph::VertexId>, std::span<const double>>
+  push_targets(const AggSite& site, graph::VertexId v) const {
+    switch (push_direction(site.pull_dir)) {
+      case GraphDir::kOut:
+      case GraphDir::kNeighbors:
+        return {g_.out_neighbors(v), g_.out_weights(v)};
+      case GraphDir::kIn:
+        return {g_.in_neighbors(v), g_.in_weights(v)};
+    }
+    return {};
+  }
   /// Evaluates a runner-visible root expression on the selected tier.
   Value eval_root(const Expr& e, EvalContext& ctx) {
     return vm_ ? vm_->eval_root(e, ctx) : eval(e, ctx);
@@ -178,9 +431,9 @@ class Runner {
     }
   }
 
-  void init_compiler_fields() {
-    // Compiler-added fields have runtime-defined initial values; user
-    // fields are initialized by the init block.
+  /// Per-field initial values: compiler-added fields have runtime-defined
+  /// initial values; user fields are initialized by the init block.
+  std::vector<Value> compiler_field_defaults() const {
     std::vector<Value> defaults(stride_);
     for (std::size_t fi = 0; fi < stride_; ++fi) {
       const Field& f = prog_.fields[fi];
@@ -214,6 +467,11 @@ class Runner {
         }
       }
     }
+    return defaults;
+  }
+
+  void init_compiler_fields() {
+    const std::vector<Value> defaults = compiler_field_defaults();
     for (std::size_t v = 0; v < g_.num_vertices(); ++v)
       std::copy(defaults.begin(), defaults.end(),
                 state_.begin() + static_cast<std::ptrdiff_t>(v * stride_));
@@ -465,6 +723,9 @@ class Runner {
     const bool stable_until = is_iter && uses_stable(*stmt.until);
     const std::uint64_t own_sites = sites_mask_of(si);
 
+    // The superstep cap is per statement *run*, so streaming epochs get a
+    // fresh budget instead of exhausting a cumulative one.
+    const std::size_t steps_base = supersteps_;
     std::size_t iter = 0;
     for (;;) {
       ++iter;
@@ -535,7 +796,7 @@ class Runner {
       });
       victims_.clear();
       ++supersteps_;
-      DV_CHECK_MSG(supersteps_ <= options_.max_supersteps,
+      DV_CHECK_MSG(supersteps_ - steps_base <= options_.max_supersteps,
                    "superstep limit exceeded (non-terminating until?)");
 
       if (!is_iter) break;
@@ -565,7 +826,9 @@ class Runner {
     r.stats = engine_->stats();
     r.supersteps = supersteps_;
     r.iterations = iterations_;
-    r.state = std::move(state_);
+    // Copied, not moved: the runner keeps executing (streaming epochs
+    // snapshot the state after every batch).
+    r.state = state_;
     for (const Field& f : prog_.fields) r.fields.push_back(f);
     r.num_vertices = g_.num_vertices();
     return r;
@@ -573,8 +836,8 @@ class Runner {
 
   const CompiledProgram& cp_;
   const Program& prog_;
-  const graph::CsrGraph& g_;
-  const DvRunOptions& options_;
+  graph::GraphView g_;
+  DvRunOptions options_;
 
   std::size_t stride_ = 0;
   std::vector<Value> state_;
@@ -589,9 +852,11 @@ class Runner {
   std::size_t supersteps_ = 0;
   std::vector<std::size_t> iterations_;
   std::vector<std::uint8_t> victims_;
+  bool converged_ = false;
+  // Epoch scratch: the wake frontier and the Δ-application counter.
+  std::vector<std::uint8_t> wake_;
+  std::size_t deltas_applied_ = 0;
 };
-
-}  // namespace
 
 const char* exec_tier_name(ExecTier tier) {
   return tier == ExecTier::kTree ? "tree" : "vm";
@@ -627,10 +892,85 @@ std::vector<std::int64_t> DvRunResult::field_as_int(
   return out;
 }
 
-DvRunResult run_program(const CompiledProgram& cp, const graph::CsrGraph& g,
+DvRunResult run_program(const CompiledProgram& cp, graph::GraphView g,
                         const DvRunOptions& options) {
-  Runner runner(cp, g, options);
+  DvRunner::Impl runner(cp, g, options);
   return runner.run();
+}
+
+DvRunner::DvRunner(const CompiledProgram& cp, graph::GraphView g,
+                   DvRunOptions options)
+    : impl_(std::make_unique<Impl>(cp, g, std::move(options))) {}
+DvRunner::~DvRunner() = default;
+DvRunner::DvRunner(DvRunner&&) noexcept = default;
+DvRunner& DvRunner::operator=(DvRunner&&) noexcept = default;
+
+DvRunResult DvRunner::converge() { return impl_->run(); }
+
+EpochStats DvRunner::apply_epoch(graph::DynamicGraph& dyn,
+                                 const graph::GraphDelta& delta) {
+  return impl_->apply_epoch(dyn, delta);
+}
+
+DvRunResult DvRunner::result() const { return impl_->snapshot_result(); }
+
+const char* DvRunner::warm_blocker(const CompiledProgram& cp,
+                                   const graph::GraphDelta& delta) {
+  const Program& prog = cp.program;
+  if (!cp.options.incrementalize)
+    return "program is not incrementalized (DV*): no memoized accumulators "
+           "to patch";
+  if (prog.stmts.size() != 1)
+    return "multi-statement programs resume cold (cross-statement priming "
+           "cannot be replayed)";
+  if (prog.sites.empty())
+    return "no aggregation sites: topology changes have no Δ to carry";
+
+  // graphSize anywhere + a vertex-count change moves every vertex's value,
+  // not just the frontier. Bound sites' original expressions were hoisted
+  // out of the body, so scan them explicitly.
+  if (delta.new_num_vertices != delta.old_num_vertices) {
+    bool reads_n = expr_contains(*prog.init, ExprKind::kGraphSize);
+    for (const Stmt& s : prog.stmts) {
+      reads_n = reads_n || expr_contains(*s.body, ExprKind::kGraphSize);
+      if (s.until)
+        reads_n = reads_n || expr_contains(*s.until, ExprKind::kGraphSize);
+    }
+    for (const AggSite& site : prog.sites) {
+      const Expr& original =
+          site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+      reads_n = reads_n || expr_contains(original, ExprKind::kGraphSize);
+    }
+    if (reads_n)
+      return "graphSize is read and |V| changed: every vertex is affected";
+  }
+
+  for (const AggSite& site : prog.sites) {
+    const Expr& original =
+        site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+    if (is_idempotent(site.op)) {
+      // min/max accumulators cannot forget a contribution (§9), so only
+      // monotone-growing change streams resume warm.
+      if (delta.has_removals)
+        return "min/max cannot retract a removed contribution";
+      if (delta.has_weight_changes &&
+          expr_contains(original, ExprKind::kEdgeWeight))
+        return "min/max cannot retract a weight-changed contribution";
+      if (expr_contains(original, ExprKind::kDegree))
+        return "min/max with degree-dependent sends cannot retract on "
+               "topology change";
+    }
+    if (cp.options.epsilon > 0 &&
+        expr_contains(original, ExprKind::kEdgeWeight))
+      return "epsilon-slop cannot track per-edge send payloads";
+  }
+
+  // A body indexed by its iteration variable is not resumable: the warm
+  // epoch restarts the count at 1.
+  for (const Stmt& s : prog.stmts)
+    if (expr_reads_iter(*s.body))
+      return "statement body reads the iteration variable";
+  return nullptr;
 }
 
 }  // namespace deltav::dv

@@ -25,12 +25,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dv/compiler.h"
 #include "dv/runtime/interpreter.h"
-#include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_view.h"
 #include "pregel/engine.h"
 
 namespace deltav::dv {
@@ -106,9 +108,76 @@ struct DvRunResult {
   std::vector<std::int64_t> field_as_int(const std::string& name) const;
 };
 
-/// Runs `cp` over `g`. Throws CheckError/CompileError on misuse (missing
-/// params, #neighbors on a directed graph, superstep cap exceeded).
-DvRunResult run_program(const CompiledProgram& cp, const graph::CsrGraph& g,
+/// Runs `cp` over `g` (a CsrGraph converts implicitly). Throws
+/// CheckError/CompileError on misuse (missing params, #neighbors on a
+/// directed graph, superstep cap exceeded).
+DvRunResult run_program(const CompiledProgram& cp, graph::GraphView g,
                         const DvRunOptions& options = {});
+
+/// What one streaming epoch cost (see DvRunner::apply_epoch and
+/// DESIGN.md "streaming epochs").
+struct EpochStats {
+  std::size_t supersteps = 0;      // supersteps this epoch ran
+  std::uint64_t messages = 0;      // engine messages sent this epoch
+  std::size_t deltas_applied = 0;  // Δ-payloads folded directly into
+                                   // receiver accumulators at epoch start
+  std::size_t woken = 0;           // vertices activated at epoch start
+};
+
+/// A resumable program execution: the §9 dynamic-graph story. After
+/// converge(), apply_epoch() patches the memoized aggregation state for a
+/// batch of graph mutations — synthesizing per-operator retraction and
+/// injection Δ-messages against the old and new topology — wakes only the
+/// mutation frontier, and re-converges incrementally. Works on both
+/// execution tiers (the tier is picked via DvRunOptions::tier).
+///
+/// Intended use is through dv::streaming::DvStreamSession, which owns the
+/// DynamicGraph, falls back to a cold rebuild when warm_blocker() fires,
+/// and handles overlay compaction.
+class DvRunner {
+ public:
+  /// The view must outlive the runner; for warm epochs it must view the
+  /// DynamicGraph later passed to apply_epoch.
+  DvRunner(const CompiledProgram& cp, graph::GraphView g,
+           DvRunOptions options);
+  ~DvRunner();
+  DvRunner(DvRunner&&) noexcept;
+  DvRunner& operator=(DvRunner&&) noexcept;
+
+  /// Cold run to convergence (exactly run_program's semantics). Must be
+  /// called once, before any apply_epoch.
+  DvRunResult converge();
+
+  /// Why `cp` cannot resume warm across `delta` — a static human-readable
+  /// reason — or nullptr if it can. Warm resume requires the incremental
+  /// pipeline (memoized accumulators), a single statement, retractable
+  /// operators for the kinds of change in `delta` (min/max admit
+  /// insert-only streams), no graphSize dependence when |V| changes, and
+  /// an iteration-independent body.
+  static const char* warm_blocker(const CompiledProgram& cp,
+                                  const graph::GraphDelta& delta);
+
+  /// Warm epoch: Phase A records the frontier's old contributions against
+  /// the pre-mutation topology, `delta` is committed into `dyn`, and Phase
+  /// B folds synthesized Δ-messages (retraction / injection / old→new)
+  /// into every affected accumulator — including the three-field
+  /// nnAcc/aggNulls/aggAccum treatment for ×/&&/|| — before the engine
+  /// re-converges over the woken frontier.
+  /// Preconditions: converge() ran; warm_blocker(cp, delta) == nullptr;
+  /// delta came from dyn.plan() on the current snapshot; the runner's view
+  /// is over `dyn`; no scheduled deletions.
+  EpochStats apply_epoch(graph::DynamicGraph& dyn,
+                         const graph::GraphDelta& delta);
+
+  /// Snapshot of the current converged state (same shape as converge()'s
+  /// result; stats cover everything since construction).
+  DvRunResult result() const;
+
+  /// Implementation; public so run_program can drive it directly.
+  class Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace deltav::dv

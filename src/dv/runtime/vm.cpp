@@ -349,7 +349,7 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
       DV_CHECK_MSG(ctx.has_vertex && ctx.sink, "send loop outside superstep");
       const AggSite& site =
           ctx.prog->sites[static_cast<std::size_t>(I->imm)];
-      const graph::CsrGraph& g = *ctx.graph;
+      const graph::GraphView& g = *ctx.graph;
       std::span<const graph::VertexId> targets;
       std::span<const double> weights;
       if (static_cast<GraphDir>(I->a) == GraphDir::kIn) {
@@ -411,7 +411,7 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
       DV_CHECK_MSG(ctx.has_vertex && ctx.sink, "send loop outside superstep");
       const AggSite& site =
           ctx.prog->sites[static_cast<std::size_t>(I->imm)];
-      const graph::CsrGraph& g = *ctx.graph;
+      const graph::GraphView& g = *ctx.graph;
       std::span<const graph::VertexId> targets;
       std::span<const double> weights;
       if (static_cast<GraphDir>(I->a) == GraphDir::kIn) {

@@ -1,0 +1,86 @@
+#include "dv/streaming/mutation_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace deltav::dv::streaming {
+
+std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in) {
+  std::vector<graph::MutationBatch> batches;
+  graph::MutationBatch cur;
+  auto flush = [&] {
+    if (!cur.empty()) batches.push_back(std::move(cur));
+    cur = {};
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      flush();
+      continue;
+    }
+    if (line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::string op;
+    ls >> op;
+    if (op == "commit") {
+      flush();
+    } else if (op == "+") {
+      graph::VertexId u, v;
+      if (!(ls >> u >> v))
+        DV_FAIL("mutation stream line " << lineno << ": expected '+ u v [w]'");
+      double w = 1.0;
+      ls >> w;  // optional
+      cur.insert_edge(u, v, w);
+    } else if (op == "-") {
+      graph::VertexId u, v;
+      if (!(ls >> u >> v))
+        DV_FAIL("mutation stream line " << lineno << ": expected '- u v'");
+      cur.remove_edge(u, v);
+    } else if (op == "addv") {
+      std::size_t n = 0;
+      if (!(ls >> n))
+        DV_FAIL("mutation stream line " << lineno << ": expected 'addv n'");
+      cur.add_vertices += n;
+    } else if (op == "delv") {
+      graph::VertexId v;
+      if (!(ls >> v))
+        DV_FAIL("mutation stream line " << lineno << ": expected 'delv v'");
+      cur.detach_vertices.push_back(v);
+    } else {
+      DV_FAIL("mutation stream line " << lineno << ": unknown op '" << op
+                                      << "'");
+    }
+  }
+  flush();
+  return batches;
+}
+
+std::vector<graph::MutationBatch> read_mutation_stream_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  DV_CHECK_MSG(in.good(), "cannot open mutation stream: " << path);
+  return read_mutation_stream(in);
+}
+
+void write_mutation_stream(const std::vector<graph::MutationBatch>& batches,
+                           std::ostream& out) {
+  for (const auto& b : batches) {
+    for (const auto& e : b.edges) {
+      if (e.insert)
+        out << "+ " << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+      else
+        out << "- " << e.src << ' ' << e.dst << '\n';
+    }
+    if (b.add_vertices > 0) out << "addv " << b.add_vertices << '\n';
+    for (const graph::VertexId v : b.detach_vertices) out << "delv " << v
+                                                          << '\n';
+    out << "commit\n";
+  }
+}
+
+}  // namespace deltav::dv::streaming

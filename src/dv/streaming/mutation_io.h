@@ -1,0 +1,40 @@
+// Plain-text mutation-stream reading and writing.
+//
+// A stream is a sequence of batches; each batch is applied atomically
+// between ΔV epochs (see stream_session.h). Format, one operation per
+// line:
+//
+//   + u v [w]     insert edge u→v (weight w, default 1; last-write-wins
+//                 when the edge exists — see graph/dynamic_graph.h)
+//   - u v         delete edge u→v (no-op when absent)
+//   addv n        append n fresh (isolated) vertices at the id tail
+//   delv v        detach vertex v (drop all incident arcs, keep the id)
+//   commit        end of batch
+//
+// A blank line also ends the current batch; lines starting with '#' or
+// '%' are comments (matching graph/edge_list_io.h). Trailing operations
+// after the last separator form a final batch.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+
+namespace deltav::dv::streaming {
+
+/// Reads a mutation stream. Throws CheckError with a line number on
+/// malformed input. Empty batches (e.g. consecutive separators) are
+/// dropped.
+std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in);
+
+/// Reads a mutation stream from a file path.
+std::vector<graph::MutationBatch> read_mutation_stream_file(
+    const std::string& path);
+
+/// Writes the stream back out in the format above, one `commit` per batch.
+void write_mutation_stream(const std::vector<graph::MutationBatch>& batches,
+                           std::ostream& out);
+
+}  // namespace deltav::dv::streaming

@@ -1,0 +1,63 @@
+#include "dv/streaming/stream_session.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace deltav::dv::streaming {
+
+DvStreamSession::DvStreamSession(const CompiledProgram& cp,
+                                 graph::CsrGraph base, SessionOptions options)
+    : cp_(&cp), options_(std::move(options)), dyn_(std::move(base)) {
+  runner_ = std::make_unique<DvRunner>(*cp_, graph::GraphView(dyn_),
+                                       options_.run);
+}
+
+DvStreamSession::~DvStreamSession() = default;
+
+DvRunResult DvStreamSession::converge() {
+  DV_CHECK_MSG(!converged_, "converge() already ran; use apply()");
+  converged_ = true;
+  return runner_->converge();
+}
+
+SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
+  DV_CHECK_MSG(converged_, "apply() before converge()");
+  SessionEpoch ep;
+  ep.epoch = ++epoch_;
+
+  const graph::GraphDelta delta = dyn_.plan(batch);
+  if (delta.empty()) {
+    // Nothing net-changed (all ops redundant): state is already converged.
+    ep.warm = true;
+    return ep;
+  }
+
+  ep.blocker = options_.force_cold
+                   ? "cold rebuild forced by SessionOptions::force_cold"
+                   : DvRunner::warm_blocker(*cp_, delta);
+  if (ep.blocker == nullptr) {
+    ep.warm = true;
+    ep.stats = runner_->apply_epoch(dyn_, delta);
+  } else {
+    dyn_.commit(delta);
+    runner_ = std::make_unique<DvRunner>(*cp_, graph::GraphView(dyn_),
+                                         options_.run);
+    const DvRunResult r = runner_->converge();
+    ep.stats.supersteps = r.supersteps;
+    ep.stats.messages = r.stats.total_messages_sent();
+    ep.stats.woken = r.num_vertices;  // a cold run wakes everyone
+  }
+
+  if (dyn_.overlay_fraction() > options_.compact_threshold) {
+    // The runner's GraphView targets dyn_ itself, so reads stay valid —
+    // compaction only moves adjacency from the overlay into the base CSR.
+    dyn_.compact();
+    ep.compacted = true;
+  }
+  return ep;
+}
+
+DvRunResult DvStreamSession::result() const { return runner_->result(); }
+
+}  // namespace deltav::dv::streaming

@@ -1,0 +1,89 @@
+// Streaming epochs: a ΔV program kept converged across graph mutations.
+//
+// A session owns a DynamicGraph (the delta-overlay, graph/dynamic_graph.h)
+// and a DvRunner whose EvalContexts view it. Epoch 0 is an ordinary cold
+// run to convergence. Every later epoch applies one MutationBatch:
+//
+//   plan      DynamicGraph::plan resolves the batch into its net per-arc
+//             effect (GraphDelta) without touching the graph;
+//   gate      DvRunner::warm_blocker decides whether the memoized state
+//             can be patched incrementally for this (program, delta)
+//             pair — min/max cannot retract removals, graphSize reads
+//             pin |V|, and so on;
+//   warm      DvRunner::apply_epoch synthesizes retraction/injection
+//             Δ-messages for every affected aggregation site, folds them
+//             into the receivers' accumulators, wakes only the mutation
+//             frontier, and re-converges;
+//   cold      otherwise the delta is committed and a fresh runner re-runs
+//             the program from scratch over the same DynamicGraph — the
+//             semantics-preserving fallback, also the baseline that
+//             bench/bench_stream.cpp compares against;
+//   compact   once the overlay covers more than compact_threshold of the
+//             vertices, the overlay is folded into a fresh base CSR.
+//
+// Either way the session's state after epoch k is value-identical to a
+// from-scratch run on the mutated graph (the stream fuzz tier checks this
+// per batch against materialize()).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "dv/runtime/runner.h"
+#include "graph/dynamic_graph.h"
+
+namespace deltav::dv::streaming {
+
+struct SessionOptions {
+  DvRunOptions run;
+  /// Compact the overlay back into a base CSR when overlay_fraction()
+  /// exceeds this after a batch. <= 0 compacts every batch; >= 1 never.
+  double compact_threshold = 0.25;
+  /// Always rebuild cold (baseline mode for benchmarks and the
+  /// differential oracle).
+  bool force_cold = false;
+};
+
+/// What one apply() did and cost.
+struct SessionEpoch {
+  std::size_t epoch = 0;        // 1-based; epoch 0 is converge()
+  bool warm = false;            // patched incrementally vs rebuilt cold
+  const char* blocker = nullptr;  // why cold (static string); null if warm
+  bool compacted = false;
+  EpochStats stats;             // cold epochs report the full re-run cost
+};
+
+class DvStreamSession {
+ public:
+  /// The compiled program must outlive the session.
+  DvStreamSession(const CompiledProgram& cp, graph::CsrGraph base,
+                  SessionOptions options = {});
+  ~DvStreamSession();
+
+  // The runner's EvalContexts hold a GraphView into dyn_, so the session
+  // is pinned in place. Construct in situ (optional::emplace, unique_ptr).
+  DvStreamSession(DvStreamSession&&) = delete;
+  DvStreamSession& operator=(DvStreamSession&&) = delete;
+
+  /// Epoch 0: cold run to convergence. Must be called once, first.
+  DvRunResult converge();
+
+  /// Applies one batch and re-converges (warm when possible).
+  SessionEpoch apply(const graph::MutationBatch& batch);
+
+  /// Current converged vertex state.
+  DvRunResult result() const;
+
+  const graph::DynamicGraph& graph() const { return dyn_; }
+  std::size_t epoch() const { return epoch_; }
+
+ private:
+  const CompiledProgram* cp_;  // never null
+  SessionOptions options_;
+  graph::DynamicGraph dyn_;
+  std::unique_ptr<DvRunner> runner_;
+  std::size_t epoch_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace deltav::dv::streaming

@@ -1,0 +1,425 @@
+#include "dv/testing/stream_gen.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "dv/compiler.h"
+#include "dv/streaming/mutation_io.h"
+#include "dv/streaming/stream_session.h"
+#include "dv/programs/programs.h"
+
+namespace deltav::dv::testing {
+
+namespace {
+
+// ---------------------------------------------------------------- sources
+
+/// One-site publish-fold: static per-vertex masses, one aggregation.
+///
+/// `until { i >= 1 }`, not 2: the masses are assigned only in init, so
+/// under ΔV*'s kOnAssign policy they are pushed exactly once. A second
+/// fold iteration would see zero messages and collapse to the identity,
+/// while incremental ΔV keeps its memoized accumulators — the programs
+/// only agree (and the ΔV* oracle is only meaningful) with a single fold.
+std::string publish_source(AggOp op, const std::string& dir, bool use_edge,
+                           int absorbing_below) {
+  std::ostringstream os;
+  os << "init {\n";
+  switch (op) {
+    case AggOp::kSum:
+      os << "  local mass : float = 0.5 + vertexId;\n"
+         << "  local out : float = 0.0\n};\n"
+         << "iter i { out = + [ u.mass"
+         << (use_edge ? " * u.edge" : "") << " | u <- " << dir << " ] }";
+      break;
+    case AggOp::kProd:
+      // Masses in {0} ∪ (1, 1.5]: the absorbing-zero seeds make mutation
+      // streams walk the §6.4.1 null-counter transitions.
+      os << "  local mass : float = if vertexId < " << absorbing_below
+         << " then 0.0 else 1.0 + 1.0 / (2.0 + vertexId);\n"
+         << "  local out : float = 1.0\n};\n"
+         << "iter i { out = * [ u.mass | u <- " << dir << " ] }";
+      break;
+    case AggOp::kMin:
+      os << "  local mass : float = 0.5 + vertexId;\n"
+         << "  local out : float = infty\n};\n"
+         << "iter i { out = min [ u.mass | u <- " << dir << " ] }";
+      break;
+    case AggOp::kMax:
+      os << "  local mass : int = vertexId;\n"
+         << "  local out : int = 0\n};\n"
+         << "iter i { out = max [ u.mass | u <- " << dir << " ] }";
+      break;
+    case AggOp::kAnd:
+      os << "  local mass : bool = vertexId >= " << absorbing_below << ";\n"
+         << "  local out : bool = true\n};\n"
+         << "iter i { out = && [ u.mass | u <- " << dir << " ] }";
+      break;
+    case AggOp::kOr:
+      os << "  local mass : bool = vertexId < " << absorbing_below << ";\n"
+         << "  local out : bool = false\n};\n"
+         << "iter i { out = || [ u.mass | u <- " << dir << " ] }";
+      break;
+  }
+  os << " until { i >= 1 }\n";
+  return os.str();
+}
+
+/// Two independent publish sites in one statement.
+std::string multi_site_source(bool second_is_max, const std::string& d1,
+                              const std::string& d2) {
+  std::ostringstream os;
+  os << "init {\n"
+     << "  local ma : float = 0.5 + vertexId;\n"
+     << "  local mb : int = vertexId;\n"
+     << "  local oa : float = 0.0;\n"
+     << "  local ob : int = 0\n};\n"
+     << "iter i {\n"
+     << "  oa = + [ u.ma | u <- " << d1 << " ];\n"
+     << "  ob = " << (second_is_max ? "max" : "+") << " [ u.mb | u <- "
+     << d2 << " ]\n} until { i >= 1 }\n";
+  return os.str();
+}
+
+// ------------------------------------------------------- stream generation
+
+struct StreamShape {
+  bool allow_removals = true;
+  bool allow_vertex_ops = true;   // addv / delv
+  bool only_new_inserts = false;  // never re-insert an existing edge
+  bool weighted = false;
+  int absorbing_below = 0;        // bias some edits to absorbing senders
+};
+
+std::vector<graph::MutationBatch> random_stream(Rng& rng,
+                                                const graph::CsrGraph& base,
+                                                const StreamShape& shape) {
+  std::size_t n = base.num_vertices();
+  std::set<std::pair<graph::VertexId, graph::VertexId>> present;
+  const bool undirected = !base.directed();
+  auto key = [&](graph::VertexId a, graph::VertexId b) {
+    if (undirected && b < a) std::swap(a, b);
+    return std::make_pair(a, b);
+  };
+  if (shape.only_new_inserts)
+    for (std::size_t v = 0; v < n; ++v)
+      for (const graph::VertexId u : base.out_neighbors(
+               static_cast<graph::VertexId>(v)))
+        present.insert(key(static_cast<graph::VertexId>(v), u));
+
+  std::vector<graph::MutationBatch> batches;
+  const std::size_t num_batches = 3 + rng.next_below(3);
+  for (std::size_t bi = 0; bi < num_batches; ++bi) {
+    graph::MutationBatch b;
+    const std::size_t edits = 1 + rng.next_below(6);
+    for (std::size_t e = 0; e < edits; ++e) {
+      auto u = static_cast<graph::VertexId>(rng.next_below(n));
+      const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      // Bias toward absorbing-mass senders so ×/&&/|| streams actually
+      // cross the absorbing-element boundary.
+      if (shape.absorbing_below > 0 && rng.next_bool(0.35))
+        u = static_cast<graph::VertexId>(
+            rng.next_below(static_cast<std::uint64_t>(
+                shape.absorbing_below)));
+      const bool removal = shape.allow_removals && rng.next_bool(0.4);
+      if (removal) {
+        b.remove_edge(u, v);
+        present.erase(key(u, v));
+      } else {
+        if (shape.only_new_inserts &&
+            (u == v || present.count(key(u, v)))) {
+          continue;  // would be a weight rewrite; skip for this family
+        }
+        const double w =
+            shape.weighted ? 0.1 + rng.next_double() * 2.0 : 1.0;
+        b.insert_edge(u, v, w);
+        if (u != v) present.insert(key(u, v));
+      }
+    }
+    if (shape.allow_vertex_ops && rng.next_bool(0.25)) {
+      b.add_vertices = 1 + rng.next_below(2);
+      n += b.add_vertices;
+    }
+    if (shape.allow_vertex_ops && shape.allow_removals &&
+        rng.next_bool(0.15)) {
+      const auto victim = static_cast<graph::VertexId>(rng.next_below(n));
+      b.detach_vertices.push_back(victim);
+      if (shape.only_new_inserts) {
+        // Keep the presence set honest (unused in this configuration,
+        // since only_new_inserts families never allow removals).
+        for (auto it = present.begin(); it != present.end();)
+          it = (it->first == victim || it->second == victim)
+                   ? present.erase(it)
+                   : std::next(it);
+      }
+    }
+    if (!b.empty()) batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+GraphSpec small_graph(Rng& rng, bool directed, bool weighted) {
+  GraphSpec gs;
+  gs.kind = GraphSpec::Kind::kRmat;
+  gs.n = 12 + rng.next_below(28);
+  gs.m = gs.n * (2 + rng.next_below(3));
+  gs.seed = rng.next_u64() | 1;
+  gs.directed = directed;
+  gs.weighted = weighted;
+  return gs;
+}
+
+std::string dir_token(Rng& rng, bool directed) {
+  if (!directed) return "#neighbors";
+  return rng.next_bool() ? "#in" : "#out";
+}
+
+// ----------------------------------------------------------- value compare
+
+bool value_close(const Value& a, const Value& b, double tol) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Type::kInt: return a.i == b.i;
+    case Type::kBool: return a.b == b.b;
+    case Type::kFloat: {
+      if (std::isnan(a.f) || std::isnan(b.f)) return false;
+      if (std::isinf(a.f) || std::isinf(b.f)) return a.f == b.f;
+      const double scale = std::max({1.0, std::fabs(a.f), std::fabs(b.f)});
+      return std::fabs(a.f - b.f) <= tol * scale;
+    }
+    default: return false;
+  }
+}
+
+bool value_bits_equal(const Value& a, const Value& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Type::kInt: return a.i == b.i;
+    case Type::kBool: return a.b == b.b;
+    case Type::kFloat:
+      return std::bit_cast<std::uint64_t>(a.f) ==
+             std::bit_cast<std::uint64_t>(b.f);
+    default: return true;
+  }
+}
+
+std::string show(const Value& v) {
+  std::ostringstream os;
+  switch (v.type) {
+    case Type::kInt: os << v.i; break;
+    case Type::kBool: os << (v.b ? "true" : "false"); break;
+    case Type::kFloat: os << v.f; break;
+    default: os << "<unit>"; break;
+  }
+  return os.str();
+}
+
+/// Same worker ↔ scheduler/partition pairing as differential.cpp.
+pregel::EngineOptions engine_for(int workers) {
+  pregel::EngineOptions o;
+  o.num_workers = workers;
+  const bool even = workers % 2 == 0;
+  o.partition =
+      even ? pregel::PartitionScheme::kHash : pregel::PartitionScheme::kBlock;
+  o.schedule =
+      even ? pregel::ScheduleMode::kWorkQueue : pregel::ScheduleMode::kScanAll;
+  o.cluster.machines = 2;
+  o.cluster.workers_per_machine = 2;
+  return o;
+}
+
+/// User-visible fields of `got` vs `want`, matched by name.
+std::string compare_user_fields(const DvRunResult& got,
+                                const DvRunResult& want, double tol) {
+  if (got.num_vertices != want.num_vertices)
+    return "vertex counts differ: " + std::to_string(got.num_vertices) +
+           " vs " + std::to_string(want.num_vertices);
+  for (std::size_t fi = 0; fi < want.fields.size(); ++fi) {
+    const Field& f = want.fields[fi];
+    if (f.origin != Field::Origin::kUser) continue;
+    const int gslot = got.field_slot(f.name);
+    for (std::size_t v = 0; v < want.num_vertices; ++v) {
+      const Value& a = got.at(static_cast<graph::VertexId>(v), gslot);
+      const Value& b =
+          want.at(static_cast<graph::VertexId>(v), static_cast<int>(fi));
+      if (!value_close(a, b, tol))
+        return "field " + f.name + " at vertex " + std::to_string(v) +
+               ": " + show(a) + " vs oracle " + show(b);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+StreamCase generate_stream_case(Rng& rng) {
+  StreamCase sc;
+  const int family = static_cast<int>(rng.next_below(10));
+  if (family < 5) {
+    // Publish-fold over one of the six operators.
+    static constexpr AggOp kOps[] = {AggOp::kSum,  AggOp::kProd,
+                                     AggOp::kMin,  AggOp::kMax,
+                                     AggOp::kOr,   AggOp::kAnd};
+    const AggOp op = kOps[rng.next_below(6)];
+    const bool directed = rng.next_bool(0.7);
+    const bool use_edge = op == AggOp::kSum && rng.next_bool(0.4);
+    const int absorbing_below = static_cast<int>(1 + rng.next_below(3));
+    sc.family = std::string("publish-") + agg_op_name(op);
+    sc.source =
+        publish_source(op, dir_token(rng, directed), use_edge,
+                       absorbing_below);
+    sc.graph = small_graph(rng, directed, use_edge);
+    StreamShape shape;
+    shape.allow_removals = !is_idempotent(op);
+    shape.weighted = use_edge;
+    shape.absorbing_below = is_multiplicative(op) ? absorbing_below : 0;
+    sc.batches = random_stream(rng, sc.graph.build(), shape);
+  } else if (family < 8) {
+    // Guarded-monotone relaxations; insert-only streams.
+    const int which = static_cast<int>(rng.next_below(4));
+    StreamShape shape;
+    shape.allow_removals = false;
+    switch (which) {
+      case 0:
+        sc.family = "relax-sssp";
+        sc.source = programs::kSssp;
+        sc.params = {{"source", Value::of_int(0)}};
+        sc.graph = small_graph(rng, /*directed=*/true, /*weighted=*/true);
+        shape.weighted = true;
+        shape.only_new_inserts = true;  // a weight rewrite is a removal
+        break;
+      case 1:
+        sc.family = "relax-cc";
+        sc.source = programs::kConnectedComponents;
+        sc.graph = small_graph(rng, /*directed=*/false, false);
+        break;
+      case 2:
+        sc.family = "relax-gossip";
+        sc.source = programs::kMaxGossip;
+        sc.graph = small_graph(rng, /*directed=*/false, false);
+        break;
+      default:
+        sc.family = "relax-reach";
+        sc.source = programs::kReachability;
+        sc.params = {{"source", Value::of_int(0)}};
+        sc.graph = small_graph(rng, /*directed=*/true, false);
+        break;
+    }
+    sc.batches = random_stream(rng, sc.graph.build(), shape);
+  } else if (family == 8) {
+    // Two independent sites; stream restricted by the weaker op.
+    const bool second_is_max = rng.next_bool();
+    sc.family = second_is_max ? "multi-site-max" : "multi-site-sum";
+    sc.source = multi_site_source(second_is_max, dir_token(rng, true),
+                                  dir_token(rng, true));
+    sc.graph = small_graph(rng, /*directed=*/true, false);
+    StreamShape shape;
+    shape.allow_removals = !second_is_max;
+    sc.batches = random_stream(rng, sc.graph.build(), shape);
+  } else {
+    // Deliberately blocked: min/max publish + removals. Every batch that
+    // removes must rebuild cold and still match the oracle.
+    const AggOp op = rng.next_bool() ? AggOp::kMin : AggOp::kMax;
+    sc.family = std::string("blocked-") + agg_op_name(op);
+    sc.source = publish_source(op, "#in", false, 0);
+    sc.graph = small_graph(rng, /*directed=*/true, false);
+    sc.expect_warm = false;
+    StreamShape shape;  // removals allowed against an idempotent op
+    sc.batches = random_stream(rng, sc.graph.build(), shape);
+  }
+  return sc;
+}
+
+std::string describe(const StreamCase& sc) {
+  std::ostringstream os;
+  os << "family: " << sc.family << "\ngraph: " << sc.graph.describe()
+     << "\nsource:\n" << sc.source << "stream:\n";
+  streaming::write_mutation_stream(sc.batches, os);
+  return os.str();
+}
+
+std::optional<DiffFailure> check_stream_case(const StreamCase& sc,
+                                             const StreamDiffOptions& opts) {
+  try {
+    CompileOptions inc;
+    inc.incrementalize = true;
+    const CompiledProgram cp = compile(sc.source, inc);
+    CompileOptions star;
+    star.incrementalize = false;
+    const CompiledProgram cp_star = compile(sc.source, star);
+
+    const graph::CsrGraph base = sc.graph.build();
+    const auto opts_for = [&](ExecTier tier) {
+      streaming::SessionOptions so;
+      so.run.engine = engine_for(opts.workers);
+      so.run.tier = tier;
+      so.run.params = sc.params;
+      return so;
+    };
+    streaming::DvStreamSession vm(cp, base, opts_for(ExecTier::kVm));
+    vm.converge();
+    std::optional<streaming::DvStreamSession> tree;
+    if (opts.check_tiers) {
+      tree.emplace(cp, base, opts_for(ExecTier::kTree));
+      tree->converge();
+    }
+
+    const auto oracle_state = [&](const streaming::DvStreamSession& s,
+                                  ExecTier tier) {
+      DvRunOptions o;
+      o.engine = engine_for(opts.workers);
+      o.tier = tier;
+      o.params = sc.params;
+      return run_program(cp_star, s.graph().materialize(), o);
+    };
+
+    for (std::size_t bi = 0; bi < sc.batches.size(); ++bi) {
+      const auto tag = [&](const std::string& what) {
+        return "batch " + std::to_string(bi) + ": " + what;
+      };
+      const streaming::SessionEpoch ev = vm.apply(sc.batches[bi]);
+      if (sc.expect_warm && !ev.warm)
+        return DiffFailure{"warm",
+                           tag(std::string("expected a warm epoch, got "
+                                           "cold: ") +
+                               (ev.blocker ? ev.blocker : "?"))};
+
+      const DvRunResult rv = vm.result();
+      const std::string diff =
+          compare_user_fields(rv, oracle_state(vm, ExecTier::kVm),
+                              opts.float_tol);
+      if (!diff.empty()) return DiffFailure{"values", tag(diff)};
+
+      if (tree) {
+        const streaming::SessionEpoch et = tree->apply(sc.batches[bi]);
+        if (ev.warm != et.warm)
+          return DiffFailure{"tiers",
+                             tag("warm/cold disagreement across tiers")};
+        if (ev.stats.supersteps != et.stats.supersteps)
+          return DiffFailure{
+              "tiers", tag("superstep counts diverge: vm " +
+                           std::to_string(ev.stats.supersteps) + " vs tree " +
+                           std::to_string(et.stats.supersteps))};
+        const DvRunResult rt = tree->result();
+        if (rv.state.size() != rt.state.size())
+          return DiffFailure{"tiers", tag("state sizes diverge")};
+        for (std::size_t i = 0; i < rv.state.size(); ++i)
+          if (!value_bits_equal(rv.state[i], rt.state[i]))
+            return DiffFailure{
+                "tiers", tag("state word " + std::to_string(i) + ": vm " +
+                             show(rv.state[i]) + " vs tree " +
+                             show(rt.state[i]))};
+      }
+    }
+  } catch (const std::exception& e) {
+    return DiffFailure{"exception", e.what()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace deltav::dv::testing

@@ -1,0 +1,73 @@
+// Streamed differential fuzzing: (program, graph, mutation-stream) triples
+// whose warm incremental re-execution is cross-checked per batch against a
+// from-scratch ΔV* run on the mutated graph, and bit-for-bit across
+// execution tiers.
+//
+// Warm resume is exactly value-preserving only when the program's
+// converged state is a function of the graph (a fixpoint) rather than of
+// the execution path that reached it. The generator therefore draws from
+// warm-exact families and matches each mutation stream to its program's
+// retraction capability:
+//
+//   publish-fold      static per-vertex masses folded by one of the six
+//                     operators; arbitrary insert/delete/addv/delv streams
+//                     for +/×/&&/|| (the ×/&&/|| streams deliberately walk
+//                     through absorbing-element transitions), insert-only
+//                     for min/max (retraction blocker);
+//   guarded-monotone  SSSP / CC / max-gossip / reachability relaxations;
+//                     insert-only streams (removals would need retraction
+//                     of a monotone self-referencing fold);
+//   multi-site        two independent publish sites in one statement,
+//                     stream restricted by the weaker of the two ops;
+//   blocked           min/max publishes paired with removal streams —
+//                     every batch must fall back cold and still agree
+//                     with the oracle (expect_warm = false).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dv/testing/differential.h"
+#include "dv/testing/program_gen.h"
+#include "graph/dynamic_graph.h"
+
+namespace deltav::dv::testing {
+
+struct StreamCase {
+  std::string source;
+  std::map<std::string, Value> params;
+  GraphSpec graph;
+  std::vector<graph::MutationBatch> batches;
+  std::string family;       // diagnostics only
+  bool expect_warm = true;  // generator promises every batch resumes warm
+};
+
+/// Draws a random warm-exact (or deliberately blocked) stream case.
+StreamCase generate_stream_case(Rng& rng);
+
+/// Renders the case for failure reports / saved repros: source, graph
+/// spec, and the mutation stream in mutation_io format.
+std::string describe(const StreamCase& sc);
+
+struct StreamDiffOptions {
+  double float_tol = 1e-6;
+  /// Engine worker count for the sessions (differential.cpp's worker ↔
+  /// scheduler pairing applies).
+  int workers = 4;
+  /// Also run a tree-interpreter session and require bit-identical state
+  /// and equal superstep counts after every batch.
+  bool check_tiers = true;
+};
+
+/// Runs the case end-to-end; returns the first failure or nullopt.
+/// Checks, after every batch: the epoch resumed warm iff promised, the
+/// session state is value-close to a from-scratch ΔV* run on the
+/// materialized mutated graph, and (check_tiers) the vm/tree sessions
+/// agree bit-for-bit.
+std::optional<DiffFailure> check_stream_case(
+    const StreamCase& sc, const StreamDiffOptions& opts = {});
+
+}  // namespace deltav::dv::testing

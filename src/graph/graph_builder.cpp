@@ -23,19 +23,25 @@ CsrGraph GraphBuilder::build() {
   }
   if (deduplicate_) {
     // Undirected graphs deduplicate on the unordered pair so (u,v) and
-    // (v,u) collapse to one logical edge.
+    // (v,u) collapse to one logical edge. Last-write-wins on weight: the
+    // stable sort keeps insertion order within a key, and the backward
+    // unique pass keeps each run's final (most recently added) edge — the
+    // policy the streaming overlay applies to re-inserted edges.
     auto key = [this](const Edge& e) {
       VertexId a = e.src, b = e.dst;
       if (!directed_ && a > b) std::swap(a, b);
       return (static_cast<std::uint64_t>(a) << 32) | b;
     };
-    std::sort(edges_.begin(), edges_.end(),
-              [&](const Edge& x, const Edge& y) { return key(x) < key(y); });
-    edges_.erase(std::unique(edges_.begin(), edges_.end(),
-                             [&](const Edge& x, const Edge& y) {
-                               return key(x) == key(y);
-                             }),
-                 edges_.end());
+    std::stable_sort(
+        edges_.begin(), edges_.end(),
+        [&](const Edge& x, const Edge& y) { return key(x) < key(y); });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (i + 1 < edges_.size() && key(edges_[i + 1]) == key(edges_[i]))
+        continue;  // a later duplicate overrides this one
+      edges_[kept++] = edges_[i];
+    }
+    edges_.resize(kept);
   }
 
   CsrGraph g;

@@ -4,6 +4,15 @@
 // counts, prefix-sums, and scatters into CSR form (both directions for
 // directed graphs). Optional de-duplication removes parallel edges, and
 // self-loops can be dropped, both of which the synthetic generators rely on.
+//
+// Duplicate-edge and self-loop policy (shared with the streaming overlay,
+// graph/dynamic_graph.h):
+//  * with deduplicate(), parallel edges collapse to one and the LAST added
+//    weight wins — re-adding an edge is a weight update, exactly like a
+//    streaming re-insert (for undirected graphs (u,v) and (v,u) name the
+//    same logical edge);
+//  * with drop_self_loops() (the default), (v,v) edges are discarded, again
+//    matching the overlay's mutation planner.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,62 @@
+// Non-owning topology view over either an immutable CsrGraph or a
+// DynamicGraph overlay.
+//
+// The ΔV runtime reads graphs only through this narrow surface (vertex
+// count, degrees, adjacency spans, aligned weights). Abstracting it lets
+// one compiled program run cold over a CSR snapshot and then resume warm
+// over the mutated overlay without recompilation — the two storage layouts
+// differ only in where a vertex's adjacency lives, so each accessor is a
+// single predictable branch.
+//
+// Accessor names and signatures deliberately mirror CsrGraph so call sites
+// in the interpreter and VM are source-identical for both backings.
+#pragma once
+
+#include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
+
+namespace deltav::graph {
+
+class GraphView {
+ public:
+  GraphView() = default;
+  // Implicit by design: every existing CsrGraph call site keeps working.
+  GraphView(const CsrGraph& g) : base_(&g) {}
+  GraphView(const DynamicGraph& g) : dyn_(&g) {}
+
+  bool valid() const { return base_ != nullptr || dyn_ != nullptr; }
+
+  std::size_t num_vertices() const {
+    return dyn_ ? dyn_->num_vertices() : base_->num_vertices();
+  }
+  bool directed() const { return dyn_ ? dyn_->directed() : base_->directed(); }
+  bool weighted() const { return dyn_ ? dyn_->weighted() : base_->weighted(); }
+  EdgeIndex num_arcs() const {
+    return dyn_ ? dyn_->num_arcs() : base_->num_arcs();
+  }
+
+  std::span<const VertexId> out_neighbors(VertexId v) const {
+    return dyn_ ? dyn_->out_neighbors(v) : base_->out_neighbors(v);
+  }
+  std::span<const VertexId> in_neighbors(VertexId v) const {
+    return dyn_ ? dyn_->in_neighbors(v) : base_->in_neighbors(v);
+  }
+  std::span<const double> out_weights(VertexId v) const {
+    return dyn_ ? dyn_->out_weights(v) : base_->out_weights(v);
+  }
+  std::span<const double> in_weights(VertexId v) const {
+    return dyn_ ? dyn_->in_weights(v) : base_->in_weights(v);
+  }
+  std::size_t out_degree(VertexId v) const {
+    return dyn_ ? dyn_->out_degree(v) : base_->out_degree(v);
+  }
+  std::size_t in_degree(VertexId v) const {
+    return dyn_ ? dyn_->in_degree(v) : base_->in_degree(v);
+  }
+
+ private:
+  const CsrGraph* base_ = nullptr;
+  const DynamicGraph* dyn_ = nullptr;
+};
+
+}  // namespace deltav::graph

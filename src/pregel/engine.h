@@ -328,6 +328,85 @@ class Engine {
     return total;
   }
 
+  /// Extends capacity to `new_num_vertices` (streaming vertex additions).
+  /// New vertices start halted, undeleted, and unscheduled; existing
+  /// halt/delete flags are preserved. The partition function depends on
+  /// |V| — block ownership shifts as ranges stretch, and hash local
+  /// numbering is recomputed — so every per-worker structure keyed by
+  /// local indices is rebuilt from the authoritative flag arrays. Call
+  /// between supersteps only, with no messages in flight: pending inboxes
+  /// are laid out by the OLD local indices and cannot be remapped.
+  void grow(std::size_t new_num_vertices) {
+    const std::size_t old_n = partition_.num_vertices();
+    DV_CHECK_MSG(new_num_vertices >= old_n, "grow() cannot shrink |V|");
+    if (new_num_vertices == old_n) return;
+    for (const auto& ws : workers_)
+      DV_CHECK_MSG(ws.inbox_data.empty(),
+                   "grow() with messages in flight (inbox not drained)");
+    partition_ = VertexPartition(new_num_vertices, options_.num_workers,
+                                 options_.partition);
+    halted_.resize(new_num_vertices, 1);
+    deleted_.resize(new_num_vertices, 0);
+    scheduled_.assign(new_num_vertices, 0);
+    const int W = options_.num_workers;
+    // Re-gate dense combining against the new slot count; a growing graph
+    // can cross the cap, falling back to the hash maps.
+    if constexpr (kHasCombiner && kHasSubkey<Combiner>) {
+      if (options_.use_combiner) {
+        const std::size_t s = combiner_.num_subkeys();
+        dense_subkeys_ =
+            (s > 0 && new_num_vertices * s * static_cast<std::size_t>(W) <=
+                          kDenseCombineSlotCap)
+                ? s
+                : 0;
+      }
+    }
+    for (int i = 0; i < W; ++i) {
+      auto& ws = workers_[static_cast<std::size_t>(i)];
+      if (dense_subkeys_ > 0) {
+        ws.dense_slots.assign(static_cast<std::size_t>(W), {});
+        ws.dense_touched.assign(static_cast<std::size_t>(W), {});
+        for (int dw = 0; dw < W; ++dw)
+          ws.dense_slots[static_cast<std::size_t>(dw)].resize(
+              partition_.local_capacity(dw) * dense_subkeys_);
+      } else {
+        ws.dense_slots.clear();
+        ws.dense_touched.clear();
+      }
+      ws.inbox_offsets.assign(partition_.local_capacity(i) + 1, 0);
+      ws.inbox_data.clear();
+      ws.scatter_cursor.clear();
+      ws.queue.clear();
+      ws.next_queue.clear();
+      ws.unhalted = 0;
+      partition_.for_each_owned(i, [&](VertexId v) {
+        if (deleted_[v] || halted_[v]) return;
+        ++ws.unhalted;
+        if (options_.schedule == ScheduleMode::kWorkQueue) {
+          ws.queue.push_back(v);
+          scheduled_[v] = 1;
+        }
+      });
+    }
+  }
+
+  /// Halts every vertex and clears the work queues, so a subsequent
+  /// activate() wakes exactly the chosen frontier (streaming epochs: after
+  /// convergence the runner wakes only vertices the mutation touched).
+  /// Call between supersteps with no messages in flight.
+  void halt_all() {
+    for (const auto& ws : workers_)
+      DV_CHECK_MSG(ws.inbox_data.empty(),
+                   "halt_all() with messages in flight");
+    std::fill(halted_.begin(), halted_.end(), std::uint8_t{1});
+    std::fill(scheduled_.begin(), scheduled_.end(), std::uint8_t{0});
+    for (auto& ws : workers_) {
+      ws.unhalted = 0;
+      ws.queue.clear();
+      ws.next_queue.clear();
+    }
+  }
+
  private:
   struct Envelope {
     // Default state is the "unset" sentinel so combiner map slots can tell

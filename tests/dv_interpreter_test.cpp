@@ -43,7 +43,7 @@ class ExprFixture {
   Value run() {
     EvalContext ctx;
     ctx.prog = &prog_;
-    ctx.graph = &graph_;
+    ctx.graph = &gview_;
     ctx.fields = fields_;
     ctx.scratch = scratch_;
     ctx.has_vertex = true;
@@ -54,6 +54,7 @@ class ExprFixture {
   }
 
   graph::CsrGraph graph_;
+  graph::GraphView gview_{graph_};
   Program prog_;
   std::vector<Value> fields_;
   std::vector<Value> scratch_;
@@ -152,7 +153,7 @@ TEST(Interp, FieldReadsOutsideVertexContextRejected) {
   ExprFixture f("float", "1.0");
   EvalContext ctx;
   ctx.prog = &f.prog_;
-  ctx.graph = &f.graph_;
+  ctx.graph = &f.gview_;
   ctx.has_vertex = false;  // global context
   ctx.scratch = f.scratch_;
   EXPECT_THROW(eval(*f.prog_.stmts[0].body, ctx), CheckError);
@@ -184,6 +185,7 @@ TEST(Interp, FoldMessagesNonIncremental) {
       "iter i { b = + [ u.a | u <- #in ]; a = b } until { i >= 2 }",
       CompileOptions{.incrementalize = false});
   const auto g = graph::cycle(4, /*directed=*/true);
+  const graph::GraphView gv{g};
   std::vector<Value> fields = {Value::of_float(1), Value::of_float(0)};
   std::vector<Value> scratch(cp.num_scratch() + 4, Value::of_int(0));
   for (std::size_t i = 0; i < cp.program.scratch.size(); ++i)
@@ -199,7 +201,7 @@ TEST(Interp, FoldMessagesNonIncremental) {
 
   EvalContext ctx;
   ctx.prog = &cp.program;
-  ctx.graph = &g;
+  ctx.graph = &gv;
   ctx.fields = fields;
   ctx.scratch = scratch;
   ctx.msgs = msgs;
@@ -221,13 +223,14 @@ TEST(Interp, SendLoopSuppressionMask) {
       "iter i { b = + [ u.a | u <- #in ]; a = b + 1.0 } until { i >= 2 }",
       CompileOptions{.incrementalize = false});
   const auto g = graph::cycle(4, true);
+  const graph::GraphView gv{g};
   std::vector<Value> fields = {Value::of_float(1), Value::of_float(0)};
   std::vector<Value> scratch(cp.num_scratch() + 4, Value::of_bool(false));
   RecordingSink sink;
   std::vector<std::uint8_t> wires = {8};
   EvalContext ctx;
   ctx.prog = &cp.program;
-  ctx.graph = &g;
+  ctx.graph = &gv;
   ctx.fields = fields;
   ctx.scratch = scratch;
   ctx.has_vertex = true;
@@ -245,13 +248,14 @@ TEST(Interp, HaltSetsFlag) {
       "iter i { a = + [ u.a | u <- #in ] } until { i >= 2 }",
       CompileOptions{});
   const auto g = graph::cycle(4, true);
+  const graph::GraphView gv{g};
   std::vector<Value> fields(cp.num_fields(), Value::of_float(0));
   std::vector<Value> scratch(cp.num_scratch() + 4, Value::of_bool(false));
   RecordingSink sink;
   std::vector<std::uint8_t> wires = {8};
   EvalContext ctx;
   ctx.prog = &cp.program;
-  ctx.graph = &g;
+  ctx.graph = &gv;
   ctx.fields = fields;
   ctx.scratch = scratch;
   ctx.has_vertex = true;

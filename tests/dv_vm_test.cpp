@@ -109,6 +109,7 @@ void expect_tier_equal_expr(const std::string& out_type,
   const int chunk = lower_root(vp, prog, *prog.stmts[0].body);
   const Vm vm(std::move(vp));
   const auto g = graph::cycle(4);
+  const graph::GraphView gv{g};
 
   const auto run = [&](bool use_vm) {
     std::vector<Value> fields(prog.fields.size());
@@ -122,7 +123,7 @@ void expect_tier_equal_expr(const std::string& out_type,
     std::vector<Value> scratch(prog.scratch.size() + 8, Value::of_int(0));
     EvalContext ctx;
     ctx.prog = &prog;
-    ctx.graph = &g;
+    ctx.graph = &gv;
     ctx.fields = fields;
     ctx.scratch = scratch;
     ctx.has_vertex = true;

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
+#include "common/rng.h"
 #include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
@@ -347,6 +351,223 @@ TEST(Datasets, WeightedOverride) {
 
 TEST(Datasets, UnknownNameThrows) {
   EXPECT_THROW(dataset_spec("not-a-dataset"), CheckError);
+}
+
+// ----------------------------------------------- builder mutation policy
+
+TEST(GraphBuilder, DedupKeepsLastWeightForDuplicateEdges) {
+  GraphBuilder b(3, /*directed=*/true);
+  b.deduplicate(true).keep_weights(true);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(0, 2, 9.0);
+  b.add_edge(0, 1, 5.0);  // re-add: the later weight must win
+  const CsrGraph g = b.build();
+  ASSERT_EQ(g.out_degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.out_weights(0)[0], 5.0);
+  EXPECT_DOUBLE_EQ(g.out_weights(0)[1], 9.0);
+}
+
+TEST(GraphBuilder, UndirectedDedupLastWriteWinsAcrossOrientations) {
+  GraphBuilder b(2, /*directed=*/false);
+  b.deduplicate(true).keep_weights(true);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 0, 7.0);  // same undirected edge, later weight
+  const CsrGraph g = b.build();
+  ASSERT_EQ(g.num_logical_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.out_weights(0)[0], 7.0);
+  EXPECT_DOUBLE_EQ(g.out_weights(1)[0], 7.0);
+}
+
+// ------------------------------------------------------------ DynamicGraph
+
+CsrGraph dyn_base(bool directed = true) {
+  GraphBuilder b(5, directed);
+  b.keep_weights(true);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(1, 3, 3.0);
+  b.add_edge(3, 4, 4.0);
+  return b.build();
+}
+
+/// The dynamic view and a from-scratch CSR of the same topology must agree
+/// arc for arc, weight for weight.
+void expect_same_topology(const DynamicGraph& dyn, const CsrGraph& want) {
+  ASSERT_EQ(dyn.num_vertices(), want.num_vertices());
+  EXPECT_EQ(dyn.num_arcs(), want.num_arcs());
+  for (std::size_t vv = 0; vv < want.num_vertices(); ++vv) {
+    const auto v = static_cast<VertexId>(vv);
+    const auto dn = dyn.out_neighbors(v);
+    const auto wn = want.out_neighbors(v);
+    ASSERT_EQ(dn.size(), wn.size()) << "out-degree of " << v;
+    for (std::size_t i = 0; i < dn.size(); ++i) EXPECT_EQ(dn[i], wn[i]);
+    const auto di = dyn.in_neighbors(v);
+    const auto wi = want.in_neighbors(v);
+    ASSERT_EQ(di.size(), wi.size()) << "in-degree of " << v;
+    for (std::size_t i = 0; i < di.size(); ++i) EXPECT_EQ(di[i], wi[i]);
+    if (want.weighted()) {
+      const auto dw = dyn.out_weights(v);
+      const auto ww = want.out_weights(v);
+      for (std::size_t i = 0; i < dw.size(); ++i)
+        EXPECT_DOUBLE_EQ(dw[i], ww[i]);
+    }
+  }
+}
+
+TEST(DynamicGraph, UntouchedVerticesReadTheBase) {
+  const DynamicGraph dyn(dyn_base());
+  EXPECT_EQ(dyn.overlay_vertices(), 0u);
+  expect_same_topology(dyn, dyn_base());
+  EXPECT_TRUE(dyn.has_arc(1, 2));
+  EXPECT_DOUBLE_EQ(dyn.arc_weight(1, 2), 2.0);
+  EXPECT_FALSE(dyn.has_arc(2, 1));
+}
+
+TEST(DynamicGraph, PlanResolvesNetEffect) {
+  const DynamicGraph dyn(dyn_base());
+  MutationBatch b;
+  b.insert_edge(0, 2, 5.0);   // new
+  b.insert_edge(1, 2, 9.0);   // weight 2 → 9
+  b.remove_edge(3, 4);        // removal
+  b.remove_edge(2, 0);        // absent → redundant
+  b.insert_edge(2, 2);        // self-loop → dropped
+  b.insert_edge(4, 0, 1.0);   // insert…
+  b.remove_edge(4, 0);        // …then delete in the same batch: net no-op
+  const GraphDelta d = dyn.plan(b);
+  EXPECT_EQ(d.edges_inserted, 1u);
+  EXPECT_EQ(d.edges_removed, 1u);
+  EXPECT_EQ(d.weights_changed, 1u);
+  EXPECT_EQ(d.self_loops_dropped, 1u);
+  EXPECT_GE(d.redundant_ops, 1u);
+  EXPECT_TRUE(d.has_removals);
+  EXPECT_TRUE(d.has_weight_changes);
+  // Net-cancelled 4→0 must not appear as an arc change.
+  for (const ArcChange& c : d.arcs) EXPECT_FALSE(c.src == 4 && c.dst == 0);
+  // touched: endpoints of real changes only, sorted unique.
+  EXPECT_TRUE(std::is_sorted(d.touched.begin(), d.touched.end()));
+}
+
+TEST(DynamicGraph, CommitMatchesFromScratchBuild) {
+  DynamicGraph dyn(dyn_base());
+  MutationBatch b;
+  b.insert_edge(0, 2, 5.0);
+  b.insert_edge(1, 2, 9.0);
+  b.remove_edge(3, 4);
+  dyn.commit(dyn.plan(b));
+
+  GraphBuilder want(5, true);
+  want.keep_weights(true);
+  want.add_edge(0, 1, 1.0);
+  want.add_edge(0, 2, 5.0);
+  want.add_edge(1, 2, 9.0);
+  want.add_edge(1, 3, 3.0);
+  expect_same_topology(dyn, want.build());
+  EXPECT_GT(dyn.overlay_vertices(), 0u);
+}
+
+TEST(DynamicGraph, VertexAddAndDetach) {
+  DynamicGraph dyn(dyn_base());
+  MutationBatch b;
+  b.add_vertices = 2;  // ids 5, 6
+  b.insert_edge(5, 6, 1.5);
+  b.detach_vertices.push_back(1);  // drops 0→1, 1→2, 1→3
+  const GraphDelta d = dyn.plan(b);
+  EXPECT_EQ(d.new_num_vertices, 7u);
+  ASSERT_EQ(d.detached.size(), 1u);
+  dyn.commit(d);
+  EXPECT_EQ(dyn.num_vertices(), 7u);
+  EXPECT_EQ(dyn.out_degree(1), 0u);
+  EXPECT_EQ(dyn.in_degree(1), 0u);
+  EXPECT_EQ(dyn.out_degree(0), 0u);  // its only arc went to 1
+  EXPECT_TRUE(dyn.has_arc(5, 6));
+  EXPECT_DOUBLE_EQ(dyn.arc_weight(5, 6), 1.5);
+  EXPECT_EQ(dyn.num_arcs(), 2u);  // 3→4 and 5→6
+  // Detached ids stay valid and may reconnect later.
+  MutationBatch re;
+  re.insert_edge(1, 5, 2.0);
+  dyn.commit(dyn.plan(re));
+  EXPECT_TRUE(dyn.has_arc(1, 5));
+}
+
+TEST(DynamicGraph, UndirectedMutationsMirrorBothDirections) {
+  DynamicGraph dyn(dyn_base(/*directed=*/false));
+  MutationBatch b;
+  b.insert_edge(0, 4, 2.5);
+  b.remove_edge(2, 1);  // stored as 1↔2; removable via either orientation
+  const GraphDelta d = dyn.plan(b);
+  // Each logical edge contributes two stored-arc changes.
+  EXPECT_EQ(d.arcs.size(), 4u);
+  dyn.commit(d);
+  EXPECT_TRUE(dyn.has_arc(0, 4));
+  EXPECT_TRUE(dyn.has_arc(4, 0));
+  EXPECT_FALSE(dyn.has_arc(1, 2));
+  EXPECT_FALSE(dyn.has_arc(2, 1));
+  EXPECT_DOUBLE_EQ(dyn.arc_weight(4, 0), 2.5);
+}
+
+TEST(DynamicGraph, MaterializeAndCompactAgree) {
+  DynamicGraph dyn(dyn_base());
+  MutationBatch b;
+  b.insert_edge(2, 0, 6.0);
+  b.remove_edge(1, 3);
+  b.add_vertices = 1;
+  b.insert_edge(5, 0, 7.0);
+  dyn.commit(dyn.plan(b));
+  const CsrGraph snap = dyn.materialize();
+  EXPECT_GT(dyn.overlay_fraction(), 0.0);
+  dyn.compact();
+  EXPECT_EQ(dyn.overlay_vertices(), 0u);
+  expect_same_topology(dyn, snap);
+  // Mutating after compaction keeps working.
+  MutationBatch b2;
+  b2.insert_edge(4, 5, 1.0);
+  dyn.commit(dyn.plan(b2));
+  EXPECT_TRUE(dyn.has_arc(4, 5));
+}
+
+TEST(DynamicGraph, PlanOnStaleSnapshotRejectedByCommit) {
+  DynamicGraph dyn(dyn_base());
+  MutationBatch grow;
+  grow.add_vertices = 1;
+  const GraphDelta d = dyn.plan(grow);
+  dyn.commit(d);
+  EXPECT_THROW(dyn.commit(d), CheckError);  // |V| no longer matches
+}
+
+TEST(DynamicGraph, RandomizedCommitsMatchRebuild) {
+  // Apply random batches; after each, materialize() must equal a CSR
+  // rebuilt from the tracked edge set.
+  const std::uint64_t seed = 0x5eedu;
+  std::uint64_t state = seed;
+  auto next = [&] { return state = splitmix64(state); };
+  DynamicGraph dyn(rmat(32, 96, 5));
+  std::map<std::pair<VertexId, VertexId>, double> edges;
+  for (std::size_t v = 0; v < 32; ++v)
+    for (const VertexId u :
+         dyn.out_neighbors(static_cast<VertexId>(v)))
+      edges[{static_cast<VertexId>(v), u}] = 1.0;
+
+  std::size_t n = dyn.num_vertices();
+  for (int round = 0; round < 10; ++round) {
+    MutationBatch b;
+    for (int k = 0; k < 8; ++k) {
+      const auto u = static_cast<VertexId>(next() % n);
+      const auto v = static_cast<VertexId>(next() % n);
+      if (u == v) continue;
+      if (next() % 2) {
+        b.insert_edge(u, v);
+        edges[{u, v}] = 1.0;
+      } else {
+        b.remove_edge(u, v);
+        edges.erase({u, v});
+      }
+    }
+    dyn.commit(dyn.plan(b));
+    GraphBuilder want(n, /*directed=*/true);
+    for (const auto& [e, w] : edges) want.add_edge(e.first, e.second, w);
+    expect_same_topology(dyn, want.build());
+    if (round == 5) dyn.compact();
+  }
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 // modes, and determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 
 #include "pregel/engine.h"
 #include "test_util.h"
@@ -487,6 +489,112 @@ TEST(Engine, ZeroVertexEngine) {
         e.run([&](auto&, VertexId, std::span<const int>) { ++ran; }, 10);
     EXPECT_EQ(ran.load(), 0);
     EXPECT_EQ(stats.total_messages_sent(), 0u);
+  }
+}
+
+// ---- capacity growth and frontier control (streaming epochs) -----------
+
+TEST(Engine, GrowAddsHaltedVerticesUnderBothSchedulers) {
+  for (const ScheduleMode mode :
+       {ScheduleMode::kScanAll, ScheduleMode::kWorkQueue}) {
+    EngineOptions opts = test::small_engine();
+    opts.schedule = mode;
+    IntEngine e(4, opts);
+    e.step([&](auto& ctx, VertexId, std::span<const int>) {
+      ctx.vote_to_halt();
+    });
+    ASSERT_TRUE(e.done());
+
+    e.grow(7);
+    // New ids exist but arrive halted: nothing runs until activated.
+    EXPECT_TRUE(e.done());
+    EXPECT_EQ(e.num_unhalted(), 0u);
+
+    e.activate(6);
+    std::vector<int> ran;
+    e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+      ran.push_back(static_cast<int>(v));
+      ctx.send(2, 99);  // old ids remain addressable
+      ctx.vote_to_halt();
+    });
+    ASSERT_EQ(ran.size(), 1u);
+    EXPECT_EQ(ran[0], 6);
+    std::vector<int> got(7, -1);
+    e.step([&](auto& ctx, VertexId v, std::span<const int> msgs) {
+      got[v] = msgs.empty() ? 0 : msgs[0];
+      ctx.vote_to_halt();
+    });
+    EXPECT_EQ(got[2], 99);
+    EXPECT_TRUE(e.done());
+  }
+}
+
+TEST(Engine, GrowPreservesUnhaltedVertices) {
+  IntEngine e(3, test::small_engine(2));
+  // Vertex 1 stays active (does not vote to halt).
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v != 1) ctx.vote_to_halt();
+  });
+  ASSERT_EQ(e.num_unhalted(), 1u);
+  e.grow(5);
+  EXPECT_EQ(e.num_unhalted(), 1u);
+  std::vector<int> ran;
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    ran.push_back(static_cast<int>(v));
+    ctx.vote_to_halt();
+  });
+  ASSERT_EQ(ran.size(), 1u);
+  EXPECT_EQ(ran[0], 1);
+}
+
+TEST(Engine, GrowKeepsDeletedVerticesDeleted) {
+  IntEngine e(3, test::small_engine(1));
+  e.mark_deleted(1);
+  e.grow(6);
+  EXPECT_TRUE(e.is_deleted(1));
+  e.activate(1);  // silently refused, as before growth
+  std::atomic<int> ran{0};
+  e.step([&](auto& ctx, VertexId, std::span<const int>) {
+    ++ran;
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(ran.load(), 2);  // 0 and 2 (superstep zero runs non-deleted)
+}
+
+TEST(Engine, GrowRejectsShrinkAndInFlightMessages) {
+  IntEngine e(4, test::small_engine(1));
+  EXPECT_THROW(e.grow(3), CheckError);
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) ctx.send(1, 5);
+    ctx.vote_to_halt();
+  });
+  // Message to vertex 1 is queued for the next superstep.
+  EXPECT_THROW(e.grow(8), CheckError);
+}
+
+TEST(Engine, HaltAllThenActivateWakesExactFrontier) {
+  for (const ScheduleMode mode :
+       {ScheduleMode::kScanAll, ScheduleMode::kWorkQueue}) {
+    EngineOptions opts = test::small_engine();
+    opts.schedule = mode;
+    IntEngine e(8, opts);
+    e.halt_all();
+    EXPECT_TRUE(e.done());
+    EXPECT_EQ(e.num_unhalted(), 0u);
+    e.activate(2);
+    e.activate(5);
+    std::vector<int> ran;
+    std::mutex mu;
+    e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+      std::lock_guard<std::mutex> lk(mu);
+      ran.push_back(static_cast<int>(v));
+      ctx.vote_to_halt();
+    });
+    std::sort(ran.begin(), ran.end());
+    ASSERT_EQ(ran.size(), 2u);
+    EXPECT_EQ(ran[0], 2);
+    EXPECT_EQ(ran[1], 5);
+    EXPECT_TRUE(e.done());
   }
 }
 

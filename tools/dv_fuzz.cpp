@@ -3,6 +3,10 @@
 //   dv_fuzz --seed=1 --programs=10000            # soak
 //   dv_fuzz --seed=1 --programs=10000 --save     # persist reduced failures
 //   dv_fuzz --replay=tests/corpus                # re-run saved failures
+//   dv_fuzz --stream --programs=500              # streaming-epoch tier:
+//                                                # (program, graph, mutation
+//                                                # stream) triples, warm
+//                                                # sessions vs ΔV* rebuilds
 //
 // Each program is generated from an independent split of the base seed, so
 // any failure reproduces from (--seed, reported index) alone. Failures are
@@ -20,6 +24,7 @@
 #include "dv/testing/differential.h"
 #include "dv/testing/program_gen.h"
 #include "dv/testing/reducer.h"
+#include "dv/testing/stream_gen.h"
 
 namespace {
 
@@ -56,6 +61,33 @@ int replay_corpus(const std::string& dir, const DiffOptions& opts) {
   return failures == 0 ? 0 : 1;
 }
 
+int stream_soak(std::uint64_t seed, std::int64_t cases,
+                std::int64_t max_failures, bool verbose,
+                const StreamDiffOptions& opts) {
+  Rng rng(seed);
+  std::int64_t failures = 0, warm_cases = 0;
+  for (std::int64_t k = 0; k < cases; ++k) {
+    Rng crng = rng.split();
+    const StreamCase sc = generate_stream_case(crng);
+    warm_cases += sc.expect_warm ? 1 : 0;
+    if (verbose)
+      std::printf("--- case %lld\n%s", (long long)k, describe(sc).c_str());
+    const auto fail = check_stream_case(sc, opts);
+    if (!fail) continue;
+    ++failures;
+    std::printf("FAIL case %lld seed %llu [%s] %s\n%s", (long long)k,
+                (unsigned long long)seed, fail->check.c_str(),
+                fail->detail.c_str(), describe(sc).c_str());
+    if (failures >= max_failures) {
+      std::printf("stopping after %lld failures\n", (long long)failures);
+      break;
+    }
+  }
+  std::printf("%lld stream cases (%lld warm-family), %lld failing\n",
+              (long long)cases, (long long)warm_cases, (long long)failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +105,12 @@ int main(int argc, char** argv) {
         args.get_bool("reduce", true, "greedily shrink failing cases");
     const std::string replay = args.get_string(
         "replay", "", "replay a corpus directory instead of fuzzing");
+    const bool stream = args.get_bool(
+        "stream", false,
+        "fuzz streaming epochs: mutation streams through warm sessions, "
+        "cross-checked per batch against from-scratch ΔV* runs");
+    const auto workers = args.get_int(
+        "workers", 4, "engine worker count for the stream tier");
     const bool verbose =
         args.get_bool("verbose", false, "print every generated program");
     const auto max_failures = args.get_int(
@@ -87,6 +125,12 @@ int main(int argc, char** argv) {
     args.check_unused();
 
     if (!replay.empty()) return replay_corpus(replay, diff);
+    if (stream) {
+      StreamDiffOptions sopts;
+      sopts.float_tol = diff.float_tol;
+      sopts.workers = static_cast<int>(workers);
+      return stream_soak(seed, programs, max_failures, verbose, sopts);
+    }
 
     Rng rng(seed);
     GenOptions gen;
