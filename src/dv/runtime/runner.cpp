@@ -63,6 +63,29 @@ bool expr_reads_iter(const Expr& e) {
   return false;
 }
 
+/// Marks the field slots `e` assigns (kAssign nodes targeting vertex
+/// state, not scratch).
+void mark_field_writes(const Expr& e, std::vector<std::uint8_t>& written) {
+  if (e.kind == ExprKind::kAssign &&
+      e.assign_target == AssignTarget::kField && e.slot >= 0 &&
+      static_cast<std::size_t>(e.slot) < written.size())
+    written[static_cast<std::size_t>(e.slot)] = 1;
+  for (const auto& kid : e.kids)
+    if (kid) mark_field_writes(*kid, written);
+}
+
+/// Does `e` read any field slot marked in `written`?
+bool expr_reads_marked_field(const Expr& e,
+                             const std::vector<std::uint8_t>& written) {
+  if (e.kind == ExprKind::kFieldRef && e.slot >= 0 &&
+      static_cast<std::size_t>(e.slot) < written.size() &&
+      written[static_cast<std::size_t>(e.slot)])
+    return true;
+  for (const auto& kid : e.kids)
+    if (kid && expr_reads_marked_field(*kid, written)) return true;
+  return false;
+}
+
 }  // namespace
 
 class DvRunner::Impl {
@@ -967,9 +990,28 @@ const char* DvRunner::warm_blocker(const CompiledProgram& cp,
 
   // A body indexed by its iteration variable is not resumable: the warm
   // epoch restarts the count at 1.
-  for (const Stmt& s : prog.stmts)
+  for (const Stmt& s : prog.stmts) {
     if (expr_reads_iter(*s.body))
       return "statement body reads the iteration variable";
+    if (!s.until || !expr_reads_iter(*s.until)) continue;
+    // An iteration-bounded until makes the loop count itself semantic: a
+    // warm epoch restarts iter at 1 and replays up to the bound from the
+    // old converged state. That replay is harmless only when every
+    // iteration past the first is a no-op — i.e. no site's send feeds on
+    // a field the body itself assigns. A feedback recurrence under a
+    // fixed bound (fixed-iteration PageRank) is generally not at a
+    // fixpoint when the bound fires, so the extra iterations would
+    // advance it past the from-scratch answer.
+    std::vector<std::uint8_t> written(prog.fields.size(), 0);
+    mark_field_writes(*s.body, written);
+    for (const AggSite& site : prog.sites) {
+      const Expr& original =
+          site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+      if (expr_reads_marked_field(original, written))
+        return "iteration-bounded until with a feedback send: the warm "
+               "epoch cannot replay the loop count";
+    }
+  }
   return nullptr;
 }
 

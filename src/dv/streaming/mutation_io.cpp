@@ -33,8 +33,10 @@ std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in) {
       graph::VertexId u, v;
       if (!(ls >> u >> v))
         DV_FAIL("mutation stream line " << lineno << ": expected '+ u v [w]'");
+      // Optional weight; a failed extraction zeroes the operand (C++11),
+      // so restore the documented default rather than inserting 0.0.
       double w = 1.0;
-      ls >> w;  // optional
+      if (!(ls >> w)) w = 1.0;
       cur.insert_edge(u, v, w);
     } else if (op == "-") {
       graph::VertexId u, v;

@@ -70,6 +70,21 @@ std::string publish_source(AggOp op, const std::string& dir, bool use_edge,
   return os.str();
 }
 
+/// Damped feedback fold under an iteration-bounded until: the loop count
+/// is semantic (the recurrence is not at a fixpoint when the bound
+/// fires), so a warm resume — which restarts iter at 1 and replays the
+/// loop from the old converged state — would run the recurrence past the
+/// from-scratch answer. Every batch must refuse warm and rebuild cold.
+std::string feedback_bounded_source(const std::string& dir, int bound) {
+  std::ostringstream os;
+  os << "init { local rank : float = 1.0 };\n"
+     << "iter i {\n"
+     << "  let s : float = + [ u.rank | u <- " << dir << " ] in\n"
+     << "  rank = 0.15 + 0.85 * (s / graphSize)\n"
+     << "} until { i >= " << bound << " }\n";
+  return os.str();
+}
+
 /// Two independent publish sites in one statement.
 std::string multi_site_source(bool second_is_max, const std::string& d1,
                               const std::string& d2) {
@@ -259,7 +274,7 @@ std::string compare_user_fields(const DvRunResult& got,
 
 StreamCase generate_stream_case(Rng& rng) {
   StreamCase sc;
-  const int family = static_cast<int>(rng.next_below(10));
+  const int family = static_cast<int>(rng.next_below(11));
   if (family < 5) {
     // Publish-fold over one of the six operators.
     static constexpr AggOp kOps[] = {AggOp::kSum,  AggOp::kProd,
@@ -321,7 +336,7 @@ StreamCase generate_stream_case(Rng& rng) {
     StreamShape shape;
     shape.allow_removals = !second_is_max;
     sc.batches = random_stream(rng, sc.graph.build(), shape);
-  } else {
+  } else if (family == 9) {
     // Deliberately blocked: min/max publish + removals. Every batch that
     // removes must rebuild cold and still match the oracle.
     const AggOp op = rng.next_bool() ? AggOp::kMin : AggOp::kMax;
@@ -330,6 +345,20 @@ StreamCase generate_stream_case(Rng& rng) {
     sc.graph = small_graph(rng, /*directed=*/true, false);
     sc.expect_warm = false;
     StreamShape shape;  // removals allowed against an idempotent op
+    sc.batches = random_stream(rng, sc.graph.build(), shape);
+  } else {
+    // Deliberately blocked: feedback recurrence under `until { i >= K }`,
+    // K > 1. The iteration count is semantic, so warm resume must be
+    // refused for every batch (edge edits only — vertex ops would trip
+    // the graphSize blocker instead of the feedback one).
+    const bool directed = rng.next_bool(0.7);
+    const int bound = static_cast<int>(2 + rng.next_below(3));
+    sc.family = "feedback-bounded";
+    sc.source = feedback_bounded_source(dir_token(rng, directed), bound);
+    sc.graph = small_graph(rng, directed, false);
+    sc.expect_warm = false;
+    StreamShape shape;
+    shape.allow_vertex_ops = false;
     sc.batches = random_stream(rng, sc.graph.build(), shape);
   }
   return sc;

@@ -19,7 +19,10 @@
 //                     of a monotone self-referencing fold);
 //   multi-site        two independent publish sites in one statement,
 //                     stream restricted by the weaker of the two ops;
-//   blocked           min/max publishes paired with removal streams —
+//   blocked           min/max publishes paired with removal streams, and
+//                     feedback recurrences under `until { i >= K }` (the
+//                     loop count is semantic, so warm resume would replay
+//                     the recurrence past the from-scratch answer) —
 //                     every batch must fall back cold and still agree
 //                     with the oracle (expect_warm = false).
 #pragma once

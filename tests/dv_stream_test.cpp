@@ -421,6 +421,42 @@ iter i { seen = + [ u.mass | u <- #in ] + i } until { i >= 2 }
   expect_state_matches(s.result(), oracle(cp, s));
 }
 
+TEST(StreamBlockers, IterBoundedFeedbackResumesCold) {
+  // Fixed-iteration PageRank: the send expression feeds on `rank`, which
+  // the body assigns, and the until is iteration-bounded — the loop count
+  // is semantic, so a warm resume (which restarts `i` at 1) would run the
+  // recurrence up to 3 extra iterations past the from-scratch answer.
+  constexpr const char* src = R"(
+init { local rank : float = 1.0 };
+iter i {
+  let s : float = + [ u.rank | u <- #in ] in
+  rank = 0.15 + 0.85 * (s / graphSize)
+} until { i >= 3 }
+)";
+  const auto cp = compile_dv(src);
+  DvStreamSession s(cp, weighted_diamond(), session_opts());
+  s.converge();
+  MutationBatch b;
+  b.insert_edge(0, 3);
+  const SessionEpoch ep = s.apply(b);
+  EXPECT_FALSE(ep.warm);
+  ASSERT_NE(ep.blocker, nullptr);
+  EXPECT_NE(std::string(ep.blocker).find("feedback"), std::string::npos);
+  expect_state_matches(s.result(), oracle(cp, s));
+}
+
+TEST(StreamBlockers, IterBoundedPublishStaysWarm) {
+  // The dual of the feedback case: the until reads `i`, but the sent
+  // `mass` is assigned only in init, so every iteration past the first is
+  // a no-op and the replayed loop count cannot matter.
+  const auto cp = compile_dv(kSumPublish);
+  DvStreamSession s(cp, weighted_diamond(), session_opts());
+  s.converge();
+  MutationBatch b;
+  b.insert_edge(0, 3);
+  expect_warm_and_correct(cp, s, s.apply(b));
+}
+
 TEST(StreamBlockers, ForceColdOption) {
   const auto cp = compile_dv(kSumPublish);
   auto opts = session_opts();
@@ -540,6 +576,17 @@ TEST(MutationIo, RoundTrips) {
   EXPECT_EQ(again[0].edges.size(), batches[0].edges.size());
   EXPECT_EQ(again[0].add_vertices, batches[0].add_vertices);
   EXPECT_EQ(again[1].edges.size(), batches[1].edges.size());
+}
+
+TEST(MutationIo, OmittedWeightDefaultsToOne) {
+  // `ls >> w` on an exhausted stream zeroes w since C++11; the optional
+  // form `+ u v` must still insert the documented default 1.0.
+  std::istringstream in("+ 0 1\n+ 1 2 0.25\n");
+  const auto batches = dv::streaming::read_mutation_stream(in);
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(batches[0].edges[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(batches[0].edges[1].weight, 0.25);
 }
 
 TEST(MutationIo, BlankLineSeparatesBatches) {
