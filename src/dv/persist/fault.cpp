@@ -1,0 +1,42 @@
+#include "dv/persist/fault.h"
+
+#include <cstdio>
+
+namespace deltav::dv::persist {
+
+std::vector<std::uint8_t> apply_fault(const std::vector<std::uint8_t>& bytes,
+                                      const FaultPlan& plan) {
+  std::vector<std::uint8_t> out = bytes;
+  switch (plan.kind) {
+    case FaultPlan::Kind::kNone:
+      break;
+    case FaultPlan::Kind::kTruncate:
+      if (plan.offset < out.size()) out.resize(plan.offset);
+      break;
+    case FaultPlan::Kind::kFlip:
+      if (!out.empty()) {
+        const std::size_t at =
+            plan.offset < out.size() ? plan.offset : out.size() - 1;
+        out[at] ^= plan.xor_mask;
+      }
+      break;
+  }
+  return out;
+}
+
+std::string describe(const FaultPlan& plan) {
+  switch (plan.kind) {
+    case FaultPlan::Kind::kTruncate:
+      return "truncate@" + std::to_string(plan.offset);
+    case FaultPlan::Kind::kFlip: {
+      char mask[8];
+      std::snprintf(mask, sizeof(mask), "0x%02x", plan.xor_mask);
+      return "flip@" + std::to_string(plan.offset) + "^" + mask;
+    }
+    case FaultPlan::Kind::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace deltav::dv::persist

@@ -1,0 +1,46 @@
+// Fault injection for snapshot durability testing.
+//
+// A FaultPlan describes one storage failure applied to a serialized
+// snapshot: a kill-after-byte-N crash (everything past N is lost — the
+// same observable damage as a torn write or a truncated file) or a byte
+// flip (bit rot, a misdirected write). The persist fuzz tier sweeps plans
+// over real session snapshots and requires SnapshotReader to reject every
+// damaged buffer with a reported reason — restore must never silently
+// decode a corrupted snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deltav::dv::persist {
+
+struct FaultPlan {
+  enum class Kind {
+    kNone,      // identity (control)
+    kTruncate,  // keep only the first `offset` bytes (kill after byte N)
+    kFlip,      // bytes[offset] ^= xor_mask
+  };
+
+  Kind kind = Kind::kNone;
+  std::size_t offset = 0;
+  std::uint8_t xor_mask = 0;  // kFlip only; must be non-zero to corrupt
+
+  static FaultPlan truncate_at(std::size_t offset) {
+    return FaultPlan{Kind::kTruncate, offset, 0};
+  }
+  static FaultPlan flip_byte(std::size_t offset, std::uint8_t mask = 0xff) {
+    return FaultPlan{Kind::kFlip, offset, mask};
+  }
+};
+
+/// Applies the fault to a copy of `bytes`. Offsets past the end make
+/// truncation a no-op (the crash happened after the write completed) and
+/// flips target the last byte.
+std::vector<std::uint8_t> apply_fault(const std::vector<std::uint8_t>& bytes,
+                                      const FaultPlan& plan);
+
+/// "truncate@123" / "flip@45^0x80" — for fuzz failure reports.
+std::string describe(const FaultPlan& plan);
+
+}  // namespace deltav::dv::persist

@@ -1,0 +1,33 @@
+// Snapshot (de)serialization of graph storage.
+//
+// The DynamicGraph is serialized as base CSR + overlay *verbatim*, not as
+// a materialized CSR: overlay_fraction() drives the session's compaction
+// decisions, so a restored session must see the exact overlay shape the
+// uninterrupted session had — materializing on save would silently change
+// subsequent compact-vs-not choices (and adjacency iteration order feeds
+// the engine's deterministic message order, so even a semantically equal
+// re-encoding could perturb bit-exactness).
+//
+// GraphCodec lives in dv/persist (the graph layer cannot depend on dv/);
+// CsrGraph and DynamicGraph befriend it for private-field access.
+#pragma once
+
+#include "dv/persist/snapshot.h"
+#include "graph/dynamic_graph.h"
+
+namespace deltav::dv::persist {
+
+class GraphCodec {
+ public:
+  /// Writes the kSecGraph section.
+  static void write(const graph::DynamicGraph& g, SnapshotWriter& w);
+  /// Reads the kSecGraph section; throws SnapshotError on inconsistent
+  /// structure (offset/target size mismatches, out-of-range slots).
+  static graph::DynamicGraph read(SnapshotReader& r);
+
+ private:
+  static void write_csr(const graph::CsrGraph& g, SnapshotWriter& w);
+  static graph::CsrGraph read_csr(SnapshotReader& r);
+};
+
+}  // namespace deltav::dv::persist

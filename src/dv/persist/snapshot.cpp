@@ -1,0 +1,406 @@
+#include "dv/persist/snapshot.h"
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace deltav::dv::persist {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'D', 'V', 'S', 'N',
+                                                'A', 'P', '0', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+std::string tag_name(std::uint32_t tag) {
+  std::string s;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+    s += (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                    std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------- writer
+
+SnapshotWriter::SnapshotWriter() {
+  buf_.assign(kMagic.begin(), kMagic.end());
+}
+
+void SnapshotWriter::raw_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void SnapshotWriter::raw_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void SnapshotWriter::begin_section(std::uint32_t tag) {
+  DV_CHECK_MSG(!in_section_ && !finished_, "begin_section misuse");
+  section_start_ = buf_.size();
+  raw_u32(tag);
+  raw_u64(0);  // length, patched by end_section
+  in_section_ = true;
+}
+
+void SnapshotWriter::end_section() {
+  DV_CHECK_MSG(in_section_, "end_section without begin_section");
+  const std::size_t payload_off = section_start_ + 12;
+  const std::uint64_t len = buf_.size() - payload_off;
+  for (int i = 0; i < 8; ++i)
+    buf_[section_start_ + 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((len >> (8 * i)) & 0xff);
+  const std::uint32_t crc =
+      crc32(buf_.data() + section_start_, buf_.size() - section_start_);
+  raw_u32(crc);
+  in_section_ = false;
+}
+
+void SnapshotWriter::put_u8(std::uint8_t v) {
+  DV_CHECK_MSG(in_section_, "put outside a section");
+  buf_.push_back(v);
+}
+
+void SnapshotWriter::put_u32(std::uint32_t v) {
+  DV_CHECK_MSG(in_section_, "put outside a section");
+  raw_u32(v);
+}
+
+void SnapshotWriter::put_u64(std::uint64_t v) {
+  DV_CHECK_MSG(in_section_, "put outside a section");
+  raw_u64(v);
+}
+
+void SnapshotWriter::put_f64(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::put_value(const Value& v) {
+  put_u8(static_cast<std::uint8_t>(v.type));
+  // The union's widest member: bools/ints round-trip through it exactly,
+  // and float payloads keep their bit pattern (NaNs, -0.0).
+  switch (v.type) {
+    case Type::kBool: put_u64(v.b ? 1 : 0); break;
+    case Type::kFloat: put_u64(std::bit_cast<std::uint64_t>(v.f)); break;
+    default: put_u64(static_cast<std::uint64_t>(v.i)); break;
+  }
+}
+
+void SnapshotWriter::put_string(const std::string& s) {
+  put_u64(s.size());
+  DV_CHECK_MSG(in_section_, "put outside a section");
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::put_u8_vec(const std::vector<std::uint8_t>& v) {
+  put_u64(v.size());
+  DV_CHECK_MSG(in_section_, "put outside a section");
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void SnapshotWriter::put_u32_vec(const std::vector<std::uint32_t>& v) {
+  put_u64(v.size());
+  for (const std::uint32_t x : v) raw_u32(x);
+}
+
+void SnapshotWriter::put_u64_vec(const std::vector<std::uint64_t>& v) {
+  put_u64(v.size());
+  for (const std::uint64_t x : v) raw_u64(x);
+}
+
+void SnapshotWriter::put_i32_vec(const std::vector<std::int32_t>& v) {
+  put_u64(v.size());
+  for (const std::int32_t x : v) raw_u32(static_cast<std::uint32_t>(x));
+}
+
+void SnapshotWriter::put_f64_vec(const std::vector<double>& v) {
+  put_u64(v.size());
+  for (const double x : v) raw_u64(std::bit_cast<std::uint64_t>(x));
+}
+
+void SnapshotWriter::finish() {
+  DV_CHECK_MSG(!in_section_ && !finished_, "finish misuse");
+  const std::uint64_t body = buf_.size();
+  const std::uint32_t file_crc = crc32(buf_.data(), buf_.size());
+  begin_section(kSecEnd);
+  put_u64(body);
+  put_u32(file_crc);
+  end_section();
+  finished_ = true;
+}
+
+void SnapshotWriter::write_file(const std::string& path) const {
+  DV_CHECK_MSG(finished_, "write_file before finish()");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f)
+    throw SnapshotError("cannot open '" + tmp +
+                        "' for writing: " + std::strerror(errno));
+  const std::size_t n = std::fwrite(buf_.data(), 1, buf_.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (n != buf_.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("cannot rename '" + tmp + "' to '" + path +
+                        "': " + std::strerror(errno));
+  }
+}
+
+// ---------------------------------------------------------------- reader
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
+    : buf_(std::move(bytes)) {
+  if (buf_.size() < kMagic.size() ||
+      !std::equal(kMagic.begin(), kMagic.end(), buf_.begin()))
+    throw SnapshotError("not a DVSNAP01 snapshot (bad magic)");
+
+  // Walk and verify every frame; the end marker must be the final frame
+  // and must account for every byte before it.
+  std::size_t off = kMagic.size();
+  bool saw_end = false;
+  while (off < buf_.size()) {
+    if (saw_end)
+      throw SnapshotError("trailing bytes after the end section");
+    if (buf_.size() - off < 16)
+      throw SnapshotError("truncated snapshot: section header cut short");
+    std::uint32_t tag = 0;
+    for (int i = 0; i < 4; ++i)
+      tag |= static_cast<std::uint32_t>(buf_[off + static_cast<std::size_t>(i)])
+             << (8 * i);
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i)
+      len |= static_cast<std::uint64_t>(
+                 buf_[off + 4 + static_cast<std::size_t>(i)])
+             << (8 * i);
+    if (len > buf_.size() - off - 16)
+      throw SnapshotError("truncated snapshot: section '" + tag_name(tag) +
+                          "' payload cut short");
+    const std::size_t payload_off = off + 12;
+    const std::size_t frame_len = 12 + static_cast<std::size_t>(len);
+    const std::uint32_t want = crc32(buf_.data() + off, frame_len);
+    std::uint32_t got = 0;
+    for (int i = 0; i < 4; ++i)
+      got |= static_cast<std::uint32_t>(
+                 buf_[off + frame_len + static_cast<std::size_t>(i)])
+             << (8 * i);
+    if (want != got)
+      throw SnapshotError("corrupted snapshot: CRC mismatch in section '" +
+                          tag_name(tag) + "'");
+    if (tag == kSecEnd) {
+      if (len != 12)
+        throw SnapshotError("corrupted snapshot: malformed end section");
+      std::uint64_t body = 0;
+      for (int i = 0; i < 8; ++i)
+        body |= static_cast<std::uint64_t>(
+                    buf_[payload_off + static_cast<std::size_t>(i)])
+                << (8 * i);
+      std::uint32_t file_crc = 0;
+      for (int i = 0; i < 4; ++i)
+        file_crc |= static_cast<std::uint32_t>(
+                        buf_[payload_off + 8 + static_cast<std::size_t>(i)])
+                    << (8 * i);
+      if (body != off)
+        throw SnapshotError("corrupted snapshot: end section size mismatch");
+      if (crc32(buf_.data(), off) != file_crc)
+        throw SnapshotError("corrupted snapshot: file CRC mismatch");
+      saw_end = true;
+    } else {
+      sections_.push_back(
+          Section{tag, payload_off, static_cast<std::size_t>(len)});
+    }
+    off += frame_len + 4;
+  }
+  if (!saw_end)
+    throw SnapshotError("truncated snapshot: end section missing");
+}
+
+SnapshotReader SnapshotReader::from_file(const std::string& path) {
+  return SnapshotReader(read_file_bytes(path));
+}
+
+void SnapshotReader::open(std::uint32_t tag) {
+  DV_CHECK_MSG(!in_section_, "open() with a section already open");
+  if (next_section_ >= sections_.size())
+    throw SnapshotError("snapshot is missing section '" + tag_name(tag) +
+                        "'");
+  const Section& s = sections_[next_section_];
+  if (s.tag != tag)
+    throw SnapshotError("snapshot section order mismatch: expected '" +
+                        tag_name(tag) + "', found '" + tag_name(s.tag) +
+                        "' (incompatible snapshot version?)");
+  cur_ = s.payload_off;
+  cur_end_ = s.payload_off + s.payload_len;
+  in_section_ = true;
+}
+
+void SnapshotReader::close() {
+  DV_CHECK_MSG(in_section_, "close() without open()");
+  if (cur_ != cur_end_)
+    throw SnapshotError(
+        "snapshot section '" + tag_name(sections_[next_section_].tag) +
+        "' has trailing bytes (incompatible snapshot version?)");
+  ++next_section_;
+  in_section_ = false;
+}
+
+void SnapshotReader::need(std::size_t n) const {
+  DV_CHECK_MSG(in_section_, "get outside a section");
+  if (cur_end_ - cur_ < n)
+    throw SnapshotError(
+        "snapshot section '" + tag_name(sections_[next_section_].tag) +
+        "' ends mid-field (incompatible snapshot version?)");
+}
+
+std::uint8_t SnapshotReader::get_u8() {
+  need(1);
+  return buf_[cur_++];
+}
+
+std::uint32_t SnapshotReader::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(buf_[cur_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t SnapshotReader::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(buf_[cur_++]) << (8 * i);
+  return v;
+}
+
+double SnapshotReader::get_f64() {
+  return std::bit_cast<double>(get_u64());
+}
+
+Value SnapshotReader::get_value() {
+  const std::uint8_t t = get_u8();
+  const std::uint64_t bits = get_u64();
+  switch (t) {
+    case static_cast<std::uint8_t>(Type::kInt):
+      return Value::of_int(static_cast<std::int64_t>(bits));
+    case static_cast<std::uint8_t>(Type::kFloat):
+      return Value::of_float(std::bit_cast<double>(bits));
+    case static_cast<std::uint8_t>(Type::kBool):
+      return Value::of_bool(bits != 0);
+    default:
+      throw SnapshotError("snapshot value has unknown type tag " +
+                          std::to_string(t));
+  }
+}
+
+std::string SnapshotReader::get_string() {
+  const std::uint64_t n = get_u64();
+  need(static_cast<std::size_t>(n));
+  std::string s(reinterpret_cast<const char*>(buf_.data() + cur_),
+                static_cast<std::size_t>(n));
+  cur_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::size_t SnapshotReader::vec_len(std::size_t elem_bytes) {
+  // Element count sanity before any allocation: a count that cannot fit in
+  // the remaining payload (e.g. from a snapshot of a different version)
+  // must throw rather than wrap the byte math or trigger a huge resize.
+  const std::uint64_t n = get_u64();
+  const std::size_t remaining = cur_end_ - cur_;
+  if (n > remaining / elem_bytes)
+    throw SnapshotError(
+        "snapshot section '" + tag_name(sections_[next_section_].tag) +
+        "' declares an oversized vector (incompatible snapshot version?)");
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<std::uint8_t> SnapshotReader::get_u8_vec() {
+  const std::size_t n = vec_len(1);
+  std::vector<std::uint8_t> v(buf_.begin() + static_cast<std::ptrdiff_t>(cur_),
+                              buf_.begin() +
+                                  static_cast<std::ptrdiff_t>(cur_ + n));
+  cur_ += n;
+  return v;
+}
+
+std::vector<std::uint32_t> SnapshotReader::get_u32_vec() {
+  std::vector<std::uint32_t> v(vec_len(4));
+  for (auto& x : v) x = get_u32();
+  return v;
+}
+
+std::vector<std::uint64_t> SnapshotReader::get_u64_vec() {
+  std::vector<std::uint64_t> v(vec_len(8));
+  for (auto& x : v) x = get_u64();
+  return v;
+}
+
+std::vector<std::int32_t> SnapshotReader::get_i32_vec() {
+  std::vector<std::int32_t> v(vec_len(4));
+  for (auto& x : v) x = get_i32();
+  return v;
+}
+
+std::vector<double> SnapshotReader::get_f64_vec() {
+  std::vector<double> v(vec_len(8));
+  for (auto& x : v) x = get_f64();
+  return v;
+}
+
+void SnapshotReader::finish() const {
+  DV_CHECK_MSG(!in_section_, "finish() with a section open");
+  if (next_section_ != sections_.size())
+    throw SnapshotError("snapshot has unread sections (incompatible "
+                        "snapshot version?)");
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f)
+    throw SnapshotError("cannot open snapshot '" + path +
+                        "': " + std::strerror(errno));
+  std::vector<std::uint8_t> buf;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  std::size_t n;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0)
+    buf.insert(buf.end(), chunk.begin(),
+               chunk.begin() + static_cast<std::ptrdiff_t>(n));
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err)
+    throw SnapshotError("read error on snapshot '" + path + "'");
+  return buf;
+}
+
+}  // namespace deltav::dv::persist

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dv/persist/snapshot.h"
 #include "dv/runtime/delta.h"
 #include "dv/runtime/vm.h"
 #include "pregel/aggregator.h"
@@ -136,14 +137,31 @@ class DvRunner::Impl {
 
   DvRunResult run() {
     DV_CHECK_MSG(!converged_, "converge() may only run once");
-    run_init_superstep();
-    for (std::size_t si = 0; si < prog_.stmts.size(); ++si) {
-      if (si > 0) run_transition(si);
-      run_statement(si);
+    checkpointing_ = options_.checkpoint_every > 0 &&
+                     static_cast<bool>(options_.checkpoint_sink);
+    // The cursor (init_done_, cur_stmt_, cur_iter_, in_statement_) is all
+    // zero on a fresh runner, so this loop is run()'s original control
+    // flow; after restore_state it re-enters the interrupted statement at
+    // the saved iteration instead.
+    if (!init_done_) {
+      run_init_superstep();
+      init_done_ = true;
+      in_statement_ = true;  // statement 0 is primed by the init push
     }
+    for (std::size_t si = cur_stmt_; si < prog_.stmts.size(); ++si) {
+      cur_stmt_ = si;
+      if (!in_statement_) run_transition(si);
+      in_statement_ = true;
+      run_statement(si, cur_iter_);
+      cur_iter_ = 0;
+      in_statement_ = false;
+    }
+    checkpointing_ = false;
     converged_ = true;
     return collect_result();
   }
+
+  bool converged() const { return converged_; }
 
   EpochStats apply_epoch(graph::DynamicGraph& dyn,
                          const graph::GraphDelta& delta) {
@@ -334,6 +352,142 @@ class DvRunner::Impl {
   }
 
   DvRunResult snapshot_result() { return collect_result(); }
+
+  void save_state(persist::SnapshotWriter& w) const {
+    w.begin_section(persist::kSecRunner);
+    w.put_u64(stride_);
+    w.put_u64(g_.num_vertices());
+    w.put_u64(state_.size());
+    for (const Value& v : state_) w.put_value(v);
+    w.put_u64(supersteps_);
+    {
+      std::vector<std::uint64_t> iters(iterations_.begin(),
+                                       iterations_.end());
+      w.put_u64_vec(iters);
+    }
+    w.put_bool(converged_);
+    w.put_bool(init_done_);
+    w.put_bool(in_statement_);
+    w.put_u64(cur_stmt_);
+    w.put_u64(cur_iter_);
+    w.end_section();
+
+    const DvEngine::Checkpoint c = engine_->checkpoint();
+    w.begin_section(persist::kSecEngine);
+    w.put_u64(c.superstep);
+    w.put_u8_vec(c.halted);
+    w.put_u8_vec(c.deleted);
+    w.put_u32(static_cast<std::uint32_t>(c.queues.size()));
+    for (const auto& q : c.queues) w.put_u32_vec(q);
+    for (const auto& pend : c.pending) {
+      w.put_u64(pend.size());
+      for (const auto& [dst, m] : pend) {
+        w.put_u32(dst);
+        w.put_value(m.payload);
+        w.put_i32(m.nulls);
+        w.put_i32(m.denulls);
+        w.put_u8(m.site);
+        w.put_u8(m.wire);
+      }
+    }
+    w.put_u64(c.stats.supersteps.size());
+    for (const pregel::SuperstepStats& ss : c.stats.supersteps) {
+      w.put_u64(ss.messages_sent);
+      w.put_u64(ss.messages_delivered);
+      w.put_u64(ss.messages_dropped);
+      w.put_u64(ss.bytes_sent);
+      w.put_u64(ss.bytes_delivered);
+      w.put_u64(ss.cross_machine_bytes);
+      w.put_u64(ss.active_vertices);
+      w.put_f64(ss.compute_seconds);
+      w.put_f64(ss.exchange_seconds);
+      w.put_f64(ss.sim_comm_seconds);
+    }
+    w.end_section();
+  }
+
+  void restore_state(persist::SnapshotReader& r) {
+    const auto bad = [](const char* what) {
+      throw persist::SnapshotError(
+          std::string("snapshot does not fit the restoring program: ") +
+          what);
+    };
+
+    r.open(persist::kSecRunner);
+    const std::size_t n = g_.num_vertices();
+    if (r.get_u64() != stride_ || r.get_u64() != n)
+      bad("vertex-state layout mismatch");
+    if (r.get_u64() != n * stride_) bad("state array size mismatch");
+    for (Value& v : state_) v = r.get_value();
+    supersteps_ = static_cast<std::size_t>(r.get_u64());
+    {
+      const std::vector<std::uint64_t> iters = r.get_u64_vec();
+      iterations_.assign(iters.begin(), iters.end());
+    }
+    converged_ = r.get_bool();
+    init_done_ = r.get_bool();
+    in_statement_ = r.get_bool();
+    cur_stmt_ = static_cast<std::size_t>(r.get_u64());
+    cur_iter_ = static_cast<std::size_t>(r.get_u64());
+    if (cur_stmt_ >= prog_.stmts.size() && !converged_)
+      bad("statement cursor out of range");
+    r.close();
+
+    r.open(persist::kSecEngine);
+    DvEngine::Checkpoint c;
+    c.num_vertices = n;
+    c.superstep = static_cast<std::size_t>(r.get_u64());
+    c.halted = r.get_u8_vec();
+    c.deleted = r.get_u8_vec();
+    if (c.halted.size() != n || c.deleted.size() != n)
+      bad("engine flag arrays sized for a different graph");
+    const std::uint32_t W = r.get_u32();
+    if (W != static_cast<std::uint32_t>(options_.engine.num_workers))
+      bad("engine worker count mismatch");
+    c.queues.resize(W);
+    for (auto& q : c.queues) q = r.get_u32_vec();
+    c.pending.resize(W);
+    for (auto& pend : c.pending) {
+      // No up-front reserve: the count is snapshot data, and the getters
+      // below throw on exhaustion long before push_back growth could.
+      const std::uint64_t count = r.get_u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const graph::VertexId dst = r.get_u32();
+        DvMessage m;
+        m.payload = r.get_value();
+        m.nulls = r.get_i32();
+        m.denulls = r.get_i32();
+        m.site = r.get_u8();
+        m.wire = r.get_u8();
+        if (m.site >= prog_.sites.size())
+          bad("pending message addressed to an unknown aggregation site");
+        pend.emplace_back(dst, m);
+      }
+    }
+    const std::uint64_t num_ss = r.get_u64();
+    for (std::uint64_t i = 0; i < num_ss; ++i) {
+      pregel::SuperstepStats ss;
+      ss.messages_sent = r.get_u64();
+      ss.messages_delivered = r.get_u64();
+      ss.messages_dropped = r.get_u64();
+      ss.bytes_sent = r.get_u64();
+      ss.bytes_delivered = r.get_u64();
+      ss.cross_machine_bytes = r.get_u64();
+      ss.active_vertices = r.get_u64();
+      ss.compute_seconds = r.get_f64();
+      ss.exchange_seconds = r.get_f64();
+      ss.sim_comm_seconds = r.get_f64();
+      c.stats.supersteps.push_back(ss);
+    }
+    r.close();
+    for (std::uint32_t w = 0; w < W; ++w) {
+      for (const graph::VertexId v : c.queues[w])
+        if (v >= n) bad("work-queue entry out of range");
+      for (const auto& [dst, m] : c.pending[w])
+        if (dst >= n) bad("pending message destination out of range");
+    }
+    engine_->restore(c);
+  }
 
  private:
   /// Applies a synthesized Δ-message synchronously into the receiver's
@@ -740,7 +894,7 @@ class DvRunner::Impl {
     return mask;
   }
 
-  void run_statement(std::size_t si) {
+  void run_statement(std::size_t si, std::size_t start_iter = 0) {
     const Stmt& stmt = prog_.stmts[si];
     const bool is_iter = stmt.kind == Stmt::Kind::kIter;
     const bool stable_until = is_iter && uses_stable(*stmt.until);
@@ -749,7 +903,7 @@ class DvRunner::Impl {
     // The superstep cap is per statement *run*, so streaming epochs get a
     // fresh budget instead of exhausting a cumulative one.
     const std::size_t steps_base = supersteps_;
-    std::size_t iter = 0;
+    std::size_t iter = start_iter;  // nonzero only when resuming a restore
     for (;;) {
       ++iter;
       // Scheduled vertex removals for this (statement, iteration).
@@ -840,6 +994,15 @@ class DvRunner::Impl {
       // Non-stable untils were pre-checked as last_known above; if the
       // condition first becomes true *at* this iteration count, the next
       // loop turn detects it before running another superstep.
+
+      // Checkpoint hook: fires only once every break check has resolved to
+      // "continue", so the saved cursor needs no quiescence or last-known
+      // context — a resume simply re-enters this loop at iter + 1.
+      if (checkpointing_ &&
+          supersteps_ % options_.checkpoint_every == 0) {
+        cur_iter_ = iter;
+        options_.checkpoint_sink(supersteps_);
+      }
     }
     iterations_.push_back(iter);
   }
@@ -876,6 +1039,16 @@ class DvRunner::Impl {
   std::vector<std::size_t> iterations_;
   std::vector<std::uint8_t> victims_;
   bool converged_ = false;
+  // Resumable-execution cursor (dv/persist): which statement run() is in
+  // and how many body supersteps it has completed. All-zero on a fresh
+  // runner; restore_state() sets it so run() re-enters the interrupted
+  // statement. in_statement_ distinguishes "priming superstep already ran"
+  // from "transition still pending" for cur_stmt_.
+  bool init_done_ = false;
+  bool in_statement_ = false;
+  std::size_t cur_stmt_ = 0;
+  std::size_t cur_iter_ = 0;
+  bool checkpointing_ = false;  // armed only inside run()
   // Epoch scratch: the wake frontier and the Δ-application counter.
   std::vector<std::uint8_t> wake_;
   std::size_t deltas_applied_ = 0;
@@ -936,6 +1109,16 @@ EpochStats DvRunner::apply_epoch(graph::DynamicGraph& dyn,
 }
 
 DvRunResult DvRunner::result() const { return impl_->snapshot_result(); }
+
+bool DvRunner::converged() const { return impl_->converged(); }
+
+void DvRunner::save_state(persist::SnapshotWriter& w) const {
+  impl_->save_state(w);
+}
+
+void DvRunner::restore_state(persist::SnapshotReader& r) {
+  impl_->restore_state(r);
+}
 
 const char* DvRunner::warm_blocker(const CompiledProgram& cp,
                                    const graph::GraphDelta& delta) {

@@ -35,6 +35,11 @@
 #include "graph/graph_view.h"
 #include "pregel/engine.h"
 
+namespace deltav::dv::persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace deltav::dv::persist
+
 namespace deltav::dv {
 
 /// A scheduled vertex removal (§9 future work): at the given body
@@ -84,6 +89,15 @@ struct DvRunOptions {
   std::function<void(graph::VertexId src, graph::VertexId dst,
                      const DvMessage&)>
       send_probe;
+
+  /// Mid-convergence checkpointing: during converge(), after every
+  /// checkpoint_every-th superstep whose statement is certain to continue,
+  /// checkpoint_sink is invoked (between supersteps, single-threaded; the
+  /// runner's save_state is safe to call from it). 0 disables. Warm
+  /// epochs (apply_epoch) never fire the hook — they are short by
+  /// construction, and a resume point inside apply() is not representable.
+  std::size_t checkpoint_every = 0;
+  std::function<void(std::size_t supersteps_done)> checkpoint_sink;
 };
 
 struct DvRunResult {
@@ -145,8 +159,29 @@ class DvRunner {
   DvRunner& operator=(DvRunner&&) noexcept;
 
   /// Cold run to convergence (exactly run_program's semantics). Must be
-  /// called once, before any apply_epoch.
+  /// called once, before any apply_epoch — except after restoring a
+  /// mid-run checkpoint, where it resumes the interrupted convergence from
+  /// the saved superstep and finishes bit-exactly with an uninterrupted
+  /// run.
   DvRunResult converge();
+
+  /// True once converge() has completed (a restored mid-run checkpoint
+  /// starts false and needs a resuming converge()).
+  bool converged() const;
+
+  /// Serializes the complete execution state — vertex values (aggAccum /
+  /// nnAcc / aggNulls / last-sent memos live in the state rows), the
+  /// statement/iteration cursor, the engine checkpoint (halt bits, work
+  /// queues, pending messages) and the full stats history (per-epoch
+  /// stats are diffs against it) — as the kSecRunner + kSecEngine
+  /// sections. Call between supersteps only (always true from
+  /// checkpoint_sink or after converge()).
+  void save_state(persist::SnapshotWriter& w) const;
+
+  /// Restores save_state output into a freshly-constructed runner over
+  /// the same program, graph snapshot and engine configuration. Throws
+  /// persist::SnapshotError when the decoded state does not fit them.
+  void restore_state(persist::SnapshotReader& r);
 
   /// Why `cp` cannot resume warm across `delta` — a static human-readable
   /// reason — or nullptr if it can. Warm resume requires the incremental

@@ -2,6 +2,8 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.h"
 
@@ -17,6 +19,14 @@ std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in) {
 
   std::string line;
   std::size_t lineno = 0;
+  // A line must be consumed in full: `+ 1 2 3 4` silently dropping the
+  // `4` would apply a different mutation than the author wrote.
+  const auto expect_line_end = [&](std::istringstream& ls) {
+    std::string extra;
+    if (ls >> extra)
+      DV_FAIL("mutation stream line "
+              << lineno << ": trailing garbage '" << extra << "'");
+  };
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) {
@@ -28,30 +38,47 @@ std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in) {
     std::string op;
     ls >> op;
     if (op == "commit") {
+      expect_line_end(ls);
       flush();
     } else if (op == "+") {
       graph::VertexId u, v;
       if (!(ls >> u >> v))
         DV_FAIL("mutation stream line " << lineno << ": expected '+ u v [w]'");
-      // Optional weight; a failed extraction zeroes the operand (C++11),
-      // so restore the documented default rather than inserting 0.0.
+      // Optional weight: if anything follows the endpoints it must be a
+      // whole numeric token (`+ 1 2 1x` is garbage, not weight 1).
       double w = 1.0;
-      if (!(ls >> w)) w = 1.0;
+      std::string wtok;
+      if (ls >> wtok) {
+        std::size_t consumed = 0;
+        try {
+          w = std::stod(wtok, &consumed);
+        } catch (const std::exception&) {
+          consumed = 0;
+        }
+        if (consumed != wtok.size())
+          DV_FAIL("mutation stream line "
+                  << lineno << ": expected numeric weight, got '" << wtok
+                  << "'");
+        expect_line_end(ls);
+      }
       cur.insert_edge(u, v, w);
     } else if (op == "-") {
       graph::VertexId u, v;
       if (!(ls >> u >> v))
         DV_FAIL("mutation stream line " << lineno << ": expected '- u v'");
+      expect_line_end(ls);
       cur.remove_edge(u, v);
     } else if (op == "addv") {
       std::size_t n = 0;
       if (!(ls >> n))
         DV_FAIL("mutation stream line " << lineno << ": expected 'addv n'");
+      expect_line_end(ls);
       cur.add_vertices += n;
     } else if (op == "delv") {
       graph::VertexId v;
       if (!(ls >> v))
         DV_FAIL("mutation stream line " << lineno << ": expected 'delv v'");
+      expect_line_end(ls);
       cur.detach_vertices.push_back(v);
     } else {
       DV_FAIL("mutation stream line " << lineno << ": unknown op '" << op

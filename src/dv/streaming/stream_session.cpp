@@ -1,28 +1,123 @@
 #include "dv/streaming/stream_session.h"
 
+#include <bit>
 #include <utility>
 
 #include "common/check.h"
+#include "common/hash.h"
+#include "dv/persist/graph_codec.h"
+#include "dv/persist/snapshot.h"
 
 namespace deltav::dv::streaming {
+namespace {
+
+/// Current snapshot payload version. The container magic ("DVSNAP01")
+/// guards the framing; this guards the section contents. Bump on any
+/// layout change — old snapshots then fail restore with a version
+/// message, never a misparse.
+constexpr std::uint32_t kFormatVersion = 1;
+
+std::uint64_t value_payload_bits(const Value& v) {
+  switch (v.type) {
+    case Type::kFloat:
+      return std::bit_cast<std::uint64_t>(v.f);
+    case Type::kBool:
+      return v.b ? 1 : 0;
+    case Type::kInt:
+    default:
+      return static_cast<std::uint64_t>(v.i);
+  }
+}
+
+/// Fingerprint of everything that determines the compiled program's
+/// execution semantics: the source text plus every CompileOptions field
+/// (the same source compiles to different state layouts and send policies
+/// under different options) plus the layout counts as a belt-and-braces
+/// check against compiler drift across versions of this codebase.
+std::uint64_t program_digest(const CompiledProgram& cp) {
+  std::uint64_t h = fnv1a(cp.source);
+  h = hash_combine(h, cp.options.incrementalize ? 1 : 0);
+  h = hash_combine(h, cp.options.insert_halts ? 1 : 0);
+  h = hash_combine(h, cp.options.naive_sends ? 1 : 0);
+  h = hash_combine(h, std::bit_cast<std::uint64_t>(cp.options.epsilon));
+  h = hash_combine(h, cp.num_fields());
+  h = hash_combine(h, cp.num_scratch());
+  h = hash_combine(h, cp.num_sites());
+  h = hash_combine(h, cp.program.stmts.size());
+  return h;
+}
+
+/// Fingerprint of the parameter bindings. Params feed expression
+/// evaluation, so a restore under different bindings would diverge from
+/// the saved trajectory on the very next superstep. std::map iteration is
+/// name-ordered, hence deterministic.
+std::uint64_t params_digest(const std::map<std::string, Value>& params) {
+  std::uint64_t h = fnv1a("dv-params");
+  for (const auto& [name, v] : params) {
+    h = hash_combine(h, fnv1a(name));
+    h = hash_combine(h, static_cast<std::uint64_t>(v.type));
+    h = hash_combine(h, value_payload_bits(v));
+  }
+  return h;
+}
+
+[[noreturn]] void mismatch(const std::string& what) {
+  throw persist::SnapshotError(
+      "snapshot does not match the restoring session: " + what);
+}
+
+}  // namespace
 
 DvStreamSession::DvStreamSession(const CompiledProgram& cp,
                                  graph::CsrGraph base, SessionOptions options)
-    : cp_(&cp), options_(std::move(options)), dyn_(std::move(base)) {
-  runner_ = std::make_unique<DvRunner>(*cp_, graph::GraphView(dyn_),
-                                       options_.run);
+    : DvStreamSession(cp, graph::DynamicGraph(std::move(base)),
+                      std::move(options)) {}
+
+DvStreamSession::DvStreamSession(const CompiledProgram& cp,
+                                 graph::DynamicGraph dyn,
+                                 SessionOptions options)
+    : cp_(&cp), options_(std::move(options)), dyn_(std::move(dyn)) {
+  if (options_.checkpoint_every > 0 &&
+      (options_.checkpoint_sink || !options_.checkpoint_path.empty())) {
+    // Installed on options_.run so cold-epoch replacement runners inherit
+    // the hook too. `this` is stable: the session type is immovable.
+    options_.run.checkpoint_every = options_.checkpoint_every;
+    options_.run.checkpoint_sink = [this](std::size_t) { write_checkpoint(); };
+  }
+  init_runner();
 }
 
 DvStreamSession::~DvStreamSession() = default;
 
+void DvStreamSession::init_runner() {
+  runner_ = std::make_unique<DvRunner>(*cp_, graph::GraphView(dyn_),
+                                       options_.run);
+}
+
+bool DvStreamSession::converged() const { return runner_->converged(); }
+
 DvRunResult DvStreamSession::converge() {
-  DV_CHECK_MSG(!converged_, "converge() already ran; use apply()");
-  converged_ = true;
-  return runner_->converge();
+  DV_CHECK_MSG(!runner_->converged(), "converge() already ran; use apply()");
+  // Distinguish the first-ever converge() from resuming a snapshot taken
+  // mid-cold-epoch (epoch_ > 0: apply() had already committed the delta
+  // and was re-running when the checkpoint fired).
+  const bool resumed_epoch = converge_called_ && epoch_ > 0;
+  converge_called_ = true;
+  DvRunResult r = runner_->converge();
+  if (resumed_epoch &&
+      dyn_.overlay_fraction() > options_.compact_threshold) {
+    // Replay the interrupted epoch's pending compaction check, so the
+    // overlay — and every later epoch's compaction decision — stays on
+    // the uninterrupted session's trajectory.
+    dyn_.compact();
+  }
+  return r;
 }
 
 SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
-  DV_CHECK_MSG(converged_, "apply() before converge()");
+  DV_CHECK_MSG(converge_called_, "apply() before converge()");
+  DV_CHECK_MSG(runner_->converged(),
+               "apply() on an unresumed snapshot; call converge() first");
   SessionEpoch ep;
   ep.epoch = ++epoch_;
 
@@ -41,8 +136,7 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
     ep.stats = runner_->apply_epoch(dyn_, delta);
   } else {
     dyn_.commit(delta);
-    runner_ = std::make_unique<DvRunner>(*cp_, graph::GraphView(dyn_),
-                                         options_.run);
+    init_runner();
     const DvRunResult r = runner_->converge();
     ep.stats.supersteps = r.supersteps;
     ep.stats.messages = r.stats.total_messages_sent();
@@ -59,5 +153,115 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
 }
 
 DvRunResult DvStreamSession::result() const { return runner_->result(); }
+
+persist::SnapshotWriter DvStreamSession::build_snapshot() const {
+  persist::SnapshotWriter w;
+  w.begin_section(persist::kSecMeta);
+  w.put_u32(kFormatVersion);
+  w.put_u64(program_digest(*cp_));
+  w.put_u64(params_digest(options_.run.params));
+  // Engine configuration fields are stored individually (not digested) so
+  // a mismatch names the offending knob. The execution tier is
+  // deliberately absent: tiers are bit-identical by contract, so a
+  // VM-written snapshot may resume on the tree interpreter and vice versa
+  // (tests/dv_persist_test.cpp pins this down).
+  const pregel::EngineOptions& eng = options_.run.engine;
+  w.put_u32(static_cast<std::uint32_t>(eng.num_workers));
+  w.put_u8(static_cast<std::uint8_t>(eng.partition));
+  w.put_u8(static_cast<std::uint8_t>(eng.schedule));
+  w.put_bool(eng.use_combiner);
+  w.put_bool(options_.run.use_combiner);
+  w.put_u64(epoch_);
+  w.put_bool(converge_called_);
+  w.end_section();
+  persist::GraphCodec::write(dyn_, w);
+  runner_->save_state(w);
+  w.finish();
+  return w;
+}
+
+void DvStreamSession::save(const std::string& path) const {
+  build_snapshot().write_file(path);
+}
+
+std::vector<std::uint8_t> DvStreamSession::save_bytes() const {
+  return std::move(build_snapshot()).take_bytes();
+}
+
+void DvStreamSession::write_checkpoint() {
+  if (options_.checkpoint_sink) {
+    options_.checkpoint_sink(save_bytes());
+  } else {
+    save(options_.checkpoint_path);
+  }
+}
+
+std::unique_ptr<DvStreamSession> DvStreamSession::restore(
+    const CompiledProgram& cp, const std::string& path,
+    SessionOptions options) {
+  return restore_bytes(cp, persist::read_file_bytes(path),
+                       std::move(options));
+}
+
+std::unique_ptr<DvStreamSession> DvStreamSession::restore_bytes(
+    const CompiledProgram& cp, std::vector<std::uint8_t> bytes,
+    SessionOptions options) {
+  persist::SnapshotReader r(std::move(bytes));
+
+  r.open(persist::kSecMeta);
+  const std::uint32_t version = r.get_u32();
+  if (version != kFormatVersion) {
+    mismatch("snapshot format version " + std::to_string(version) +
+             ", this build reads version " + std::to_string(kFormatVersion));
+  }
+  if (r.get_u64() != program_digest(cp)) {
+    mismatch("it was written by a different compiled program "
+             "(source or compile options differ)");
+  }
+  if (r.get_u64() != params_digest(options.run.params)) {
+    mismatch("program parameter bindings differ");
+  }
+  const pregel::EngineOptions& eng = options.run.engine;
+  const std::uint32_t workers = r.get_u32();
+  if (workers != static_cast<std::uint32_t>(eng.num_workers)) {
+    mismatch("it was written with " + std::to_string(workers) +
+             " engine workers, restoring with " +
+             std::to_string(eng.num_workers));
+  }
+  if (r.get_u8() != static_cast<std::uint8_t>(eng.partition)) {
+    mismatch("partition scheme differs");
+  }
+  if (r.get_u8() != static_cast<std::uint8_t>(eng.schedule)) {
+    mismatch("schedule mode differs");
+  }
+  if (r.get_bool() != eng.use_combiner) {
+    mismatch("engine combiner setting differs");
+  }
+  if (r.get_bool() != options.run.use_combiner) {
+    mismatch("runtime combiner setting differs");
+  }
+  const std::uint64_t epoch = r.get_u64();
+  const bool converge_called = r.get_bool();
+  r.close();
+
+  graph::DynamicGraph dyn = persist::GraphCodec::read(r);
+
+  // The constructor builds a fresh runner over the restored graph (its
+  // init superstep has not run); restore_state then overwrites the
+  // runner's entire execution state with the saved one.
+  std::unique_ptr<DvStreamSession> s(
+      new DvStreamSession(cp, std::move(dyn), std::move(options)));
+  s->runner_->restore_state(r);
+  r.finish();
+  s->epoch_ = static_cast<std::size_t>(epoch);
+  s->converge_called_ = converge_called;
+  return s;
+}
+
+std::unique_ptr<DvStreamSession> make_stream_session(
+    const CompiledProgram& cp, graph::CsrGraph base, SessionOptions options) {
+  return std::make_unique<DvStreamSession>(cp, std::move(base),
+                                           std::move(options));
+}
 
 }  // namespace deltav::dv::streaming

@@ -24,10 +24,27 @@
 // Either way the session's state after epoch k is value-identical to a
 // from-scratch run on the mutated graph (the stream fuzz tier checks this
 // per batch against materialize()).
+//
+// Persistence (dv/persist/): save()/save_bytes() serialize the complete
+// session — graph base + overlay verbatim, every vertex-state row
+// (aggAccum, nnAcc/aggNulls, last-sent memos), the engine's halt bits,
+// work queues and pending messages, the runner's statement/iteration
+// cursor, and the epoch counter — into a checksummed snapshot. restore()
+// rebuilds a session that is bit-exact with one that never stopped: same
+// values, same subsequent warm/cold and compaction decisions, same
+// superstep and message counts. A snapshot taken mid-convergence (see
+// SessionOptions::checkpoint_every) restores to a session whose
+// converge() resumes the interrupted run. Torn or corrupted snapshots
+// always fail restore with a persist::SnapshotError carrying the reason;
+// callers fall back to a cold rebuild.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "dv/runtime/runner.h"
 #include "graph/dynamic_graph.h"
@@ -42,6 +59,17 @@ struct SessionOptions {
   /// Always rebuild cold (baseline mode for benchmarks and the
   /// differential oracle).
   bool force_cold = false;
+
+  /// Checkpoint the whole session during convergence, every K supersteps
+  /// (0 = off). Fires for epoch-0 converge() and for cold-epoch rebuilds
+  /// — the long-running phases worth interrupting; warm epochs are short
+  /// by construction and never fire.
+  std::size_t checkpoint_every = 0;
+  /// Each firing writes the session here, atomically (tmp + rename)...
+  std::string checkpoint_path;
+  /// ...or hands the serialized bytes to this callback instead when set
+  /// (tests and the fuzz harness collect kill-points this way).
+  std::function<void(const std::vector<std::uint8_t>&)> checkpoint_sink;
 };
 
 /// What one apply() did and cost.
@@ -61,11 +89,15 @@ class DvStreamSession {
   ~DvStreamSession();
 
   // The runner's EvalContexts hold a GraphView into dyn_, so the session
-  // is pinned in place. Construct in situ (optional::emplace, unique_ptr).
+  // is pinned in place. Use make_stream_session() for a movable handle.
   DvStreamSession(DvStreamSession&&) = delete;
   DvStreamSession& operator=(DvStreamSession&&) = delete;
 
-  /// Epoch 0: cold run to convergence. Must be called once, first.
+  /// Epoch 0: cold run to convergence. Must be called once, first — or
+  /// again after restoring a mid-convergence snapshot, where it resumes
+  /// the interrupted run (and replays the interrupted epoch's pending
+  /// compaction check, keeping later compaction decisions on the
+  /// uninterrupted session's trajectory).
   DvRunResult converge();
 
   /// Applies one batch and re-converges (warm when possible).
@@ -76,14 +108,53 @@ class DvStreamSession {
 
   const graph::DynamicGraph& graph() const { return dyn_; }
   std::size_t epoch() const { return epoch_; }
+  /// False while convergence is pending: on a fresh session before
+  /// converge(), and after restoring a mid-convergence snapshot (call
+  /// converge() to resume).
+  bool converged() const;
+
+  /// Serializes the complete session (see the file comment) to `path`,
+  /// atomically. Call between supersteps only — always true outside the
+  /// checkpoint hook.
+  void save(const std::string& path) const;
+  std::vector<std::uint8_t> save_bytes() const;
+
+  /// Rebuilds a session from a snapshot. `cp` and `options` must match
+  /// the saving session's program and engine configuration (worker count,
+  /// partition, schedule, combiner) — the snapshot records both and
+  /// restore refuses a mismatch, since bit-exact continuation is only
+  /// defined under the determinism contract's fixed configuration. The
+  /// execution tier may differ (tiers are bit-identical by contract).
+  /// Throws persist::SnapshotError on any damage or mismatch; never
+  /// restores silently wrong state.
+  static std::unique_ptr<DvStreamSession> restore(const CompiledProgram& cp,
+                                                  const std::string& path,
+                                                  SessionOptions options = {});
+  static std::unique_ptr<DvStreamSession> restore_bytes(
+      const CompiledProgram& cp, std::vector<std::uint8_t> bytes,
+      SessionOptions options = {});
 
  private:
+  DvStreamSession(const CompiledProgram& cp, graph::DynamicGraph dyn,
+                  SessionOptions options);
+
+  void init_runner();
+  persist::SnapshotWriter build_snapshot() const;
+  void write_checkpoint();
+
   const CompiledProgram* cp_;  // never null
   SessionOptions options_;
   graph::DynamicGraph dyn_;
   std::unique_ptr<DvRunner> runner_;
   std::size_t epoch_ = 0;
-  bool converged_ = false;
+  bool converge_called_ = false;
 };
+
+/// Builds a session on the heap: the class itself is pinned (the runner
+/// holds a GraphView into the session's own DynamicGraph), so this is the
+/// way to get a movable handle without optional::emplace gymnastics.
+std::unique_ptr<DvStreamSession> make_stream_session(
+    const CompiledProgram& cp, graph::CsrGraph base,
+    SessionOptions options = {});
 
 }  // namespace deltav::dv::streaming

@@ -390,11 +390,13 @@ std::optional<DiffFailure> check_stream_case(const StreamCase& sc,
       so.run.params = sc.params;
       return so;
     };
-    streaming::DvStreamSession vm(cp, base, opts_for(ExecTier::kVm));
-    vm.converge();
-    std::optional<streaming::DvStreamSession> tree;
+    const auto vm =
+        streaming::make_stream_session(cp, base, opts_for(ExecTier::kVm));
+    vm->converge();
+    std::unique_ptr<streaming::DvStreamSession> tree;
     if (opts.check_tiers) {
-      tree.emplace(cp, base, opts_for(ExecTier::kTree));
+      tree =
+          streaming::make_stream_session(cp, base, opts_for(ExecTier::kTree));
       tree->converge();
     }
 
@@ -411,16 +413,16 @@ std::optional<DiffFailure> check_stream_case(const StreamCase& sc,
       const auto tag = [&](const std::string& what) {
         return "batch " + std::to_string(bi) + ": " + what;
       };
-      const streaming::SessionEpoch ev = vm.apply(sc.batches[bi]);
+      const streaming::SessionEpoch ev = vm->apply(sc.batches[bi]);
       if (sc.expect_warm && !ev.warm)
         return DiffFailure{"warm",
                            tag(std::string("expected a warm epoch, got "
                                            "cold: ") +
                                (ev.blocker ? ev.blocker : "?"))};
 
-      const DvRunResult rv = vm.result();
+      const DvRunResult rv = vm->result();
       const std::string diff =
-          compare_user_fields(rv, oracle_state(vm, ExecTier::kVm),
+          compare_user_fields(rv, oracle_state(*vm, ExecTier::kVm),
                               opts.float_tol);
       if (!diff.empty()) return DiffFailure{"values", tag(diff)};
 

@@ -18,6 +18,10 @@
 
 #include "common/check.h"
 
+namespace deltav::dv::persist {
+class GraphCodec;
+}
+
 namespace deltav::graph {
 
 using VertexId = std::uint32_t;
@@ -87,6 +91,10 @@ class CsrGraph {
 
  private:
   friend class GraphBuilder;
+  // Snapshot (de)serialization needs byte-exact access to the arrays; the
+  // graph layer cannot depend on dv/, so the codec lives there and is
+  // befriended here (see dv/persist/graph_codec.h).
+  friend class deltav::dv::persist::GraphCodec;
 
   bool directed_ = true;
   std::vector<EdgeIndex> out_offsets_;  // size num_vertices()+1

@@ -182,6 +182,8 @@ class DynamicGraph {
   const CsrGraph& base() const { return base_; }
 
  private:
+  friend class deltav::dv::persist::GraphCodec;  // see csr_graph.h note
+
   bool in_base(VertexId v) const { return v < base_.num_vertices(); }
   static std::span<const VertexId> empty_targets() { return {}; }
   static std::span<const double> empty_weights() { return {}; }

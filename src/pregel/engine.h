@@ -390,6 +390,116 @@ class Engine {
     }
   }
 
+  /// Execution state captured at a superstep boundary. Outboxes, combine
+  /// maps and dense slots are empty there by construction, so the only
+  /// state that carries across the boundary is: halt/delete flags, the
+  /// work queues (their order IS the kWorkQueue compute order, which fixes
+  /// message emission order — a bit-exact restore must reproduce it
+  /// verbatim), the pending inboxes (per worker, in per-vertex delivery
+  /// order), the superstep counter, and the stats history.
+  struct Checkpoint {
+    std::size_t num_vertices = 0;
+    std::size_t superstep = 0;
+    std::vector<std::uint8_t> halted;
+    std::vector<std::uint8_t> deleted;
+    /// Per worker; empty under kScanAll.
+    std::vector<std::vector<VertexId>> queues;
+    /// Per worker: undelivered messages as (destination, message), grouped
+    /// by destination in owner iteration order, each group in delivery
+    /// order.
+    std::vector<std::vector<std::pair<VertexId, Message>>> pending;
+    RunStats stats;
+  };
+
+  /// Captures the engine state between supersteps.
+  Checkpoint checkpoint() const {
+    for (const auto& ws : workers_)
+      for (const auto& out : ws.outbox)
+        DV_CHECK_MSG(out.empty(),
+                     "checkpoint() mid-superstep (outbox not flushed)");
+    Checkpoint c;
+    c.num_vertices = partition_.num_vertices();
+    c.superstep = superstep_;
+    c.halted = halted_;
+    c.deleted = deleted_;
+    c.stats = stats_;
+    const auto W = static_cast<std::size_t>(options_.num_workers);
+    c.queues.resize(W);
+    c.pending.resize(W);
+    for (std::size_t w = 0; w < W; ++w) {
+      const auto& ws = workers_[w];
+      c.queues[w] = ws.queue;
+      auto& pend = c.pending[w];
+      pend.reserve(ws.inbox_data.size());
+      partition_.for_each_owned(static_cast<int>(w), [&](VertexId v) {
+        const std::size_t li = partition_.local_index(v);
+        for (std::uint32_t i = ws.inbox_offsets[li];
+             i < ws.inbox_offsets[li + 1]; ++i)
+          pend.emplace_back(v, ws.inbox_data[i]);
+      });
+    }
+    return c;
+  }
+
+  /// Restores a checkpoint taken by an engine with the same configuration
+  /// (vertex count, worker count, partition scheme, schedule mode) —
+  /// bit-exact continuation is only defined under identical configuration,
+  /// since the partition fixes message routing and delivery order.
+  /// scheduled_ and unhalted are derived, not stored: they are recomputed
+  /// from the queues and flags.
+  void restore(const Checkpoint& c) {
+    DV_CHECK_MSG(c.num_vertices == partition_.num_vertices(),
+                 "checkpoint |V| mismatch");
+    DV_CHECK_MSG(c.halted.size() == c.num_vertices &&
+                     c.deleted.size() == c.num_vertices,
+                 "checkpoint flag array size mismatch");
+    const auto W = static_cast<std::size_t>(options_.num_workers);
+    DV_CHECK_MSG(c.queues.size() == W && c.pending.size() == W,
+                 "checkpoint worker count mismatch");
+    halted_ = c.halted;
+    deleted_ = c.deleted;
+    std::fill(scheduled_.begin(), scheduled_.end(), std::uint8_t{0});
+    superstep_ = c.superstep;
+    stats_ = c.stats;
+    for (std::size_t w = 0; w < W; ++w) {
+      auto& ws = workers_[w];
+      ws.queue = c.queues[w];
+      ws.next_queue.clear();
+      DV_CHECK_MSG(ws.queue.empty() ||
+                       options_.schedule == ScheduleMode::kWorkQueue,
+                   "checkpoint has work queues but schedule is scan-all");
+      for (const VertexId v : ws.queue) {
+        DV_CHECK_MSG(v < c.num_vertices &&
+                         partition_.owner(v) == static_cast<int>(w),
+                     "checkpoint queue entry owned by a different worker");
+        scheduled_[v] = 1;
+      }
+      ws.unhalted = 0;
+      partition_.for_each_owned(static_cast<int>(w), [&](VertexId v) {
+        if (!halted_[v]) ++ws.unhalted;
+      });
+      // Rebuild the inbox CSR from the (destination, message) list; the
+      // per-destination groups arrive in delivery order, and the scatter
+      // below is stable, so delivered spans replay byte-for-byte.
+      ws.inbox_offsets.assign(
+          partition_.local_capacity(static_cast<int>(w)) + 1, 0);
+      for (const auto& [v, msg] : c.pending[w]) {
+        DV_CHECK_MSG(v < c.num_vertices &&
+                         partition_.owner(v) == static_cast<int>(w),
+                     "checkpoint pending message owned by a different "
+                     "worker");
+        ++ws.inbox_offsets[partition_.local_index(v) + 1];
+      }
+      for (std::size_t i = 1; i < ws.inbox_offsets.size(); ++i)
+        ws.inbox_offsets[i] += ws.inbox_offsets[i - 1];
+      ws.inbox_data.assign(c.pending[w].size(), Message{});
+      auto& cursor = ws.scatter_cursor;
+      cursor.assign(ws.inbox_offsets.begin(), ws.inbox_offsets.end() - 1);
+      for (const auto& [v, msg] : c.pending[w])
+        ws.inbox_data[cursor[partition_.local_index(v)]++] = msg;
+    }
+  }
+
   /// Halts every vertex and clears the work queues, so a subsequent
   /// activate() wakes exactly the chosen frontier (streaming epochs: after
   /// convergence the runner wakes only vertices the mutation touched).

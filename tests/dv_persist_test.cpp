@@ -1,0 +1,450 @@
+// Session persistence: snapshot round-trips, mid-convergence resume, and
+// fault detection (dv/persist/).
+//
+// The load-bearing assertion style here is *bit-exactness*: a restored
+// session must match the uninterrupted one on every state word — user
+// fields, memoized accumulators (aggAccum), the three-field ×/&&/||
+// treatment (nnAcc / aggNulls), and last-sent Δ-message memos all live in
+// the state vector — and must make the same warm/cold, blocker and
+// compaction decisions with the same superstep/message counts when the
+// stream continues. Fault tests require every torn or flipped snapshot to
+// be rejected with persist::SnapshotError, never silently restored.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "dv/persist/fault.h"
+#include "dv/persist/snapshot.h"
+#include "dv/streaming/stream_session.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace deltav {
+namespace {
+
+using dv::streaming::DvStreamSession;
+using dv::streaming::SessionEpoch;
+using dv::streaming::SessionOptions;
+using dv::streaming::make_stream_session;
+using graph::MutationBatch;
+using test::compile_dv;
+using test::small_engine;
+
+SessionOptions session_opts(dv::ExecTier tier = dv::ExecTier::kVm) {
+  SessionOptions o;
+  o.run.engine = small_engine();
+  o.run.tier = tier;
+  return o;
+}
+
+/// 6-vertex directed graph; vertices 0 and 1 (the absorbing-mass seeds of
+/// the ×/&&/|| programs below) both feed vertex 3.
+graph::CsrGraph absorbing_graph() {
+  graph::GraphBuilder b(6, /*directed=*/true);
+  b.add_edge(0, 3);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  b.add_edge(2, 4);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  return b.build();
+}
+
+bool bits_equal(const dv::Value& a, const dv::Value& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case dv::Type::kInt: return a.i == b.i;
+    case dv::Type::kBool: return a.b == b.b;
+    case dv::Type::kFloat:
+      return std::bit_cast<std::uint64_t>(a.f) ==
+             std::bit_cast<std::uint64_t>(b.f);
+    default: return true;
+  }
+}
+
+/// Whole state vector, bit for bit — internal accumulator fields included.
+void expect_state_bits_equal(const dv::DvRunResult& got,
+                             const dv::DvRunResult& want,
+                             const std::string& context) {
+  ASSERT_EQ(got.state.size(), want.state.size()) << context;
+  for (std::size_t i = 0; i < want.state.size(); ++i)
+    ASSERT_TRUE(bits_equal(got.state[i], want.state[i]))
+        << context << ": state word " << i << " diverged";
+}
+
+void expect_epoch_equal(const SessionEpoch& got, const SessionEpoch& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.warm, want.warm) << context;
+  EXPECT_STREQ(got.blocker ? got.blocker : "<warm>",
+               want.blocker ? want.blocker : "<warm>")
+      << context;
+  EXPECT_EQ(got.compacted, want.compacted) << context;
+  EXPECT_EQ(got.stats.supersteps, want.stats.supersteps) << context;
+  EXPECT_EQ(got.stats.messages, want.stats.messages) << context;
+  EXPECT_EQ(got.stats.deltas_applied, want.stats.deltas_applied) << context;
+  EXPECT_EQ(got.stats.woken, want.stats.woken) << context;
+}
+
+/// Reference trajectory, then a kill-point sweep: restore the epoch-k
+/// snapshot and replay the remaining batches, requiring bit-identical
+/// state and identical epoch decisions throughout.
+void sweep_boundaries(const dv::CompiledProgram& cp,
+                      const graph::CsrGraph& base,
+                      const std::vector<MutationBatch>& batches,
+                      const SessionOptions& opts,
+                      const SessionOptions& restore_opts,
+                      const std::string& context) {
+  const auto ref = make_stream_session(cp, base, opts);
+  ref->converge();
+  std::vector<std::vector<std::uint8_t>> boundary{ref->save_bytes()};
+  std::vector<dv::DvRunResult> ref_state{ref->result()};
+  std::vector<SessionEpoch> ref_epochs;
+  for (const MutationBatch& b : batches) {
+    ref_epochs.push_back(ref->apply(b));
+    boundary.push_back(ref->save_bytes());
+    ref_state.push_back(ref->result());
+  }
+
+  for (std::size_t k = 0; k < boundary.size(); ++k) {
+    const std::string who =
+        context + ", restore at epoch " + std::to_string(k);
+    const auto s =
+        DvStreamSession::restore_bytes(cp, boundary[k], restore_opts);
+    EXPECT_TRUE(s->converged()) << who;
+    EXPECT_EQ(s->epoch(), k) << who;
+    expect_state_bits_equal(s->result(), ref_state[k], who);
+    for (std::size_t bi = k; bi < batches.size(); ++bi) {
+      const SessionEpoch ep = s->apply(batches[bi]);
+      const std::string tag =
+          who + ", replayed epoch " + std::to_string(bi + 1);
+      expect_epoch_equal(ep, ref_epochs[bi], tag);
+      expect_state_bits_equal(s->result(), ref_state[bi + 1], tag);
+    }
+  }
+}
+
+// ------------------------------------------- six-operator battery
+
+struct OpCase {
+  const char* name;
+  const char* source;
+  bool removals_ok;  // min/max cannot retract; use insert-only streams
+};
+
+const OpCase kOpCases[] = {
+    {"sum", R"(
+init { local mass : float = 0.5 + vertexId; local out : float = 0.0 };
+iter i { out = + [ u.mass | u <- #in ] } until { i >= 1 }
+)",
+     true},
+    {"prod", R"(
+init {
+  local mass : float = if vertexId < 2 then 0.0
+                       else 1.0 + 1.0 / (2.0 + vertexId);
+  local out : float = 1.0
+};
+iter i { out = * [ u.mass | u <- #in ] } until { i >= 1 }
+)",
+     true},
+    {"and", R"(
+init { local mass : bool = vertexId >= 2; local out : bool = true };
+iter i { out = && [ u.mass | u <- #in ] } until { i >= 1 }
+)",
+     true},
+    {"or", R"(
+init { local mass : bool = vertexId < 2; local out : bool = false };
+iter i { out = || [ u.mass | u <- #in ] } until { i >= 1 }
+)",
+     true},
+    {"min", R"(
+init { local mass : float = 0.5 + vertexId; local out : float = infty };
+iter i { out = min [ u.mass | u <- #in ] } until { i >= 1 }
+)",
+     false},
+    {"max", R"(
+init { local mass : int = vertexId; local out : int = 0 };
+iter i { out = max [ u.mass | u <- #in ] } until { i >= 1 }
+)",
+     false},
+};
+
+/// For the retractable operators, the stream walks vertex 3's accumulator
+/// through the §6.4.1 absorbing-element transitions: batch 1 removes one
+/// of its two absorbing contributors (null count 2 → 1, still absorbed),
+/// batch 2 removes the other (1 → 0: the memoized non-null accumulator
+/// surfaces) and gives vertex 4 a *new* absorbing contributor (0 → 1).
+std::vector<MutationBatch> stream_for(const OpCase& oc) {
+  std::vector<MutationBatch> batches(2);
+  if (oc.removals_ok) {
+    batches[0].remove_edge(0, 3);
+    batches[1].remove_edge(1, 3);
+    batches[1].insert_edge(0, 4);
+  } else {
+    batches[0].insert_edge(0, 4);
+    batches[0].insert_edge(5, 3);
+    batches[1].insert_edge(1, 4);
+  }
+  return batches;
+}
+
+TEST(PersistRoundTrip, SixOpsAbsorbingTransitionsBothTiers) {
+  for (const OpCase& oc : kOpCases) {
+    const auto cp = compile_dv(oc.source);
+    const graph::CsrGraph base = absorbing_graph();
+    const auto batches = stream_for(oc);
+    for (const dv::ExecTier tier :
+         {dv::ExecTier::kVm, dv::ExecTier::kTree}) {
+      sweep_boundaries(cp, base, batches, session_opts(tier),
+                       session_opts(tier),
+                       std::string(oc.name) + "/" +
+                           dv::exec_tier_name(tier));
+    }
+    // Cross-tier: a VM-written snapshot restores onto the tree
+    // interpreter (tiers are bit-identical by contract).
+    sweep_boundaries(cp, base, batches, session_opts(dv::ExecTier::kVm),
+                     session_opts(dv::ExecTier::kTree),
+                     std::string(oc.name) + "/vm-to-tree");
+  }
+}
+
+TEST(PersistRoundTrip, FileSaveRestore) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  const std::string path = ::testing::TempDir() + "dv_persist_rt.snap";
+  const auto s = make_stream_session(cp, absorbing_graph(), session_opts());
+  s->converge();
+  MutationBatch b;
+  b.insert_edge(5, 3);
+  s->apply(b);
+  s->save(path);
+  const auto r = DvStreamSession::restore(cp, path, session_opts());
+  EXPECT_EQ(r->epoch(), 1u);
+  expect_state_bits_equal(r->result(), s->result(), "file round-trip");
+  std::remove(path.c_str());
+}
+
+TEST(PersistRoundTrip, FactoryMatchesDirectConstruction) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  const auto a = make_stream_session(cp, absorbing_graph(), session_opts());
+  DvStreamSession b(cp, absorbing_graph(), session_opts());
+  a->converge();
+  b.converge();
+  expect_state_bits_equal(a->result(), b.result(), "factory vs direct");
+}
+
+// ------------------------------------------- mid-convergence resume
+
+/// Damped feedback recurrence: convergence takes `bound` body supersteps,
+/// giving checkpoint_every=1 several distinct mid-run kill-points.
+constexpr const char* kFeedback = R"(
+init { local rank : float = 1.0 };
+iter i {
+  let s : float = + [ u.rank | u <- #in ] in
+  rank = 0.15 + 0.85 * (s / graphSize)
+} until { i >= 6 }
+)";
+
+TEST(PersistResume, MidConvergeResumeMatchesUninterrupted) {
+  const auto cp = compile_dv(kFeedback);
+  std::vector<std::vector<std::uint8_t>> mid;
+  SessionOptions so = session_opts();
+  so.checkpoint_every = 1;
+  so.checkpoint_sink = [&mid](const std::vector<std::uint8_t>& b) {
+    mid.push_back(b);
+  };
+  const auto ref = make_stream_session(cp, absorbing_graph(), so);
+  const dv::DvRunResult done = ref->converge();
+  ASSERT_GE(mid.size(), 3u) << "expected several mid-run checkpoints";
+
+  for (std::size_t i = 0; i < mid.size(); ++i) {
+    const std::string who = "mid-run checkpoint " + std::to_string(i);
+    const auto s =
+        DvStreamSession::restore_bytes(cp, mid[i], session_opts());
+    EXPECT_FALSE(s->converged()) << who;
+    EXPECT_EQ(s->epoch(), 0u) << who;
+    const dv::DvRunResult r = s->converge();
+    EXPECT_TRUE(s->converged()) << who;
+    // The resumed run's cumulative counters continue the saved history:
+    // totals match an uninterrupted run exactly.
+    EXPECT_EQ(r.supersteps, done.supersteps) << who;
+    EXPECT_EQ(r.stats.total_messages_sent(), done.stats.total_messages_sent())
+        << who;
+    expect_state_bits_equal(r, done, who);
+  }
+}
+
+TEST(PersistResume, MidColdEpochResumeReplaysCompactionAndStream) {
+  // The feedback recurrence is warm-blocked (its iteration bound is
+  // semantic), so each apply() rebuilds cold — and with
+  // checkpoint_every=1 the rebuild emits mid-run kill-points *inside
+  // epoch 1*.
+  const auto cp = compile_dv(kFeedback);
+  std::vector<std::vector<std::uint8_t>> mid;
+  SessionOptions so = session_opts();
+  so.checkpoint_every = 1;
+  so.checkpoint_sink = [&mid](const std::vector<std::uint8_t>& b) {
+    mid.push_back(b);
+  };
+  const auto ref = make_stream_session(cp, absorbing_graph(), so);
+  ref->converge();
+  mid.clear();  // keep only epoch-1 checkpoints
+
+  MutationBatch b1;
+  b1.remove_edge(0, 3);
+  const SessionEpoch e1 = ref->apply(b1);
+  EXPECT_FALSE(e1.warm);
+  const std::vector<std::vector<std::uint8_t>> mid_e1 = mid;  // epoch 1 only
+  ASSERT_FALSE(mid_e1.empty()) << "cold rebuild produced no checkpoints";
+
+  MutationBatch b2;
+  b2.remove_edge(1, 3);
+  const SessionEpoch e2 = ref->apply(b2);
+
+  for (std::size_t i = 0; i < mid_e1.size(); ++i) {
+    const std::string who =
+        "epoch-1 mid-run checkpoint " + std::to_string(i);
+    const auto s =
+        DvStreamSession::restore_bytes(cp, mid_e1[i], session_opts());
+    EXPECT_FALSE(s->converged()) << who;
+    EXPECT_EQ(s->epoch(), 1u) << who;
+    s->converge();
+    const SessionEpoch ep = s->apply(b2);
+    expect_epoch_equal(ep, e2, who);
+    expect_state_bits_equal(s->result(), ref->result(), who);
+  }
+}
+
+TEST(PersistResume, ApplyOnUnresumedSnapshotIsRefused) {
+  const auto cp = compile_dv(kFeedback);
+  std::vector<std::vector<std::uint8_t>> mid;
+  SessionOptions so = session_opts();
+  so.checkpoint_every = 1;
+  so.checkpoint_sink = [&mid](const std::vector<std::uint8_t>& b) {
+    mid.push_back(b);
+  };
+  make_stream_session(cp, absorbing_graph(), so)->converge();
+  ASSERT_FALSE(mid.empty());
+  const auto s =
+      DvStreamSession::restore_bytes(cp, mid.front(), session_opts());
+  MutationBatch b;
+  b.insert_edge(0, 4);
+  EXPECT_THROW(s->apply(b), CheckError);
+}
+
+TEST(PersistResume, CheckpointPathWritesRestorableFile) {
+  const auto cp = compile_dv(kFeedback);
+  const std::string path = ::testing::TempDir() + "dv_persist_ckpt.snap";
+  SessionOptions so = session_opts();
+  so.checkpoint_every = 2;
+  so.checkpoint_path = path;
+  const auto ref = make_stream_session(cp, absorbing_graph(), so);
+  const dv::DvRunResult done = ref->converge();
+
+  const auto s = DvStreamSession::restore(cp, path, session_opts());
+  EXPECT_FALSE(s->converged());
+  const dv::DvRunResult r = s->converge();
+  EXPECT_EQ(r.supersteps, done.supersteps);
+  expect_state_bits_equal(r, done, "checkpoint file resume");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------- fault injection
+
+std::vector<std::uint8_t> small_snapshot(const dv::CompiledProgram& cp) {
+  const auto s = make_stream_session(cp, absorbing_graph(), session_opts());
+  s->converge();
+  return s->save_bytes();
+}
+
+TEST(PersistFault, EveryTruncationDetected) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  const std::vector<std::uint8_t> good = small_snapshot(cp);
+  // Sanity: the pristine bytes restore.
+  (void)DvStreamSession::restore_bytes(cp, good, session_opts());
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    const auto bad = dv::persist::apply_fault(
+        good, dv::persist::FaultPlan::truncate_at(cut));
+    EXPECT_THROW((void)DvStreamSession::restore_bytes(cp, bad,
+                                                      session_opts()),
+                 dv::persist::SnapshotError)
+        << "torn snapshot (" << cut << "/" << good.size()
+        << " bytes) restored without an error";
+  }
+}
+
+TEST(PersistFault, EveryByteFlipDetected) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  const std::vector<std::uint8_t> good = small_snapshot(cp);
+  for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+    for (std::size_t at = 0; at < good.size(); ++at) {
+      const auto bad = dv::persist::apply_fault(
+          good, dv::persist::FaultPlan::flip_byte(at, mask));
+      EXPECT_THROW((void)DvStreamSession::restore_bytes(cp, bad,
+                                                        session_opts()),
+                   dv::persist::SnapshotError)
+          << "flip at byte " << at << " mask " << int(mask)
+          << " restored without an error";
+    }
+  }
+}
+
+TEST(PersistFault, TrailingGarbageRejected) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  std::vector<std::uint8_t> bad = small_snapshot(cp);
+  bad.push_back(0);
+  EXPECT_THROW(
+      (void)DvStreamSession::restore_bytes(cp, bad, session_opts()),
+      dv::persist::SnapshotError);
+}
+
+TEST(PersistFault, MismatchedProgramRejected) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  const std::vector<std::uint8_t> bytes = small_snapshot(cp);
+  const auto other = compile_dv(kOpCases[5].source);
+  try {
+    (void)DvStreamSession::restore_bytes(other, bytes, session_opts());
+    FAIL() << "restore under a different program succeeded";
+  } catch (const dv::persist::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("different compiled program"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PersistFault, MismatchedEngineConfigRejected) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  const std::vector<std::uint8_t> bytes = small_snapshot(cp);
+
+  SessionOptions workers = session_opts();
+  workers.run.engine.num_workers += 1;
+  EXPECT_THROW((void)DvStreamSession::restore_bytes(cp, bytes, workers),
+               dv::persist::SnapshotError);
+
+  SessionOptions sched = session_opts();
+  sched.run.engine.schedule =
+      sched.run.engine.schedule == pregel::ScheduleMode::kScanAll
+          ? pregel::ScheduleMode::kWorkQueue
+          : pregel::ScheduleMode::kScanAll;
+  EXPECT_THROW((void)DvStreamSession::restore_bytes(cp, bytes, sched),
+               dv::persist::SnapshotError);
+
+  SessionOptions params = session_opts();
+  params.run.params["ghost"] = dv::Value::of_int(7);
+  EXPECT_THROW((void)DvStreamSession::restore_bytes(cp, bytes, params),
+               dv::persist::SnapshotError);
+}
+
+TEST(PersistFault, MissingFileThrows) {
+  const auto cp = compile_dv(kOpCases[0].source);
+  EXPECT_THROW((void)DvStreamSession::restore(
+                   cp, ::testing::TempDir() + "dv_persist_nope.snap",
+                   session_opts()),
+               dv::persist::SnapshotError);
+}
+
+}  // namespace
+}  // namespace deltav

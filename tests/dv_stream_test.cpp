@@ -605,5 +605,42 @@ TEST(MutationIo, MalformedLineThrowsWithLineNumber) {
   }
 }
 
+TEST(MutationIo, TrailingGarbageRejectedPerOp) {
+  // Every op must consume its line in full — `+ 0 1 2.0 junk` silently
+  // dropping `junk` would apply a different mutation than written.
+  const char* bad[] = {
+      "+ 0 1 2.0 junk\n", "+ 0 1 2.0 3.0\n", "- 0 1 junk\n",
+      "addv 2 junk\n",    "delv 3 junk\n",   "commit junk\n",
+  };
+  for (const char* text : bad) {
+    std::istringstream in(std::string("+ 5 6\n") + text);
+    try {
+      dv::streaming::read_mutation_stream(in);
+      FAIL() << "expected CheckError for: " << text;
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 2"), std::string::npos) << text << what;
+      EXPECT_NE(what.find("trailing garbage"), std::string::npos)
+          << text << what;
+    }
+  }
+}
+
+TEST(MutationIo, NonNumericWeightRejected) {
+  // A half-numeric token is garbage, not a weight: `1x` must not parse
+  // as 1.0 with `x` dropped.
+  for (const char* text : {"+ 0 1 1x\n", "+ 0 1 x\n"}) {
+    std::istringstream in(text);
+    try {
+      dv::streaming::read_mutation_stream(in);
+      FAIL() << "expected CheckError for: " << text;
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("numeric weight"), std::string::npos) << what;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace deltav

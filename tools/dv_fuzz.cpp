@@ -7,6 +7,11 @@
 //                                                # (program, graph, mutation
 //                                                # stream) triples, warm
 //                                                # sessions vs ΔV* rebuilds
+//   dv_fuzz --persist --programs=300             # persistence tier: the same
+//                                                # triples swept over snapshot
+//                                                # kill-points — bit-exact
+//                                                # restores, corrupted
+//                                                # snapshots always detected
 //
 // Each program is generated from an independent split of the base seed, so
 // any failure reproduces from (--seed, reported index) alone. Failures are
@@ -24,6 +29,7 @@
 #include "dv/testing/differential.h"
 #include "dv/testing/program_gen.h"
 #include "dv/testing/reducer.h"
+#include "dv/testing/persist_check.h"
 #include "dv/testing/stream_gen.h"
 
 namespace {
@@ -88,6 +94,32 @@ int stream_soak(std::uint64_t seed, std::int64_t cases,
   return failures == 0 ? 0 : 1;
 }
 
+int persist_soak(std::uint64_t seed, std::int64_t cases,
+                 std::int64_t max_failures, bool verbose,
+                 const PersistCheckOptions& opts) {
+  Rng rng(seed);
+  std::int64_t failures = 0;
+  for (std::int64_t k = 0; k < cases; ++k) {
+    Rng crng = rng.split();
+    const StreamCase sc = generate_stream_case(crng);
+    if (verbose)
+      std::printf("--- case %lld\n%s", (long long)k, describe(sc).c_str());
+    const auto fail = check_persist_case(sc, crng, opts);
+    if (!fail) continue;
+    ++failures;
+    std::printf("FAIL case %lld seed %llu [%s] %s\n%s", (long long)k,
+                (unsigned long long)seed, fail->check.c_str(),
+                fail->detail.c_str(), describe(sc).c_str());
+    if (failures >= max_failures) {
+      std::printf("stopping after %lld failures\n", (long long)failures);
+      break;
+    }
+  }
+  std::printf("%lld persist cases, %lld failing\n", (long long)cases,
+              (long long)failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,8 +141,12 @@ int main(int argc, char** argv) {
         "stream", false,
         "fuzz streaming epochs: mutation streams through warm sessions, "
         "cross-checked per batch against from-scratch ΔV* runs");
+    const bool persist = args.get_bool(
+        "persist", false,
+        "fuzz session persistence: snapshot kill-point sweeps over stream "
+        "triples — bit-exact restore-equivalence, fault detection");
     const auto workers = args.get_int(
-        "workers", 4, "engine worker count for the stream tier");
+        "workers", 4, "engine worker count for the stream/persist tiers");
     const bool verbose =
         args.get_bool("verbose", false, "print every generated program");
     const auto max_failures = args.get_int(
@@ -125,6 +161,11 @@ int main(int argc, char** argv) {
     args.check_unused();
 
     if (!replay.empty()) return replay_corpus(replay, diff);
+    if (persist) {
+      PersistCheckOptions popts;
+      popts.workers = static_cast<int>(workers);
+      return persist_soak(seed, programs, max_failures, verbose, popts);
+    }
     if (stream) {
       StreamDiffOptions sopts;
       sopts.float_tol = diff.float_tol;

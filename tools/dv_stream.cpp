@@ -1,10 +1,16 @@
 // Streaming-epoch driver: keep a ΔV program converged across a stream of
 // graph mutations, reporting per-epoch warm/cold costs.
 //
-//   dv_stream --program=cc --undirected --graph=edges.txt \
+//   dv_stream --program=cc --undirected --graph=edges.txt
 //             --mutations=stream.txt
-//   dv_stream --file=my.dv --graph=edges.txt --param=source=0 \
+//   dv_stream --file=my.dv --graph=edges.txt --param=source=0
 //             --mutations=stream.txt --tier=tree
+//
+//   # checkpoint during long convergences, resume the stream later:
+//   dv_stream --program=cc --undirected --graph=edges.txt
+//             --mutations=head.txt --checkpoint_every=16
+//             --checkpoint=ckpt.snap --save=done.snap
+//   dv_stream --program=cc --restore=done.snap --mutations=tail.txt
 //
 // The graph is a plain edge list (graph/edge_list_io.h); the mutation
 // stream is the dv/streaming/mutation_io.h format: `+ u v [w]`, `- u v`,
@@ -12,18 +18,29 @@
 // batch becomes one epoch; the table shows whether the runtime resumed
 // warm (Δ-patched accumulators, frontier-only wake-up) or fell back to a
 // cold rebuild, and what either cost.
+//
+// --restore rebuilds the session from a snapshot (the graph comes from
+// the snapshot, so --graph is not needed) and applies --mutations as the
+// remaining stream; a snapshot taken mid-convergence resumes the
+// interrupted run first. A damaged snapshot fails with the detected
+// reason — restore never silently decodes a torn file. --json writes one
+// row per epoch in the bench_stream JSON schema.
 
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/args.h"
 #include "common/check.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "dv/compiler.h"
+#include "dv/persist/snapshot.h"
 #include "dv/programs/programs.h"
 #include "dv/streaming/mutation_io.h"
 #include "dv/streaming/stream_session.h"
@@ -77,6 +94,59 @@ std::string batch_summary(const graph::MutationBatch& b) {
   return os.str();
 }
 
+/// bench_stream's JSON schema (bench/bench_common.h JsonReport): the same
+/// row keys, so CI tooling can consume either file; `epoch` is an added
+/// field (the schema contract allows additions, never renames).
+class EpochJson {
+ public:
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void add(std::size_t epoch, const std::string& graph,
+           const std::string& algo, const std::string& system,
+           const std::string& tier, double wall_seconds,
+           std::uint64_t messages, std::size_t supersteps,
+           std::size_t state_bytes) {
+    if (enabled())
+      rows_.push_back(Row{epoch, graph, algo, system, tier, wall_seconds,
+                          messages, supersteps, state_bytes});
+  }
+
+  void write() const {
+    if (!enabled()) return;
+    std::ofstream out(path_);
+    DV_CHECK_MSG(out.good(), "cannot open --json path '" << path_ << "'");
+    out << "{\n  \"bench\": \"dv_stream\",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << (i ? ",\n" : "\n")
+          << "    {\"graph\": \"" << r.graph << "\", \"algorithm\": \""
+          << r.algo << "\", \"system\": \"" << r.system
+          << "\", \"tier\": \"" << r.tier << "\", \"wall_seconds\": "
+          << std::setprecision(6) << r.wall_seconds
+          << ", \"sim_seconds\": 0, \"messages\": " << r.messages
+          << ", \"bytes\": 0, \"supersteps\": " << r.supersteps
+          << ", \"state_bytes\": " << r.state_bytes
+          << ", \"epoch\": " << r.epoch << "}";
+    }
+    out << "\n  ]\n}\n";
+    DV_CHECK_MSG(out.good(), "failed writing --json path '" << path_ << "'");
+    std::cout << "wrote " << rows_.size() << " rows to " << path_ << "\n";
+  }
+
+ private:
+  struct Row {
+    std::size_t epoch;
+    std::string graph, algo, system, tier;
+    double wall_seconds;
+    std::uint64_t messages;
+    std::size_t supersteps;
+    std::size_t state_bytes;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +175,20 @@ int main(int argc, char** argv) {
     const double compact_threshold = args.get_double(
         "compact_threshold", 0.25,
         "fold the overlay into the base CSR above this overlay fraction");
+    const auto checkpoint_every = static_cast<std::size_t>(args.get_int(
+        "checkpoint_every", 0,
+        "checkpoint every K supersteps during convergence (0 = off)"));
+    const std::string checkpoint_path = args.get_string(
+        "checkpoint", "", "checkpoint snapshot path (atomic tmp+rename)");
+    const std::string restore_path = args.get_string(
+        "restore", "",
+        "resume from a snapshot instead of --graph; --mutations is the "
+        "remaining stream");
+    const std::string save_path = args.get_string(
+        "save", "", "write a final session snapshot here on exit");
+    EpochJson json;
+    json.set_path(args.get_string(
+        "json", "", "write per-epoch JSON rows here (bench_stream schema)"));
     if (args.help_requested()) {
       std::cout << args.help();
       return 0;
@@ -113,25 +197,28 @@ int main(int argc, char** argv) {
 
     DV_CHECK_MSG(program.empty() != file.empty(),
                  "pass exactly one of --program or --file");
-    DV_CHECK_MSG(!graph_path.empty(), "pass --graph=<edge list>");
+    DV_CHECK_MSG(!restore_path.empty() || !graph_path.empty(),
+                 "pass --graph, --restore, or both (--graph is the cold "
+                 "fallback when the snapshot is rejected)");
     DV_CHECK_MSG(!mutations_path.empty(),
                  "pass --mutations=<mutation stream>");
+    DV_CHECK_MSG(checkpoint_every == 0 || !checkpoint_path.empty(),
+                 "--checkpoint_every needs --checkpoint=<path>");
 
     std::string source;
+    std::string algo;
     if (!program.empty()) {
       source = builtin_source(program);
+      algo = program;
     } else {
       std::ifstream in(file);
       DV_CHECK_MSG(in.good(), "cannot open ΔV source '" << file << "'");
       std::ostringstream buf;
       buf << in.rdbuf();
       source = buf.str();
+      algo = file;
     }
 
-    graph::EdgeListOptions gopts;
-    gopts.directed = !undirected;
-    gopts.weighted = weighted;
-    graph::CsrGraph base = graph::read_edge_list_file(graph_path, gopts);
     const auto batches =
         dv::streaming::read_mutation_stream_file(mutations_path);
     DV_CHECK_MSG(!batches.empty(),
@@ -144,23 +231,64 @@ int main(int argc, char** argv) {
     so.run.params = parse_params(params_spec);
     so.compact_threshold = compact_threshold;
     so.force_cold = force_cold;
+    so.checkpoint_every = checkpoint_every;
+    so.checkpoint_path = checkpoint_path;
+    const std::string tier_name = dv::exec_tier_name(so.run.tier);
 
-    std::cout << "graph: " << base.num_vertices() << " vertices, "
-              << base.num_logical_edges() << " edges ("
-              << (undirected ? "undirected" : "directed") << ")\n";
-    dv::streaming::DvStreamSession session(cp, std::move(base), so);
-    Timer t0;
-    const dv::DvRunResult first = session.converge();
-    std::cout << "epoch 0 (cold converge): " << first.supersteps
-              << " supersteps, " << first.stats.total_messages_sent()
-              << " messages, " << t0.elapsed_seconds() << " s\n\n";
+    std::unique_ptr<dv::streaming::DvStreamSession> session;
+    if (!restore_path.empty()) {
+      try {
+        session =
+            dv::streaming::DvStreamSession::restore(cp, restore_path, so);
+      } catch (const dv::persist::SnapshotError& e) {
+        // A torn or mismatched snapshot is detected, never decoded; with
+        // --graph we rebuild cold instead of aborting.
+        std::cerr << "restore of '" << restore_path
+                  << "' rejected: " << e.what() << "\n";
+        if (graph_path.empty()) return 2;
+        std::cerr << "falling back to a cold rebuild from --graph\n";
+      }
+    }
+    if (session) {
+      std::cout << "restored '" << restore_path << "': epoch "
+                << session->epoch() << ", "
+                << session->graph().num_vertices() << " vertices, "
+                << session->graph().num_arcs() << " arcs"
+                << (session->converged() ? "" : " (mid-convergence)")
+                << "\n";
+      if (!session->converged()) {
+        Timer t0;
+        const dv::DvRunResult r = session->converge();
+        std::cout << "resumed convergence: " << r.supersteps
+                  << " total supersteps, " << t0.elapsed_seconds() << " s\n";
+      }
+    } else {
+      graph::EdgeListOptions gopts;
+      gopts.directed = !undirected;
+      gopts.weighted = weighted;
+      graph::CsrGraph base = graph::read_edge_list_file(graph_path, gopts);
+      std::cout << "graph: " << base.num_vertices() << " vertices, "
+                << base.num_logical_edges() << " edges ("
+                << (undirected ? "undirected" : "directed") << ")\n";
+      session =
+          dv::streaming::make_stream_session(cp, std::move(base), so);
+      Timer t0;
+      const dv::DvRunResult first = session->converge();
+      std::cout << "epoch 0 (cold converge): " << first.supersteps
+                << " supersteps, " << first.stats.total_messages_sent()
+                << " messages, " << t0.elapsed_seconds() << " s\n";
+      json.add(0, "edge-list", algo, "cold", tier_name, t0.elapsed_seconds(),
+               first.stats.total_messages_sent(), first.supersteps,
+               cp.state_bytes());
+    }
+    std::cout << "\n";
 
     Table t({"epoch", "batch", "mode", "supersteps", "msgs", "woken",
              "deltas", "wall(s)", "note"});
     std::size_t warm_count = 0;
     for (const graph::MutationBatch& b : batches) {
       Timer t1;
-      const dv::streaming::SessionEpoch ep = session.apply(b);
+      const dv::streaming::SessionEpoch ep = session->apply(b);
       const double wall = t1.elapsed_seconds();
       warm_count += ep.warm ? 1 : 0;
       std::string note = ep.warm ? "" : ep.blocker;
@@ -175,12 +303,20 @@ int main(int argc, char** argv) {
           .cell(static_cast<unsigned long long>(ep.stats.deltas_applied))
           .cell(wall, 4)
           .cell(note);
+      json.add(ep.epoch, "edge-list", algo, ep.warm ? "warm" : "cold",
+               tier_name, wall, ep.stats.messages, ep.stats.supersteps,
+               cp.state_bytes());
     }
     t.print(std::cout);
     std::cout << "\n" << warm_count << "/" << batches.size()
               << " epochs resumed warm; final graph "
-              << session.graph().num_vertices() << " vertices, "
-              << session.graph().num_arcs() << " arcs\n";
+              << session->graph().num_vertices() << " vertices, "
+              << session->graph().num_arcs() << " arcs\n";
+    if (!save_path.empty()) {
+      session->save(save_path);
+      std::cout << "saved session snapshot to " << save_path << "\n";
+    }
+    json.write();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "dv_stream: " << e.what() << "\n";
