@@ -29,6 +29,7 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "dv/compiler.h"
+#include "dv/obs/obs.h"
 #include "dv/programs/programs.h"
 #include "dv/runtime/runner.h"
 #include "graph/datasets.h"
@@ -74,11 +75,13 @@ inline pregel::EngineOptions paper_engine(int workers = 4) {
 inline Metrics run_dv(const dv::CompiledProgram& cp,
                       const graph::CsrGraph& g,
                       std::map<std::string, dv::Value> params, int workers,
-                      dv::ExecTier tier = dv::ExecTier::kVm) {
+                      dv::ExecTier tier = dv::ExecTier::kVm,
+                      obs::Collector* collector = nullptr) {
   dv::DvRunOptions o;
   o.engine = paper_engine(workers);
   o.params = std::move(params);
   o.tier = tier;
+  o.collector = collector;  // per-bench local meter; no global install
   Timer t;
   const auto result = dv::run_program(cp, g, o);
   Metrics m = from_stats(result.stats, t.elapsed_seconds());
@@ -154,6 +157,14 @@ class JsonReport {
     if (enabled()) rows_.push_back(Row{graph, algo, system, tier, m});
   }
 
+  /// Attaches the bench's observability counters; emitted as a top-level
+  /// "metrics" object. Counts aggregate every measured run (including
+  /// repetitions) of the bench invocation — deterministic series scale
+  /// linearly with reps, timings do not appear here.
+  void set_metrics(std::map<std::string, std::uint64_t> counters) {
+    obs_counters_ = std::move(counters);
+  }
+
   void write(const std::string& bench_name) const {
     if (!enabled()) return;
     std::ofstream out(path_);
@@ -172,7 +183,18 @@ class JsonReport {
           << ", \"supersteps\": " << m.supersteps
           << ", \"state_bytes\": " << m.state_bytes << "}";
     }
-    out << "\n  ]\n}\n";
+    out << "\n  ]";
+    if (!obs_counters_.empty()) {
+      out << ",\n  \"metrics\": {";
+      bool first = true;
+      for (const auto& [name, value] : obs_counters_) {
+        out << (first ? "\n" : ",\n") << "    \"" << name
+            << "\": " << value;
+        first = false;
+      }
+      out << "\n  }";
+    }
+    out << "\n}\n";
     DV_CHECK_MSG(out.good(), "failed writing --json path '" << path_ << "'");
     std::cout << "\nwrote " << rows_.size() << " rows to " << path_ << "\n";
   }
@@ -184,6 +206,7 @@ class JsonReport {
   };
   std::string path_;
   std::vector<Row> rows_;
+  std::map<std::string, std::uint64_t> obs_counters_;
 };
 
 /// Prints the standard bench banner.

@@ -8,6 +8,7 @@
 #include "common/open_hash_map.h"
 #include "common/rng.h"
 #include "dv/compiler.h"
+#include "dv/obs/obs.h"
 #include "dv/programs/programs.h"
 #include "dv/runtime/delta.h"
 #include "dv/runtime/runner.h"
@@ -293,6 +294,53 @@ void BM_TierDeltaFold(benchmark::State& state) {
                           static_cast<std::int64_t>(inbox.size()));
 }
 BENCHMARK(BM_TierDeltaFold)->Arg(0)->Arg(1)->ArgNames({"vm"});
+
+// ---- observability overhead --------------------------------------------
+//
+// The DESIGN.md §8 contract priced directly: the same VM dispatch loop
+// with no metrics shard attached (Arg(0), the production default — every
+// hook is a dead null test) vs counting into a live per-lane shard
+// (Arg(1)). Arg(0) must match BM_TierPageRankExprEval/vm:1 within noise;
+// Arg(1) bounds the cost a metered run pays per dispatched op.
+
+void BM_ObsVmDispatch(benchmark::State& state) {
+  TierFixture fx(kPrShapedExpr, {{"steps", dv::Value::of_int(1)}});
+  obs::Collector collector(1);
+  auto ctx = fx.ctx_for(0);
+  ctx.obs = state.range(0) ? &collector.metrics.shard(0) : nullptr;
+  for (auto _ : state) {
+    fx.run_body(dv::ExecTier::kVm, ctx);
+    benchmark::DoNotOptimize(ctx.fields.data());
+  }
+  state.SetLabel(state.range(0) ? "obs-on" : "obs-off");
+}
+BENCHMARK(BM_ObsVmDispatch)->Arg(0)->Arg(1)->ArgNames({"obs"});
+
+void BM_ObsDeltaSendLoop(benchmark::State& state) {
+  // Full ΔV PageRank body (fold + recurrence + Δ-send loop) with and
+  // without metering — the end-to-end shape of the obs-off contract, on
+  // the path where the send-loop tallies live.
+  TierFixture fx(dv::programs::kPageRank,
+                 {{"steps", dv::Value::of_int(1)}});
+  obs::Collector collector(1);
+  obs::MetricsShard* const shard =
+      state.range(0) ? &collector.metrics.shard(0) : nullptr;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.state = fx.state0;
+    state.ResumeTiming();
+    for (std::size_t v = 0; v < fx.g.num_vertices(); ++v) {
+      auto ctx = fx.ctx_for(static_cast<graph::VertexId>(v));
+      ctx.obs = shard;
+      fx.run_body(dv::ExecTier::kVm, ctx);
+    }
+    benchmark::DoNotOptimize(fx.sink.count);
+  }
+  state.SetLabel(state.range(0) ? "obs-on" : "obs-off");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.g.num_arcs()));
+}
+BENCHMARK(BM_ObsDeltaSendLoop)->Arg(0)->Arg(1)->ArgNames({"obs"});
 
 void BM_HandwrittenPageRank(benchmark::State& state) {
   // The native-code equivalent of the interpreter benchmark above; the

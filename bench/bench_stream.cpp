@@ -77,10 +77,12 @@ std::vector<graph::MutationBatch> insert_only_stream(std::uint64_t seed,
 /// the apply loop only — epoch 0 is identical for warm and cold).
 bench::Metrics run_stream(const StreamWorkload& w, dv::ExecTier tier,
                           int workers, bool force_cold,
-                          std::size_t* warm_epochs = nullptr) {
+                          std::size_t* warm_epochs = nullptr,
+                          obs::Collector* collector = nullptr) {
   dv::streaming::SessionOptions so;
   so.run.engine = bench::paper_engine(workers);
   so.run.tier = tier;
+  so.run.collector = collector;
   so.force_cold = force_cold;
   const auto s = dv::streaming::make_stream_session(w.cp, w.graph, so);
   s->converge();
@@ -134,6 +136,10 @@ int main(int argc, char** argv) {
         "tiers", "vm", "execution tiers to run: vm, tree, or vm,tree");
     bench::JsonReport json;
     json.set_path(args.get_string("json", "", "write JSON rows here"));
+    // Local meter fed by the warm-session runs only (the force_cold and
+    // persistence passes stay unmetered so warm-path counters — memo
+    // hits, Δ-messages, suppressed sends — are not diluted).
+    obs::Collector collector;
     if (args.help_requested()) {
       std::cout << args.help();
       return 0;
@@ -175,7 +181,7 @@ int main(int argc, char** argv) {
         std::size_t warm_epochs = 0;
         const bench::Metrics warm = bench::averaged(reps, [&] {
           return run_stream(w, tier, workers, /*force_cold=*/false,
-                            &warm_epochs);
+                            &warm_epochs, &collector);
         });
         const bench::Metrics cold = bench::averaged(reps, [&] {
           return run_stream(w, tier, workers, /*force_cold=*/true);
@@ -263,6 +269,7 @@ int main(int argc, char** argv) {
                  " < cold supersteps\nfor each (algorithm, tier); tiers"
                  " agree on superstep counts; snapshot-restore\nwall-clock"
                  " < cold-reconverge wall-clock.\n";
+    json.set_metrics(collector.metrics.snapshot().counters);
     json.write("bench_stream");
     if (!warm_wins) {
       std::cerr << "bench_stream: warm epochs did not beat cold re-runs\n";

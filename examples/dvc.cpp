@@ -16,6 +16,7 @@
 #include "common/args.h"
 #include "dv/codegen/cpp_backend.h"
 #include "dv/compiler.h"
+#include "dv/obs/report.h"
 #include "dv/programs/programs.h"
 #include "dv/runtime/runner.h"
 #include "dv/runtime/vm.h"
@@ -94,6 +95,13 @@ int main(int argc, char** argv) {
         static_cast<int>(args.get_int("workers", 4, "worker threads"));
     const std::string tier = args.get_string(
         "tier", "vm", "execution tier for --run: vm | tree");
+    obs::ReportOptions obs_opts;
+    obs_opts.metrics_path = args.get_string(
+        "metrics", "", "write a metrics JSON document here after --run");
+    obs_opts.trace_path = args.get_string(
+        "trace", "", "write a span trace here (chrome://tracing / Perfetto)");
+    obs_opts.trace_format = args.get_string(
+        "trace_format", "chrome", "trace file format: chrome or jsonl");
     if (args.help_requested()) {
       std::cout << args.help();
       return 0;
@@ -168,12 +176,17 @@ int main(int argc, char** argv) {
         DV_FAIL("--run needs --dataset or --edges");
       }
       std::cout << "graph: " << g.summary() << "\n";
+      // Inert when neither --metrics nor --trace was passed; otherwise
+      // installs a collector for the duration of the run.
+      obs::ObsSession obs(obs_opts);
       dv::DvRunOptions ropts;
       ropts.engine.num_workers = workers;
       ropts.tier = dv::parse_exec_tier(tier);
       ropts.params = parse_params(param_spec);
+      ropts.collector = obs.collector();
       const auto result = dv::run_program(cp, g, ropts);
       std::cout << "done: " << result.stats.summary() << "\n";
+      if (obs.enabled()) obs.flush();
       for (const auto& f : result.fields) {
         if (f.origin != dv::Field::Origin::kUser) continue;
         // Print a small sample of each user field.

@@ -52,6 +52,7 @@ ExprPtr Expr::clone() const {
   copy->assign_target = assign_target;
   copy->slot = slot;
   copy->site = site;
+  copy->obs_site = obs_site;
   copy->flag = flag;
   copy->decl_type = decl_type;
   copy->kids.reserve(kids.size());

@@ -80,6 +80,12 @@ struct Expr {
   AssignTarget assign_target = AssignTarget::kField;
   int slot = -1;           // field slot / scratch slot / param index
   int site = -1;           // aggregation site id (kFoldMessages, kSendLoop)
+  int obs_site = -1;       // kIf only: this node is the §6.3 change-check
+                           // guard over that site's send loop, and `dir`
+                           // carries the loop's push direction — metrics
+                           // instrumentation (dv.sends_suppressed) counts
+                           // the skipped fan-out when the guard is false;
+                           // execution semantics ignore it entirely
   bool flag = false;       // kFoldMessages: incremental; kSendLoop: Δ-mode
   Type decl_type = Type::kUnknown;  // kLet / kLocalDecl declared type
 

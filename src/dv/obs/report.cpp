@@ -1,0 +1,145 @@
+#include "dv/obs/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "dv/obs/trace_export.h"
+
+namespace deltav::obs {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20) os << ' ';
+    else os << c;
+  }
+}
+
+void write_counters(std::ostream& os,
+                    const std::map<std::string, std::uint64_t>& counters) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, n] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    write_escaped(os, name);
+    os << "\":" << n;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsRegistry::Snapshot& snap,
+                        const std::vector<EpochMetrics>& epochs,
+                        std::ostream& os) {
+  os << "{\n  \"counters\": ";
+  write_counters(os, snap.counters);
+  os << ",\n  \"gauges\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    write_escaped(os, name);
+    os << "\":" << v;
+  }
+  os << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    write_escaped(os, name);
+    os << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << "}";
+  }
+  os << "}";
+  if (!epochs.empty()) {
+    os << ",\n  \"epochs\": [";
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+      const EpochMetrics& em = epochs[i];
+      if (i) os << ",";
+      os << "\n    {\"epoch\":" << em.epoch
+         << ",\"warm\":" << (em.warm ? "true" : "false") << ",\"blocker\":\"";
+      write_escaped(os, em.blocker);
+      os << "\",\"counters\":";
+      write_counters(os, em.counters);
+      os << "}";
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
+}
+
+std::map<std::string, std::uint64_t> counter_diff(
+    const MetricsRegistry::Snapshot& before,
+    const MetricsRegistry::Snapshot& after) {
+  std::map<std::string, std::uint64_t> d;
+  for (const auto& [name, n] : after.counters) {
+    const std::uint64_t b = before.counter(name);
+    d[name] = n > b ? n - b : 0;
+  }
+  return d;
+}
+
+ObsSession::ObsSession(ReportOptions opts) : opts_(std::move(opts)) {
+  if (opts_.metrics_path.empty() && opts_.trace_path.empty()) return;
+  DV_CHECK_MSG(opts_.trace_format == "chrome" ||
+                   opts_.trace_format == "jsonl",
+               "unknown trace format '" << opts_.trace_format
+                                        << "' (expected chrome|jsonl)");
+  collector_ = std::make_unique<Collector>(opts_.lanes);
+  install(collector_.get());
+}
+
+ObsSession::~ObsSession() {
+  if (!collector_) return;
+  install(nullptr);
+  if (!flushed_) write_files(/*throw_on_error=*/false);
+}
+
+void ObsSession::add_epoch(EpochMetrics em) {
+  if (collector_) epochs_.push_back(std::move(em));
+}
+
+void ObsSession::flush() {
+  if (!collector_ || flushed_) return;
+  write_files(/*throw_on_error=*/true);
+}
+
+void ObsSession::write_files(bool throw_on_error) {
+  flushed_ = true;
+  const auto fail = [&](const std::string& what) {
+    if (throw_on_error) DV_FAIL(what);
+    std::fprintf(stderr, "obs: %s\n", what.c_str());
+  };
+  if (!opts_.metrics_path.empty()) {
+    std::ofstream f(opts_.metrics_path);
+    if (!f) {
+      fail("cannot open metrics file '" + opts_.metrics_path + "'");
+    } else {
+      write_metrics_json(collector_->metrics.snapshot(), epochs_, f);
+      if (!f.good()) fail("write error on '" + opts_.metrics_path + "'");
+    }
+  }
+  if (!opts_.trace_path.empty()) {
+    std::ofstream f(opts_.trace_path);
+    if (!f) {
+      fail("cannot open trace file '" + opts_.trace_path + "'");
+    } else {
+      if (opts_.trace_format == "jsonl")
+        write_trace_jsonl(collector_->trace, f);
+      else
+        write_chrome_trace(collector_->trace, f);
+      if (!f.good()) fail("write error on '" + opts_.trace_path + "'");
+    }
+  }
+}
+
+}  // namespace deltav::obs

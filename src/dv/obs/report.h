@@ -1,0 +1,81 @@
+// Sinks + CLI plumbing: the --metrics=<path> / --trace=<path> surface.
+//
+// Tools construct an ObsSession from their flags. When both paths are
+// empty the session is inert — no collector exists and every hook in the
+// runtime stays on its null fast path. Otherwise the session owns a
+// Collector, installs it globally for its lifetime, and writes the
+// metrics JSON and/or Chrome trace on flush() (or destruction).
+//
+// Metrics JSON schema (tests/schema/metrics.schema.json):
+//   { "counters":   {name: integer, ...},
+//     "gauges":     {name: number, ...},
+//     "histograms": {name: {"count","sum","min","max"}, ...},
+//     "epochs":     [ {"epoch": N, "warm": bool, "blocker": "...",
+//                      "counters": {...}}, ... ] }   // present when fed
+// The schema is add-only: consumers must tolerate new keys.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dv/obs/obs.h"
+
+namespace deltav::obs {
+
+struct ReportOptions {
+  std::string metrics_path;  // "" = no metrics file
+  std::string trace_path;    // "" = no trace file
+  /// "chrome" (trace_event JSON) or "jsonl".
+  std::string trace_format = "chrome";
+  std::size_t lanes = MetricsRegistry::kDefaultLanes;
+};
+
+/// Per-epoch registry diff recorded by streaming tools: counters are the
+/// epoch's own increments, not running totals.
+struct EpochMetrics {
+  std::size_t epoch = 0;
+  bool warm = false;
+  std::string blocker;  // cold-fallback reason; "" when warm
+  std::map<std::string, std::uint64_t> counters;
+};
+
+class ObsSession {
+ public:
+  explicit ObsSession(ReportOptions opts);
+  ~ObsSession();  // uninstalls, then best-effort flush()
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool enabled() const { return collector_ != nullptr; }
+  /// Null when the session is inert.
+  Collector* collector() { return collector_.get(); }
+
+  /// Registers one epoch's counter diff for the metrics file.
+  void add_epoch(EpochMetrics em);
+
+  /// Writes the configured files now. Throws CheckError on I/O failure;
+  /// the destructor's implicit flush reports to stderr instead.
+  void flush();
+
+ private:
+  void write_files(bool throw_on_error);
+
+  ReportOptions opts_;
+  std::unique_ptr<Collector> collector_;
+  std::vector<EpochMetrics> epochs_;
+  bool flushed_ = false;
+};
+
+/// The metrics document for `snap` (+ optional per-epoch sections).
+void write_metrics_json(const MetricsRegistry::Snapshot& snap,
+                        const std::vector<EpochMetrics>& epochs,
+                        std::ostream& os);
+
+/// Counter-by-counter difference `after - before` (clamped at 0).
+std::map<std::string, std::uint64_t> counter_diff(
+    const MetricsRegistry::Snapshot& before,
+    const MetricsRegistry::Snapshot& after);
+
+}  // namespace deltav::obs

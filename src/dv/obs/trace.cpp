@@ -1,0 +1,33 @@
+#include "dv/obs/trace.h"
+
+namespace deltav::obs {
+
+Tracer::Tracer(std::size_t lanes, std::size_t events_per_lane)
+    : lanes_(lanes == 0 ? 1 : lanes),
+      epoch_(std::chrono::steady_clock::now()) {
+  for (Lane& l : lanes_)
+    l.ring.resize(events_per_lane == 0 ? 1 : events_per_lane);
+}
+
+std::vector<TraceEvent> Tracer::events(std::size_t lane) const {
+  const Lane& l = lanes_[lane < lanes_.size() ? lane : 0];
+  const std::size_t n = l.ring.size();
+  const std::size_t held =
+      l.recorded < n ? static_cast<std::size_t>(l.recorded) : n;
+  std::vector<TraceEvent> out;
+  out.reserve(held);
+  const std::size_t first = l.recorded < n
+                                ? 0
+                                : static_cast<std::size_t>(l.recorded % n);
+  for (std::size_t i = 0; i < held; ++i)
+    out.push_back(l.ring[(first + i) % n]);
+  return out;
+}
+
+std::uint64_t Tracer::dropped(std::size_t lane) const {
+  const Lane& l = lanes_[lane < lanes_.size() ? lane : 0];
+  const std::uint64_t n = l.ring.size();
+  return l.recorded > n ? l.recorded - n : 0;
+}
+
+}  // namespace deltav::obs

@@ -1,0 +1,76 @@
+// Span tracer: nested phase spans recorded into per-lane ring buffers.
+//
+// Span hierarchy (DESIGN.md §8): a streaming session nests
+//
+//   epoch → superstep → compute / exchange
+//
+// with converge, persist.save / persist.restore and epoch.phase_a /
+// epoch.phase_b spans alongside. Every span is a closed interval recorded
+// at scope exit as a Chrome trace_event "complete" event (trace_export.h);
+// nesting is recovered from timestamp containment, so recording order
+// does not matter.
+//
+// Concurrency: each lane is a single-writer ring buffer — lane w is
+// written only by engine worker w's thread (lane 0 doubles as the main
+// thread, which is also worker 0's thread), and readers only run when the
+// workers are quiescent (export happens after the run). No locks, no
+// atomics, no allocation after construction; a full ring overwrites its
+// oldest events and counts the loss.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "dv/obs/metrics.h"
+
+namespace deltav::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // static-storage string (span names are
+                               // literals; the tracer never copies)
+  std::uint64_t start_us = 0;  // µs since the tracer's construction
+  std::uint64_t dur_us = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t lanes = MetricsRegistry::kDefaultLanes,
+                  std::size_t events_per_lane = kDefaultEventsPerLane);
+
+  /// Monotonic µs since construction (steady_clock).
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void record(std::size_t lane, const char* name, std::uint64_t start_us,
+              std::uint64_t dur_us) {
+    Lane& l = lanes_[lane < lanes_.size() ? lane : 0];
+    l.ring[l.recorded % l.ring.size()] = TraceEvent{name, start_us, dur_us};
+    ++l.recorded;
+  }
+
+  std::size_t num_lanes() const { return lanes_.size(); }
+
+  /// Events currently held for `lane`, oldest first (ring order).
+  std::vector<TraceEvent> events(std::size_t lane) const;
+
+  /// Events that fell off `lane`'s ring (0 when the ring never filled).
+  std::uint64_t dropped(std::size_t lane) const;
+
+  static constexpr std::size_t kDefaultEventsPerLane = 1 << 14;
+
+ private:
+  struct alignas(64) Lane {
+    std::vector<TraceEvent> ring;
+    std::uint64_t recorded = 0;  // monotone; ring index = recorded % size
+  };
+
+  std::vector<Lane> lanes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace deltav::obs

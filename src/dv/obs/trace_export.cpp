@@ -1,0 +1,81 @@
+#include "dv/obs/trace_export.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace deltav::obs {
+
+namespace {
+
+struct LaneEvent {
+  TraceEvent ev;
+  std::size_t lane;
+};
+
+/// All lanes' events merged and sorted by (start, longest-first) so a
+/// parent span always precedes the children it contains.
+std::vector<LaneEvent> collect(const Tracer& tracer) {
+  std::vector<LaneEvent> all;
+  for (std::size_t lane = 0; lane < tracer.num_lanes(); ++lane)
+    for (const TraceEvent& ev : tracer.events(lane))
+      all.push_back(LaneEvent{ev, lane});
+  std::stable_sort(all.begin(), all.end(),
+                   [](const LaneEvent& a, const LaneEvent& b) {
+                     if (a.ev.start_us != b.ev.start_us)
+                       return a.ev.start_us < b.ev.start_us;
+                     return a.ev.dur_us > b.ev.dur_us;
+                   });
+  return all;
+}
+
+/// Span names are C literals, but escape defensively anyway.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20) os << ' ';
+    else os << c;
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  const std::vector<LaneEvent> all = collect(tracer);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Track names: lane 0 is the main thread (and engine worker 0, which
+  // runs on it); higher lanes are pool workers.
+  std::vector<std::uint8_t> used(tracer.num_lanes(), 0);
+  for (const LaneEvent& le : all) used[le.lane] = 1;
+  for (std::size_t lane = 0; lane < used.size(); ++lane) {
+    if (!used[lane]) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << lane
+       << ",\"args\":{\"name\":\"";
+    if (lane == 0) os << "main/worker 0";
+    else os << "worker " << lane;
+    os << "\"}}";
+  }
+  for (const LaneEvent& le : all) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    write_escaped(os, le.ev.name);
+    os << "\",\"cat\":\"dv\",\"ph\":\"X\",\"pid\":0,\"tid\":" << le.lane
+       << ",\"ts\":" << le.ev.start_us << ",\"dur\":" << le.ev.dur_us << "}";
+  }
+  os << "]}\n";
+}
+
+void write_trace_jsonl(const Tracer& tracer, std::ostream& os) {
+  for (const LaneEvent& le : collect(tracer)) {
+    os << "{\"name\":\"";
+    write_escaped(os, le.ev.name);
+    os << "\",\"lane\":" << le.lane << ",\"ts_us\":" << le.ev.start_us
+       << ",\"dur_us\":" << le.ev.dur_us << "}\n";
+  }
+}
+
+}  // namespace deltav::obs

@@ -1,0 +1,21 @@
+// Trace export: Chrome trace_event JSON (chrome://tracing, Perfetto) and
+// line-delimited JSON for ad-hoc tooling.
+#pragma once
+
+#include <iosfwd>
+
+#include "dv/obs/trace.h"
+
+namespace deltav::obs {
+
+/// Chrome trace_event "JSON object format": every span becomes a complete
+/// ("ph":"X") event with tid = lane, plus thread_name metadata per lane,
+/// so Perfetto renders one track per worker with nesting recovered from
+/// timestamp containment. Events are emitted in start-time order.
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// One JSON object per line: {"name","lane","ts_us","dur_us"} in
+/// start-time order — greppable without a trace viewer.
+void write_trace_jsonl(const Tracer& tracer, std::ostream& os);
+
+}  // namespace deltav::obs

@@ -38,11 +38,22 @@ void rewrite_assignments(Expr& e, const UpdateMap& updates,
 }
 
 /// Wraps the top-level send loop of `site` in `if (<guard>) ...`.
-void guard_send_loop(Stmt& stmt, const AggSite& site, ExprPtr guard) {
+/// `mark_obs` annotates the guard as a §6.3 change check so the execution
+/// tiers can count the suppressed fan-out (dv.sends_suppressed) when it
+/// evaluates false; the ΔV* assigned-send policy leaves it unmarked (that
+/// guard is the Definition-1 meaningful-messages policy, a different
+/// series).
+void guard_send_loop(Stmt& stmt, const AggSite& site, ExprPtr guard,
+                     bool mark_obs = false) {
   DV_CHECK(stmt.body->kind == ExprKind::kSeq);
   for (auto& kid : stmt.body->kids) {
     if (kid->kind == ExprKind::kSendLoop && kid->site == site.id) {
+      const GraphDir push = kid->dir;
       kid = mk_if(std::move(guard), std::move(kid));
+      if (mark_obs) {
+        kid->obs_site = site.id;
+        kid->dir = push;
+      }
       return;
     }
     // Already-guarded loop (idempotence safety): look one level down.
@@ -231,11 +242,14 @@ void pass_change_checks(Program& prog, const CompileOptions& options,
         for (auto& kid : stmt.body->kids) {
           if (kid->kind != ExprKind::kSendLoop || kid->site != site.id)
             continue;
+          const GraphDir push = kid->dir;
           std::vector<ExprPtr> branch;
           branch.push_back(std::move(kid));
           branch.push_back(mk_assign_field(site.last_sent_slot, ls.name,
                                            fref()));
           kid = mk_if(std::move(guard), mk_seq(std::move(branch)));
+          kid->obs_site = site.id;
+          kid->dir = push;
           break;
         }
       } else {
@@ -243,7 +257,8 @@ void pass_change_checks(Program& prog, const CompileOptions& options,
             prog.scratch[static_cast<std::size_t>(site.dirty_scratch)];
         guard_send_loop(stmt, site,
                         mk_scratch_ref(site.dirty_scratch, dirty.name,
-                                       Type::kBool));
+                                       Type::kBool),
+                        /*mark_obs=*/true);
       }
     }
   }

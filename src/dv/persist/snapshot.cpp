@@ -7,6 +7,8 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/timer.h"
+#include "dv/obs/obs.h"
 
 namespace deltav::dv::persist {
 
@@ -147,6 +149,8 @@ void SnapshotWriter::put_f64_vec(const std::vector<double>& v) {
 
 void SnapshotWriter::finish() {
   DV_CHECK_MSG(!in_section_ && !finished_, "finish misuse");
+  obs::Collector* const col = obs::current();
+  deltav::Timer crc_timer;
   const std::uint64_t body = buf_.size();
   const std::uint32_t file_crc = crc32(buf_.data(), buf_.size());
   begin_section(kSecEnd);
@@ -154,6 +158,12 @@ void SnapshotWriter::finish() {
   put_u32(file_crc);
   end_section();
   finished_ = true;
+  if (col) {
+    col->metrics.observe("persist.crc_seconds",
+                         crc_timer.elapsed_seconds());
+    col->metrics.shard(0).add(obs::Counter::kSnapshotBytesWritten,
+                              buf_.size());
+  }
 }
 
 void SnapshotWriter::write_file(const std::string& path) const {
@@ -181,6 +191,8 @@ void SnapshotWriter::write_file(const std::string& path) const {
 
 SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
     : buf_(std::move(bytes)) {
+  obs::Collector* const col = obs::current();
+  deltav::Timer crc_timer;
   if (buf_.size() < kMagic.size() ||
       !std::equal(kMagic.begin(), kMagic.end(), buf_.begin()))
     throw SnapshotError("not a DVSNAP01 snapshot (bad magic)");
@@ -243,6 +255,13 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
   }
   if (!saw_end)
     throw SnapshotError("truncated snapshot: end section missing");
+  if (col) {
+    // The frame walk above is dominated by CRC verification.
+    col->metrics.observe("persist.crc_seconds",
+                         crc_timer.elapsed_seconds());
+    col->metrics.shard(0).add(obs::Counter::kSnapshotBytesRead,
+                              buf_.size());
+  }
 }
 
 SnapshotReader SnapshotReader::from_file(const std::string& path) {

@@ -489,6 +489,17 @@ class Lowerer {
           }
           b.next_reg = mark;
           patch_jump(b, to_end);
+        } else if (e.obs_site >= 0) {
+          // Change-check guard: synthesize an else edge that counts the
+          // suppressed broadcast (no-op when unmetered).
+          const std::size_t to_end = push_jump(b, Op::kJump);
+          patch_jump(b, to_else);
+          Instr ins;
+          ins.op = Op::kObsCount;
+          ins.a = static_cast<std::uint8_t>(e.dir);
+          ins.imm = e.obs_site;
+          b.code.push_back(ins);
+          patch_jump(b, to_end);
         } else {
           patch_jump(b, to_else);
         }
@@ -703,6 +714,7 @@ const char* op_name(Op op) {
     case Op::kDivDegOutF: return "div.degout.f";
     case Op::kCopyFieldScratchF: return "cpfs.f";
     case Op::kMulAddF: return "muladd.f";
+    case Op::kObsCount: return "obs.count";
   }
   return "?";
 }

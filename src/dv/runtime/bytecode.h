@@ -99,6 +99,11 @@ enum class Op : std::uint8_t {
   kCopyFieldScratchF,  // ldf.f a,b; sts.f a,c
   kMulAddF,  // mul.f t,b,c; add.f a,e,t — t/e packed as imm = e<<8 | t;
              // two roundings, exactly as the unfused pair
+  // ---- observability ----
+  kObsCount,  // metrics only: the §6.3 change-check guard of site imm's
+              // send loop evaluated false — count the skipped fan-out
+              // (a = push direction) into dv.sends_suppressed. Emitted on
+              // the guard's else edge; pure no-op without a shard.
 };
 
 /// Payload operand of a send superinstruction, packed into a uint16:

@@ -1,5 +1,6 @@
 #include "dv/runtime/interpreter.h"
 
+#include "dv/obs/obs.h"
 #include "dv/runtime/delta.h"
 
 namespace deltav::dv {
@@ -50,6 +51,7 @@ Value eval_fold(const Expr& e, EvalContext& ctx) {
   if (!e.flag) {
     // Eq. 3: non-incremental — fold this superstep's full-value messages
     // from the identity.
+    DV_OBS_COUNT(ctx.obs, kMemoRecomputes, 1);
     Value acc = agg_identity(site.op, site.elem_type);
     for (const DvMessage& m : ctx.msgs) {
       if (m.site != e.site) continue;
@@ -58,9 +60,13 @@ Value eval_fold(const Expr& e, EvalContext& ctx) {
     return acc;
   }
   // Eq. 8/9: incremental — fold Δ-messages into the memoized accumulator.
+  DV_OBS_COUNT(ctx.obs, kMemoHits, 1);
   AccumRef ref;
   ref.acc = &ctx.fields[static_cast<std::size_t>(site.acc_slot)];
   if (site.multiplicative()) {
+    // §6.4.1 absorbing-element slow path: the fold tracks non-null counts
+    // and absorbed operands alongside the accumulator.
+    DV_OBS_COUNT(ctx.obs, kAbsorbingSlowPath, 1);
     ref.nn = &ctx.fields[static_cast<std::size_t>(site.nn_slot)];
     ref.nulls = &ctx.fields[static_cast<std::size_t>(site.nulls_slot)];
   }
@@ -73,7 +79,6 @@ Value eval_fold(const Expr& e, EvalContext& ctx) {
 
 Value eval_send_loop(const Expr& e, EvalContext& ctx) {
   DV_CHECK_MSG(ctx.has_vertex && ctx.sink, "send loop outside superstep");
-  if (ctx.suppress_sites & (1ULL << e.site)) return unit();
   const AggSite& site = ctx.prog->sites[static_cast<std::size_t>(e.site)];
   const graph::GraphView& g = *ctx.graph;
   const graph::VertexId v = ctx.vertex;
@@ -92,6 +97,14 @@ Value eval_send_loop(const Expr& e, EvalContext& ctx) {
       break;
   }
 
+  if (ctx.suppress_sites & (1ULL << e.site)) {
+    // Last-execution analysis: this site's consumers never run again, so
+    // the whole loop is elided (distinct from the §6.3 change check).
+    DV_OBS_COUNT(ctx.obs, kLastStepSendsSuppressed, targets.size());
+    return unit();
+  }
+
+  std::uint64_t n_suppressed = 0, n_delta = 0, n_full = 0;
   const std::uint8_t wire = (*ctx.site_wire)[static_cast<std::size_t>(
       e.site)];
   for (std::size_t i = 0; i < targets.size(); ++i) {
@@ -105,19 +118,32 @@ Value eval_send_loop(const Expr& e, EvalContext& ctx) {
       const Value old_v = eval(*e.kids[1], ctx).coerce(site.elem_type);
       const DeltaPayload d =
           synthesize_delta(site.op, site.elem_type, old_v, new_v);
-      if (d.noop) continue;  // a meaningless message by construction
+      if (d.noop) {  // a meaningless message by construction (§6.3)
+        ++n_suppressed;
+        continue;
+      }
       msg.payload = d.value;
       msg.nulls = d.nulls;
       msg.denulls = d.denulls;
+      ++n_delta;
     } else {
       // Full-value send (ΔV*). Identity payloads are no-ops for the fold
       // and are suppressed — without this, e.g. SSSP's initial push would
       // broadcast |E| useless infinities (DESIGN.md).
       const Value payload = eval(*e.kids[0], ctx).coerce(site.elem_type);
-      if (is_identity(site.op, payload)) continue;
+      if (is_identity(site.op, payload)) {
+        ++n_suppressed;
+        continue;
+      }
       msg.payload = payload;
+      ++n_full;
     }
     ctx.sink->send(targets[i], msg);
+  }
+  if (ctx.obs) {
+    ctx.obs->add(obs::Counter::kSendsSuppressed, n_suppressed);
+    ctx.obs->add(obs::Counter::kDeltaMessages, n_delta);
+    ctx.obs->add(obs::Counter::kFullMessages, n_full);
   }
   return unit();
 }
@@ -172,6 +198,14 @@ Value eval(const Expr& e, EvalContext& ctx) {
       if (e.kids.size() == 3) {
         const Value v = eval(*e.kids[2], ctx);
         return e.type == Type::kUnit ? unit() : v.coerce(e.type);
+      }
+      if (e.obs_site >= 0 && ctx.obs && ctx.has_vertex) {
+        // §6.3 change check held the whole broadcast back: count the
+        // fan-out that was never sent. Metered runs only.
+        const auto targets = e.dir == GraphDir::kIn
+                                 ? ctx.graph->in_neighbors(ctx.vertex)
+                                 : ctx.graph->out_neighbors(ctx.vertex);
+        ctx.obs->add(obs::Counter::kSendsSuppressed, targets.size());
       }
       return unit();
     }

@@ -10,6 +10,7 @@
 #include <span>
 
 #include "dv/ast.h"
+#include "dv/obs/metrics.h"
 #include "dv/runtime/message.h"
 #include "dv/runtime/value.h"
 #include "graph/graph_view.h"
@@ -54,6 +55,10 @@ struct EvalContext {
   SendSink* sink = nullptr;
   const std::vector<std::uint8_t>* site_wire = nullptr;  // bytes per site
   std::uint64_t suppress_sites = 0;  // bitmask: skip sends for these sites
+
+  // Observability. Null when no collector is installed: the evaluator then
+  // pays one predictable branch per fold/send-loop, nothing per message.
+  obs::MetricsShard* obs = nullptr;
 
   // Out-flags.
   bool halt_requested = false;

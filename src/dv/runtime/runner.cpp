@@ -103,6 +103,7 @@ class DvRunner::Impl {
 
     pregel::EngineOptions eopts = options_.engine;
     eopts.use_combiner = options_.use_combiner;
+    if (!eopts.collector) eopts.collector = options_.collector;
     DvCombiner combiner{&cp_.site_ops};
     engine_ = std::make_unique<DvEngine>(n, eopts, combiner);
 
@@ -137,6 +138,7 @@ class DvRunner::Impl {
 
   DvRunResult run() {
     DV_CHECK_MSG(!converged_, "converge() may only run once");
+    obs::Scope obs_scope(obs::resolve(options_.collector), "dv.converge");
     checkpointing_ = options_.checkpoint_every > 0 &&
                      static_cast<bool>(options_.checkpoint_sink);
     // The cursor (init_done_, cur_stmt_, cur_iter_, in_statement_) is all
@@ -174,6 +176,8 @@ class DvRunner::Impl {
     DV_CHECK_MSG(g_.num_vertices() == delta.old_num_vertices,
                  "delta was planned against a different graph snapshot");
 
+    obs::Collector* const col = obs::resolve(options_.collector);
+    obs::Scope obs_scope(col, "dv.epoch.apply");
     EpochStats es;
     const std::size_t old_n = delta.old_num_vertices;
     const std::size_t new_n = delta.new_num_vertices;
@@ -348,6 +352,11 @@ class DvRunner::Impl {
     const auto& log = engine_->stats().supersteps;
     for (std::size_t i = stats_base; i < log.size(); ++i)
       es.messages += log[i].messages_sent;
+    if (col) {
+      auto& sh = col->metrics.shard(0);
+      sh.add(obs::Counter::kDeltasApplied, es.deltas_applied);
+      sh.add(obs::Counter::kFrontierWoken, es.woken);
+    }
     return es;
   }
 
@@ -399,6 +408,8 @@ class DvRunner::Impl {
       w.put_u64(ss.bytes_delivered);
       w.put_u64(ss.cross_machine_bytes);
       w.put_u64(ss.active_vertices);
+      w.put_u64(ss.vertices_halted);
+      w.put_u64(ss.vertices_woken);
       w.put_f64(ss.compute_seconds);
       w.put_f64(ss.exchange_seconds);
       w.put_f64(ss.sim_comm_seconds);
@@ -474,6 +485,8 @@ class DvRunner::Impl {
       ss.bytes_delivered = r.get_u64();
       ss.cross_machine_bytes = r.get_u64();
       ss.active_vertices = r.get_u64();
+      ss.vertices_halted = r.get_u64();
+      ss.vertices_woken = r.get_u64();
       ss.compute_seconds = r.get_f64();
       ss.exchange_seconds = r.get_f64();
       ss.sim_comm_seconds = r.get_f64();
@@ -832,12 +845,14 @@ class DvRunner::Impl {
       EvalContext ctx;
     };
     const std::size_t W = worker_scratch_.size();
+    obs::Collector* const col = obs::resolve(options_.collector);
     std::vector<WorkerLane> lanes(W);
     for (std::size_t w = 0; w < W; ++w) {
       EvalContext& c = lanes[w].ctx;
       c = make_ctx(static_cast<int>(w));
       c.sink = &lanes[w].sink;
       c.has_vertex = true;
+      c.obs = col ? &col->metrics.shard(w) : nullptr;
     }
     engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
                       std::span<const DvMessage>) {
@@ -937,6 +952,7 @@ class DvRunner::Impl {
         EngineSink sink;
         EvalContext ctx;
       };
+      obs::Collector* const col = obs::resolve(options_.collector);
       std::vector<WorkerLane> lanes(W);
       for (std::size_t w = 0; w < W; ++w) {
         EvalContext& c = lanes[w].ctx;
@@ -945,6 +961,7 @@ class DvRunner::Impl {
         c.has_vertex = true;
         c.iter = static_cast<std::int64_t>(iter);
         c.suppress_sites = suppress;
+        c.obs = col ? &col->metrics.shard(w) : nullptr;
       }
       engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
                         std::span<const DvMessage> msgs) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dv/compiler.h"
+#include "dv/obs/obs.h"
 #include "dv/runtime/interpreter.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph_view.h"
@@ -77,6 +78,11 @@ struct DvRunOptions {
   std::map<std::string, Value> params;
   /// Hard cap guarding against non-terminating until clauses.
   std::size_t max_supersteps = 100000;
+  /// Observability sink for the runner's evaluator lanes and the engine.
+  /// nullptr falls back to the globally installed collector
+  /// (obs::current()); null there too means zero instrumentation cost
+  /// beyond one pointer test per superstep per lane.
+  obs::Collector* collector = nullptr;
   /// Scheduled vertex removals. With incrementalization this requires all
   /// of the statement's aggregation operators to admit retraction
   /// (+, *, &&, ||); min/max accumulators cannot forget a contribution.

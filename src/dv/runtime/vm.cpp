@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "dv/compiler.h"
+#include "dv/obs/obs.h"
 #include "dv/runtime/delta.h"
 
 // Direct-threaded dispatch via GNU computed goto where available; the
@@ -39,7 +40,8 @@ namespace {
   X(kJump) X(kJumpIfFalse) X(kJumpIfTrue)                                    \
   X(kHalt) X(kReturnVal) X(kReturnUnit)                                      \
   X(kFoldFull) X(kFoldDelta) X(kSendDelta) X(kSendFull)                      \
-  X(kDivGraphSizeF) X(kDivDegOutF) X(kCopyFieldScratchF) X(kMulAddF)
+  X(kDivGraphSizeF) X(kDivDegOutF) X(kCopyFieldScratchF) X(kMulAddF)       \
+  X(kObsCount)
 
 #define X(n) ord_##n,
 enum : int { DV_VM_OPS(X) };
@@ -100,6 +102,13 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
   const Instr* I = nullptr;
   VmSlot regs[kVmMaxRegs];
 
+  // Dispatch accounting: `ops += op_tick` is one branchless add per
+  // dispatched instruction (op_tick is 0 with no collector), flushed once
+  // at the returns. Keeps the hot loop free of per-op branches.
+  obs::MetricsShard* const shard = ctx.obs;
+  const std::uint64_t op_tick = shard ? 1 : 0;
+  std::uint64_t ops = 0;
+
 #if DV_VM_CG
 #define X(n) &&L_##n,
   static const void* const kLabels[] = {DV_VM_OPS(X)};
@@ -108,6 +117,7 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
 #define NEXT()                                      \
   do {                                              \
     I = pc++;                                       \
+    ops += op_tick;                                 \
     goto* kLabels[static_cast<int>(I->op)];         \
   } while (0)
   NEXT();
@@ -116,6 +126,7 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
 #define NEXT() break
   for (;;) {
     I = pc++;
+    ops += op_tick;
     switch (I->op) {
 #endif
 
@@ -244,13 +255,19 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
   } NEXT();
   CASE(kHalt) { ctx.halt_requested = true; } NEXT();
   CASE(kReturnVal) {
+    DV_OBS_COUNT(shard, kVmOpsDispatched, ops);
     return slot_value(ch.result, regs[I->a]);
   } NEXT();
-  CASE(kReturnUnit) { return Value::of_int(0); } NEXT();
+  CASE(kReturnUnit) {
+    DV_OBS_COUNT(shard, kVmOpsDispatched, ops);
+    return Value::of_int(0);
+  } NEXT();
 
   CASE(kFoldFull) {
     // Eq. 3: fold this superstep's full-value messages from the identity.
     DV_CHECK_MSG(ctx.has_vertex, "message fold outside vertex context");
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
+    DV_OBS_COUNT(shard, kMemoRecomputes, 1);
     const AggSite& site = ctx.prog->sites[static_cast<std::size_t>(I->imm)];
     // Non-multiplicative folds are pure reductions; run them over unboxed
     // scalars (the same as_f()/as_i() arithmetic agg_apply performs, so the
@@ -292,6 +309,8 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
   CASE(kFoldDelta) {
     // Eq. 8/9: fold Δ-messages into the memoized accumulator triple.
     DV_CHECK_MSG(ctx.has_vertex, "message fold outside vertex context");
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
+    DV_OBS_COUNT(shard, kMemoHits, 1);
     const AggSite& site = ctx.prog->sites[static_cast<std::size_t>(I->imm)];
     Value& accv = ctx.fields[static_cast<std::size_t>(site.acc_slot)];
     // Fast path mirroring the float fold above: apply_delta for a
@@ -330,6 +349,8 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
       AccumRef ref;
       ref.acc = &accv;
       if (site.multiplicative()) {
+        // §6.4.1 absorbing-element slow path (nnAcc/aggNulls tracking).
+        DV_OBS_COUNT(shard, kAbsorbingSlowPath, 1);
         ref.nn = &ctx.fields[static_cast<std::size_t>(site.nn_slot)];
         ref.nulls = &ctx.fields[static_cast<std::size_t>(site.nulls_slot)];
       }
@@ -345,7 +366,16 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
   CASE(kSendDelta) {
     // §6.5 Δ-send loop over one CSR neighbor span, fused: per target,
     // evaluate new/old, synthesize_delta (Eq. 11), suppress no-ops, send.
-    if (!(ctx.suppress_sites & (1ULL << I->imm))) {
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
+    if (ctx.suppress_sites & (1ULL << I->imm)) {
+      if (shard) {
+        const auto dir = static_cast<GraphDir>(I->a);
+        shard->add(obs::Counter::kLastStepSendsSuppressed,
+                   dir == GraphDir::kIn
+                       ? ctx.graph->in_neighbors(ctx.vertex).size()
+                       : ctx.graph->out_neighbors(ctx.vertex).size());
+      }
+    } else {
       DV_CHECK_MSG(ctx.has_vertex && ctx.sink, "send loop outside superstep");
       const AggSite& site =
           ctx.prog->sites[static_cast<std::size_t>(I->imm)];
@@ -383,16 +413,23 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
             msg.nulls = d.nulls;
             msg.denulls = d.denulls;
             ctx.sink->send_span(targets, msg);
+            DV_OBS_COUNT(shard, kDeltaMessages, targets.size());
+          } else {
+            DV_OBS_COUNT(shard, kSendsSuppressed, targets.size());
           }
         }
       } else {
+        std::uint64_t n_suppressed = 0, n_delta = 0;
         for (std::size_t t = 0; t < targets.size(); ++t) {
           ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[t];
           const Value new_v = send_operand(I->b, site.elem_type, ctx);
           const Value old_v = send_operand(I->c, site.elem_type, ctx);
           const DeltaPayload d =
               synthesize_delta(site.op, site.elem_type, old_v, new_v);
-          if (d.noop) continue;
+          if (d.noop) {
+            ++n_suppressed;
+            continue;
+          }
           DvMessage msg;
           msg.site = static_cast<std::uint8_t>(I->imm);
           msg.wire = wire;
@@ -400,6 +437,11 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
           msg.nulls = d.nulls;
           msg.denulls = d.denulls;
           ctx.sink->send(targets[t], msg);
+          ++n_delta;
+        }
+        if (shard) {
+          shard->add(obs::Counter::kSendsSuppressed, n_suppressed);
+          shard->add(obs::Counter::kDeltaMessages, n_delta);
         }
       }
     }
@@ -407,7 +449,16 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
   CASE(kSendFull) {
     // Full-value send loop (ΔV*); identity payloads are fold no-ops and
     // are suppressed, as in the interpreter.
-    if (!(ctx.suppress_sites & (1ULL << I->imm))) {
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
+    if (ctx.suppress_sites & (1ULL << I->imm)) {
+      if (shard) {
+        const auto dir = static_cast<GraphDir>(I->a);
+        shard->add(obs::Counter::kLastStepSendsSuppressed,
+                   dir == GraphDir::kIn
+                       ? ctx.graph->in_neighbors(ctx.vertex).size()
+                       : ctx.graph->out_neighbors(ctx.vertex).size());
+      }
+    } else {
       DV_CHECK_MSG(ctx.has_vertex && ctx.sink, "send loop outside superstep");
       const AggSite& site =
           ctx.prog->sites[static_cast<std::size_t>(I->imm)];
@@ -436,18 +487,30 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
             msg.wire = wire;
             msg.payload = payload;
             ctx.sink->send_span(targets, msg);
+            DV_OBS_COUNT(shard, kFullMessages, targets.size());
+          } else {
+            DV_OBS_COUNT(shard, kSendsSuppressed, targets.size());
           }
         }
       } else {
+        std::uint64_t n_suppressed = 0, n_full = 0;
         for (std::size_t t = 0; t < targets.size(); ++t) {
           ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[t];
           const Value payload = send_operand(I->b, site.elem_type, ctx);
-          if (is_identity(site.op, payload)) continue;
+          if (is_identity(site.op, payload)) {
+            ++n_suppressed;
+            continue;
+          }
           DvMessage msg;
           msg.site = static_cast<std::uint8_t>(I->imm);
           msg.wire = wire;
           msg.payload = payload;
           ctx.sink->send(targets[t], msg);
+          ++n_full;
+        }
+        if (shard) {
+          shard->add(obs::Counter::kSendsSuppressed, n_suppressed);
+          shard->add(obs::Counter::kFullMessages, n_full);
         }
       }
     }
@@ -456,27 +519,42 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
   // Peephole fusions: same register writes, same order as the unfused
   // sequences (bytecode.h), so values are bit-identical either way.
   CASE(kDivGraphSizeF) {
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
     regs[I->c].i = static_cast<std::int64_t>(ctx.graph->num_vertices());
     regs[I->imm].f = static_cast<double>(regs[I->c].i);
     regs[I->a].f = regs[I->b].f / regs[I->imm].f;
   } NEXT();
   CASE(kDivDegOutF) {
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
     regs[I->c].i = static_cast<std::int64_t>(ctx.graph->out_degree(
         ctx.vertex));
     regs[I->imm].f = static_cast<double>(regs[I->c].i);
     regs[I->a].f = regs[I->b].f / regs[I->imm].f;
   } NEXT();
   CASE(kCopyFieldScratchF) {
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
     regs[I->a].f = ctx.fields[I->b].f;
     Value& v = ctx.scratch[I->c];
     v.type = Type::kFloat;
     v.f = regs[I->a].f;
   } NEXT();
   CASE(kMulAddF) {
+    DV_OBS_COUNT(shard, kVmFusedOps, 1);
     const std::size_t t = static_cast<std::size_t>(I->imm & 0xff);
     const std::size_t e = static_cast<std::size_t>((I->imm >> 8) & 0xff);
     regs[t].f = regs[I->b].f * regs[I->c].f;
     regs[I->a].f = regs[e].f + regs[t].f;
+  } NEXT();
+  CASE(kObsCount) {
+    // Else edge of a §6.3 change-check guard: the broadcast for site
+    // I->imm was held back this superstep. Graph lookup only when metered.
+    if (shard) {
+      const auto dir = static_cast<GraphDir>(I->a);
+      shard->add(obs::Counter::kSendsSuppressed,
+                 dir == GraphDir::kIn
+                     ? ctx.graph->in_neighbors(ctx.vertex).size()
+                     : ctx.graph->out_neighbors(ctx.vertex).size());
+    }
   } NEXT();
 
 #if !DV_VM_CG

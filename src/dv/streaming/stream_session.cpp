@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "dv/obs/obs.h"
 #include "dv/persist/graph_codec.h"
 #include "dv/persist/snapshot.h"
 
@@ -15,7 +16,8 @@ namespace {
 /// guards the framing; this guards the section contents. Bump on any
 /// layout change — old snapshots then fail restore with a version
 /// message, never a misparse.
-constexpr std::uint32_t kFormatVersion = 1;
+/// v2: SuperstepStats gained vertices_halted/vertices_woken.
+constexpr std::uint32_t kFormatVersion = 2;
 
 std::uint64_t value_payload_bits(const Value& v) {
   switch (v.type) {
@@ -118,21 +120,34 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
   DV_CHECK_MSG(converge_called_, "apply() before converge()");
   DV_CHECK_MSG(runner_->converged(),
                "apply() on an unresumed snapshot; call converge() first");
+  obs::Collector* const col = obs::resolve(options_.run.collector);
+  obs::Scope obs_scope(col, "stream.apply");
   SessionEpoch ep;
   ep.epoch = ++epoch_;
+
+  const auto note_decision = [&](const SessionEpoch& e) {
+    if (!col) return;
+    col->metrics.shard(0).add(
+        e.warm ? obs::Counter::kWarmEpochs : obs::Counter::kColdEpochs, 1);
+    if (e.blocker)
+      col->metrics.add_named(std::string("stream.warm_blocked.") +
+                             e.blocker);
+  };
 
   const graph::GraphDelta delta = dyn_.plan(batch);
   if (delta.empty()) {
     // Nothing net-changed (all ops redundant): state is already converged.
     ep.warm = true;
+    note_decision(ep);
     return ep;
   }
 
   ep.blocker = options_.force_cold
                    ? "cold rebuild forced by SessionOptions::force_cold"
                    : DvRunner::warm_blocker(*cp_, delta);
+  ep.warm = ep.blocker == nullptr;
+  note_decision(ep);
   if (ep.blocker == nullptr) {
-    ep.warm = true;
     ep.stats = runner_->apply_epoch(dyn_, delta);
   } else {
     dyn_.commit(delta);
@@ -155,6 +170,8 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
 DvRunResult DvStreamSession::result() const { return runner_->result(); }
 
 persist::SnapshotWriter DvStreamSession::build_snapshot() const {
+  obs::Scope obs_scope(obs::resolve(options_.run.collector),
+                       "persist.save");
   persist::SnapshotWriter w;
   w.begin_section(persist::kSecMeta);
   w.put_u32(kFormatVersion);
@@ -206,6 +223,8 @@ std::unique_ptr<DvStreamSession> DvStreamSession::restore(
 std::unique_ptr<DvStreamSession> DvStreamSession::restore_bytes(
     const CompiledProgram& cp, std::vector<std::uint8_t> bytes,
     SessionOptions options) {
+  obs::Scope obs_scope(obs::resolve(options.run.collector),
+                       "persist.restore");
   persist::SnapshotReader r(std::move(bytes));
 
   r.open(persist::kSecMeta);

@@ -38,6 +38,7 @@
 #include "common/check.h"
 #include "common/open_hash_map.h"
 #include "common/timer.h"
+#include "dv/obs/obs.h"
 #include "graph/csr_graph.h"
 #include "net/cluster_model.h"
 #include "pregel/partition.h"
@@ -80,6 +81,10 @@ struct EngineOptions {
   /// Simulated deployment used for cross-machine byte accounting. Engine
   /// workers are block-mapped onto the model's machines.
   net::ClusterConfig cluster;
+  /// Observability sink. nullptr falls back to the globally installed
+  /// collector (obs::current()); when that is also null the engine pays
+  /// nothing beyond one pointer test per superstep.
+  obs::Collector* collector = nullptr;
 };
 
 template <typename Message, typename Combiner = NoCombiner,
@@ -199,6 +204,8 @@ class Engine {
   template <typename ComputeFn>
   void step(ComputeFn&& fn) {
     SuperstepStats ss;
+    obs::Collector* const col = obs::resolve(options_.collector);
+    const std::uint64_t span_start = col ? col->trace.now_us() : 0;
     Timer phase_timer;
 
     // Both phases run inside ONE fork-join region: a lightweight barrier
@@ -231,6 +238,20 @@ class Engine {
     ss.exchange_seconds = phase_timer.elapsed_seconds() - compute_secs;
 
     finish_step(ss);
+
+    if (col) {
+      auto& tr = col->trace;
+      const std::uint64_t t_end = tr.now_us();
+      const auto us = [](double s) {
+        return static_cast<std::uint64_t>(s * 1e6);
+      };
+      // Phase spans are reconstructed from the phase timings so the trace
+      // nests as superstep ⊃ {compute, exchange} by timestamp containment.
+      tr.record(0, "pregel.superstep", span_start, t_end - span_start);
+      tr.record(0, "pregel.compute", span_start, us(ss.compute_seconds));
+      tr.record(0, "pregel.exchange", span_start + us(ss.compute_seconds),
+                us(ss.exchange_seconds));
+    }
   }
 
   /// True once every vertex has halted and no messages are pending.
@@ -556,6 +577,7 @@ class Engine {
     std::uint64_t delivered = 0, delivered_bytes = 0, cross_bytes = 0;
     std::uint64_t dropped = 0;
     std::uint64_t active = 0;
+    std::uint64_t halted_count = 0, woken_count = 0;
     // Cross-machine bytes this worker received, bucketed by the *sender's*
     // machine — lets finish_step compute exact per-machine egress.
     std::vector<std::uint64_t> cross_in_from;
@@ -657,6 +679,7 @@ class Engine {
       if (ctx.halt_requested_) {
         halted_[v] = 1;
         --ws.unhalted;
+        ++ws.halted_count;
       } else if (options_.schedule == ScheduleMode::kWorkQueue) {
         // Still active next step without needing a message.
         if (!scheduled_[v]) {
@@ -751,6 +774,7 @@ class Engine {
         if (halted_[e.dst]) {
           halted_[e.dst] = 0;
           ++recv.unhalted;
+          ++recv.woken_count;
         }
         if (options_.schedule == ScheduleMode::kWorkQueue &&
             !scheduled_[e.dst]) {
@@ -778,6 +802,8 @@ class Engine {
       ss.bytes_delivered += ws.delivered_bytes;
       ss.cross_machine_bytes += ws.cross_bytes;
       ss.active_vertices += ws.active;
+      ss.vertices_halted += ws.halted_count;
+      ss.vertices_woken += ws.woken_count;
       const auto m =
           static_cast<std::size_t>(machine_of_worker(static_cast<int>(w)));
       ingress[m] += ws.cross_bytes;
@@ -789,12 +815,23 @@ class Engine {
       ws.delivered = ws.delivered_bytes = ws.cross_bytes = 0;
       ws.dropped = 0;
       ws.active = 0;
+      ws.halted_count = ws.woken_count = 0;
       if (options_.schedule == ScheduleMode::kWorkQueue)
         std::swap(ws.queue, ws.next_queue);
     }
     ss.sim_comm_seconds = cluster_.superstep_seconds(egress, ingress);
     stats_.supersteps.push_back(ss);
     ++superstep_;
+    if (obs::Collector* const col = obs::resolve(options_.collector)) {
+      auto& sh = col->metrics.shard(0);
+      sh.add(obs::Counter::kEngineMessagesSent, ss.messages_sent);
+      sh.add(obs::Counter::kEngineMessagesDelivered, ss.messages_delivered);
+      sh.add(obs::Counter::kEngineMessagesDropped, ss.messages_dropped);
+      sh.add(obs::Counter::kEngineActiveVertices, ss.active_vertices);
+      sh.add(obs::Counter::kVerticesHalted, ss.vertices_halted);
+      sh.add(obs::Counter::kVerticesWoken, ss.vertices_woken);
+      sh.add(obs::Counter::kSupersteps, 1);
+    }
   }
 
   int machine_of_worker(int w) const {

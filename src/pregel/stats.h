@@ -22,6 +22,8 @@ struct SuperstepStats {
   std::uint64_t bytes_delivered = 0;     // wire bytes, post-combine
   std::uint64_t cross_machine_bytes = 0; // delivered bytes crossing machines
   std::uint64_t active_vertices = 0;     // vertices whose compute() ran
+  std::uint64_t vertices_halted = 0;     // vote_to_halt transitions (§6.6)
+  std::uint64_t vertices_woken = 0;      // message-driven reactivations
   double compute_seconds = 0;            // wall time of the compute phase
   double exchange_seconds = 0;           // wall time of the exchange phase
   double sim_comm_seconds = 0;           // ClusterModel estimate
@@ -46,6 +48,12 @@ struct RunStats {
   }
   std::uint64_t total_cross_machine_bytes() const {
     return sum(&SuperstepStats::cross_machine_bytes);
+  }
+  std::uint64_t total_vertices_halted() const {
+    return sum(&SuperstepStats::vertices_halted);
+  }
+  std::uint64_t total_vertices_woken() const {
+    return sum(&SuperstepStats::vertices_woken);
   }
   double total_compute_seconds() const {
     return sumd(&SuperstepStats::compute_seconds);

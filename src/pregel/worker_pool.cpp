@@ -1,6 +1,28 @@
 #include "pregel/worker_pool.h"
 
+#include "dv/obs/obs.h"
+
 namespace deltav::pregel {
+
+namespace {
+
+/// Runs one fork-join job, recording a "pregel.worker" span into the
+/// worker's own trace lane (lane == worker id, the single-writer rule).
+/// Costs one atomic load per worker per region when tracing is off.
+void run_job(const std::function<void(int)>& fn, int id) {
+  obs::Collector* const col = obs::current();
+  if (!col) {
+    fn(id);
+    return;
+  }
+  auto& tr = col->trace;
+  const std::uint64_t t0 = tr.now_us();
+  fn(id);
+  tr.record(static_cast<std::size_t>(id), "pregel.worker", t0,
+            tr.now_us() - t0);
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(int num_workers) {
   DV_CHECK_MSG(num_workers >= 1, "need at least one worker");
@@ -31,7 +53,7 @@ void WorkerPool::run(const std::function<void(int)>& fn) {
   // Worker 0 is the calling thread: no oversubscription, and single-worker
   // configurations never context-switch.
   try {
-    fn(0);
+    run_job(fn, 0);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -57,7 +79,7 @@ void WorkerPool::worker_main(int id) {
       job = job_;
     }
     try {
-      (*job)(id);
+      run_job(*job, id);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();

@@ -179,6 +179,62 @@ TEST(Engine, StatsCountBytesAndActiveVertices) {
   EXPECT_EQ(s.bytes_sent, 2 * sizeof(int));
 }
 
+// §6.6 halt/wake accounting: vote_to_halt transitions and message-driven
+// reactivations are counted per superstep.
+TEST(Engine, StatsCountHaltAndWakeTransitions) {
+  IntEngine e(4, test::small_engine(2));
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) ctx.send(3, 7);
+    ctx.vote_to_halt();
+  });
+  const auto& s0 = e.stats().supersteps[0];
+  EXPECT_EQ(s0.vertices_halted, 4u);  // everyone voted to halt
+  EXPECT_EQ(s0.vertices_woken, 1u);   // the delivery to 3 reactivated it
+  e.step([&](auto& ctx, VertexId v, std::span<const int> msgs) {
+    EXPECT_EQ(v, 3u);
+    EXPECT_EQ(msgs.size(), 1u);
+    ctx.vote_to_halt();
+  });
+  const auto& s1 = e.stats().supersteps[1];
+  EXPECT_EQ(s1.vertices_halted, 1u);
+  EXPECT_EQ(s1.vertices_woken, 0u);
+  EXPECT_TRUE(e.done());
+  EXPECT_EQ(e.stats().total_vertices_halted(), 5u);
+  EXPECT_EQ(e.stats().total_vertices_woken(), 1u);
+}
+
+// A wake is a halted→active *transition*: messages to an already-woken
+// vertex must not count again, and a vertex that never halted contributes
+// nothing to either counter.
+TEST(Engine, WakeCountsOnlyHaltedToActiveTransitions) {
+  IntEngine e(3, test::small_engine(1));
+  // Superstep 0: vertices 1 and 2 halt; 0 stays active.
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v != 0) ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().supersteps[0].vertices_halted, 2u);
+  EXPECT_EQ(e.stats().supersteps[0].vertices_woken, 0u);
+  // Superstep 1: vertex 0 double-messages the halted vertex 1 and halts.
+  e.step([&](auto& ctx, VertexId v, std::span<const int>) {
+    if (v == 0) {
+      ctx.send(1, 1);
+      ctx.send(1, 2);
+      ctx.vote_to_halt();
+    }
+  });
+  const auto& s1 = e.stats().supersteps[1];
+  EXPECT_EQ(s1.vertices_halted, 1u);  // vertex 0
+  EXPECT_EQ(s1.vertices_woken, 1u);   // vertex 1, woken once despite 2 msgs
+  // Superstep 2: vertex 1 drains its inbox and re-halts.
+  e.step([&](auto& ctx, VertexId v, std::span<const int> msgs) {
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(msgs.size(), 2u);
+    ctx.vote_to_halt();
+  });
+  EXPECT_EQ(e.stats().supersteps[2].vertices_halted, 1u);
+  EXPECT_TRUE(e.done());
+}
+
 TEST(Engine, CrossMachineBytesTracked) {
   EngineOptions opts;
   opts.num_workers = 4;

@@ -25,6 +25,7 @@
 
 #include "common/args.h"
 #include "common/rng.h"
+#include "dv/obs/report.h"
 #include "dv/testing/corpus.h"
 #include "dv/testing/differential.h"
 #include "dv/testing/program_gen.h"
@@ -154,11 +155,24 @@ int main(int argc, char** argv) {
     DiffOptions diff;
     diff.float_tol =
         args.get_double("tolerance", diff.float_tol, "float comparison tol");
+    obs::ReportOptions obs_opts;
+    obs_opts.metrics_path = args.get_string(
+        "metrics", "", "write an aggregate metrics JSON document on exit");
+    obs_opts.trace_path = args.get_string(
+        "trace", "", "write a span trace here (chrome://tracing / Perfetto)");
+    obs_opts.trace_format = args.get_string(
+        "trace_format", "chrome", "trace file format: chrome or jsonl");
     if (args.help_requested()) {
       std::printf("%s", args.help().c_str());
       return 0;
     }
     args.check_unused();
+
+    // Inert by default: the differential contract (bit-exact tier
+    // equivalence) is routinely soaked with no collector installed, and
+    // counting must never perturb results — installing one only adds
+    // bookkeeping, both tiers' runs land in the same registry.
+    obs::ObsSession obs(obs_opts);
 
     if (!replay.empty()) return replay_corpus(replay, diff);
     if (persist) {

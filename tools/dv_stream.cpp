@@ -40,6 +40,7 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "dv/compiler.h"
+#include "dv/obs/report.h"
 #include "dv/persist/snapshot.h"
 #include "dv/programs/programs.h"
 #include "dv/streaming/mutation_io.h"
@@ -106,10 +107,10 @@ class EpochJson {
            const std::string& algo, const std::string& system,
            const std::string& tier, double wall_seconds,
            std::uint64_t messages, std::size_t supersteps,
-           std::size_t state_bytes) {
+           std::size_t state_bytes, bool warm, const std::string& blocker) {
     if (enabled())
       rows_.push_back(Row{epoch, graph, algo, system, tier, wall_seconds,
-                          messages, supersteps, state_bytes});
+                          messages, supersteps, state_bytes, warm, blocker});
   }
 
   void write() const {
@@ -127,7 +128,9 @@ class EpochJson {
           << ", \"sim_seconds\": 0, \"messages\": " << r.messages
           << ", \"bytes\": 0, \"supersteps\": " << r.supersteps
           << ", \"state_bytes\": " << r.state_bytes
-          << ", \"epoch\": " << r.epoch << "}";
+          << ", \"epoch\": " << r.epoch
+          << ", \"warm\": " << (r.warm ? "true" : "false")
+          << ", \"blocker\": \"" << r.blocker << "\"}";
     }
     out << "\n  ]\n}\n";
     DV_CHECK_MSG(out.good(), "failed writing --json path '" << path_ << "'");
@@ -142,6 +145,8 @@ class EpochJson {
     std::uint64_t messages;
     std::size_t supersteps;
     std::size_t state_bytes;
+    bool warm;
+    std::string blocker;  // cold-fallback reason; "" when warm
   };
   std::string path_;
   std::vector<Row> rows_;
@@ -168,6 +173,9 @@ int main(int argc, char** argv) {
         "params", "", "program parameters, e.g. source=0,steps=30");
     const std::string tier_flag =
         args.get_string("tier", "vm", "execution tier: vm or tree");
+    const double epsilon = args.get_double(
+        "epsilon", 0.0,
+        "ε-slop for §6.3 change checks (0 = exact change detection)");
     const int workers =
         static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
     const bool force_cold = args.get_bool(
@@ -189,11 +197,38 @@ int main(int argc, char** argv) {
     EpochJson json;
     json.set_path(args.get_string(
         "json", "", "write per-epoch JSON rows here (bench_stream schema)"));
+    obs::ReportOptions obs_opts;
+    obs_opts.metrics_path = args.get_string(
+        "metrics", "", "write a metrics JSON document here on exit");
+    obs_opts.trace_path = args.get_string(
+        "trace", "", "write a span trace here (chrome://tracing / Perfetto)");
+    obs_opts.trace_format = args.get_string(
+        "trace_format", "chrome", "trace file format: chrome or jsonl");
     if (args.help_requested()) {
       std::cout << args.help();
       return 0;
     }
     args.check_unused();
+
+    // Inert (no collector, null fast paths everywhere) unless --metrics
+    // or --trace was passed; installs the collector globally so the
+    // session's engine/runner/VM pick it up without explicit plumbing.
+    obs::ObsSession obs(obs_opts);
+    const auto obs_snapshot = [&] {
+      return obs.enabled() ? obs.collector()->metrics.snapshot()
+                           : obs::MetricsRegistry::Snapshot{};
+    };
+    const auto obs_epoch = [&](std::size_t epoch, bool warm,
+                               const std::string& blocker,
+                               const obs::MetricsRegistry::Snapshot& before) {
+      if (!obs.enabled()) return;
+      obs::EpochMetrics em;
+      em.epoch = epoch;
+      em.warm = warm;
+      em.blocker = blocker;
+      em.counters = obs::counter_diff(before, obs_snapshot());
+      obs.add_epoch(std::move(em));
+    };
 
     DV_CHECK_MSG(program.empty() != file.empty(),
                  "pass exactly one of --program or --file");
@@ -224,7 +259,9 @@ int main(int argc, char** argv) {
     DV_CHECK_MSG(!batches.empty(),
                  "mutation stream '" << mutations_path << "' is empty");
 
-    const dv::CompiledProgram cp = dv::compile(source, {});
+    dv::CompileOptions copts;
+    copts.epsilon = epsilon;
+    const dv::CompiledProgram cp = dv::compile(source, copts);
     dv::streaming::SessionOptions so;
     so.run.engine.num_workers = workers;
     so.run.tier = dv::parse_exec_tier(tier_flag);
@@ -257,10 +294,13 @@ int main(int argc, char** argv) {
                 << (session->converged() ? "" : " (mid-convergence)")
                 << "\n";
       if (!session->converged()) {
+        const auto before = obs_snapshot();
         Timer t0;
         const dv::DvRunResult r = session->converge();
         std::cout << "resumed convergence: " << r.supersteps
                   << " total supersteps, " << t0.elapsed_seconds() << " s\n";
+        obs_epoch(session->epoch(), false, "resumed interrupted convergence",
+                  before);
       }
     } else {
       graph::EdgeListOptions gopts;
@@ -272,6 +312,7 @@ int main(int argc, char** argv) {
                 << (undirected ? "undirected" : "directed") << ")\n";
       session =
           dv::streaming::make_stream_session(cp, std::move(base), so);
+      const auto before = obs_snapshot();
       Timer t0;
       const dv::DvRunResult first = session->converge();
       std::cout << "epoch 0 (cold converge): " << first.supersteps
@@ -279,7 +320,8 @@ int main(int argc, char** argv) {
                 << " messages, " << t0.elapsed_seconds() << " s\n";
       json.add(0, "edge-list", algo, "cold", tier_name, t0.elapsed_seconds(),
                first.stats.total_messages_sent(), first.supersteps,
-               cp.state_bytes());
+               cp.state_bytes(), false, "initial convergence");
+      obs_epoch(0, false, "initial convergence", before);
     }
     std::cout << "\n";
 
@@ -287,6 +329,7 @@ int main(int argc, char** argv) {
              "deltas", "wall(s)", "note"});
     std::size_t warm_count = 0;
     for (const graph::MutationBatch& b : batches) {
+      const auto before = obs_snapshot();
       Timer t1;
       const dv::streaming::SessionEpoch ep = session->apply(b);
       const double wall = t1.elapsed_seconds();
@@ -303,9 +346,11 @@ int main(int argc, char** argv) {
           .cell(static_cast<unsigned long long>(ep.stats.deltas_applied))
           .cell(wall, 4)
           .cell(note);
+      const std::string blocker = ep.blocker ? ep.blocker : "";
       json.add(ep.epoch, "edge-list", algo, ep.warm ? "warm" : "cold",
                tier_name, wall, ep.stats.messages, ep.stats.supersteps,
-               cp.state_bytes());
+               cp.state_bytes(), ep.warm, blocker);
+      obs_epoch(ep.epoch, ep.warm, blocker, before);
     }
     t.print(std::cout);
     std::cout << "\n" << warm_count << "/" << batches.size()
@@ -317,6 +362,13 @@ int main(int argc, char** argv) {
       std::cout << "saved session snapshot to " << save_path << "\n";
     }
     json.write();
+    if (obs.enabled()) {
+      obs.flush();
+      if (!obs_opts.metrics_path.empty())
+        std::cout << "wrote metrics to " << obs_opts.metrics_path << "\n";
+      if (!obs_opts.trace_path.empty())
+        std::cout << "wrote trace to " << obs_opts.trace_path << "\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "dv_stream: " << e.what() << "\n";
