@@ -151,10 +151,13 @@ class JsonReport {
   void set_path(std::string path) { path_ = std::move(path); }
   bool enabled() const { return !path_.empty(); }
 
+  /// `fold` labels which Δ-send fold path the row ran ("atomic" or
+  /// "buffered"); empty omits the field (rows where the axis is
+  /// meaningless, e.g. snapshot save/restore).
   void add(const std::string& graph, const std::string& algo,
            const std::string& system, const std::string& tier,
-           const Metrics& m) {
-    if (enabled()) rows_.push_back(Row{graph, algo, system, tier, m});
+           const Metrics& m, const std::string& fold = "") {
+    if (enabled()) rows_.push_back(Row{graph, algo, system, tier, fold, m});
   }
 
   /// Attaches the bench's observability counters; emitted as a top-level
@@ -181,7 +184,9 @@ class JsonReport {
           << ", \"sim_seconds\": " << m.sim_seconds
           << ", \"messages\": " << m.messages << ", \"bytes\": " << m.bytes
           << ", \"supersteps\": " << m.supersteps
-          << ", \"state_bytes\": " << m.state_bytes << "}";
+          << ", \"state_bytes\": " << m.state_bytes;
+      if (!r.fold.empty()) out << ", \"fold_path\": \"" << r.fold << "\"";
+      out << "}";
     }
     out << "\n  ]";
     if (!obs_counters_.empty()) {
@@ -201,7 +206,7 @@ class JsonReport {
 
  private:
   struct Row {
-    std::string graph, algo, system, tier;
+    std::string graph, algo, system, tier, fold;
     Metrics metrics;
   };
   std::string path_;

@@ -295,6 +295,55 @@ void BM_TierDeltaFold(benchmark::State& state) {
 }
 BENCHMARK(BM_TierDeltaFold)->Arg(0)->Arg(1)->ArgNames({"vm"});
 
+// ---- fold paths ---------------------------------------------------------
+//
+// The lock-free fold path priced at the edge level: the identical ΔV
+// PageRank body swept over every vertex with buffered Δ-sends (message
+// construction into a sink) vs atomic folds (CAS into the shared pending
+// slot + frontier-bitmap mark, via the VM's kSendDeltaAtomic
+// superinstruction). The per-edge difference measured here is the
+// constant factor behind bench_stream's epoch-throughput comparison —
+// the streaming win comes from the exchange-free superstep shape, not
+// from the fold itself being cheaper per edge.
+
+void BM_FoldPathSendLoop(benchmark::State& state) {
+  TierFixture fx(dv::programs::kPageRank,
+                 {{"steps", dv::Value::of_int(1)}});
+  const bool atomic = state.range(0) != 0;
+  dv::AtomicFoldTable table;
+  dv::AtomicFoldLane lane;
+  if (atomic) {
+    const dv::AggSite& site = fx.cp.program.sites[0];
+    table.route.assign(fx.cp.program.sites.size(), -1);
+    table.route[0] = 0;
+    table.ops.push_back(site.op);
+    table.types.push_back(site.elem_type);
+    table.identity.push_back(dv::atomic_fold_bits(
+        site.elem_type, dv::agg_identity(site.op, site.elem_type)));
+    table.reset(fx.g.num_vertices());
+    lane.reset(fx.g.num_vertices(), table.columns());
+    fx.vm.specialize_atomic(table.route);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.state = fx.state0;
+    state.ResumeTiming();
+    for (std::size_t v = 0; v < fx.g.num_vertices(); ++v) {
+      auto ctx = fx.ctx_for(static_cast<graph::VertexId>(v));
+      if (atomic) {
+        ctx.atomic = &table;
+        ctx.atomic_lane = &lane;
+      }
+      fx.run_body(dv::ExecTier::kVm, ctx);
+    }
+    benchmark::DoNotOptimize(atomic ? lane.folds : fx.sink.count);
+  }
+  state.SetLabel(atomic ? "atomic" : "buffered");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.g.num_arcs()));
+}
+BENCHMARK(BM_FoldPathSendLoop)->Arg(0)->Arg(1)->ArgNames({"atomic"});
+
 // ---- observability overhead --------------------------------------------
 //
 // The DESIGN.md §8 contract priced directly: the same VM dispatch loop

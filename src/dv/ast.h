@@ -193,6 +193,14 @@ struct AggSite {
   std::vector<int> old_scratch;     // parallel to dep_fields
   // ϵ-slop mode (§9 future work):
   int last_sent_slot = -1;
+  // Fold-path classification (incrementalize pass): the site's ⊞ is exactly
+  // commutative-associative over its element type, so Δ-sends may fold
+  // lock-free into the receiver's aggAccum slot instead of buffering a
+  // message. Integer +, min and max qualify unconditionally; float + is
+  // order-sensitive (re-association changes rounding) and is only eligible
+  // under the explicit --atomic_float opt-in, tracked separately.
+  bool atomic_ok = false;
+  bool atomic_float_ok = false;
 
   bool multiplicative() const { return is_multiplicative(op); }
 };

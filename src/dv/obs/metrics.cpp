@@ -16,6 +16,7 @@ const char* counter_name(Counter c) {
     case Counter::kAbsorbingSlowPath: return "dv.absorbing_slow_path";
     case Counter::kDeltasApplied: return "dv.deltas_applied";
     case Counter::kFrontierWoken: return "dv.frontier_woken";
+    case Counter::kAtomicFolds: return "dv.atomic_folds";
     case Counter::kEngineMessagesSent: return "pregel.messages_sent";
     case Counter::kEngineMessagesDelivered:
       return "pregel.messages_delivered";

@@ -37,6 +37,8 @@ enum class Counter : std::uint32_t {
   kAbsorbingSlowPath,        // ×/&&/|| nnAcc+aggNulls treatment (§6.4.1)
   kDeltasApplied,            // epoch-start Δs folded directly into state
   kFrontierWoken,            // vertices woken by an epoch's mutation frontier
+  kAtomicFolds,              // Δ-contributions folded lock-free into aggAccum
+                             // slots, bypassing message construction entirely
   // Engine (mirrors SuperstepStats; aggregated once per superstep).
   kEngineMessagesSent,
   kEngineMessagesDelivered,

@@ -68,6 +68,24 @@ void pass_incrementalize_aggregations(Program& prog, Diagnostics& diags) {
 
     Stmt& stmt = prog.stmts[static_cast<std::size_t>(site.stmt_index)];
     set_fold_incremental(*stmt.body, site.id);
+
+    // Fold-path classification: once the site is memoized (acc_slot
+    // assigned above), a Δ-contribution is exactly one
+    // acc = acc ⊞ payload with no counter bookkeeping — for
+    // commutative-associative ⊞ that fold may run lock-free against the
+    // accumulator slot. Integer + commutes exactly (wrapping two's
+    // complement); min/max are idempotent re-folds. Float + re-associates
+    // under concurrency, so it is only flagged for the opt-in path.
+    if (!site.multiplicative()) {
+      const bool numeric = site.elem_type == Type::kInt ||
+                           site.elem_type == Type::kFloat;
+      const bool exact =
+          (site.op == AggOp::kSum && site.elem_type == Type::kInt) ||
+          ((site.op == AggOp::kMin || site.op == AggOp::kMax) && numeric);
+      site.atomic_ok = exact;
+      site.atomic_float_ok =
+          site.op == AggOp::kSum && site.elem_type == Type::kFloat;
+    }
   }
 }
 

@@ -1,0 +1,171 @@
+// Lock-free fold path for commutative-associative aggregations.
+//
+// When the incrementalize pass proves a site's ⊞ is exactly
+// commutative-associative (integer +, min, max — and float + under the
+// --atomic_float opt-in), Δ-sends skip message construction entirely:
+// the sender folds the Δ-payload straight into a per-(vertex, site)
+// pending slot with an atomic fetch-add (integer sum) or a CAS loop over
+// the value's bit pattern (min/max, float sum), and marks the destination
+// in its own lane's frontier bitmap. After the superstep's fork-join
+// barrier the runner drains single-threaded: for every marked
+// (vertex, site) it applies the pending contribution to the aggAccum
+// field via the same apply_delta the buffered path uses, resets the slot
+// to the identity, and wakes the vertex — replacing the exchange scan.
+//
+// Correctness contract (DESIGN.md "Fold paths"):
+//  * pending slots hold the ⊞-fold of every contribution since the last
+//    drain, starting from the identity. For integer + that fold is a
+//    wrapping fetch_add; for min/max a CAS publishes the winning bits.
+//    Both are order-independent, so results are bit-identical to any
+//    buffered delivery order.
+//  * the drain applies a marked slot UNCONDITIONALLY, even when it still
+//    holds identity bits: the buffered path also delivers messages whose
+//    combined payload equals the identity (e.g. −0.0 + 0.0), and folding
+//    them yields +0.0 where skipping would keep −0.0. Wake sets match for
+//    the same reason — a combined-to-identity message still wakes its
+//    receiver.
+//  * frontier words are per-lane and single-writer; the engine's join
+//    barrier publishes them to the draining thread, so the words
+//    themselves need no atomics.
+//  * relaxed ordering everywhere: slots are independent accumulators and
+//    the fork-join barrier provides the inter-thread ordering.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "dv/runtime/value.h"
+#include "graph/csr_graph.h"
+
+namespace deltav::dv {
+
+/// How the runner chooses between the buffered message path and the
+/// lock-free fold path, per aggregation site.
+enum class FoldPath : std::uint8_t {
+  kAuto,      // atomic wherever the pass proved eligibility (default)
+  kBuffered,  // always buffer — the general fallback, and the oracle
+  kAtomic,    // force the atomic path on every eligible site
+};
+
+inline std::uint64_t atomic_fold_bits(Type t, const Value& v) {
+  std::uint64_t bits = 0;
+  if (t == Type::kFloat) {
+    const double f = v.as_f();
+    std::memcpy(&bits, &f, sizeof(bits));
+  } else {
+    const std::int64_t i = v.as_i();
+    std::memcpy(&bits, &i, sizeof(bits));
+  }
+  return bits;
+}
+
+inline Value atomic_fold_value(Type t, std::uint64_t bits) {
+  if (t == Type::kFloat) {
+    double f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return Value::of_float(f);
+  }
+  std::int64_t i;
+  std::memcpy(&i, &bits, sizeof(i));
+  return Value::of_int(i);
+}
+
+/// Pending-slot table: one std::atomic<uint64_t> per (vertex, routed
+/// site), identity-initialized, owned by the runner and shared by every
+/// worker lane. `route[site]` maps a site id to its column in the table
+/// (-1 = site stays buffered).
+struct AtomicFoldTable {
+  std::vector<std::atomic<std::uint64_t>> slots;
+  std::vector<int> route;        // site id -> column, -1 = buffered
+  std::vector<AggOp> ops;        // per column
+  std::vector<Type> types;       // per column
+  std::vector<std::uint64_t> identity;  // per column, as bits
+  std::size_t num_vertices = 0;
+
+  std::size_t columns() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
+
+  std::size_t slot_index(graph::VertexId v, int column) const {
+    return static_cast<std::size_t>(v) * columns() +
+           static_cast<std::size_t>(column);
+  }
+
+  /// (Re)initializes every slot to its column's identity. Single-threaded;
+  /// called at construction and on growth.
+  void reset(std::size_t n) {
+    num_vertices = n;
+    std::vector<std::atomic<std::uint64_t>> fresh(n * columns());
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t c = 0; c < columns(); ++c)
+        fresh[v * columns() + c].store(identity[c],
+                                       std::memory_order_relaxed);
+    slots.swap(fresh);
+  }
+
+  /// Folds one Δ-contribution into (dst, column). Integer sum is a single
+  /// wrapping fetch_add; everything else is a CAS loop publishing
+  /// agg_apply(cur, payload)'s bits. Returns false when the payload cannot
+  /// be folded atomically (NaN float — CAS equality over NaN bits is not
+  /// the fold's ordering) and the caller must fall back to a buffered
+  /// message for this one contribution.
+  bool fold(graph::VertexId dst, int column, const Value& payload) {
+    const AggOp op = ops[static_cast<std::size_t>(column)];
+    const Type t = types[static_cast<std::size_t>(column)];
+    std::atomic<std::uint64_t>& slot = slots[slot_index(dst, column)];
+    if (op == AggOp::kSum && t == Type::kInt) {
+      slot.fetch_add(static_cast<std::uint64_t>(payload.as_i()),
+                     std::memory_order_relaxed);
+      return true;
+    }
+    if (t == Type::kFloat && std::isnan(payload.as_f())) return false;
+    const Value contrib = payload.coerce(t);
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    for (;;) {
+      const Value folded =
+          agg_apply(op, t, atomic_fold_value(t, cur), contrib);
+      const std::uint64_t want = atomic_fold_bits(t, folded);
+      if (want == cur) return true;  // contribution cannot win — done
+      if (slot.compare_exchange_weak(cur, want, std::memory_order_relaxed,
+                                     std::memory_order_relaxed))
+        return true;
+    }
+  }
+
+  /// Drains one marked slot: swaps the identity back in and returns the
+  /// accumulated contribution. Single-threaded (post-barrier), but the
+  /// exchange keeps it correct even if a future caller overlaps.
+  Value take(graph::VertexId dst, int column) {
+    std::atomic<std::uint64_t>& slot = slots[slot_index(dst, column)];
+    const std::uint64_t bits = slot.exchange(
+        identity[static_cast<std::size_t>(column)],
+        std::memory_order_relaxed);
+    return atomic_fold_value(types[static_cast<std::size_t>(column)], bits);
+  }
+};
+
+/// Per-worker-lane frontier bitmap plus fold counter. Single-writer: only
+/// the owning lane marks bits during a superstep; the runner ORs all lanes
+/// together in the post-barrier drain.
+struct AtomicFoldLane {
+  /// words[column * words_per_column + (v >> 6)], bit (v & 63).
+  std::vector<std::uint64_t> words;
+  std::size_t words_per_column = 0;
+  std::uint64_t folds = 0;  // contributions folded by this lane
+
+  void reset(std::size_t n, std::size_t columns) {
+    words_per_column = (n + 63) / 64;
+    words.assign(words_per_column * columns, 0);
+    folds = 0;
+  }
+
+  void mark(graph::VertexId v, int column) {
+    words[static_cast<std::size_t>(column) * words_per_column +
+          (static_cast<std::size_t>(v) >> 6)] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+  }
+};
+
+}  // namespace deltav::dv

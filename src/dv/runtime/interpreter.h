@@ -11,6 +11,7 @@
 
 #include "dv/ast.h"
 #include "dv/obs/metrics.h"
+#include "dv/runtime/atomic_fold.h"
 #include "dv/runtime/message.h"
 #include "dv/runtime/value.h"
 #include "graph/graph_view.h"
@@ -55,6 +56,13 @@ struct EvalContext {
   SendSink* sink = nullptr;
   const std::vector<std::uint8_t>* site_wire = nullptr;  // bytes per site
   std::uint64_t suppress_sites = 0;  // bitmask: skip sends for these sites
+
+  // Lock-free fold path (atomic_fold.h). Non-null only when the runner
+  // routed at least one site atomic: send loops for routed sites fold
+  // Δ-payloads straight into the shared pending slots and mark this lane's
+  // frontier bitmap instead of constructing messages.
+  AtomicFoldTable* atomic = nullptr;
+  AtomicFoldLane* atomic_lane = nullptr;
 
   // Observability. Null when no collector is installed: the evaluator then
   // pays one predictable branch per fold/send-loop, nothing per message.

@@ -1,6 +1,7 @@
 #include "dv/runtime/runner.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "dv/persist/snapshot.h"
 #include "dv/runtime/delta.h"
@@ -12,7 +13,13 @@ namespace deltav::dv {
 namespace {
 
 /// Adapts the engine's per-vertex send API to the interpreter's SendSink,
-/// optionally teeing every message into the debug probe.
+/// optionally teeing every message into the debug probe. When the runner
+/// routes sites through the lock-free fold path, this sink is also the
+/// generic catcher for sends that bypass the tiers' fused fast paths
+/// (push_first priming, retractions): routed sites fold into the pending
+/// slots here instead of entering the engine. The probe and the atomic
+/// path are mutually exclusive (the runner forces buffered under a probe:
+/// a message probe has nothing to observe on a message-free path).
 class EngineSink : public SendSink {
  public:
   using Ctx = DvEngine::Context;
@@ -22,12 +29,38 @@ class EngineSink : public SendSink {
     ctx_ = ctx;
     probe_ = probe && *probe ? probe : nullptr;
   }
+  void bind_atomic(AtomicFoldTable* table, AtomicFoldLane* lane) {
+    atomic_ = table;
+    lane_ = lane;
+  }
   void send(graph::VertexId dst, const DvMessage& msg) override {
+    if (atomic_) {
+      const int col = atomic_->route[msg.site];
+      if (col >= 0 && atomic_->fold(dst, col, msg.payload)) {
+        lane_->mark(dst, col);
+        ++lane_->folds;
+        return;
+      }
+    }
     if (probe_) (*probe_)(ctx_->vertex(), dst, msg);
     ctx_->send(dst, msg);
   }
   void send_span(std::span<const graph::VertexId> dsts,
                  const DvMessage& msg) override {
+    if (atomic_) {
+      const int col = atomic_->route[msg.site];
+      if (col >= 0) {
+        for (const graph::VertexId dst : dsts) {
+          if (atomic_->fold(dst, col, msg.payload)) {
+            lane_->mark(dst, col);
+            ++lane_->folds;
+          } else {
+            ctx_->send(dst, msg);
+          }
+        }
+        return;
+      }
+    }
     if (probe_)
       for (const graph::VertexId dst : dsts) (*probe_)(ctx_->vertex(), dst, msg);
     ctx_->send_span(dsts, msg);
@@ -36,6 +69,8 @@ class EngineSink : public SendSink {
  private:
   Ctx* ctx_ = nullptr;
   const Probe* probe_ = nullptr;
+  AtomicFoldTable* atomic_ = nullptr;
+  AtomicFoldLane* lane_ = nullptr;
 };
 
 /// Does any node of `e` contain `stable`? (Pre-analyzed by typecheck, but
@@ -134,6 +169,37 @@ class DvRunner::Impl {
         site_send_chunk_.push_back(vm_->program().chunk_of(e));
       }
     }
+
+    // Fold-path routing (atomic_fold.h): route every site the
+    // incrementalize pass proved commutative-associative through the
+    // pending-slot path — unless forced buffered, or a send probe is
+    // installed (a message probe has nothing to observe on a message-free
+    // path, so the probe wins).
+    atomic_table_.route.assign(prog_.sites.size(), -1);
+    if (cp_.options.incrementalize &&
+        options_.fold_path != FoldPath::kBuffered &&
+        !options_.send_probe) {
+      for (const AggSite& site : prog_.sites) {
+        const bool eligible =
+            site.atomic_ok ||
+            (options_.atomic_float && site.atomic_float_ok);
+        if (!eligible) continue;
+        atomic_table_.route[static_cast<std::size_t>(site.id)] =
+            static_cast<int>(atomic_table_.ops.size());
+        atomic_table_.ops.push_back(site.op);
+        atomic_table_.types.push_back(site.elem_type);
+        atomic_table_.identity.push_back(atomic_fold_bits(
+            site.elem_type, agg_identity(site.op, site.elem_type)));
+        atomic_col_site_.push_back(site.id);
+      }
+    }
+    if (!atomic_table_.empty()) {
+      atomic_table_.reset(n);
+      atomic_lanes_.resize(static_cast<std::size_t>(W));
+      for (AtomicFoldLane& lane : atomic_lanes_)
+        lane.reset(n, atomic_table_.columns());
+      if (vm_) vm_->specialize_atomic(atomic_table_.route);
+    }
   }
 
   DvRunResult run() {
@@ -183,22 +249,31 @@ class DvRunner::Impl {
     const std::size_t new_n = delta.new_num_vertices;
     const std::size_t stats_base = engine_->stats().supersteps.size();
     const std::size_t steps_base = supersteps_;
+    const std::uint64_t folds_base = atomic_folds_total_;
     deltas_applied_ = 0;
     wake_.assign(new_n, 0);
-    for (const graph::VertexId v : delta.touched) wake_[v] = 1;
+    wake_list_.clear();
+    for (const graph::VertexId v : delta.touched) mark_wake(v);
 
     // ---- Phase A (old topology): per touched sender × site, record what
     // each receiver currently holds from it — the send_retractions rule:
     // the ε-gated last-sent slot when present, else the (possibly
     // per-edge) send expression, which for bound sites reads the memoized
-    // sent_k field.
-    std::vector<std::map<graph::VertexId,
-                         std::vector<std::pair<graph::VertexId, Value>>>>
-        olds(prog_.sites.size());
+    // sent_k field. Lists are indexed flat by (site, touched position) —
+    // Phase B walks delta.touched in the same order — and the inner
+    // vectors keep their capacity across epochs, so a warm stream of
+    // small batches makes no per-epoch heap trips here.
+    const std::size_t n_touched = delta.touched.size();
+    epoch_olds_.resize(prog_.sites.size());
+    for (auto& per_site : epoch_olds_) {
+      if (per_site.size() < n_touched) per_site.resize(n_touched);
+      for (std::size_t ti = 0; ti < n_touched; ++ti) per_site[ti].clear();
+    }
     {
       EvalContext ctx = make_ctx(0);
       ctx.has_vertex = true;
-      for (const graph::VertexId v : delta.touched) {
+      for (std::size_t ti = 0; ti < n_touched; ++ti) {
+        const graph::VertexId v = delta.touched[ti];
         if (v >= old_n) continue;
         ctx.vertex = v;
         ctx.fields = fields_of(v);
@@ -207,7 +282,7 @@ class DvRunner::Impl {
         for (const AggSite& site : prog_.sites) {
           const auto [targets, weights] = push_targets(site, v);
           if (targets.empty()) continue;
-          auto& list = olds[static_cast<std::size_t>(site.id)][v];
+          auto& list = epoch_olds_[static_cast<std::size_t>(site.id)][ti];
           list.reserve(targets.size());
           for (std::size_t i = 0; i < targets.size(); ++i) {
             ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
@@ -232,6 +307,13 @@ class DvRunner::Impl {
     ApplySink apply_sink(this);
     if (new_n > old_n) {
       engine_->grow(new_n);
+      if (!atomic_table_.empty()) {
+        // Pending slots are empty between supersteps, so the re-init only
+        // resizes; lanes follow the new bitmap width.
+        atomic_table_.reset(new_n);
+        for (AtomicFoldLane& lane : atomic_lanes_)
+          lane.reset(new_n, atomic_table_.columns());
+      }
       state_.resize(new_n * stride_);
       const std::vector<Value> defaults = compiler_field_defaults();
       for (std::size_t v = old_n; v < new_n; ++v)
@@ -253,7 +335,7 @@ class DvRunner::Impl {
         else
           eval_root(*prog_.init, ctx);
         push_first(ctx, v, 0);
-        wake_[v] = 1;
+        mark_wake(v);
       }
     }
 
@@ -265,7 +347,8 @@ class DvRunner::Impl {
     {
       EvalContext ctx = make_ctx(0);
       ctx.has_vertex = true;
-      for (const graph::VertexId v : delta.touched) {
+      for (std::size_t ti = 0; ti < n_touched; ++ti) {
+        const graph::VertexId v = delta.touched[ti];
         if (v >= old_n) continue;
         ctx.vertex = v;
         ctx.fields = fields_of(v);
@@ -279,11 +362,7 @@ class DvRunner::Impl {
               site.init_send_expr ? *site.init_send_expr : *site.send_expr;
           const auto [targets, weights] = push_targets(site, v);
           const auto site_idx = static_cast<std::size_t>(site.id);
-          const auto& site_olds = olds[site_idx];
-          static const std::vector<std::pair<graph::VertexId, Value>>
-              kNoOlds;
-          const auto it = site_olds.find(v);
-          const auto& old_list = it == site_olds.end() ? kNoOlds : it->second;
+          const auto& old_list = epoch_olds_[site_idx][ti];
           const Value identity = agg_identity(site.op, site.elem_type);
           std::size_t oi = 0, ni = 0;
           while (oi < old_list.size() || ni < targets.size()) {
@@ -336,19 +415,27 @@ class DvRunner::Impl {
       }
     }
 
+    // Routed epoch patches are still parked in pending slots: fold them
+    // into the accumulators now (wake_ was marked at fold time).
+    drain_atomic(/*activate=*/false);
+
     // ---- Wake exactly the mutation frontier (touched endpoints, Δ
-    // receivers, new vertices) and re-converge the statement.
+    // receivers, new vertices) and re-converge the statement. The wake
+    // list was accumulated at mark time, so a small epoch on a large
+    // graph never pays a full-vertex scan here.
     engine_->halt_all();
-    for (std::size_t v = 0; v < new_n; ++v) {
-      if (!wake_[v] || engine_->is_deleted(static_cast<graph::VertexId>(v)))
-        continue;
-      engine_->activate(static_cast<graph::VertexId>(v));
+    for (const graph::VertexId v : wake_list_) {
+      if (engine_->is_deleted(v)) continue;
+      engine_->activate(v);
       ++es.woken;
     }
+
     if (es.woken > 0) run_statement(0);
 
     es.deltas_applied = deltas_applied_;
     es.supersteps = supersteps_ - steps_base;
+    es.atomic_folds = atomic_folds_total_ - folds_base;
+    es.atomic_path = !atomic_table_.empty();
     const auto& log = engine_->stats().supersteps;
     for (std::size_t i = stats_base; i < log.size(); ++i)
       es.messages += log[i].messages_sent;
@@ -361,6 +448,8 @@ class DvRunner::Impl {
   }
 
   DvRunResult snapshot_result() { return collect_result(); }
+
+  bool atomic_path() const { return !atomic_table_.empty(); }
 
   void save_state(persist::SnapshotWriter& w) const {
     w.begin_section(persist::kSecRunner);
@@ -503,10 +592,81 @@ class DvRunner::Impl {
   }
 
  private:
+  /// Post-step drain of the lock-free fold path: ORs every lane's frontier
+  /// bitmap, applies each marked (vertex, site) pending slot into the
+  /// aggAccum field via the same apply_delta a buffered delivery runs, and
+  /// wakes the vertex. The application is UNCONDITIONAL — a marked slot
+  /// still holding identity bits corresponds to a buffered combined-to-
+  /// identity message, which is also applied and also wakes its receiver
+  /// (bit-exactness: −0.0 + 0.0 must land as +0.0 on both paths). Deleted
+  /// vertices get their slot reset but neither apply nor wake, mirroring
+  /// the engine's message drop. Runs single-threaded between supersteps;
+  /// `activate` selects engine wake-up (stepping) vs the epoch's wake_
+  /// frontier (apply_epoch marks wake_ at fold time already, so false
+  /// there).
+  void drain_atomic(bool activate) {
+    if (atomic_table_.empty()) return;
+    std::uint64_t folds = 0;
+    for (AtomicFoldLane& lane : atomic_lanes_) {
+      folds += lane.folds;
+      lane.folds = 0;
+    }
+    atomic_folds_last_step_ = folds;
+    atomic_folds_total_ += folds;
+    if (obs::Collector* const col = obs::resolve(options_.collector))
+      col->metrics.shard(0).add(obs::Counter::kAtomicFolds, folds);
+    const std::size_t wpc = atomic_lanes_.front().words_per_column;
+    for (std::size_t c = 0; c < atomic_table_.columns(); ++c) {
+      const AggSite& site =
+          prog_.sites[static_cast<std::size_t>(atomic_col_site_[c])];
+      for (std::size_t wi = 0; wi < wpc; ++wi) {
+        std::uint64_t word = 0;
+        for (AtomicFoldLane& lane : atomic_lanes_) {
+          const std::size_t idx = c * wpc + wi;
+          word |= lane.words[idx];
+          lane.words[idx] = 0;
+        }
+        while (word) {
+          const auto v = static_cast<graph::VertexId>(
+              wi * 64 +
+              static_cast<std::size_t>(std::countr_zero(word)));
+          word &= word - 1;
+          const Value pending =
+              atomic_table_.take(v, static_cast<int>(c));
+          if (engine_->is_deleted(v)) continue;
+          AccumRef ref;
+          ref.acc =
+              &fields_of(v)[static_cast<std::size_t>(site.acc_slot)];
+          apply_delta(site.op, site.elem_type, ref, pending, 0, 0);
+          if (activate) engine_->activate(v);
+        }
+      }
+    }
+  }
+
+  /// Adds `v` to the epoch wake frontier exactly once (bitmap dedup).
+  void mark_wake(graph::VertexId v) {
+    if (wake_[v]) return;
+    wake_[v] = 1;
+    wake_list_.push_back(v);
+  }
+
   /// Applies a synthesized Δ-message synchronously into the receiver's
   /// accumulator slots (Eq. 8/9) — the epoch-start equivalent of the
   /// fold's per-message apply_delta — and marks it for wake-up.
   void apply_direct(graph::VertexId dst, const DvMessage& m) {
+    // Routed sites take the same pending slots the superstep path uses
+    // (single-threaded here, but one code path, one semantics); the
+    // epoch's drain_atomic(false) applies them after Phase B.
+    const int col =
+        atomic_table_.empty() ? -1 : atomic_table_.route[m.site];
+    if (col >= 0 && atomic_table_.fold(dst, col, m.payload)) {
+      atomic_lanes_.front().mark(dst, col);
+      ++atomic_lanes_.front().folds;
+      ++deltas_applied_;
+      mark_wake(dst);
+      return;
+    }
     const AggSite& site = prog_.sites[m.site];
     const auto fields = fields_of(dst);
     AccumRef ref;
@@ -517,7 +677,7 @@ class DvRunner::Impl {
     }
     apply_delta(site.op, site.elem_type, ref, m.payload, m.nulls, m.denulls);
     ++deltas_applied_;
-    wake_[dst] = 1;
+    mark_wake(dst);
   }
 
   /// SendSink that short-circuits the engine: messages land in receiver
@@ -853,6 +1013,11 @@ class DvRunner::Impl {
       c.sink = &lanes[w].sink;
       c.has_vertex = true;
       c.obs = col ? &col->metrics.shard(w) : nullptr;
+      if (!atomic_table_.empty()) {
+        c.atomic = &atomic_table_;
+        c.atomic_lane = &atomic_lanes_[w];
+        lanes[w].sink.bind_atomic(&atomic_table_, &atomic_lanes_[w]);
+      }
     }
     engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
                       std::span<const DvMessage>) {
@@ -868,6 +1033,7 @@ class DvRunner::Impl {
       per_vertex(ctx, v);
     });
     ++supersteps_;
+    drain_atomic(/*activate=*/true);
   }
 
   /// Evaluates the until clause globally (no vertex context).
@@ -909,6 +1075,30 @@ class DvRunner::Impl {
     return mask;
   }
 
+  /// True when run_statement's until-loop may drive through the engine's
+  /// fused exchange-free region (run_fused) instead of one pool dispatch
+  /// per superstep. Correctness never depends on this — fused rounds
+  /// still exchange stray messages in-region — so the gates are (a)
+  /// features that need per-superstep main-thread interleaving (send
+  /// probes, checkpoint hooks, retraction scheduling, per-superstep
+  /// trace spans) and (b) the requirement that every Δ-send site of this
+  /// statement actually bypasses the message pipeline; a statement with
+  /// buffered sites would exchange every round and the shape saves
+  /// nothing.
+  bool can_fuse_statement(const Stmt& stmt, std::uint64_t own_sites) const {
+    if (stmt.kind != Stmt::Kind::kIter) return false;
+    if (atomic_table_.empty()) return false;
+    for (const AggSite& site : prog_.sites)
+      if ((own_sites >> site.id & 1) &&
+          atomic_table_.route[static_cast<std::size_t>(site.id)] < 0)
+        return false;
+    if (options_.send_probe) return false;
+    if (checkpointing_) return false;
+    if (!options_.deletions.empty()) return false;
+    if (obs::resolve(options_.collector)) return false;
+    return true;
+  }
+
   void run_statement(std::size_t si, std::size_t start_iter = 0) {
     const Stmt& stmt = prog_.stmts[si];
     const bool is_iter = stmt.kind == Stmt::Kind::kIter;
@@ -919,6 +1109,119 @@ class DvRunner::Impl {
     // fresh budget instead of exhausting a cumulative one.
     const std::size_t steps_base = supersteps_;
     std::size_t iter = start_iter;  // nonzero only when resuming a restore
+
+    // Hot-loop state hoisted out of the superstep loop: contexts are
+    // built once per worker per *statement*; iteration-varying fields
+    // (iter, suppression mask) are patched in place between supersteps,
+    // and the per-vertex work is only the vertex-varying views and
+    // out-flags. The VM chunk id is resolved here too, so the per-vertex
+    // dispatch is a direct call rather than a root-map lookup.
+    const int body_chunk = vm_ ? vm_->program().chunk_of(*stmt.body) : -1;
+    DV_CHECK_MSG(!vm_ || body_chunk >= 0,
+                 "statement body was not lowered as a VM root");
+    const std::size_t W = worker_scratch_.size();
+    // Cache-line aligned per-worker lanes: the context's per-vertex
+    // fields are rewritten millions of times from distinct threads, and
+    // packing them back-to-back would false-share across workers.
+    struct alignas(64) WorkerLane {
+      EngineSink sink;
+      EvalContext ctx;
+    };
+    obs::Collector* const col = obs::resolve(options_.collector);
+    std::vector<WorkerLane> lanes(W);
+    for (std::size_t w = 0; w < W; ++w) {
+      EvalContext& c = lanes[w].ctx;
+      c = make_ctx(static_cast<int>(w));
+      c.sink = &lanes[w].sink;
+      c.has_vertex = true;
+      c.obs = col ? &col->metrics.shard(w) : nullptr;
+      if (!atomic_table_.empty()) {
+        c.atomic = &atomic_table_;
+        c.atomic_lane = &atomic_lanes_[w];
+        lanes[w].sink.bind_atomic(&atomic_table_, &atomic_lanes_[w]);
+      }
+    }
+    const auto set_iteration = [&](std::size_t it, std::uint64_t suppress) {
+      for (std::size_t w = 0; w < W; ++w) {
+        lanes[w].ctx.iter = static_cast<std::int64_t>(it);
+        lanes[w].ctx.suppress_sites = suppress;
+      }
+    };
+    const auto compute = [&](DvEngine::Context& ectx, graph::VertexId v,
+                             std::span<const DvMessage> msgs) {
+      const std::size_t w = static_cast<std::size_t>(ectx.worker());
+      lanes[w].sink.bind(&ectx, &options_.send_probe);
+      EvalContext& ctx = lanes[w].ctx;
+      ctx.vertex = v;
+      ctx.fields = fields_of(v);
+      ctx.msgs = msgs;
+      ctx.halt_requested = false;
+      ctx.any_field_assign = false;
+      std::copy(scratch_defaults_.begin(), scratch_defaults_.end(),
+                ctx.scratch.begin());
+      if (!victims_.empty() && victims_[v]) {
+        // §9: retract this vertex's contributions, then leave for good.
+        send_retractions(ctx, v, si);
+        engine_->mark_deleted(v);
+        return;
+      }
+      if (body_chunk >= 0)
+        vm_->run_chunk(body_chunk, ctx);
+      else
+        eval(*stmt.body, ctx);
+      if (ctx.halt_requested) ectx.vote_to_halt();
+      if (ctx.any_field_assign)
+        assign_agg_->contribute(ectx.worker(), true);
+    };
+
+    if (can_fuse_statement(stmt, own_sites)) {
+      // Fused drive: one fork-join region for the whole until-loop. The
+      // service hook runs the exact inter-round segment of the classic
+      // loop below (drain, cap check, break conditions, next-iteration
+      // setup) on the last-arriving worker while the others park at the
+      // region's barrier; the classic loop stays byte-for-byte
+      // equivalent in supersteps, stats, and state.
+      ++iter;
+      bool last_known =
+          eval_until(stmt, static_cast<std::int64_t>(iter), /*stable=*/false);
+      assign_agg_->reset();
+      set_iteration(iter, last_known ? own_sites : 0);
+      const std::function<bool()> advance = [&]() -> bool {
+        ++supersteps_;
+        drain_atomic(/*activate=*/true);
+        DV_CHECK_MSG(supersteps_ - steps_base <= options_.max_supersteps,
+                     "superstep limit exceeded (non-terminating until?)");
+        if (last_known) return false;
+        if (stable_until) {
+          const auto& last = engine_->stats().supersteps.back();
+          const bool quiescent =
+              last.messages_sent == 0 && atomic_folds_last_step_ == 0 &&
+              (cp_.options.incrementalize || !assign_agg_->reduce());
+          if (eval_until(stmt, static_cast<std::int64_t>(iter), quiescent))
+            return false;
+        }
+        ++iter;
+        last_known = eval_until(stmt, static_cast<std::int64_t>(iter),
+                                /*stable=*/false);
+        assign_agg_->reset();
+        set_iteration(iter, last_known ? own_sites : 0);
+        return true;
+      };
+      // Sparse frontiers (warm streaming epochs waking a handful of
+      // vertices) go through the single-threaded inline drive: with a
+      // few dozen live vertices even barrier wakeups dominate, and the
+      // exchange-free shape needs no cross-thread message routing. Wide
+      // frontiers (cold convergence) keep the threaded fused region. The
+      // choice is made once per statement run from the entry frontier.
+      if (engine_->num_active() <=
+          std::max<std::uint64_t>(256, g_.num_vertices() / 8))
+        engine_->run_inline(compute, advance);
+      else
+        engine_->run_fused(compute, advance);
+      iterations_.push_back(iter);
+      return;
+    }
+
     for (;;) {
       ++iter;
       // Scheduled vertex removals for this (statement, iteration).
@@ -933,63 +1236,12 @@ class DvRunner::Impl {
       if (is_iter)
         last_known = eval_until(stmt, static_cast<std::int64_t>(iter),
                                 /*stable=*/false);
-      const std::uint64_t suppress = last_known ? own_sites : 0;
-
       assign_agg_->reset();
-      // Hot loop: contexts are built once per worker per superstep; the
-      // per-vertex work is only the vertex-varying views and out-flags.
-      // The VM chunk id is resolved here too, so the per-vertex dispatch
-      // is a direct call rather than a root-map lookup.
-      const int body_chunk =
-          vm_ ? vm_->program().chunk_of(*stmt.body) : -1;
-      DV_CHECK_MSG(!vm_ || body_chunk >= 0,
-                   "statement body was not lowered as a VM root");
-      const std::size_t W = worker_scratch_.size();
-      // Cache-line aligned per-worker lanes: the context's per-vertex
-      // fields are rewritten millions of times from distinct threads, and
-      // packing them back-to-back would false-share across workers.
-      struct alignas(64) WorkerLane {
-        EngineSink sink;
-        EvalContext ctx;
-      };
-      obs::Collector* const col = obs::resolve(options_.collector);
-      std::vector<WorkerLane> lanes(W);
-      for (std::size_t w = 0; w < W; ++w) {
-        EvalContext& c = lanes[w].ctx;
-        c = make_ctx(static_cast<int>(w));
-        c.sink = &lanes[w].sink;
-        c.has_vertex = true;
-        c.iter = static_cast<std::int64_t>(iter);
-        c.suppress_sites = suppress;
-        c.obs = col ? &col->metrics.shard(w) : nullptr;
-      }
-      engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
-                        std::span<const DvMessage> msgs) {
-        const std::size_t w = static_cast<std::size_t>(ectx.worker());
-        lanes[w].sink.bind(&ectx, &options_.send_probe);
-        EvalContext& ctx = lanes[w].ctx;
-        ctx.vertex = v;
-        ctx.fields = fields_of(v);
-        ctx.msgs = msgs;
-        ctx.halt_requested = false;
-        ctx.any_field_assign = false;
-        std::copy(scratch_defaults_.begin(), scratch_defaults_.end(), ctx.scratch.begin());
-        if (!victims_.empty() && victims_[v]) {
-          // §9: retract this vertex's contributions, then leave for good.
-          send_retractions(ctx, v, si);
-          engine_->mark_deleted(v);
-          return;
-        }
-        if (body_chunk >= 0)
-          vm_->run_chunk(body_chunk, ctx);
-        else
-          eval(*stmt.body, ctx);
-        if (ctx.halt_requested) ectx.vote_to_halt();
-        if (ctx.any_field_assign)
-          assign_agg_->contribute(ectx.worker(), true);
-      });
+      set_iteration(iter, last_known ? own_sites : 0);
+      engine_->step(compute);
       victims_.clear();
       ++supersteps_;
+      drain_atomic(/*activate=*/true);
       DV_CHECK_MSG(supersteps_ - steps_base <= options_.max_supersteps,
                    "superstep limit exceeded (non-terminating until?)");
 
@@ -1000,10 +1252,12 @@ class DvRunner::Impl {
         // new. For ΔV this is sufficient (bodies are idempotent under an
         // unchanged accumulator). ΔV* additionally requires that nothing
         // was assigned, because its non-memoized folds recompute from
-        // whatever arrives each superstep.
+        // whatever arrives each superstep. On the atomic path sends turn
+        // into lock-free folds, so quiescence additionally requires that
+        // no contribution was folded this superstep.
         const auto& last = engine_->stats().supersteps.back();
         const bool quiescent =
-            last.messages_sent == 0 &&
+            last.messages_sent == 0 && atomic_folds_last_step_ == 0 &&
             (cp_.options.incrementalize || !assign_agg_->reduce());
         if (eval_until(stmt, static_cast<std::int64_t>(iter), quiescent))
           break;
@@ -1066,9 +1320,24 @@ class DvRunner::Impl {
   std::size_t cur_stmt_ = 0;
   std::size_t cur_iter_ = 0;
   bool checkpointing_ = false;  // armed only inside run()
-  // Epoch scratch: the wake frontier and the Δ-application counter.
+  // Epoch scratch: the wake frontier (bitmap for dedup + list so waking
+  // never scans the full vertex range), the Δ-application counter, and
+  // the Phase A old-contribution lists, indexed [site][touched position]
+  // and capacity-reused across epochs.
   std::vector<std::uint8_t> wake_;
+  std::vector<graph::VertexId> wake_list_;
+  std::vector<std::vector<std::vector<std::pair<graph::VertexId, Value>>>>
+      epoch_olds_;
   std::size_t deltas_applied_ = 0;
+  // Lock-free fold path (atomic_fold.h): the shared pending-slot table,
+  // one frontier-bitmap lane per worker, and the column → site map the
+  // drain uses to find accumulator slots. Empty when every site is
+  // buffered.
+  AtomicFoldTable atomic_table_;
+  std::vector<AtomicFoldLane> atomic_lanes_;
+  std::vector<int> atomic_col_site_;
+  std::uint64_t atomic_folds_total_ = 0;      // since construction
+  std::uint64_t atomic_folds_last_step_ = 0;  // quiescence extension
 };
 
 const char* exec_tier_name(ExecTier tier) {
@@ -1079,6 +1348,23 @@ ExecTier parse_exec_tier(const std::string& name) {
   if (name == "tree") return ExecTier::kTree;
   if (name == "vm") return ExecTier::kVm;
   DV_FAIL("unknown execution tier '" << name << "' (expected tree|vm)");
+}
+
+const char* fold_path_name(FoldPath p) {
+  switch (p) {
+    case FoldPath::kAuto: return "auto";
+    case FoldPath::kBuffered: return "buffered";
+    case FoldPath::kAtomic: return "atomic";
+  }
+  DV_FAIL("unknown fold path");
+}
+
+FoldPath parse_fold_path(const std::string& name) {
+  if (name == "auto") return FoldPath::kAuto;
+  if (name == "buffered") return FoldPath::kBuffered;
+  if (name == "atomic") return FoldPath::kAtomic;
+  DV_FAIL("unknown fold path '" << name
+                                << "' (expected auto|buffered|atomic)");
 }
 
 int DvRunResult::field_slot(const std::string& name) const {
@@ -1128,6 +1414,8 @@ EpochStats DvRunner::apply_epoch(graph::DynamicGraph& dyn,
 DvRunResult DvRunner::result() const { return impl_->snapshot_result(); }
 
 bool DvRunner::converged() const { return impl_->converged(); }
+
+bool DvRunner::atomic_path() const { return impl_->atomic_path(); }
 
 void DvRunner::save_state(persist::SnapshotWriter& w) const {
   impl_->save_state(w);

@@ -31,6 +31,7 @@
 
 #include "dv/compiler.h"
 #include "dv/obs/obs.h"
+#include "dv/runtime/atomic_fold.h"
 #include "dv/runtime/interpreter.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph_view.h"
@@ -68,6 +69,11 @@ const char* exec_tier_name(ExecTier tier);
 /// Parses "tree"/"vm" (CLI flags); throws CheckError otherwise.
 ExecTier parse_exec_tier(const std::string& name);
 
+const char* fold_path_name(FoldPath p);
+/// Parses "auto"/"buffered"/"atomic" (CLI flags); throws CheckError
+/// otherwise.
+FoldPath parse_fold_path(const std::string& name);
+
 struct DvRunOptions {
   pregel::EngineOptions engine;
   bool use_combiner = true;
@@ -87,6 +93,20 @@ struct DvRunOptions {
   /// of the statement's aggregation operators to admit retraction
   /// (+, *, &&, ||); min/max accumulators cannot forget a contribution.
   std::vector<VertexDeletion> deletions;
+
+  /// Fold-path selection (DESIGN.md "Fold paths"): kAuto routes every
+  /// site the incrementalize pass proved commutative-associative through
+  /// the lock-free pending-slot path; kBuffered forces the message path
+  /// everywhere (the differential oracle); kAtomic requests the fast path
+  /// explicitly (same routing as kAuto — ineligible sites still buffer).
+  /// A send_probe forces buffered regardless: a message probe has nothing
+  /// to observe on a message-free path.
+  FoldPath fold_path = FoldPath::kAuto;
+  /// Opt-in: admit float + sites to the atomic path. Concurrent fetch-
+  /// order re-associates the sum, so results are only ε-close to the
+  /// buffered path, not bit-exact; everything else keeps the bit-exact
+  /// contract.
+  bool atomic_float = false;
 
   /// Debug/verification hook: observes every message as it is sent
   /// (src, dst, message). Called from worker threads — the callee must be
@@ -142,6 +162,9 @@ struct EpochStats {
   std::size_t deltas_applied = 0;  // Δ-payloads folded directly into
                                    // receiver accumulators at epoch start
   std::size_t woken = 0;           // vertices activated at epoch start
+  std::uint64_t atomic_folds = 0;  // contributions folded lock-free this
+                                   // epoch (0 on the buffered path)
+  bool atomic_path = false;        // any site routed through the atomic path
 };
 
 /// A resumable program execution: the §9 dynamic-graph story. After
@@ -213,6 +236,10 @@ class DvRunner {
   /// Snapshot of the current converged state (same shape as converge()'s
   /// result; stats cover everything since construction).
   DvRunResult result() const;
+
+  /// True when at least one aggregation site routes through the lock-free
+  /// fold path under this runner's options (labels bench/tool output).
+  bool atomic_path() const;
 
   /// Implementation; public so run_program can drive it directly.
   class Impl;

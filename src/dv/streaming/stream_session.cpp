@@ -98,6 +98,8 @@ void DvStreamSession::init_runner() {
 
 bool DvStreamSession::converged() const { return runner_->converged(); }
 
+bool DvStreamSession::atomic_path() const { return runner_->atomic_path(); }
+
 DvRunResult DvStreamSession::converge() {
   DV_CHECK_MSG(!runner_->converged(), "converge() already ran; use apply()");
   // Distinguish the first-ever converge() from resuming a snapshot taken
@@ -138,6 +140,7 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
   if (delta.empty()) {
     // Nothing net-changed (all ops redundant): state is already converged.
     ep.warm = true;
+    ep.stats.atomic_path = runner_->atomic_path();
     note_decision(ep);
     return ep;
   }
@@ -156,6 +159,7 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
     ep.stats.supersteps = r.supersteps;
     ep.stats.messages = r.stats.total_messages_sent();
     ep.stats.woken = r.num_vertices;  // a cold run wakes everyone
+    ep.stats.atomic_path = runner_->atomic_path();
   }
 
   if (dyn_.overlay_fraction() > options_.compact_threshold) {

@@ -112,6 +112,9 @@ class DvStreamSession {
   /// converge(), and after restoring a mid-convergence snapshot (call
   /// converge() to resume).
   bool converged() const;
+  /// True when at least one aggregation site routes through the lock-free
+  /// fold path under this session's run options (labels tool output).
+  bool atomic_path() const;
 
   /// Serializes the complete session (see the file comment) to `path`,
   /// atomically. Call between supersteps only — always true outside the

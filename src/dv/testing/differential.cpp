@@ -393,6 +393,87 @@ std::optional<DiffFailure> check_case(const FuzzCase& fc,
                                         " workers)"};
     }
 
+    // --- fold-path axis -----------------------------------------------
+    // The lock-free pending-slot path must be observationally identical
+    // to the buffered message path (the probe run above forces buffered):
+    // same fixpoint, same superstep count, never more messages. Checked
+    // on both tiers. Ints and bools compare bit-exactly; floats compare
+    // numerically exact (±0.0 only — CAS-min tie order can flip a zero's
+    // sign where the buffered fold keeps its first candidate).
+    if (opts.check_fold_path) {
+      const auto fold_equal = [](const Value& a, const Value& b) {
+        return a.type == Type::kFloat ? value_close(a, b, 0.0)
+                                      : value_bits_equal(a, b);
+      };
+      for (const ExecTier tier : {ExecTier::kVm, ExecTier::kTree}) {
+        if (tier == ExecTier::kTree && !opts.check_tiers) continue;
+        DvRunOptions aro = base_run_options(fc, opts, workers);
+        aro.tier = tier;
+        aro.fold_path = FoldPath::kAtomic;
+        DvRunResult atomic;
+        try {
+          atomic = run_program(dv_cp, g, aro);
+        } catch (const std::exception& e) {
+          return DiffFailure{"fold_path",
+                             std::string(exec_tier_name(tier)) + " (" +
+                                 std::to_string(workers) +
+                                 " workers): " + e.what()};
+        }
+        if (atomic.supersteps != dv.supersteps)
+          return DiffFailure{
+              "fold_path",
+              std::string(exec_tier_name(tier)) + ": atomic ran " +
+                  std::to_string(atomic.supersteps) + " supersteps vs " +
+                  std::to_string(dv.supersteps) + " buffered (" +
+                  std::to_string(workers) + " workers)"};
+        if (atomic.stats.total_messages_sent() >
+            dv.stats.total_messages_sent())
+          return DiffFailure{
+              "fold_path",
+              std::string(exec_tier_name(tier)) + ": atomic sent " +
+                  std::to_string(atomic.stats.total_messages_sent()) +
+                  " messages > buffered " +
+                  std::to_string(dv.stats.total_messages_sent()) + " (" +
+                  std::to_string(workers) + " workers)"};
+        if (atomic.state.size() != dv.state.size())
+          return DiffFailure{"fold_path", "state shape differs"};
+        for (std::size_t i = 0; i < dv.state.size(); ++i)
+          if (!fold_equal(atomic.state[i], dv.state[i]))
+            return DiffFailure{
+                "fold_path",
+                std::string(exec_tier_name(tier)) + ": state word " +
+                    std::to_string(i) + ": atomic " + show(atomic.state[i]) +
+                    " vs buffered " + show(dv.state[i]) + " (" +
+                    std::to_string(workers) + " workers)"};
+      }
+
+      // Float + opt-in: concurrent fetch order re-associates the sum by
+      // design, so only ε-closeness is required (and superstep counts may
+      // legitimately drift where a change check sees a tiny residue).
+      DvRunOptions fro = base_run_options(fc, opts, workers);
+      fro.fold_path = FoldPath::kAtomic;
+      fro.atomic_float = true;
+      DvRunResult afloat;
+      try {
+        afloat = run_program(dv_cp, g, fro);
+      } catch (const std::exception& e) {
+        return DiffFailure{"fold_path",
+                           std::string("atomic_float (") +
+                               std::to_string(workers) +
+                               " workers): " + e.what()};
+      }
+      if (afloat.state.size() != dv.state.size())
+        return DiffFailure{"fold_path", "atomic_float state shape differs"};
+      for (std::size_t i = 0; i < dv.state.size(); ++i)
+        if (!value_close(afloat.state[i], dv.state[i], opts.float_tol))
+          return DiffFailure{
+              "fold_path",
+              "atomic_float state word " + std::to_string(i) + ": " +
+                  show(afloat.state[i]) + " vs buffered " +
+                  show(dv.state[i]) + " (" + std::to_string(workers) +
+                  " workers)"};
+    }
+
     if (!first_dv) {
       first_dv = std::move(dv);
       first_workers = workers;

@@ -44,6 +44,14 @@ struct DiffOptions {
   /// reference semantics): bit-exact state, equal message/byte counts,
   /// bit-exact Eq. 11 stream replay.
   bool check_tiers = true;
+  /// Fold-path axis: re-run ΔV with fold_path = kAtomic on both tiers and
+  /// require the lock-free pending-slot path to reproduce the buffered
+  /// run exactly — same state (bit-exact for ints/bools; floats compare
+  /// exactly up to ±0.0, since CAS-min tie order can flip a zero's sign)
+  /// and the same superstep count. A second run with the float + opt-in
+  /// (atomic_float) is held only to float_tol: concurrent fetch order
+  /// re-associates the sum by design.
+  bool check_fold_path = true;
 };
 
 struct DiffFailure {

@@ -399,6 +399,22 @@ std::optional<DiffFailure> check_stream_case(const StreamCase& sc,
           streaming::make_stream_session(cp, base, opts_for(ExecTier::kTree));
       tree->converge();
     }
+    // Fold-path axis: the default sessions above route proven sites
+    // through the lock-free pending slots; these force the buffered
+    // message path (the oracle) and the float + opt-in respectively.
+    std::unique_ptr<streaming::DvStreamSession> buffered;
+    std::unique_ptr<streaming::DvStreamSession> afloat;
+    if (opts.check_fold_path) {
+      auto bo = opts_for(ExecTier::kVm);
+      bo.run.fold_path = FoldPath::kBuffered;
+      buffered = streaming::make_stream_session(cp, base, bo);
+      buffered->converge();
+      auto fo = opts_for(ExecTier::kVm);
+      fo.run.fold_path = FoldPath::kAtomic;
+      fo.run.atomic_float = true;
+      afloat = streaming::make_stream_session(cp, base, fo);
+      afloat->converge();
+    }
 
     const auto oracle_state = [&](const streaming::DvStreamSession& s,
                                   ExecTier tier) {
@@ -445,6 +461,47 @@ std::optional<DiffFailure> check_stream_case(const StreamCase& sc,
                 "tiers", tag("state word " + std::to_string(i) + ": vm " +
                              show(rv.state[i]) + " vs tree " +
                              show(rt.state[i]))};
+      }
+
+      if (buffered) {
+        // Forced-buffered oracle session: identical decisions, superstep
+        // counts and state. Ints/bools bit-exact; floats numerically
+        // exact up to ±0.0 (CAS-min tie order can flip a zero's sign).
+        const streaming::SessionEpoch eb = buffered->apply(sc.batches[bi]);
+        if (ev.warm != eb.warm)
+          return DiffFailure{
+              "fold_path", tag("warm/cold disagreement vs buffered")};
+        if (ev.stats.supersteps != eb.stats.supersteps)
+          return DiffFailure{
+              "fold_path",
+              tag("superstep counts diverge: atomic " +
+                  std::to_string(ev.stats.supersteps) + " vs buffered " +
+                  std::to_string(eb.stats.supersteps))};
+        const DvRunResult rb = buffered->result();
+        if (rv.state.size() != rb.state.size())
+          return DiffFailure{"fold_path", tag("state sizes diverge")};
+        for (std::size_t i = 0; i < rv.state.size(); ++i) {
+          const bool ok = rv.state[i].type == Type::kFloat
+                              ? value_close(rv.state[i], rb.state[i], 0.0)
+                              : value_bits_equal(rv.state[i], rb.state[i]);
+          if (!ok)
+            return DiffFailure{
+                "fold_path", tag("state word " + std::to_string(i) +
+                                 ": default " + show(rv.state[i]) +
+                                 " vs buffered " + show(rb.state[i]))};
+        }
+      }
+      if (afloat) {
+        // Float + opt-in: fetch order re-associates the sum, so only
+        // ε-closeness of the user-visible fields is required.
+        const streaming::SessionEpoch ef = afloat->apply(sc.batches[bi]);
+        if (ev.warm != ef.warm)
+          return DiffFailure{
+              "fold_path", tag("warm/cold disagreement vs atomic_float")};
+        const std::string fdiff = compare_user_fields(
+            afloat->result(), vm->result(), opts.float_tol);
+        if (!fdiff.empty())
+          return DiffFailure{"fold_path", tag("atomic_float: " + fdiff)};
       }
     }
   } catch (const std::exception& e) {

@@ -63,6 +63,12 @@ struct StreamDiffOptions {
   /// Also run a tree-interpreter session and require bit-identical state
   /// and equal superstep counts after every batch.
   bool check_tiers = true;
+  /// Fold-path axis: also run a forced-buffered session and require it to
+  /// match the default (atomic-where-proven) session after every batch —
+  /// same state (ints/bools bit-exact, floats exact up to ±0.0), same
+  /// superstep count, same warm/cold decision. A float + opt-in session
+  /// (atomic_float) rides along held only to float_tol.
+  bool check_fold_path = true;
 };
 
 /// Runs the case end-to-end; returns the first failure or nullopt.

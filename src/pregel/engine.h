@@ -254,6 +254,13 @@ class Engine {
     }
   }
 
+  /// Number of currently unhalted vertices — the live frontier size.
+  std::uint64_t num_active() const {
+    std::uint64_t n = 0;
+    for (const auto& ws : workers_) n += ws.unhalted;
+    return n;
+  }
+
   /// True once every vertex has halted and no messages are pending.
   bool done() const {
     std::uint64_t unhalted = 0, pending = 0;
@@ -269,6 +276,140 @@ class Engine {
   const RunStats& run(ComputeFn&& fn, std::size_t max_supersteps = kNoLimit) {
     while (!done() && superstep_ < max_supersteps) step(fn);
     return stats_;
+  }
+
+  /// Fused multi-round drive — the exchange-free superstep shape. Runs
+  /// compute rounds back-to-back inside ONE fork-join region, separated
+  /// by generation barriers (~2µs) instead of per-round pool dispatches
+  /// (~6µs plus condvar sleep/wake amplification when rounds do real
+  /// work). Exists for callers whose sends bypass the message pipeline —
+  /// the ΔV lock-free fold path — where a round leaves nothing to
+  /// exchange and the only inter-round work is the caller's own (fold
+  /// drain, loop-condition checks), done here by the last-arriving
+  /// thread via `service()` while the other workers park at the barrier.
+  /// service() returns false to end the region; state it mutates is
+  /// published to the next round by the barrier release.
+  ///
+  /// Rounds that DO send (a program may mix buffered sites in, or fall
+  /// back for one contribution) run the full exchange inside the region,
+  /// so correctness never rests on the caller's eligibility proof — only
+  /// the performance claim does. Callers must not need per-round
+  /// main-thread interleaving: send probes, checkpoint hooks, and
+  /// per-superstep trace spans all require the classic step() loop.
+  /// Superstep stats are recorded exactly as step() records them;
+  /// compute/exchange wall timings are left zero (no per-round timers).
+  template <typename ComputeFn>
+  void run_fused(ComputeFn&& fn, const std::function<bool()>& service) {
+    const int W = options_.num_workers;
+    std::atomic<int> arrived{0};
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<bool> stop{false};
+    std::atomic<bool> do_exchange{false};
+    std::atomic<bool> failed{false};
+    // Generation barrier with a single-threaded leader section. The
+    // leader (last arriver) runs `section` while everyone else spins on
+    // the generation word; its release publishes the leader's writes. A
+    // throwing section still bumps the generation (nobody spins forever),
+    // flags the failure, and rethrows on the leader's thread for the pool
+    // to propagate.
+    const auto barrier = [&](const auto& section) {
+      const std::uint64_t g = gen.load(std::memory_order_acquire);
+      if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == W) {
+        arrived.store(0, std::memory_order_relaxed);
+        try {
+          section();
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+          gen.store(g + 1, std::memory_order_release);
+          throw;
+        }
+        gen.store(g + 1, std::memory_order_release);
+      } else {
+        while (gen.load(std::memory_order_acquire) == g)
+          std::this_thread::yield();
+      }
+    };
+    const auto bookkeep = [&] {
+      SuperstepStats ss;
+      finish_step(ss);
+      if (!service()) stop.store(true, std::memory_order_relaxed);
+    };
+    pool_.run([&](int w) {
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          compute_phase(w, fn);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+          barrier([] {});
+          throw;
+        }
+        barrier([&] {
+          if (failed.load(std::memory_order_relaxed)) return;
+          // The round is exchange-free iff no outbox got a (fallback)
+          // message and every inbox was already drained; then the
+          // between-round bookkeeping happens right here and the next
+          // compute round starts without a second barrier.
+          bool msgs = false;
+          for (int dw = 0; !msgs && dw < W; ++dw) {
+            msgs = !workers_[static_cast<std::size_t>(dw)]
+                        .inbox_data.empty();
+            for (int sw = 0; !msgs && sw < W; ++sw)
+              msgs = !workers_[static_cast<std::size_t>(sw)]
+                          .outbox[static_cast<std::size_t>(dw)]
+                          .empty();
+          }
+          do_exchange.store(msgs, std::memory_order_relaxed);
+          if (!msgs) bookkeep();
+        });
+        if (do_exchange.load(std::memory_order_relaxed) &&
+            !failed.load(std::memory_order_relaxed)) {
+          try {
+            exchange_phase(w);
+          } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
+            stop.store(true, std::memory_order_relaxed);
+            barrier([] {});
+            throw;
+          }
+          barrier([&] {
+            if (!failed.load(std::memory_order_relaxed)) bookkeep();
+          });
+        }
+      }
+    });
+  }
+
+  /// Single-threaded sibling of run_fused for sparse rounds. When the
+  /// live frontier is a few dozen vertices, even a generation barrier is
+  /// pure overhead — on a loaded host every fork-join forces a scheduling
+  /// round-trip through all workers that costs more than the compute
+  /// itself. Here the caller's thread walks every worker's lane in worker
+  /// order (identical per-worker structures, identical stats, identical
+  /// deterministic vertex order), exchanges only when a round actually
+  /// produced messages, and runs `service()` between rounds exactly like
+  /// run_fused's leader section. Only profitable for exchange-free
+  /// callers; the same gating rules as run_fused apply.
+  template <typename ComputeFn>
+  void run_inline(ComputeFn&& fn, const std::function<bool()>& service) {
+    const int W = options_.num_workers;
+    for (;;) {
+      for (int w = 0; w < W; ++w) compute_phase(w, fn);
+      bool msgs = false;
+      for (int dw = 0; !msgs && dw < W; ++dw) {
+        msgs = !workers_[static_cast<std::size_t>(dw)].inbox_data.empty();
+        for (int sw = 0; !msgs && sw < W; ++sw)
+          msgs = !workers_[static_cast<std::size_t>(sw)]
+                      .outbox[static_cast<std::size_t>(dw)]
+                      .empty();
+      }
+      if (msgs)
+        for (int w = 0; w < W; ++w) exchange_phase(w);
+      SuperstepStats ss;
+      finish_step(ss);
+      if (!service()) return;
+    }
   }
 
   std::size_t superstep() const { return superstep_; }
@@ -727,6 +868,23 @@ class Engine {
   void exchange_phase(int dw) {
     auto& recv = workers_[static_cast<std::size_t>(dw)];
     const int W = options_.num_workers;
+
+    // Exchange-free early out: when no sender has anything for this
+    // worker and its inbox is already empty, both passes are pure
+    // bookkeeping over zeroes — skip the O(local vertices) offset fill
+    // entirely. This is the common shape under the lock-free fold path,
+    // where Δ-contributions bypass outboxes altogether. The inbox check
+    // matters: a non-empty inbox holds last step's messages, and the
+    // offsets describing it must be rebuilt (to zero) before compute
+    // reads them.
+    {
+      bool idle = recv.inbox_data.empty();
+      for (int w = 0; idle && w < W; ++w)
+        idle = workers_[static_cast<std::size_t>(w)]
+                   .outbox[static_cast<std::size_t>(dw)]
+                   .empty();
+      if (idle) return;
+    }
 
     // Pass 1: count messages per local vertex; messages to deleted
     // vertices are dropped here (and at scatter below).

@@ -1,0 +1,304 @@
+// Adversarial stress tests for the lock-free atomic-fold fast path
+// (runtime/atomic_fold.h, DESIGN.md "Fold paths").
+//
+// The worst case for the atomic path is a hub vertex whose pending slot
+// is hammered by every worker lane at once — concurrent fetch-adds for
+// integer sums, CAS-min/CAS-max loops for the idempotent operators. These
+// tests build exactly that shape (a star graph, many workers), repeat the
+// contended runs 100×, and require bit-identical agreement with the
+// buffered message path and with a sequential oracle every single time.
+// They also pin the frontier-bitmap wake semantics: the set of vertices
+// computing in each superstep must match the exchange-scan wake set of
+// the buffered path exactly (observed through the per-superstep
+// active_vertices sequence).
+//
+// Labelled `atomic_fold` so the TSan CI job replays the contention under
+// ThreadSanitizer: a torn fold or a missing happens-before between the
+// compute fork-join and the single-threaded drain fails there.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/connected_components.h"
+#include "dv/obs/obs.h"
+#include "dv/programs/programs.h"
+#include "dv/streaming/stream_session.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace deltav {
+namespace {
+
+using dv::FoldPath;
+using dv::Value;
+using test::compile_dv;
+using test::small_engine;
+
+/// Integer sum gossip: every vertex replaces its value with the sum of
+/// its neighbors'. On a star this alternates between all leaves folding
+/// into the hub (maximum slot contention) and the hub's delta fanning
+/// out to every leaf (maximum bitmap spread). Values stay well inside
+/// int64 for the sizes used here.
+constexpr const char* kSumGossip = R"(
+param steps : int;
+init {
+  local x : int = vertexId
+};
+iter i {
+  let s : int = + [ u.x | u <- #neighbors ] in
+  x = s
+} until { i >= steps }
+)";
+
+dv::DvRunResult run_fold(const dv::CompiledProgram& cp,
+                         const graph::CsrGraph& g, FoldPath path,
+                         std::map<std::string, Value> params = {},
+                         int workers = 8,
+                         dv::ExecTier tier = dv::ExecTier::kVm) {
+  dv::DvRunOptions o;
+  o.engine = small_engine(workers);
+  o.params = std::move(params);
+  o.fold_path = path;
+  o.tier = tier;
+  return dv::run_program(cp, g, o);
+}
+
+/// Sequential oracle for kSumGossip.
+std::vector<std::int64_t> sum_gossip_oracle(const graph::CsrGraph& g,
+                                            int steps) {
+  std::vector<std::int64_t> x(g.num_vertices());
+  for (std::size_t v = 0; v < x.size(); ++v)
+    x[v] = static_cast<std::int64_t>(v);
+  for (int i = 0; i < steps; ++i) {
+    std::vector<std::int64_t> next(x.size(), 0);
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+      for (graph::VertexId u : g.neighbors(v)) next[v] += x[u];
+    x = std::move(next);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// fetch-add contention
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFold, HubFetchAddContentionMatchesBufferedAndOracle) {
+  // 255 leaves all folding into vertex 0's single pending slot, split
+  // across 8 worker lanes. steps=10 keeps the growth inside int64.
+  const auto g = graph::star(255, /*directed=*/false);
+  const auto cp = compile_dv(kSumGossip);
+  const auto params =
+      std::map<std::string, Value>{{"steps", Value::of_int(10)}};
+
+  const auto oracle = sum_gossip_oracle(g, 10);
+  const auto buffered = run_fold(cp, g, FoldPath::kBuffered, params);
+  const auto base = buffered.field_as_int("x");
+  ASSERT_EQ(base.size(), oracle.size());
+  for (std::size_t v = 0; v < oracle.size(); ++v)
+    ASSERT_EQ(base[v], oracle[v]) << "buffered vs oracle at vertex " << v;
+
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto tier = rep % 2 == 0 ? dv::ExecTier::kVm : dv::ExecTier::kTree;
+    const auto atomic = run_fold(cp, g, FoldPath::kAtomic, params, 8, tier);
+    ASSERT_EQ(atomic.stats.total_messages_sent(), 0u)
+        << "rep " << rep << ": atomic path sent messages";
+    ASSERT_EQ(atomic.supersteps, buffered.supersteps) << "rep " << rep;
+    const auto got = atomic.field_as_int("x");
+    for (std::size_t v = 0; v < oracle.size(); ++v)
+      ASSERT_EQ(got[v], oracle[v])
+          << "rep " << rep << " (" << dv::exec_tier_name(tier)
+          << "): atomic diverged at vertex " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CAS-min / CAS-max contention
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFold, HubCasMaxContentionMatchesBuffered) {
+  // Max gossip on an undirected star: superstep 1 is 255 concurrent
+  // CAS-max proposals against the hub's slot, most of which lose the
+  // race and must retry.
+  const auto g = graph::star(255, /*directed=*/false);
+  const auto cp = compile_dv(dv::programs::kMaxGossip);
+
+  const auto buffered = run_fold(cp, g, FoldPath::kBuffered);
+  const auto base = buffered.field_as_int("big");
+  for (std::size_t v = 0; v < base.size(); ++v)
+    ASSERT_EQ(base[v], 255) << "vertex " << v;
+
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto atomic = run_fold(cp, g, FoldPath::kAtomic);
+    ASSERT_EQ(atomic.stats.total_messages_sent(), 0u) << "rep " << rep;
+    ASSERT_EQ(atomic.supersteps, buffered.supersteps) << "rep " << rep;
+    const auto got = atomic.field_as_int("big");
+    for (std::size_t v = 0; v < base.size(); ++v)
+      ASSERT_EQ(got[v], base[v]) << "rep " << rep << " vertex " << v;
+  }
+}
+
+TEST(AtomicFold, CasMinMatchesUnionFindOracle) {
+  const auto g = test::small_undirected(11);
+  const auto oracle = algorithms::connected_components_oracle(g);
+  const auto cp = compile_dv(dv::programs::kConnectedComponents);
+
+  const auto buffered = run_fold(cp, g, FoldPath::kBuffered);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto atomic = run_fold(cp, g, FoldPath::kAtomic);
+    ASSERT_EQ(atomic.stats.total_messages_sent(), 0u) << "rep " << rep;
+    const auto got = atomic.field_as_int("comp");
+    ASSERT_EQ(got.size(), oracle.size());
+    for (std::size_t v = 0; v < oracle.size(); ++v)
+      ASSERT_EQ(got[v], static_cast<std::int64_t>(oracle[v]))
+          << "rep " << rep << " vertex " << v;
+    ASSERT_EQ(atomic.supersteps, buffered.supersteps) << "rep " << rep;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// frontier bitmap vs exchange scan
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFold, FrontierBitmapWakesExactlyTheExchangeScanSet) {
+  // The buffered path wakes receivers during the exchange scan; the
+  // atomic path wakes them from the frontier bitmap in the drain. The two
+  // wake sets must be identical, which the per-superstep active_vertices
+  // sequence observes exactly: a vertex computes in superstep k+1 iff it
+  // was active or woken in superstep k.
+  const auto g = graph::rmat(256, 1024, 23,
+                             [] {
+                               graph::RmatOptions o;
+                               o.directed = false;
+                               return o;
+                             }());
+  const auto cp = compile_dv(dv::programs::kConnectedComponents);
+
+  const auto buffered = run_fold(cp, g, FoldPath::kBuffered);
+  const auto atomic = run_fold(cp, g, FoldPath::kAtomic);
+
+  ASSERT_EQ(atomic.supersteps, buffered.supersteps);
+  ASSERT_EQ(atomic.stats.supersteps.size(), buffered.stats.supersteps.size());
+  for (std::size_t s = 0; s < buffered.stats.supersteps.size(); ++s) {
+    EXPECT_EQ(atomic.stats.supersteps[s].active_vertices,
+              buffered.stats.supersteps[s].active_vertices)
+        << "superstep " << s << ": wake sets diverged";
+  }
+  const auto a = atomic.field_as_int("comp");
+  const auto b = buffered.field_as_int("comp");
+  for (std::size_t v = 0; v < a.size(); ++v) EXPECT_EQ(a[v], b[v]);
+}
+
+// ---------------------------------------------------------------------------
+// float + stays buffered unless opted in
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFold, FloatSumRequiresOptIn) {
+  const auto g = test::small_directed();
+  const auto cp = compile_dv(dv::programs::kPageRank);
+  const auto params =
+      std::map<std::string, Value>{{"steps", Value::of_int(19)}};
+
+  dv::DvRunOptions o;
+  o.engine = small_engine(4);
+  o.params = params;
+
+  // Default: float + is not bit-exact under concurrent re-association,
+  // so PageRank's site stays buffered even with fold_path = kAtomic.
+  o.fold_path = FoldPath::kAtomic;
+  dv::DvRunner buffered_runner(cp, g, o);
+  const auto buffered = buffered_runner.converge();
+  EXPECT_FALSE(buffered_runner.atomic_path());
+  EXPECT_GT(buffered.stats.total_messages_sent(), 0u);
+
+  // Opt-in: the site routes atomic, sends nothing, and agrees to ε.
+  o.atomic_float = true;
+  dv::DvRunner atomic_runner(cp, g, o);
+  const auto atomic = atomic_runner.converge();
+  EXPECT_TRUE(atomic_runner.atomic_path());
+  EXPECT_EQ(atomic.stats.total_messages_sent(), 0u);
+  test::expect_close(atomic.field_as_double("vl"),
+                     buffered.field_as_double("vl"), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// streaming epochs route through the same slots
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFold, StreamingEpochsFoldAtomically) {
+  graph::RmatOptions ro;
+  ro.directed = false;
+  const auto base = graph::rmat(128, 512, 31, ro);
+  const auto cp = compile_dv(dv::programs::kConnectedComponents);
+
+  const auto run_session = [&](FoldPath path) {
+    dv::streaming::SessionOptions so;
+    so.run.engine = small_engine(8);
+    so.run.fold_path = path;
+    dv::streaming::DvStreamSession s(cp, base, so);
+    s.converge();
+    std::vector<dv::streaming::SessionEpoch> epochs;
+    // Edge inserts between fixed pairs: each batch perturbs the min-label
+    // landscape and must warm-apply (CC admits insert-only streams).
+    for (int b = 0; b < 3; ++b) {
+      graph::MutationBatch mb;
+      mb.insert_edge(static_cast<graph::VertexId>(3 + 7 * b),
+                     static_cast<graph::VertexId>(90 - 11 * b));
+      mb.insert_edge(static_cast<graph::VertexId>(40 + b),
+                     static_cast<graph::VertexId>(70 + 2 * b));
+      epochs.push_back(s.apply(mb));
+    }
+    return std::make_pair(s.result(), epochs);
+  };
+
+  const auto [buf_result, buf_epochs] = run_session(FoldPath::kBuffered);
+  const auto [atm_result, atm_epochs] = run_session(FoldPath::kAtomic);
+
+  ASSERT_EQ(atm_epochs.size(), buf_epochs.size());
+  for (std::size_t e = 0; e < buf_epochs.size(); ++e) {
+    EXPECT_TRUE(atm_epochs[e].warm) << "epoch " << e;
+    EXPECT_TRUE(atm_epochs[e].stats.atomic_path) << "epoch " << e;
+    EXPECT_FALSE(buf_epochs[e].stats.atomic_path) << "epoch " << e;
+    EXPECT_EQ(atm_epochs[e].stats.supersteps, buf_epochs[e].stats.supersteps)
+        << "epoch " << e;
+    EXPECT_EQ(atm_epochs[e].stats.messages, 0u) << "epoch " << e;
+  }
+  // At least one epoch's Δ-patches must actually have folded atomically.
+  std::uint64_t folds = 0;
+  for (const auto& ep : atm_epochs) folds += ep.stats.atomic_folds;
+  EXPECT_GT(folds, 0u);
+
+  const auto a = atm_result.field_as_int("comp");
+  const auto b = buf_result.field_as_int("comp");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v)
+    EXPECT_EQ(a[v], b[v]) << "vertex " << v;
+}
+
+// ---------------------------------------------------------------------------
+// the dv.atomic_folds counter
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFold, ObsCounterCountsFolds) {
+  const auto g = graph::star(63, /*directed=*/false);
+  const auto cp = compile_dv(dv::programs::kConnectedComponents);
+
+  obs::Collector col;
+  dv::DvRunOptions o;
+  o.engine = small_engine(4);
+  o.collector = &col;
+  o.fold_path = FoldPath::kAtomic;
+  dv::run_program(cp, g, o);
+  const auto snap = col.metrics.snapshot();
+  EXPECT_GT(snap.counters.at("dv.atomic_folds"), 0u);
+
+  obs::Collector col2;
+  o.collector = &col2;
+  o.fold_path = FoldPath::kBuffered;
+  dv::run_program(cp, g, o);
+  EXPECT_EQ(col2.metrics.snapshot().counters.at("dv.atomic_folds"), 0u);
+}
+
+}  // namespace
+}  // namespace deltav

@@ -107,6 +107,11 @@ TEST(EndToEnd, SsspMatchesDijkstraAndMessageCountsAreEqual) {
       dv::run_program(compile_dv(dv::programs::kSssp, false), g, dopt);
   expect_close(dv_star.field_as_double("dist"), oracle, 1e-9);
 
+  // The paper's message-count identity is a property of the buffered
+  // message pipeline; under the default fold path SSSP's min-aggregation
+  // is proven commutative and sends no messages at all. Pin the buffered
+  // path for the §7.2 comparison, then check the atomic path separately.
+  dopt.fold_path = dv::FoldPath::kBuffered;
   const auto dv_full =
       dv::run_program(compile_dv(dv::programs::kSssp, true), g, dopt);
   expect_close(dv_full.field_as_double("dist"), oracle, 1e-9);
@@ -117,6 +122,13 @@ TEST(EndToEnd, SsspMatchesDijkstraAndMessageCountsAreEqual) {
   // And both match the hand-written Pregel+ algorithm.
   EXPECT_EQ(dv_full.stats.total_messages_sent(),
             hand.stats.total_messages_sent());
+
+  // Lock-free fold path: identical distances, message-free exchange.
+  dopt.fold_path = dv::FoldPath::kAtomic;
+  const auto dv_atomic =
+      dv::run_program(compile_dv(dv::programs::kSssp, true), g, dopt);
+  expect_close(dv_atomic.field_as_double("dist"), oracle, 1e-9);
+  EXPECT_EQ(dv_atomic.stats.total_messages_sent(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -140,13 +152,22 @@ TEST(EndToEnd, ConnectedComponentsMatchesUnionFind) {
   dopt.use_combiner = false;
   const auto dv_star = dv::run_program(
       compile_dv(dv::programs::kConnectedComponents, false), g, dopt);
+  // Message counts compare the buffered pipeline (Figure 5 is about
+  // messages); CC's int-min aggregation otherwise routes atomic and sends
+  // none. The atomic variant is checked for result equality below.
+  dopt.fold_path = dv::FoldPath::kBuffered;
   const auto dv_full = dv::run_program(
+      compile_dv(dv::programs::kConnectedComponents, true), g, dopt);
+  dopt.fold_path = dv::FoldPath::kAtomic;
+  const auto dv_atomic = dv::run_program(
       compile_dv(dv::programs::kConnectedComponents, true), g, dopt);
   const auto star_comp = dv_star.field_as_int("comp");
   const auto full_comp = dv_full.field_as_int("comp");
+  const auto atomic_comp = dv_atomic.field_as_int("comp");
   for (std::size_t v = 0; v < oracle.size(); ++v) {
     EXPECT_EQ(star_comp[v], static_cast<std::int64_t>(oracle[v]));
     EXPECT_EQ(full_comp[v], static_cast<std::int64_t>(oracle[v]));
+    EXPECT_EQ(atomic_comp[v], static_cast<std::int64_t>(oracle[v]));
   }
 
   // Figure 5 / §7.2: identical message counts across all three systems.
@@ -154,6 +175,8 @@ TEST(EndToEnd, ConnectedComponentsMatchesUnionFind) {
             dv_star.stats.total_messages_sent());
   EXPECT_EQ(dv_full.stats.total_messages_sent(),
             hand.stats.total_messages_sent());
+  // The lock-free fold path removes the message exchange entirely.
+  EXPECT_EQ(dv_atomic.stats.total_messages_sent(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -155,6 +155,11 @@ int main(int argc, char** argv) {
     DiffOptions diff;
     diff.float_tol =
         args.get_double("tolerance", diff.float_tol, "float comparison tol");
+    const bool fold_path = args.get_bool(
+        "fold_path", true,
+        "fold-path axis: cross-check the lock-free atomic path against "
+        "the buffered oracle on every case (classic and stream tiers)");
+    diff.check_fold_path = fold_path;
     obs::ReportOptions obs_opts;
     obs_opts.metrics_path = args.get_string(
         "metrics", "", "write an aggregate metrics JSON document on exit");
@@ -184,6 +189,7 @@ int main(int argc, char** argv) {
       StreamDiffOptions sopts;
       sopts.float_tol = diff.float_tol;
       sopts.workers = static_cast<int>(workers);
+      sopts.check_fold_path = fold_path;
       return stream_soak(seed, programs, max_failures, verbose, sopts);
     }
 

@@ -107,10 +107,12 @@ class EpochJson {
            const std::string& algo, const std::string& system,
            const std::string& tier, double wall_seconds,
            std::uint64_t messages, std::size_t supersteps,
-           std::size_t state_bytes, bool warm, const std::string& blocker) {
+           std::size_t state_bytes, bool warm, const std::string& blocker,
+           const std::string& fold) {
     if (enabled())
       rows_.push_back(Row{epoch, graph, algo, system, tier, wall_seconds,
-                          messages, supersteps, state_bytes, warm, blocker});
+                          messages, supersteps, state_bytes, warm, blocker,
+                          fold});
   }
 
   void write() const {
@@ -130,7 +132,8 @@ class EpochJson {
           << ", \"state_bytes\": " << r.state_bytes
           << ", \"epoch\": " << r.epoch
           << ", \"warm\": " << (r.warm ? "true" : "false")
-          << ", \"blocker\": \"" << r.blocker << "\"}";
+          << ", \"blocker\": \"" << r.blocker
+          << "\", \"fold_path\": \"" << r.fold << "\"}";
     }
     out << "\n  ]\n}\n";
     DV_CHECK_MSG(out.good(), "failed writing --json path '" << path_ << "'");
@@ -147,6 +150,8 @@ class EpochJson {
     std::size_t state_bytes;
     bool warm;
     std::string blocker;  // cold-fallback reason; "" when warm
+    std::string fold;     // "atomic" | "buffered": which Δ-send fold path
+                          // this epoch actually ran
   };
   std::string path_;
   std::vector<Row> rows_;
@@ -176,6 +181,14 @@ int main(int argc, char** argv) {
     const double epsilon = args.get_double(
         "epsilon", 0.0,
         "ε-slop for §6.3 change checks (0 = exact change detection)");
+    const std::string fold_flag = args.get_string(
+        "fold_path", "auto",
+        "Δ-send fold path: auto (atomic where proven commutative), "
+        "buffered, or atomic");
+    const bool atomic_float = args.get_bool(
+        "atomic_float", false,
+        "admit float + aggregations to the atomic fold path (ε-close, "
+        "not bit-exact: concurrent fetch order re-associates the sum)");
     const int workers =
         static_cast<int>(args.get_int("workers", 4, "engine worker threads"));
     const bool force_cold = args.get_bool(
@@ -266,6 +279,8 @@ int main(int argc, char** argv) {
     so.run.engine.num_workers = workers;
     so.run.tier = dv::parse_exec_tier(tier_flag);
     so.run.params = parse_params(params_spec);
+    so.run.fold_path = dv::parse_fold_path(fold_flag);
+    so.run.atomic_float = atomic_float;
     so.compact_threshold = compact_threshold;
     so.force_cold = force_cold;
     so.checkpoint_every = checkpoint_every;
@@ -320,13 +335,14 @@ int main(int argc, char** argv) {
                 << " messages, " << t0.elapsed_seconds() << " s\n";
       json.add(0, "edge-list", algo, "cold", tier_name, t0.elapsed_seconds(),
                first.stats.total_messages_sent(), first.supersteps,
-               cp.state_bytes(), false, "initial convergence");
+               cp.state_bytes(), false, "initial convergence",
+               session->atomic_path() ? "atomic" : "buffered");
       obs_epoch(0, false, "initial convergence", before);
     }
     std::cout << "\n";
 
-    Table t({"epoch", "batch", "mode", "supersteps", "msgs", "woken",
-             "deltas", "wall(s)", "note"});
+    Table t({"epoch", "batch", "mode", "fold", "supersteps", "msgs",
+             "woken", "deltas", "wall(s)", "note"});
     std::size_t warm_count = 0;
     for (const graph::MutationBatch& b : batches) {
       const auto before = obs_snapshot();
@@ -336,10 +352,12 @@ int main(int argc, char** argv) {
       warm_count += ep.warm ? 1 : 0;
       std::string note = ep.warm ? "" : ep.blocker;
       if (ep.compacted) note += note.empty() ? "compacted" : "; compacted";
+      const char* fold = ep.stats.atomic_path ? "atomic" : "buffered";
       t.row()
           .cell(static_cast<unsigned long long>(ep.epoch))
           .cell(batch_summary(b))
           .cell(ep.warm ? "warm" : "cold")
+          .cell(fold)
           .cell(static_cast<unsigned long long>(ep.stats.supersteps))
           .cell(static_cast<unsigned long long>(ep.stats.messages))
           .cell(static_cast<unsigned long long>(ep.stats.woken))
@@ -349,7 +367,7 @@ int main(int argc, char** argv) {
       const std::string blocker = ep.blocker ? ep.blocker : "";
       json.add(ep.epoch, "edge-list", algo, ep.warm ? "warm" : "cold",
                tier_name, wall, ep.stats.messages, ep.stats.supersteps,
-               cp.state_bytes(), ep.warm, blocker);
+               cp.state_bytes(), ep.warm, blocker, fold);
       obs_epoch(ep.epoch, ep.warm, blocker, before);
     }
     t.print(std::cout);
