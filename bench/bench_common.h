@@ -84,12 +84,19 @@ inline Metrics run_dv(const dv::CompiledProgram& cp,
   o.collector = collector;  // per-bench local meter; no global install
   Timer t;
   const auto result = dv::run_program(cp, g, o);
+  // A bench row must measure the tier it claims: a silent native→vm
+  // fallback would publish VM numbers under the native label.
+  DV_CHECK_MSG(result.tier_used == tier,
+               "bench run fell back from tier '"
+                   << dv::exec_tier_name(tier) << "' to '"
+                   << dv::exec_tier_name(result.tier_used)
+                   << "': " << result.native_fallback);
   Metrics m = from_stats(result.stats, t.elapsed_seconds());
   m.state_bytes = cp.state_bytes();
   return m;
 }
 
-/// Parses a --tiers flag value ("vm", "tree", or "vm,tree").
+/// Parses a --tiers flag value: comma-joined "vm" / "tree" / "native".
 inline std::vector<dv::ExecTier> parse_tiers(const std::string& flag) {
   std::vector<dv::ExecTier> tiers;
   std::size_t pos = 0;

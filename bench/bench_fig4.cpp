@@ -7,16 +7,21 @@
 // fewer messages) and HITS (1.9× both); SSSP sends exactly the same number
 // of messages in all three systems and ΔV shows no slowdown.
 //
-// The --tiers axis additionally runs the compiled programs on both ΔV
-// execution substrates (bytecode VM vs reference tree interpreter) so the
-// interpretation tax is tracked end-to-end; --json writes the rows for CI
-// perf tracking (BENCH_fig4.json is the committed baseline).
+// The --tiers axis additionally runs the compiled programs on the ΔV
+// execution substrates (bytecode VM, reference tree interpreter, and the
+// AOT-compiled native tier) so the interpretation tax is tracked
+// end-to-end; --json writes the rows for CI perf tracking (BENCH_fig4.json
+// is the committed baseline). When the native tier is requested,
+// --enforce_native (default on) exits nonzero unless native wall-clock is
+// at least as fast as the VM on the ΔV PageRank rows — the native tier's
+// reason to exist.
 #include <iostream>
 
 #include "algorithms/hits.h"
 #include "algorithms/pagerank.h"
 #include "algorithms/sssp.h"
 #include "bench_common.h"
+#include "dv/codegen/native_module.h"
 
 namespace {
 
@@ -65,7 +70,12 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(
       args.get_int("reps", 3, "repetitions averaged (paper: 3)"));
   const std::string tiers_flag = args.get_string(
-      "tiers", "vm,tree", "ΔV execution tiers to run (vm, tree, or both)");
+      "tiers", "vm,tree",
+      "ΔV execution tiers to run (comma-joined vm, tree, native)");
+  const bool enforce_native = args.get_bool(
+      "enforce_native", true,
+      "when the native tier runs, exit nonzero unless native wall-clock "
+      "beats (or ties) the VM on the ΔV PageRank rows");
   const std::string json_path = args.get_string(
       "json", "", "write machine-readable rows to this path");
   if (args.help_requested()) {
@@ -73,7 +83,18 @@ int main(int argc, char** argv) {
     return 0;
   }
   args.check_unused();
-  const std::vector<dv::ExecTier> tiers = bench::parse_tiers(tiers_flag);
+  std::vector<dv::ExecTier> tiers = bench::parse_tiers(tiers_flag);
+  if (const std::string& why = dv::native::native_unavailable_reason();
+      !why.empty()) {
+    const auto it =
+        std::find(tiers.begin(), tiers.end(), dv::ExecTier::kNative);
+    if (it != tiers.end()) {
+      std::cout << "note: dropping native tier (" << why << ")\n";
+      tiers.erase(it);
+      DV_CHECK_MSG(!tiers.empty(), "--tiers named only the unavailable "
+                                   "native tier");
+    }
+  }
 
   bench::banner("Runtime and messages: PG / SSSP / HITS",
                 "Figure 4 (Wikipedia & LiveJournal-DG, ΔV vs ΔV* vs "
@@ -95,6 +116,12 @@ int main(int argc, char** argv) {
     double vm_speedup;  // wall(tree) / wall(vm)
   };
   std::vector<TierRatio> tier_ratios;
+  struct NativeRatio {
+    std::string graph, algo, system;
+    double native_speedup;  // wall(vm) / wall(native)
+    double vm_wall, native_wall;
+  };
+  std::vector<NativeRatio> native_ratios;
 
   // Runs one compiled (ΔV, ΔV*) pair across the tier axis, recording
   // table rows, JSON rows and the two ratio series.
@@ -103,8 +130,8 @@ int main(int argc, char** argv) {
                               const dv::CompiledProgram& star,
                               const graph::CsrGraph& g,
                               const std::map<std::string, dv::Value>& params) {
-    bench::Metrics full_by_tier[2], star_by_tier[2];
-    bool have[2] = {false, false};
+    bench::Metrics full_by_tier[3], star_by_tier[3];
+    bool have[3] = {false, false, false};
     for (const dv::ExecTier tier : tiers) {
       const auto m_full = bench::averaged(reps, [&] {
         return bench::run_dv(full, g, params, workers, tier, &collector);
@@ -129,6 +156,7 @@ int main(int argc, char** argv) {
     }
     const auto tree = static_cast<std::size_t>(dv::ExecTier::kTree);
     const auto vm = static_cast<std::size_t>(dv::ExecTier::kVm);
+    const auto nat = static_cast<std::size_t>(dv::ExecTier::kNative);
     if (have[tree] && have[vm]) {
       tier_ratios.push_back({ds, algo, "DV",
                              full_by_tier[tree].wall_seconds /
@@ -136,6 +164,18 @@ int main(int argc, char** argv) {
       tier_ratios.push_back({ds, algo, "DV*",
                              star_by_tier[tree].wall_seconds /
                                  star_by_tier[vm].wall_seconds});
+    }
+    if (have[nat] && have[vm]) {
+      native_ratios.push_back({ds, algo, "DV",
+                               full_by_tier[vm].wall_seconds /
+                                   full_by_tier[nat].wall_seconds,
+                               full_by_tier[vm].wall_seconds,
+                               full_by_tier[nat].wall_seconds});
+      native_ratios.push_back({ds, algo, "DV*",
+                               star_by_tier[vm].wall_seconds /
+                                   star_by_tier[nat].wall_seconds,
+                               star_by_tier[vm].wall_seconds,
+                               star_by_tier[nat].wall_seconds});
     }
   };
 
@@ -202,11 +242,39 @@ int main(int argc, char** argv) {
     tt.print(std::cout);
   }
 
+  if (!native_ratios.empty()) {
+    std::cout << "\nAOT payoff (vm / native wall-clock):\n";
+    Table nt({"graph", "algorithm", "system", "native speedup"});
+    for (const auto& r : native_ratios)
+      nt.row().cell(r.graph).cell(r.algo).cell(r.system).ratio(
+          r.native_speedup);
+    nt.print(std::cout);
+  }
+
   std::cout <<
       "\nShape checks (paper §7.2): PR and HITS show multi-x message\n"
       "reduction and speedup; SSSP shows 1.00x (identical messages) and\n"
       "no slowdown. Scale=" << scale << ".\n";
   json.set_metrics(collector.metrics.snapshot().counters);
   json.write("fig4");
+
+  // Perf gate: the native tier must never lose to the VM on the workload
+  // it was built for (ΔV PageRank — body-dominated, fold-heavy). Timings
+  // are min-of-reps, so the comparison is noise-robust; a small slack
+  // absorbs scheduler jitter on tiny scales without letting a real
+  // regression through.
+  if (enforce_native) {
+    bool ok = true;
+    for (const auto& r : native_ratios) {
+      if (r.algo != "PageRank" || r.system != "DV") continue;
+      if (r.native_wall > r.vm_wall * 1.05) {
+        std::cout << "ENFORCEMENT FAIL: " << r.graph
+                  << " PageRank DV native wall " << r.native_wall
+                  << "s slower than vm " << r.vm_wall << "s\n";
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+  }
   return 0;
 }

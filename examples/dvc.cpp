@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
     const int workers =
         static_cast<int>(args.get_int("workers", 4, "worker threads"));
     const std::string tier = args.get_string(
-        "tier", "vm", "execution tier for --run: vm | tree");
+        "tier", "vm", "execution tier for --run: vm | tree | native");
     obs::ReportOptions obs_opts;
     obs_opts.metrics_path = args.get_string(
         "metrics", "", "write a metrics JSON document here after --run");
@@ -186,6 +186,10 @@ int main(int argc, char** argv) {
       ropts.collector = obs.collector();
       const auto result = dv::run_program(cp, g, ropts);
       std::cout << "done: " << result.stats.summary() << "\n";
+      std::cout << "tier: " << dv::exec_tier_name(result.tier_used);
+      if (!result.native_fallback.empty())
+        std::cout << " (native fallback: " << result.native_fallback << ")";
+      std::cout << "\n";
       if (obs.enabled()) obs.flush();
       for (const auto& f : result.fields) {
         if (f.origin != dv::Field::Origin::kUser) continue;

@@ -1,0 +1,112 @@
+// Native-tier build pipeline: emitted translation unit → host compiler →
+// cached shared object → dlopen-ed vtable (native_abi.h) → per-program
+// root dispatch.
+//
+// Cache contract: objects live under a content digest of (emitted source,
+// compiler identification, compile flags), so a repeat run of the same
+// program with the same toolchain reuses the .so without invoking the
+// compiler, while any change to the program, the compiler version, or the
+// flags (including DV_NATIVE_CXXFLAGS) compiles a fresh object. A cached
+// object that fails to load or validate (truncated, wrong ABI version,
+// wrong root count, wrong digest) is unlinked and recompiled once; if the
+// recompile also fails the caller falls back to the VM with the named
+// reason — never a silent wrong tier.
+//
+// Environment knobs (all optional):
+//   DV_NATIVE_CXX       explicit compiler; no PATH fallback when set
+//   DV_NATIVE_CXXFLAGS  extra flags, appended and digested
+//   DV_NATIVE_CACHE     cache directory (default XDG/HOME cache, else /tmp)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "dv/codegen/native_abi.h"
+#include "dv/compiler.h"
+#include "dv/runtime/interpreter.h"
+
+namespace deltav::dv::native {
+
+/// One loaded shared object (dlopen handle + validated vtable), shared by
+/// every program instance with the same digest in this process.
+class NativeModule {
+ public:
+  NativeModule(void* handle, const DvnVTable* vt, std::string digest,
+               std::string object_path)
+      : handle_(handle),
+        vt_(vt),
+        digest_(std::move(digest)),
+        object_path_(std::move(object_path)) {}
+  ~NativeModule();
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+  const DvnVTable* vtable() const { return vt_; }
+  const std::string& digest() const { return digest_; }
+  const std::string& object_path() const { return object_path_; }
+
+ private:
+  void* handle_ = nullptr;
+  const DvnVTable* vt_ = nullptr;
+  std::string digest_;
+  std::string object_path_;
+};
+
+/// A compiled program bound to one CompiledProgram's expression trees:
+/// maps the runner's root pointers (init, statement bodies, untils, site
+/// send expressions — the same set the bytecode VM compiles) onto the
+/// module's function table and dispatches calls through the C ABI.
+class NativeProgram {
+ public:
+  NativeProgram(std::shared_ptr<const NativeModule> mod,
+                const std::vector<const Expr*>& roots);
+
+  /// Root index for `e`, or -1 when `e` is not a registered root.
+  int root_of(const Expr& e) const {
+    const auto it = roots_.find(&e);
+    return it == roots_.end() ? -1 : it->second;
+  }
+
+  /// Evaluates root `idx` against `ctx` — the native replacement for the
+  /// tree walker's eval() / the VM's run_chunk on the same root.
+  Value run_root(int idx, EvalContext& ctx) const;
+
+  Value eval_root(const Expr& e, EvalContext& ctx) const {
+    const int idx = root_of(e);
+    DV_CHECK_MSG(idx >= 0, "expression is not a native root");
+    return run_root(idx, ctx);
+  }
+
+  const std::string& digest() const { return mod_->digest(); }
+  const std::string& object_path() const { return mod_->object_path(); }
+
+ private:
+  std::shared_ptr<const NativeModule> mod_;
+  std::unordered_map<const Expr*, int> roots_;
+};
+
+struct NativeBuildReport {
+  /// Null on failure; `reason` then names why (the runner's vm-fallback
+  /// reason and the dv.native_fallbacks.<reason> metric suffix come from
+  /// it).
+  std::shared_ptr<NativeProgram> program;
+  bool cache_hit = false;          // reused a cached .so (or live module)
+  double compile_seconds = 0.0;    // wall time of a real compiler run
+  std::string reason;
+  std::string digest;
+  std::string object_path;
+};
+
+/// Emits, compiles (or reuses), loads and binds `cp` for native execution.
+/// Never throws for toolchain or program-subset failures — those come back
+/// as a report with a reason.
+NativeBuildReport build_native(const CompiledProgram& cp);
+
+/// Process-wide availability probe: empty when the native tier can run
+/// here, else a named reason (sanitizer-instrumented host build, no host
+/// compiler, probe compile failed). Computed once, on first use; tools use
+/// it to skip or drop the native axis gracefully.
+const std::string& native_unavailable_reason();
+
+}  // namespace deltav::dv::native

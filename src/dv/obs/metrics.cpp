@@ -32,6 +32,7 @@ const char* counter_name(Counter c) {
     case Counter::kSnapshotBytesRead: return "persist.snapshot_bytes_read";
     case Counter::kVmOpsDispatched: return "vm.ops_dispatched";
     case Counter::kVmFusedOps: return "vm.fused_ops";
+    case Counter::kNativeFallbacks: return "dv.native_fallbacks";
     case Counter::kCount: break;
   }
   DV_FAIL("counter_name out of range");

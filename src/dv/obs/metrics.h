@@ -56,6 +56,9 @@ enum class Counter : std::uint32_t {
   // Bytecode VM.
   kVmOpsDispatched,
   kVmFusedOps,               // superinstructions + peephole fusions executed
+  // Native tier (codegen/native_module.h).
+  kNativeFallbacks,          // --tier=native runs that fell back to the VM
+                             // (named reasons under dv.native_fallbacks.*)
   kCount
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "dv/codegen/native_module.h"
 #include "dv/persist/snapshot.h"
 #include "dv/runtime/delta.h"
 #include "dv/runtime/vm.h"
@@ -157,9 +158,43 @@ class DvRunner::Impl {
     for (auto& s : worker_scratch_) s = scratch_defaults_;
     assign_agg_ = std::make_unique<pregel::OrAggregator>(W, false,
                                                          pregel::OrOp{});
+    // Native tier: AOT-compile (or reuse a cached object for) the whole
+    // program. Build failures are never fatal — the runner records the
+    // named reason, bumps dv.native_fallbacks, and constructs the VM
+    // below exactly as if --tier=vm had been requested.
+    ExecTier tier = options_.tier;
+    if (tier == ExecTier::kNative) {
+      obs::Collector* const col = obs::resolve(options_.collector);
+      const native::NativeBuildReport rep = native::build_native(cp_);
+      if (col && rep.compile_seconds > 0.0)
+        col->metrics.observe("dv.native_compile_seconds",
+                             rep.compile_seconds);
+      if (rep.program) {
+        native_ = rep.program;
+        // Per-site root ids for push_first's send expressions — the
+        // native mirror of site_send_chunk_ below.
+        for (const AggSite& site : prog_.sites) {
+          const Expr& e =
+              site.init_send_expr ? *site.init_send_expr : *site.send_expr;
+          site_send_root_.push_back(native_->root_of(e));
+        }
+      } else {
+        native_fallback_ = rep.reason;
+        tier = ExecTier::kVm;
+        if (col) {
+          col->metrics.shard(0).add(obs::Counter::kNativeFallbacks);
+          // First token of the reason keys the per-cause series
+          // ("unsupported: ..." → dv.native_fallbacks.unsupported).
+          std::string cause = rep.reason.substr(0, rep.reason.find(':'));
+          if (const auto sp = cause.find(' '); sp != std::string::npos)
+            cause.resize(sp);
+          col->metrics.add_named("dv.native_fallbacks." + cause);
+        }
+      }
+    }
     // The VM is immutable and holds no execution state, so one instance
     // serves every worker thread.
-    if (options_.tier == ExecTier::kVm) {
+    if (tier == ExecTier::kVm) {
       vm_ = std::make_unique<Vm>(cp_);
       // Per-site chunk ids for push_first's send expressions, so the
       // per-vertex priming loop dispatches without a root-map lookup.
@@ -708,6 +743,7 @@ class DvRunner::Impl {
   }
   /// Evaluates a runner-visible root expression on the selected tier.
   Value eval_root(const Expr& e, EvalContext& ctx) {
+    if (native_) return native_->eval_root(e, ctx);
     return vm_ ? vm_->eval_root(e, ctx) : eval(e, ctx);
   }
 
@@ -892,7 +928,10 @@ class DvRunner::Impl {
           site.init_send_expr ? *site.init_send_expr : *site.send_expr;
       const int send_chunk =
           vm_ ? site_send_chunk_[static_cast<std::size_t>(site.id)] : -1;
+      const int send_root =
+          native_ ? site_send_root_[static_cast<std::size_t>(site.id)] : -1;
       const auto eval_send = [&](EvalContext& c) {
+        if (send_root >= 0) return native_->run_root(send_root, c);
         return send_chunk >= 0 ? vm_->run_chunk(send_chunk, c)
                                : eval_root(expr, c);
       };
@@ -1119,6 +1158,9 @@ class DvRunner::Impl {
     const int body_chunk = vm_ ? vm_->program().chunk_of(*stmt.body) : -1;
     DV_CHECK_MSG(!vm_ || body_chunk >= 0,
                  "statement body was not lowered as a VM root");
+    const int body_root = native_ ? native_->root_of(*stmt.body) : -1;
+    DV_CHECK_MSG(!native_ || body_root >= 0,
+                 "statement body was not emitted as a native root");
     const std::size_t W = worker_scratch_.size();
     // Cache-line aligned per-worker lanes: the context's per-vertex
     // fields are rewritten millions of times from distinct threads, and
@@ -1165,7 +1207,9 @@ class DvRunner::Impl {
         engine_->mark_deleted(v);
         return;
       }
-      if (body_chunk >= 0)
+      if (body_root >= 0)
+        native_->run_root(body_root, ctx);
+      else if (body_chunk >= 0)
         vm_->run_chunk(body_chunk, ctx);
       else
         eval(*stmt.body, ctx);
@@ -1288,6 +1332,10 @@ class DvRunner::Impl {
     r.state = state_;
     for (const Field& f : prog_.fields) r.fields.push_back(f);
     r.num_vertices = g_.num_vertices();
+    r.tier_used = native_   ? ExecTier::kNative
+                  : vm_     ? ExecTier::kVm
+                            : ExecTier::kTree;
+    r.native_fallback = native_fallback_;
     return r;
   }
 
@@ -1303,8 +1351,12 @@ class DvRunner::Impl {
   std::vector<std::uint8_t> site_wire_;
   std::vector<std::vector<Value>> worker_scratch_;
   std::unique_ptr<DvEngine> engine_;
-  std::unique_ptr<Vm> vm_;  // null on the tree tier
+  std::unique_ptr<Vm> vm_;  // null on the tree and native tiers
   std::vector<int> site_send_chunk_;  // per site.id; VM tier only
+  // Native tier (null when not requested or after fallback-to-vm).
+  std::shared_ptr<native::NativeProgram> native_;
+  std::vector<int> site_send_root_;  // per site.id; native tier only
+  std::string native_fallback_;      // why --tier=native ran on the VM
   std::unique_ptr<pregel::OrAggregator> assign_agg_;
   std::size_t supersteps_ = 0;
   std::vector<std::size_t> iterations_;
@@ -1341,13 +1393,20 @@ class DvRunner::Impl {
 };
 
 const char* exec_tier_name(ExecTier tier) {
-  return tier == ExecTier::kTree ? "tree" : "vm";
+  switch (tier) {
+    case ExecTier::kTree: return "tree";
+    case ExecTier::kVm: return "vm";
+    case ExecTier::kNative: return "native";
+  }
+  DV_FAIL("unknown execution tier");
 }
 
 ExecTier parse_exec_tier(const std::string& name) {
   if (name == "tree") return ExecTier::kTree;
   if (name == "vm") return ExecTier::kVm;
-  DV_FAIL("unknown execution tier '" << name << "' (expected tree|vm)");
+  if (name == "native") return ExecTier::kNative;
+  DV_FAIL("unknown execution tier '" << name
+                                     << "' (expected tree|vm|native)");
 }
 
 const char* fold_path_name(FoldPath p) {

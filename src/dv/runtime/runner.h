@@ -57,16 +57,23 @@ struct VertexDeletion {
 
 /// Which execution substrate evaluates compiled expression trees.
 /// The tree interpreter is the reference semantics; the bytecode VM
-/// (runtime/vm.h) is the default and is bit-identical by contract —
-/// the differential fuzzer cross-checks the two on every generated
-/// program. C++ codegen (codegen/) remains the deployment tier.
+/// (runtime/vm.h) is the default and is bit-identical by contract; the
+/// native tier AOT-compiles the whole program into a dlopen-ed shared
+/// object (codegen/native_module.h) with the same bit-exact contract.
+/// The differential fuzzer cross-checks all three on every generated
+/// program. kNative falls back to kVm with a named reason (surfaced in
+/// DvRunResult::native_fallback and the dv.native_fallbacks counter)
+/// when the toolchain is missing, compilation fails, or the program
+/// uses a construct the emitter does not cover — never a silent wrong
+/// answer, never a silent wrong tier.
 enum class ExecTier {
-  kTree,  // recursive tree-walking interpreter
-  kVm,    // register-based bytecode VM (default)
+  kTree,    // recursive tree-walking interpreter
+  kVm,      // register-based bytecode VM (default)
+  kNative,  // AOT-compiled shared object behind a C ABI vtable
 };
 
 const char* exec_tier_name(ExecTier tier);
-/// Parses "tree"/"vm" (CLI flags); throws CheckError otherwise.
+/// Parses "tree"/"vm"/"native" (CLI flags); throws CheckError otherwise.
 ExecTier parse_exec_tier(const std::string& name);
 
 const char* fold_path_name(FoldPath p);
@@ -130,6 +137,12 @@ struct DvRunResult {
   pregel::RunStats stats;
   std::size_t supersteps = 0;
   std::vector<std::size_t> iterations;  // per statement
+
+  /// The tier that actually executed. Equals the requested tier except
+  /// when --tier=native fell back to the VM; `native_fallback` then names
+  /// why (tools print it, tests assert on it).
+  ExecTier tier_used = ExecTier::kVm;
+  std::string native_fallback;
 
   /// Final vertex state: num_vertices × num_fields, field-major stride.
   std::vector<Value> state;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dv/codegen/cpp_backend.h"
+#include "dv/codegen/native_module.h"
 #include "dv/compiler.h"
 #include "dv/passes/verifier.h"
 #include "dv/runtime/delta.h"
@@ -157,6 +158,11 @@ std::optional<DiffFailure> check_case(const FuzzCase& fc,
 
   std::optional<DvRunResult> first_dv;  // for the cross-worker-count check
   int first_workers = 0;
+
+  // Native axis availability is probed once per process; without a host
+  // compiler the axis is skipped (callers report the skip count).
+  const bool native_axis =
+      opts.check_native && native::native_unavailable_reason().empty();
 
   for (const int workers : fc.worker_counts) {
     // --- ΔV* reference run -------------------------------------------
@@ -393,6 +399,86 @@ std::optional<DiffFailure> check_case(const FuzzCase& fc,
                                         " workers)"};
     }
 
+    // --- native-tier equivalence --------------------------------------
+    // The AOT-compiled object must reproduce the VM runs bit-for-bit
+    // under the same contract as the tree tier: state words, message and
+    // byte counts, supersteps, and a replayed Eq. 11 stream. fold_path
+    // is forced buffered to match the probe-carrying baselines above
+    // (the probe run disables atomic routing), and a silent fallback to
+    // the VM is itself a failure — the fuzzer must exercise the native
+    // tier, not a lookalike.
+    if (native_axis) {
+      ProbeState nat_probe;
+      init_streams(nat_probe);
+      DvRunOptions nat_ro = base_run_options(fc, opts, workers);
+      nat_ro.tier = ExecTier::kNative;
+      nat_ro.fold_path = FoldPath::kBuffered;
+      nat_ro.send_probe = [&](graph::VertexId, graph::VertexId dst,
+                              const DvMessage& m) {
+        std::lock_guard<std::mutex> lock(nat_probe.mu);
+        const auto s = static_cast<std::size_t>(m.site);
+        auto& st =
+            nat_probe.streams[static_cast<std::size_t>(dst) * num_sites + s];
+        apply_delta(dv_cp.site_ops.ops[s], dv_cp.site_ops.types[s],
+                    AccumRef{&st.acc, &st.nn, &st.nulls}, m.payload, m.nulls,
+                    m.denulls);
+      };
+      DvRunResult nat_dv;
+      try {
+        nat_dv = run_program(dv_cp, g, nat_ro);
+      } catch (const std::exception& e) {
+        return DiffFailure{"native", std::string("ΔV native tier (") +
+                                         std::to_string(workers) +
+                                         " workers): " + e.what()};
+      }
+      if (nat_dv.tier_used != ExecTier::kNative)
+        return DiffFailure{"native",
+                           "ΔV fell back to the VM: " +
+                               nat_dv.native_fallback};
+      if (std::string d = diff_runs(dv, nat_dv); !d.empty())
+        return DiffFailure{"native", "ΔV vm vs native: " + d + " (" +
+                                         std::to_string(workers) +
+                                         " workers)"};
+      const bool exact_stream = workers == 1;
+      for (std::size_t i = 0; i < probe.streams.size(); ++i) {
+        const StreamAcc& a = probe.streams[i];
+        const StreamAcc& b = nat_probe.streams[i];
+        const bool ok =
+            a.nulls.i == b.nulls.i &&
+            (exact_stream
+                 ? value_bits_equal(a.acc, b.acc) &&
+                       value_bits_equal(a.nn, b.nn)
+                 : value_close(a.acc, b.acc, opts.float_tol) &&
+                       value_close(a.nn, b.nn, opts.float_tol));
+        if (!ok)
+          return DiffFailure{
+              "native", "Eq. 11 stream " + std::to_string(i) +
+                            " differs between tiers: vm " + show(a.acc) +
+                            " vs native " + show(b.acc) + " (" +
+                            std::to_string(workers) + " workers)"};
+      }
+
+      DvRunOptions star_nat_ro = base_run_options(fc, opts, workers);
+      star_nat_ro.tier = ExecTier::kNative;
+      star_nat_ro.fold_path = FoldPath::kBuffered;
+      DvRunResult nat_star;
+      try {
+        nat_star = run_program(star_cp, g, star_nat_ro);
+      } catch (const std::exception& e) {
+        return DiffFailure{"native", std::string("ΔV* native tier (") +
+                                         std::to_string(workers) +
+                                         " workers): " + e.what()};
+      }
+      if (nat_star.tier_used != ExecTier::kNative)
+        return DiffFailure{"native",
+                           "ΔV* fell back to the VM: " +
+                               nat_star.native_fallback};
+      if (std::string d = diff_runs(star, nat_star); !d.empty())
+        return DiffFailure{"native", "ΔV* vm vs native: " + d + " (" +
+                                         std::to_string(workers) +
+                                         " workers)"};
+    }
+
     // --- fold-path axis -----------------------------------------------
     // The lock-free pending-slot path must be observationally identical
     // to the buffered message path (the probe run above forces buffered):
@@ -405,8 +491,10 @@ std::optional<DiffFailure> check_case(const FuzzCase& fc,
         return a.type == Type::kFloat ? value_close(a, b, 0.0)
                                       : value_bits_equal(a, b);
       };
-      for (const ExecTier tier : {ExecTier::kVm, ExecTier::kTree}) {
+      for (const ExecTier tier :
+           {ExecTier::kVm, ExecTier::kTree, ExecTier::kNative}) {
         if (tier == ExecTier::kTree && !opts.check_tiers) continue;
+        if (tier == ExecTier::kNative && !native_axis) continue;
         DvRunOptions aro = base_run_options(fc, opts, workers);
         aro.tier = tier;
         aro.fold_path = FoldPath::kAtomic;
@@ -419,6 +507,12 @@ std::optional<DiffFailure> check_case(const FuzzCase& fc,
                                  std::to_string(workers) +
                                  " workers): " + e.what()};
         }
+        if (atomic.tier_used != tier)
+          return DiffFailure{"fold_path",
+                             std::string(exec_tier_name(tier)) +
+                                 ": fell back to " +
+                                 exec_tier_name(atomic.tier_used) + ": " +
+                                 atomic.native_fallback};
         if (atomic.supersteps != dv.supersteps)
           return DiffFailure{
               "fold_path",

@@ -44,6 +44,12 @@ struct DiffOptions {
   /// reference semantics): bit-exact state, equal message/byte counts,
   /// bit-exact Eq. 11 stream replay.
   bool check_tiers = true;
+  /// Third tier axis: AOT-compile both variants (--tier=native) and hold
+  /// them to the same bit-exact contract as vm↔tree — and fail outright
+  /// if the native build silently fell back to the VM. Checked only when
+  /// native::native_unavailable_reason() is empty (no host compiler →
+  /// the axis is skipped, and callers should say so).
+  bool check_native = true;
   /// Fold-path axis: re-run ΔV with fold_path = kAtomic on both tiers and
   /// require the lock-free pending-slot path to reproduce the buffered
   /// run exactly — same state (bit-exact for ints/bools; floats compare

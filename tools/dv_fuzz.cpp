@@ -25,6 +25,7 @@
 
 #include "common/args.h"
 #include "common/rng.h"
+#include "dv/codegen/native_module.h"
 #include "dv/obs/report.h"
 #include "dv/testing/corpus.h"
 #include "dv/testing/differential.h"
@@ -37,6 +38,16 @@ namespace {
 
 using namespace deltav;
 using namespace deltav::dv::testing;
+
+/// One line saying the native axis was skipped on `cases` cases (nothing
+/// when the axis actually ran or was turned off by flag).
+void report_native_skip(const DiffOptions& opts, long long cases) {
+  if (!opts.check_native) return;
+  const std::string& reason = dv::native::native_unavailable_reason();
+  if (reason.empty()) return;
+  std::printf("native axis skipped on %lld cases: %s\n", cases,
+              reason.c_str());
+}
 
 int replay_corpus(const std::string& dir, const DiffOptions& opts) {
   // An empty directory is a legitimate corpus (no outstanding
@@ -64,6 +75,7 @@ int replay_corpus(const std::string& dir, const DiffOptions& opts) {
       std::printf("ok   %s\n", path.c_str());
     }
   }
+  report_native_skip(opts, static_cast<long long>(entries.size()));
   std::printf("%zu entries, %d failing\n", entries.size(), failures);
   return failures == 0 ? 0 : 1;
 }
@@ -160,6 +172,10 @@ int main(int argc, char** argv) {
         "fold-path axis: cross-check the lock-free atomic path against "
         "the buffered oracle on every case (classic and stream tiers)");
     diff.check_fold_path = fold_path;
+    diff.check_native = args.get_bool(
+        "native", true,
+        "native axis: AOT-compile both variants and hold them bit-exact "
+        "against the VM; skipped (with a note) without a host compiler");
     obs::ReportOptions obs_opts;
     obs_opts.metrics_path = args.get_string(
         "metrics", "", "write an aggregate metrics JSON document on exit");
@@ -241,6 +257,7 @@ int main(int argc, char** argv) {
         break;
       }
     }
+    report_native_skip(diff, (long long)programs);
     std::printf("%lld programs, %lld failing\n", (long long)programs,
                 (long long)failures);
     return failures == 0 ? 0 : 1;

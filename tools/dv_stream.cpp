@@ -176,8 +176,8 @@ int main(int argc, char** argv) {
         args.get_bool("weighted", false, "read edge weights");
     const std::string params_spec = args.get_string(
         "params", "", "program parameters, e.g. source=0,steps=30");
-    const std::string tier_flag =
-        args.get_string("tier", "vm", "execution tier: vm or tree");
+    const std::string tier_flag = args.get_string(
+        "tier", "vm", "execution tier: vm | tree | native");
     const double epsilon = args.get_double(
         "epsilon", 0.0,
         "ε-slop for §6.3 change checks (0 = exact change detection)");
