@@ -33,6 +33,11 @@ const char* counter_name(Counter c) {
     case Counter::kVmOpsDispatched: return "vm.ops_dispatched";
     case Counter::kVmFusedOps: return "vm.fused_ops";
     case Counter::kNativeFallbacks: return "dv.native_fallbacks";
+    case Counter::kServeEpochs: return "serve.epochs";
+    case Counter::kServeReads: return "serve.reads";
+    case Counter::kServeMutationBatches: return "serve.mutation_batches";
+    case Counter::kServeCoalescedBatches: return "serve.coalesced_batches";
+    case Counter::kServeSnapshots: return "serve.snapshots";
     case Counter::kCount: break;
   }
   DV_FAIL("counter_name out of range");

@@ -59,6 +59,18 @@ enum class Counter : std::uint32_t {
   // Native tier (codegen/native_module.h).
   kNativeFallbacks,          // --tier=native runs that fell back to the VM
                              // (named reasons under dv.native_fallbacks.*)
+  // Serving (dv/serve): the multi-tenant daemon over warm sessions.
+  // Incremented via add_named from client/engine threads (request-rate
+  // events, not per-message hot-path work); the enum entries exist so the
+  // series appear — as zeros — in every snapshot, keeping the catalogue
+  // and the metrics schema stable across tools.
+  kServeEpochs,              // epochs committed by serving engine threads
+  kServeReads,               // GET/TOPK reads answered from a state view
+  kServeMutationBatches,     // MUT batches admitted to a session queue
+  kServeCoalescedBatches,    // batches merged into an already-open epoch
+                             // (group commit; 0 when every epoch is one
+                             // batch)
+  kServeSnapshots,           // SNAPSHOT requests + epoch checkpoints
   kCount
 };
 

@@ -1,0 +1,80 @@
+// The dv_serve line protocol (DESIGN.md §10): a transport-agnostic
+// request/response state machine over a session Registry.
+//
+// Grammar (one request per line; responses are exactly one line, except
+// that the lines of a MUT body produce none until the batch commits):
+//
+//   CREATE <name> <program> <graph> [key=value | flag ...]
+//       keys: tier, fold_path, epsilon, params, workers, queue_limit,
+//             commit_window_ms, checkpoint_every, checkpoint, restore,
+//             compact_threshold; flags: undirected, weighted,
+//             atomic_float, force_cold
+//   MUT <name>          then mutation_io op lines; `commit` ends the batch
+//                       (blank lines and #/% comments are skipped)
+//   GET <name> <vertex> <field>
+//   TOPK <name> <field> <k>
+//   FLUSH <name>        block until every admitted batch is applied
+//   STATS               one-line JSON (tests/schema/serve_stats.schema.json)
+//   SNAPSHOT <name> <path>
+//   CLOSE <name>
+//   PING                liveness probe
+//   QUIT                close this connection
+//
+// Responses: `OK[ payload]` or `ERR <reason>` (reasons are single-line;
+// embedded newlines are flattened). Protocol errors never take the
+// connection down, and an error in one session's engine thread surfaces
+// as ERR on that session's requests only — other tenants keep serving.
+//
+// ServeCore is shared by the TCP daemon (tools/dv_serve), its --stdio
+// mode, the CI smoke driver and the tests: one connection == one Conn
+// (the MUT body parser is per-connection state), many Conns may call
+// handle_line concurrently against the same core.
+#pragma once
+
+#include <string>
+
+#include "dv/serve/registry.h"
+#include "dv/streaming/mutation_io.h"
+
+namespace deltav::dv::serve {
+
+/// Per-connection protocol state: which session a MUT body is streaming
+/// into, and the partially-fed batch.
+struct Conn {
+  bool in_mut = false;
+  std::string mut_target;
+  streaming::BatchLineParser parser;
+};
+
+class ServeCore {
+ public:
+  /// Default host options applied to every CREATE before its own
+  /// key=value overrides (the daemon seeds tier/workers CLI defaults
+  /// here).
+  explicit ServeCore(HostOptions defaults = {})
+      : defaults_(std::move(defaults)) {}
+
+  Registry& registry() { return registry_; }
+
+  /// Handles one request line. Returns the response line (no trailing
+  /// newline), or an empty string for MUT-body lines that complete no
+  /// batch. Never throws: failures become "ERR ..." responses. Sets
+  /// *quit when the line was QUIT.
+  std::string handle_line(Conn& conn, const std::string& line,
+                          bool* quit = nullptr);
+
+  /// The STATS payload: one-line JSON over every registered session plus
+  /// the serve.* counters merged across their collectors.
+  std::string stats_json() const;
+
+ private:
+  std::string handle_create(const std::string& rest);
+
+  HostOptions defaults_;
+  Registry registry_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace deltav::dv::serve

@@ -1,0 +1,91 @@
+// Double-buffered converged-state view for serving reads.
+//
+// The serving contract (DESIGN.md §10): point and top-k reads are
+// answered from the *last committed epoch's* converged state and never
+// block on — or observe — the epoch in flight. The engine thread owns the
+// live DvStreamSession; after every committed epoch it copies the
+// converged vertex state out of the runner (DvStreamSession::result())
+// and publishes it here as an immutable snapshot behind a shared_ptr.
+// Readers grab the pointer under a mutex held only for the swap (no
+// allocation, no copies) and then read entirely lock-free on their own
+// reference; a publish while they read simply drops the old snapshot's
+// refcount. This is classic double buffering generalized to N readers:
+// the previous buffer lives exactly as long as the last reader using it.
+//
+// Values read are therefore *stale-bounded*: at most one committed epoch
+// behind the writer queue, never torn, never mid-convergence.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dv/runtime/runner.h"
+
+namespace deltav::dv::serve {
+
+/// One published snapshot: the converged state of `epoch`.
+struct StateSnapshot {
+  std::size_t epoch = 0;
+  DvRunResult result;
+};
+
+class ReadView {
+ public:
+  /// Engine thread: publish the state after committing `epoch`.
+  void publish(std::size_t epoch, DvRunResult result) {
+    auto snap = std::make_shared<const StateSnapshot>(
+        StateSnapshot{epoch, std::move(result)});
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snap);
+  }
+
+  /// Any thread: the most recently published snapshot (null before the
+  /// initial convergence has been published).
+  std::shared_ptr<const StateSnapshot> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const StateSnapshot> current_;
+};
+
+/// Top-k vertices of a snapshot by a field, descending by value (ties:
+/// lower vertex id first, so results are deterministic). O(n log k).
+inline std::vector<std::pair<graph::VertexId, double>> topk_field(
+    const DvRunResult& r, const std::string& field, std::size_t k) {
+  const int slot = r.field_slot(field);
+  // Min-heap (w.r.t. rank) of the k best seen so far: with comp = better,
+  // the heap root is the worst kept element, so a candidate enters iff it
+  // beats the root.
+  std::vector<std::pair<graph::VertexId, double>> heap;
+  const auto better = [](const std::pair<graph::VertexId, double>& a,
+                         const std::pair<graph::VertexId, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  for (std::size_t v = 0; v < r.num_vertices; ++v) {
+    const double val = r.at(static_cast<graph::VertexId>(v), slot).as_f();
+    if (heap.size() < k) {
+      heap.emplace_back(static_cast<graph::VertexId>(v), val);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (!heap.empty() && better({static_cast<graph::VertexId>(v), val},
+                                       heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = {static_cast<graph::VertexId>(v), val};
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+  // sort_heap orders ascending w.r.t. its comparator, and `better` plays
+  // the role of operator< ("ranks earlier"), so this is already best-first.
+  std::sort_heap(heap.begin(), heap.end(), better);
+  return heap;
+}
+
+}  // namespace deltav::dv::serve

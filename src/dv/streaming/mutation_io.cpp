@@ -4,10 +4,93 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 
 namespace deltav::dv::streaming {
+namespace {
+
+/// What one non-blank, non-comment line turned out to be.
+enum class LineKind { kOp, kCommit };
+
+/// Parses one operation line into `batch`. Shared between the stream
+/// reader and BatchLineParser so the two surfaces can never drift on the
+/// accepted grammar. `lineno` is for error messages only.
+LineKind parse_op_line(const std::string& line, std::size_t lineno,
+                       graph::MutationBatch& batch) {
+  // A line must be consumed in full: `+ 1 2 3 4` silently dropping the
+  // `4` would apply a different mutation than the author wrote.
+  const auto expect_line_end = [&](std::istringstream& ls) {
+    std::string extra;
+    if (ls >> extra)
+      DV_FAIL("mutation stream line "
+              << lineno << ": trailing garbage '" << extra << "'");
+  };
+  std::istringstream ls(line);
+  std::string op;
+  ls >> op;
+  if (op == "commit") {
+    expect_line_end(ls);
+    return LineKind::kCommit;
+  } else if (op == "+") {
+    graph::VertexId u, v;
+    if (!(ls >> u >> v))
+      DV_FAIL("mutation stream line " << lineno << ": expected '+ u v [w]'");
+    // Optional weight: if anything follows the endpoints it must be a
+    // whole numeric token (`+ 1 2 1x` is garbage, not weight 1).
+    double w = 1.0;
+    std::string wtok;
+    if (ls >> wtok) {
+      std::size_t consumed = 0;
+      try {
+        w = std::stod(wtok, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != wtok.size())
+        DV_FAIL("mutation stream line "
+                << lineno << ": expected numeric weight, got '" << wtok
+                << "'");
+      expect_line_end(ls);
+    }
+    batch.insert_edge(u, v, w);
+  } else if (op == "-") {
+    graph::VertexId u, v;
+    if (!(ls >> u >> v))
+      DV_FAIL("mutation stream line " << lineno << ": expected '- u v'");
+    expect_line_end(ls);
+    batch.remove_edge(u, v);
+  } else if (op == "addv") {
+    std::size_t n = 0;
+    if (!(ls >> n))
+      DV_FAIL("mutation stream line " << lineno << ": expected 'addv n'");
+    expect_line_end(ls);
+    batch.add_vertices += n;
+  } else if (op == "delv") {
+    graph::VertexId v;
+    if (!(ls >> v))
+      DV_FAIL("mutation stream line " << lineno << ": expected 'delv v'");
+    expect_line_end(ls);
+    batch.detach_vertices.push_back(v);
+  } else {
+    DV_FAIL("mutation stream line " << lineno << ": unknown op '" << op
+                                    << "'");
+  }
+  return LineKind::kOp;
+}
+
+bool is_comment(const std::string& line) {
+  return !line.empty() && (line[0] == '#' || line[0] == '%');
+}
+
+/// Blank for skipping purposes: empty or whitespace-only (a protocol
+/// client indenting its stream should not change its meaning).
+bool is_blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
 
 std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in) {
   std::vector<graph::MutationBatch> batches;
@@ -19,74 +102,29 @@ std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in) {
 
   std::string line;
   std::size_t lineno = 0;
-  // A line must be consumed in full: `+ 1 2 3 4` silently dropping the
-  // `4` would apply a different mutation than the author wrote.
-  const auto expect_line_end = [&](std::istringstream& ls) {
-    std::string extra;
-    if (ls >> extra)
-      DV_FAIL("mutation stream line "
-              << lineno << ": trailing garbage '" << extra << "'");
-  };
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) {
       flush();
       continue;
     }
-    if (line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
-    std::string op;
-    ls >> op;
-    if (op == "commit") {
-      expect_line_end(ls);
-      flush();
-    } else if (op == "+") {
-      graph::VertexId u, v;
-      if (!(ls >> u >> v))
-        DV_FAIL("mutation stream line " << lineno << ": expected '+ u v [w]'");
-      // Optional weight: if anything follows the endpoints it must be a
-      // whole numeric token (`+ 1 2 1x` is garbage, not weight 1).
-      double w = 1.0;
-      std::string wtok;
-      if (ls >> wtok) {
-        std::size_t consumed = 0;
-        try {
-          w = std::stod(wtok, &consumed);
-        } catch (const std::exception&) {
-          consumed = 0;
-        }
-        if (consumed != wtok.size())
-          DV_FAIL("mutation stream line "
-                  << lineno << ": expected numeric weight, got '" << wtok
-                  << "'");
-        expect_line_end(ls);
-      }
-      cur.insert_edge(u, v, w);
-    } else if (op == "-") {
-      graph::VertexId u, v;
-      if (!(ls >> u >> v))
-        DV_FAIL("mutation stream line " << lineno << ": expected '- u v'");
-      expect_line_end(ls);
-      cur.remove_edge(u, v);
-    } else if (op == "addv") {
-      std::size_t n = 0;
-      if (!(ls >> n))
-        DV_FAIL("mutation stream line " << lineno << ": expected 'addv n'");
-      expect_line_end(ls);
-      cur.add_vertices += n;
-    } else if (op == "delv") {
-      graph::VertexId v;
-      if (!(ls >> v))
-        DV_FAIL("mutation stream line " << lineno << ": expected 'delv v'");
-      expect_line_end(ls);
-      cur.detach_vertices.push_back(v);
-    } else {
-      DV_FAIL("mutation stream line " << lineno << ": unknown op '" << op
-                                      << "'");
-    }
+    if (is_comment(line)) continue;
+    if (parse_op_line(line, lineno, cur) == LineKind::kCommit) flush();
   }
   flush();
   return batches;
+}
+
+bool BatchLineParser::feed(const std::string& line) {
+  ++lineno_;
+  if (is_blank(line) || is_comment(line)) return false;
+  return parse_op_line(line, lineno_, batch_) == LineKind::kCommit;
+}
+
+graph::MutationBatch BatchLineParser::take() {
+  graph::MutationBatch b = std::move(batch_);
+  batch_ = {};
+  return b;
 }
 
 std::vector<graph::MutationBatch> read_mutation_stream_file(

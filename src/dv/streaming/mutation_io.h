@@ -29,6 +29,30 @@ namespace deltav::dv::streaming {
 /// dropped.
 std::vector<graph::MutationBatch> read_mutation_stream(std::istream& in);
 
+/// Incremental single-batch parser: feed one line at a time until the
+/// batch commits. This is the protocol-client surface (dv/serve): a `MUT`
+/// request streams exactly one batch, so — unlike the file format above,
+/// where a blank line separates batches — blank lines and `#`/`%` comments
+/// are skipped as annotations. Fixture files and protocol scripts can
+/// therefore comment their streams freely.
+class BatchLineParser {
+ public:
+  /// Feeds one line (without its trailing newline). Returns true when the
+  /// line was `commit` — the batch is complete; take() it. Throws
+  /// CheckError naming the 1-based fed-line number on malformed input.
+  bool feed(const std::string& line);
+
+  const graph::MutationBatch& batch() const { return batch_; }
+  /// Hands the accumulated batch over and resets for the next one.
+  graph::MutationBatch take();
+  /// Lines fed so far (including skipped comments/blanks).
+  std::size_t lines_fed() const { return lineno_; }
+
+ private:
+  graph::MutationBatch batch_;
+  std::size_t lineno_ = 0;
+};
+
 /// Reads a mutation stream from a file path.
 std::vector<graph::MutationBatch> read_mutation_stream_file(
     const std::string& path);

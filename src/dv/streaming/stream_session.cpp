@@ -91,6 +91,26 @@ DvStreamSession::DvStreamSession(const CompiledProgram& cp,
 
 DvStreamSession::~DvStreamSession() = default;
 
+void DvStreamSession::check_owner() const {
+#ifndef NDEBUG
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};  // unbound
+  if (owner_.compare_exchange_strong(expected, self,
+                                     std::memory_order_acq_rel)) {
+    return;  // first guarded entry point: this thread is now the owner
+  }
+  DV_CHECK_MSG(expected == self,
+               "DvStreamSession entered from a second thread: sessions are "
+               "single-owner (see rebind_owner_thread() in "
+               "stream_session.h); dv/serve drives each session from one "
+               "engine thread and serves reads from a published view");
+#endif
+}
+
+void DvStreamSession::rebind_owner_thread() {
+  owner_.store(std::this_thread::get_id(), std::memory_order_release);
+}
+
 void DvStreamSession::init_runner() {
   runner_ = std::make_unique<DvRunner>(*cp_, graph::GraphView(dyn_),
                                        options_.run);
@@ -101,6 +121,7 @@ bool DvStreamSession::converged() const { return runner_->converged(); }
 bool DvStreamSession::atomic_path() const { return runner_->atomic_path(); }
 
 DvRunResult DvStreamSession::converge() {
+  check_owner();
   DV_CHECK_MSG(!runner_->converged(), "converge() already ran; use apply()");
   // Distinguish the first-ever converge() from resuming a snapshot taken
   // mid-cold-epoch (epoch_ > 0: apply() had already committed the delta
@@ -119,6 +140,7 @@ DvRunResult DvStreamSession::converge() {
 }
 
 SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
+  check_owner();
   DV_CHECK_MSG(converge_called_, "apply() before converge()");
   DV_CHECK_MSG(runner_->converged(),
                "apply() on an unresumed snapshot; call converge() first");
@@ -171,9 +193,13 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
   return ep;
 }
 
-DvRunResult DvStreamSession::result() const { return runner_->result(); }
+DvRunResult DvStreamSession::result() const {
+  check_owner();
+  return runner_->result();
+}
 
 persist::SnapshotWriter DvStreamSession::build_snapshot() const {
+  check_owner();
   obs::Scope obs_scope(obs::resolve(options_.run.collector),
                        "persist.save");
   persist::SnapshotWriter w;

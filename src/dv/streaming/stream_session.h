@@ -39,11 +39,13 @@
 // callers fall back to a cold rebuild.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dv/runtime/runner.h"
@@ -122,6 +124,21 @@ class DvStreamSession {
   void save(const std::string& path) const;
   std::vector<std::uint8_t> save_bytes() const;
 
+  /// Single-owner-thread contract. A session is not internally
+  /// synchronized: converge()/apply()/result()/save() mutate or read the
+  /// runner's memoized state and must all be issued from one thread — the
+  /// engine spawns its own worker pool internally, but the *entry points*
+  /// race if two client threads interleave them. dv/serve makes this
+  /// contract load-bearing: each served session is driven by exactly one
+  /// engine thread, and reads go through a published state view instead.
+  /// In debug builds (!NDEBUG) the first guarded entry point binds the
+  /// calling thread as the owner and every later call DV_CHECKs it came
+  /// from the same thread. Release builds compile the check away.
+  /// Transferring a session between threads is legal only through an
+  /// explicit rebind: call this from the *new* owner before its first
+  /// entry point (it must happen-after the old owner's last call).
+  void rebind_owner_thread();
+
   /// Rebuilds a session from a snapshot. `cp` and `options` must match
   /// the saving session's program and engine configuration (worker count,
   /// partition, schedule, combiner) — the snapshot records both and
@@ -144,6 +161,9 @@ class DvStreamSession {
   void init_runner();
   persist::SnapshotWriter build_snapshot() const;
   void write_checkpoint();
+  /// Debug-build owner-thread check (see rebind_owner_thread). Binds on
+  /// first call; fails loudly on a call from a second thread.
+  void check_owner() const;
 
   const CompiledProgram* cp_;  // never null
   SessionOptions options_;
@@ -151,6 +171,9 @@ class DvStreamSession {
   std::unique_ptr<DvRunner> runner_;
   std::size_t epoch_ = 0;
   bool converge_called_ = false;
+  /// Owner thread for the debug affinity guard; default-constructed id
+  /// means "not yet bound".
+  mutable std::atomic<std::thread::id> owner_{};
 };
 
 /// Builds a session on the heap: the class itself is pinned (the runner
