@@ -6,7 +6,20 @@
 //   pagerank-eps — a damped PageRank-style contraction compiled with an
 //                  ε-slop so it quiesces (until { stable }); graphSize
 //                  pins |V|, so the stream mutates edges only;
-//   cc           — the paper's connected-components min-label relaxation.
+//   cc           — the paper's connected-components min-label relaxation;
+//   bfs          — unweighted distances from vertex 0 (programs::kBfs).
+//                  Insertions only ever shorten paths, so the guarded min
+//                  relax is monotone under this stream and every epoch
+//                  resumes warm: the frontier woken by an inserted edge is
+//                  the endpoints whose distance can improve, not the graph.
+//                  bfs runs on a grid instead of the R-MAT graph: BFS
+//                  depth is the whole cost model, and an R-MAT ball is
+//                  ~6 hops deep — cold re-execution would be so cheap
+//                  that neither the warm-resume nor the restore claim
+//                  would measure anything. A 2^⌈s/2⌉ × 2^⌊s/2⌋ grid has
+//                  the same |V| with Θ(√|V|) diameter, and its stream
+//                  inserts window-local edges (local_insert_stream) so
+//                  the end-of-stream graph stays deep.
 //
 // For each program the same stream is applied to a warm session
 // (DvRunner::apply_epoch patches accumulators and wakes only the mutation
@@ -60,6 +73,8 @@ struct StreamWorkload {
   dv::CompiledProgram cp;
   graph::CsrGraph graph;
   std::vector<graph::MutationBatch> stream;
+  std::map<std::string, dv::Value> params;
+  std::string tag;  // graph column in the table/JSON (topology differs)
 };
 
 std::vector<graph::MutationBatch> insert_only_stream(std::uint64_t seed,
@@ -81,6 +96,33 @@ std::vector<graph::MutationBatch> insert_only_stream(std::uint64_t seed,
   return out;
 }
 
+/// Insert-only stream whose endpoints are at most `window` ids apart.
+/// Uniform random pairs are long-range shortcuts; a few dozen of them
+/// collapse a grid's Θ(√|V|) diameter to R-MAT-ball depth and the BFS
+/// workload stops measuring anything. Window-local edges still wake a
+/// real warm frontier (row-major neighbors a couple of rows away) but
+/// leave the end-of-stream graph deep.
+std::vector<graph::MutationBatch> local_insert_stream(std::uint64_t seed,
+                                                      std::size_t n,
+                                                      std::size_t window,
+                                                      std::int64_t batches,
+                                                      std::int64_t edits) {
+  Rng rng(seed);
+  std::vector<graph::MutationBatch> out;
+  for (std::int64_t b = 0; b < batches; ++b) {
+    graph::MutationBatch mb;
+    for (std::int64_t e = 0; e < edits; ++e) {
+      const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+      const std::size_t v = static_cast<std::size_t>(u) + 1 +
+                            rng.next_below(window);
+      if (v >= n) continue;  // no wrap-around: that IS a long-range edge
+      mb.insert_edge(u, static_cast<graph::VertexId>(v));
+    }
+    if (!mb.empty()) out.push_back(std::move(mb));
+  }
+  return out;
+}
+
 /// Converges a session, applies the whole stream, and reports the summed
 /// epoch cost (supersteps/messages across every apply(); wall-clock of
 /// the apply loop only — epoch 0 is identical for warm and cold).
@@ -93,6 +135,7 @@ bench::Metrics run_stream(const StreamWorkload& w, dv::ExecTier tier,
                           std::string* fold_label = nullptr) {
   dv::streaming::SessionOptions so;
   so.run.engine = bench::paper_engine(workers);
+  so.run.params = w.params;
   // Warm epochs wake a handful of vertices; the work-queue scheduler is
   // the streaming-appropriate choice (§9 halt-by-default) and applies to
   // every fold path alike. The differential fuzzer pins schedule modes
@@ -126,6 +169,7 @@ std::unique_ptr<dv::streaming::DvStreamSession> end_of_stream_session(
     const StreamWorkload& w, dv::ExecTier tier, int workers) {
   dv::streaming::SessionOptions so;
   so.run.engine = bench::paper_engine(workers);
+  so.run.params = w.params;
   so.run.tier = tier;
   auto s = dv::streaming::make_stream_session(w.cp, w.graph, so);
   s->converge();
@@ -181,7 +225,9 @@ int main(int argc, char** argv) {
       graph::RmatOptions ro;
       workloads.push_back({"pagerank-eps", dv::compile(kPageRankEps, co),
                            graph::rmat(n, m, seed, ro),
-                           insert_only_stream(seed + 1, n, batches, edits)});
+                           insert_only_stream(seed + 1, n, batches, edits),
+                           {},
+                           graph_tag});
     }
     {
       graph::RmatOptions ro;
@@ -189,7 +235,22 @@ int main(int argc, char** argv) {
       workloads.push_back(
           {"cc", dv::compile(dv::programs::kConnectedComponents, {}),
            graph::rmat(n, m, seed, ro),
-           insert_only_stream(seed + 2, n, batches, edits)});
+           insert_only_stream(seed + 2, n, batches, edits), {}, graph_tag});
+    }
+    {
+      // Same |V| as the R-MAT workloads, Θ(√|V|) diameter (see the header
+      // comment): source 0 sits in a corner, so cold BFS pays ~rows+cols
+      // supersteps while a warm epoch pays only the shortcut frontier.
+      const std::size_t rows = static_cast<std::size_t>(1)
+                               << ((scale + 1) / 2);
+      const std::size_t cols = static_cast<std::size_t>(1) << (scale / 2);
+      workloads.push_back({"bfs", dv::compile(dv::programs::kBfs, {}),
+                           graph::grid(rows, cols),
+                           local_insert_stream(seed + 3, n, /*window=*/
+                                               3 * cols, batches, edits),
+                           {{"source", dv::Value::of_int(0)}},
+                           "grid-" + std::to_string(rows) + "x" +
+                               std::to_string(cols)});
     }
 
     Table t({"graph", "algorithm", "system", "tier", "fold", "wall(s)",
@@ -213,7 +274,7 @@ int main(int argc, char** argv) {
              {std::tuple{"warm", &warm, warm_epochs},
               std::tuple{"cold", &cold, std::size_t{0}}}) {
           t.row()
-              .cell(graph_tag)
+              .cell(w.tag)
               .cell(w.name)
               .cell(system)
               .cell(dv::exec_tier_name(tier))
@@ -222,7 +283,7 @@ int main(int argc, char** argv) {
               .cell(static_cast<unsigned long long>(met->messages))
               .cell(static_cast<unsigned long long>(met->supersteps))
               .cell(static_cast<unsigned long long>(we));
-          json.add(graph_tag, w.name, system, dv::exec_tier_name(tier),
+          json.add(w.tag, w.name, system, dv::exec_tier_name(tier),
                    *met, warm_fold);
         }
         warm_wins = warm_wins && warm.supersteps < cold.supersteps &&
@@ -247,7 +308,7 @@ int main(int argc, char** argv) {
              {std::tuple{"warm-buffered", "buffered", &warm_buf},
               std::tuple{"warm-atomic", "atomic", &warm_atomic}}) {
           t.row()
-              .cell(graph_tag)
+              .cell(w.tag)
               .cell(w.name)
               .cell(system)
               .cell(dv::exec_tier_name(tier))
@@ -256,7 +317,7 @@ int main(int argc, char** argv) {
               .cell(static_cast<unsigned long long>(met->messages))
               .cell(static_cast<unsigned long long>(met->supersteps))
               .cell(static_cast<unsigned long long>(w.stream.size()));
-          json.add(graph_tag, w.name, system, dv::exec_tier_name(tier),
+          json.add(w.tag, w.name, system, dv::exec_tier_name(tier),
                    *met, fold);
         }
         best_atomic_speedup =
@@ -272,6 +333,7 @@ int main(int argc, char** argv) {
         const std::vector<std::uint8_t> snap = end->save_bytes();
         dv::streaming::SessionOptions so;
         so.run.engine = bench::paper_engine(workers);
+        so.run.params = w.params;
         so.run.tier = tier;
         const bench::Metrics save = bench::averaged(reps, [&] {
           bench::Metrics m;
@@ -308,7 +370,7 @@ int main(int argc, char** argv) {
               std::pair{"snapshot-restore", &restore},
               std::pair{"cold-reconverge", &coldre}}) {
           t.row()
-              .cell(graph_tag)
+              .cell(w.tag)
               .cell(w.name)
               .cell(system)
               .cell(dv::exec_tier_name(tier))
@@ -317,7 +379,7 @@ int main(int argc, char** argv) {
               .cell(static_cast<unsigned long long>(met->messages))
               .cell(static_cast<unsigned long long>(met->supersteps))
               .cell(0ull);
-          json.add(graph_tag, w.name, system, dv::exec_tier_name(tier),
+          json.add(w.tag, w.name, system, dv::exec_tier_name(tier),
                    *met);
         }
         restore_wins =

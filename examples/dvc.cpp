@@ -35,10 +35,14 @@ const char* builtin_source(const std::string& name) {
   if (name == "hits") return dv::programs::kHits;
   if (name == "reachability") return dv::programs::kReachability;
   if (name == "maxgossip") return dv::programs::kMaxGossip;
+  if (name == "bfs") return dv::programs::kBfs;
+  if (name == "kcore") return dv::programs::kKCore;
+  if (name == "mis") return dv::programs::kMis;
+  if (name == "pointerjump") return dv::programs::kPointerJump;
   DV_FAIL("unknown built-in program '"
           << name
           << "' (try pagerank, pagerank-ug, sssp, cc, hits, reachability, "
-             "maxgossip)");
+             "maxgossip, bfs, kcore, mis, pointerjump)");
 }
 
 /// Parses repeated --param=name=value bindings (int or float literals).

@@ -1,0 +1,76 @@
+#include "algorithms/bfs.h"
+
+#include <queue>
+
+namespace deltav::algorithms {
+
+namespace {
+struct MinCombiner {
+  void operator()(double& acc, double in) const {
+    if (in < acc) acc = in;
+  }
+};
+}  // namespace
+
+BfsResult bfs_pregel(const graph::CsrGraph& g, const BfsOptions& options) {
+  const std::size_t n = g.num_vertices();
+  DV_CHECK(options.source < n);
+
+  BfsResult result;
+  result.depth.assign(n, kBfsUnreached);
+  auto& depth = result.depth;
+
+  pregel::EngineOptions eopts = options.engine;
+  eopts.use_combiner = options.use_combiner;
+  pregel::Engine<double, MinCombiner> engine(n, eopts);
+
+  auto expand = [&](auto& ctx, graph::VertexId v) {
+    for (graph::VertexId u : g.out_neighbors(v)) ctx.send(u, depth[v] + 1.0);
+  };
+
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const double> msgs) {
+    if (ctx.superstep() == 0) {
+      if (v == options.source) {
+        depth[v] = 0.0;
+        expand(ctx, v);
+      }
+    } else {
+      double best = kBfsUnreached;
+      for (double m : msgs)
+        if (m < best) best = m;
+      if (best < depth[v]) {
+        depth[v] = best;
+        expand(ctx, v);
+      }
+    }
+    ctx.vote_to_halt();
+  };
+
+  engine.run(compute);
+  result.stats = engine.stats();
+  return result;
+}
+
+std::vector<double> bfs_oracle(const graph::CsrGraph& g,
+                               graph::VertexId source) {
+  const std::size_t n = g.num_vertices();
+  DV_CHECK(source < n);
+  std::vector<double> depth(n, kBfsUnreached);
+  std::queue<graph::VertexId> frontier;
+  depth[source] = 0.0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const graph::VertexId v = frontier.front();
+    frontier.pop();
+    for (graph::VertexId u : g.out_neighbors(v)) {
+      if (depth[u] == kBfsUnreached) {
+        depth[u] = depth[v] + 1.0;
+        frontier.push(u);
+      }
+    }
+  }
+  return depth;
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,39 @@
+// Hand-written Pregel+ breadth-first search (unweighted SSSP).
+//
+// Identical skeleton to sssp.h but every edge costs 1, matching the ΔV
+// kBfs program (programs/programs.h). Like SSSP it is naturally
+// pre-incrementalized: only improved vertices re-broadcast, so ΔV gains
+// nothing on cold runs and the interesting comparison is warm streaming
+// epochs (bench_stream), where ΔV* patches just the frontier woken by
+// inserted edges.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::algorithms {
+
+inline constexpr double kBfsUnreached = std::numeric_limits<double>::infinity();
+
+struct BfsOptions {
+  graph::VertexId source = 0;
+  pregel::EngineOptions engine;
+  bool use_combiner = true;
+};
+
+struct BfsResult {
+  std::vector<double> depth;  // kBfsUnreached if not reachable
+  pregel::RunStats stats;
+};
+
+BfsResult bfs_pregel(const graph::CsrGraph& g, const BfsOptions& options = {});
+
+/// Sequential queue-based BFS oracle. Depths are exact small integers in
+/// double, so ΔV float results compare bit-exact against this.
+std::vector<double> bfs_oracle(const graph::CsrGraph& g,
+                               graph::VertexId source);
+
+}  // namespace deltav::algorithms

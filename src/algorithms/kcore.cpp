@@ -1,0 +1,71 @@
+#include "algorithms/kcore.h"
+
+#include <queue>
+
+namespace deltav::algorithms {
+
+namespace {
+// Messages are "a neighbor of yours just died" counts.
+struct SumCombiner {
+  void operator()(std::int64_t& acc, std::int64_t in) const { acc += in; }
+};
+}  // namespace
+
+KCoreResult kcore_pregel(const graph::CsrGraph& g,
+                         const KCoreOptions& options) {
+  DV_CHECK_MSG(!g.directed(), "k-core expects an undirected graph");
+  const std::size_t n = g.num_vertices();
+
+  KCoreResult result;
+  result.alive.assign(n, 1);
+  auto& alive = result.alive;
+  std::vector<std::int64_t> live_deg(n);
+  for (std::size_t v = 0; v < n; ++v)
+    live_deg[v] = static_cast<std::int64_t>(
+        g.neighbors(static_cast<graph::VertexId>(v)).size());
+
+  pregel::EngineOptions eopts = options.engine;
+  eopts.use_combiner = options.use_combiner;
+  pregel::Engine<std::int64_t, SumCombiner> engine(n, eopts);
+
+  auto die = [&](auto& ctx, graph::VertexId v) {
+    alive[v] = 0;
+    for (graph::VertexId u : g.neighbors(v)) ctx.send(u, 1);
+  };
+
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const std::int64_t> msgs) {
+    for (std::int64_t m : msgs) live_deg[v] -= m;
+    if (alive[v] && live_deg[v] < options.k) die(ctx, v);
+    ctx.vote_to_halt();
+  };
+
+  engine.run(compute);
+  result.stats = engine.stats();
+  return result;
+}
+
+std::vector<std::uint8_t> kcore_oracle(const graph::CsrGraph& g,
+                                       std::int64_t k) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint8_t> alive(n, 1);
+  std::vector<std::int64_t> live_deg(n);
+  std::queue<graph::VertexId> doomed;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<graph::VertexId>(v);
+    live_deg[v] = static_cast<std::int64_t>(g.neighbors(vid).size());
+    if (live_deg[v] < k) doomed.push(vid);
+  }
+  while (!doomed.empty()) {
+    const graph::VertexId v = doomed.front();
+    doomed.pop();
+    if (!alive[v]) continue;
+    alive[v] = 0;
+    for (graph::VertexId u : g.neighbors(v)) {
+      if (alive[u] && --live_deg[u] < k) doomed.push(u);
+    }
+  }
+  return alive;
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,41 @@
+// Hand-written Pregel+ k-core membership.
+//
+// A vertex is in the k-core iff it survives iterated removal of vertices
+// with fewer than k live neighbors. The fixpoint is confluent (independent
+// of removal order), so the delta-style Pregel baseline below, the
+// synchronous-rounds ΔV kKCore program, and the sequential peeling oracle
+// all agree exactly on membership.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::algorithms {
+
+struct KCoreOptions {
+  std::int64_t k = 2;
+  pregel::EngineOptions engine;
+  bool use_combiner = true;
+};
+
+struct KCoreResult {
+  // 1 if the vertex is in the k-core, else 0 (std::uint8_t: vector<bool>
+  // has no data() and bit-packing buys nothing at test scale).
+  std::vector<std::uint8_t> alive;
+  pregel::RunStats stats;
+};
+
+/// Expects an undirected graph. Dead vertices broadcast "-1 live
+/// neighbor" deltas; everyone else stays halted, so supersteps are
+/// proportional to peeling depth, not graph size.
+KCoreResult kcore_pregel(const graph::CsrGraph& g,
+                         const KCoreOptions& options = {});
+
+/// Sequential peeling oracle: queue-driven removal of sub-k vertices.
+std::vector<std::uint8_t> kcore_oracle(const graph::CsrGraph& g,
+                                       std::int64_t k);
+
+}  // namespace deltav::algorithms

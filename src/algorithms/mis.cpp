@@ -1,0 +1,99 @@
+#include "algorithms/mis.h"
+
+#include "graph/graph_builder.h"
+
+namespace deltav::algorithms {
+
+namespace {
+
+// Decisions flowing low→high: how many lower-id neighbors went out, and
+// whether any went in. Additive, so a sum-combiner is exact.
+struct MisMsg {
+  std::int64_t outs = 0;
+  std::int64_t ins = 0;
+};
+
+struct SumCombiner {
+  void operator()(MisMsg& acc, const MisMsg& in) const {
+    acc.outs += in.outs;
+    acc.ins += in.ins;
+  }
+};
+
+enum : std::uint8_t { kUndecided = 0, kIn = 1, kOut = 2 };
+
+}  // namespace
+
+MisResult mis_pregel(const graph::CsrGraph& g, const MisOptions& options) {
+  DV_CHECK_MSG(!g.directed(),
+               "maximal independent set expects an undirected graph");
+  const std::size_t n = g.num_vertices();
+
+  MisResult result;
+  std::vector<std::uint8_t> state(n, kUndecided);
+  // Undecided lower-id neighbors left; v enters the set when this hits 0.
+  std::vector<std::int64_t> pending(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (graph::VertexId u : g.neighbors(static_cast<graph::VertexId>(v)))
+      if (u < static_cast<graph::VertexId>(v)) ++pending[v];
+  }
+
+  pregel::Engine<MisMsg, SumCombiner> engine(n, options.engine);
+
+  // A decision only constrains higher-id neighbors, so broadcast one way.
+  auto announce = [&](auto& ctx, graph::VertexId v) {
+    const MisMsg msg{state[v] == kOut ? 1 : 0, state[v] == kIn ? 1 : 0};
+    for (graph::VertexId u : g.neighbors(v))
+      if (u > v) ctx.send(u, msg);
+  };
+
+  auto compute = [&](auto& ctx, graph::VertexId v,
+                     std::span<const MisMsg> msgs) {
+    if (state[v] == kUndecided) {
+      for (const MisMsg& m : msgs) {
+        pending[v] -= m.outs;
+        if (m.ins > 0) state[v] = kOut;
+      }
+      if (state[v] == kUndecided && pending[v] == 0) state[v] = kIn;
+      if (state[v] != kUndecided) announce(ctx, v);
+    }
+    ctx.vote_to_halt();
+  };
+
+  engine.run(compute);
+  result.in_set.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    result.in_set[v] = state[v] == kIn ? 1 : 0;
+  result.stats = engine.stats();
+  return result;
+}
+
+std::vector<std::uint8_t> mis_oracle(const graph::CsrGraph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint8_t> in_set(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    bool blocked = false;
+    for (graph::VertexId u : g.neighbors(static_cast<graph::VertexId>(v))) {
+      if (u < static_cast<graph::VertexId>(v) && in_set[u]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) in_set[v] = 1;
+  }
+  return in_set;
+}
+
+graph::CsrGraph orient_low_high(const graph::CsrGraph& g) {
+  DV_CHECK_MSG(!g.directed(), "orient_low_high expects an undirected graph");
+  const std::size_t n = g.num_vertices();
+  graph::GraphBuilder gb(n, /*directed=*/true);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<graph::VertexId>(v);
+    for (graph::VertexId u : g.neighbors(vid))
+      if (vid < u) gb.add_edge(vid, u);
+  }
+  return gb.build();
+}
+
+}  // namespace deltav::algorithms

@@ -1,0 +1,41 @@
+// Hand-written Pregel+ maximal independent set, greedy by vertex id.
+//
+// All three implementations (this baseline, the ΔV kMis program, and the
+// sequential oracle) compute the SAME set: the lexicographically-first MIS,
+// i.e. the result of greedily admitting vertices in increasing id order.
+// That determinism is what makes cross-tier differential testing bit-exact.
+//
+// The ΔV program consumes a low→high orientation of the undirected input
+// (one directed arc a→b per edge with a < b, so `#in` of a vertex is
+// exactly its lower-id neighbors) — build it with orient_low_high().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+
+namespace deltav::algorithms {
+
+struct MisOptions {
+  pregel::EngineOptions engine;
+};
+
+struct MisResult {
+  // 1 if the vertex is in the set, else 0.
+  std::vector<std::uint8_t> in_set;
+  pregel::RunStats stats;
+};
+
+/// Expects an undirected graph.
+MisResult mis_pregel(const graph::CsrGraph& g, const MisOptions& options = {});
+
+/// Sequential greedy oracle: admit v iff no already-admitted neighbor u < v.
+std::vector<std::uint8_t> mis_oracle(const graph::CsrGraph& g);
+
+/// Directed low→high orientation of an undirected graph: one arc a→b per
+/// edge {a, b} with a < b. Feed the result to the ΔV kMis program.
+graph::CsrGraph orient_low_high(const graph::CsrGraph& g);
+
+}  // namespace deltav::algorithms

@@ -28,9 +28,12 @@ const char* expr_kind_name(ExprKind k) {
     case ExprKind::kGraphSize: return "graph-size";
     case ExprKind::kVertexIdRef: return "vertex-id";
     case ExprKind::kStableRef: return "stable";
+    case ExprKind::kRemoteRead: return "remote-read";
     case ExprKind::kScratchRef: return "scratch-ref";
     case ExprKind::kFoldMessages: return "fold-messages";
     case ExprKind::kSendLoop: return "send-loop";
+    case ExprKind::kSendTo: return "send-to";
+    case ExprKind::kReplyLoop: return "reply-loop";
     case ExprKind::kHalt: return "halt";
   }
   return "?";
@@ -322,6 +325,20 @@ void print(const Expr& e, std::ostringstream& os, int indent) {
       }
       os << ") }";
       break;
+    case ExprKind::kRemoteRead:
+      os << "remote(";
+      print(*e.kids[0], os, indent);
+      os << ")." << e.name;
+      break;
+    case ExprKind::kSendTo:
+      os << "send#" << e.site << "(wrap(";
+      print(*e.kids[0], os, indent);
+      os << "), vertexId)";
+      break;
+    case ExprKind::kReplyLoop:
+      os << "for(m : messages#" << e.site << "){ send#" << e.int_val
+         << "(m, " << e.name << ") }";
+      break;
   }
 }
 
@@ -339,6 +356,8 @@ std::string to_string(const Program& p) {
     os << "param " << param.name << " : " << type_name(param.type) << ";\n";
   os << "init {\n  " << to_string(*p.init) << "\n};\n";
   for (const auto& s : p.stmts) {
+    for (std::size_t ph = 0; ph < s.phases.size(); ++ph)
+      os << "phase " << ph << " {\n  " << to_string(*s.phases[ph]) << "\n}\n";
     if (s.kind == Stmt::Kind::kStep) {
       os << "step {\n  " << to_string(*s.body) << "\n}";
     } else {

@@ -43,10 +43,15 @@ enum class ExprKind : std::uint8_t {
   kGraphSize,     // total number of vertices
   kVertexIdRef,   // this vertex's id (extension)
   kStableRef,     // `stable` — only valid in until clauses (extension)
+  kRemoteRead,    // remote(e).f — Palgol-style remote vertex-field read
+                  // (extension; lowered to request/response supersteps)
   // ----- internal forms introduced by compiler passes -----
   kScratchRef,    // superstep-local temporary (old-copies, flags, lets)
   kFoldMessages,  // fold this superstep's site messages (Eq. 3 / Eq. 8-9)
   kSendLoop,      // for(u : д){ send(u, payload) } — possibly Δ form
+  kSendTo,        // send(wrap(e), vertexId) on a request channel site
+  kReplyLoop,     // for(m : messages#req){ send(m.payload, this.f) } on a
+                  // reply channel site
   kHalt,          // vote_to_halt()
 };
 
@@ -79,7 +84,9 @@ struct Expr {
   VarKind var_kind = VarKind::kUnresolved;
   AssignTarget assign_target = AssignTarget::kField;
   int slot = -1;           // field slot / scratch slot / param index
-  int site = -1;           // aggregation site id (kFoldMessages, kSendLoop)
+  int site = -1;           // aggregation site id (kFoldMessages, kSendLoop,
+                           // kSendTo; kReplyLoop: the request channel —
+                           // kReplyLoop's reply channel lives in int_val
   int obs_site = -1;       // kIf only: this node is the §6.3 change-check
                            // guard over that site's send loop, and `dir`
                            // carries the loop's push direction — metrics
@@ -168,8 +175,18 @@ struct ScratchVar {
 /// One aggregation site: an occurrence of ⊞[e | u ← д] in the program.
 /// Created by the aggregation-conversion pass; later passes fill in the
 /// incrementalization state.
+///
+/// The remote-read lowering (passes/remote_lower.cpp) reuses sites as
+/// unicast message *channels*: a kRequest site carries requester-id
+/// payloads to a computed owner vertex, a kReply site carries the owner's
+/// field value back. Channel sites have no send_expr/send loop and are
+/// skipped by every aggregation-specific pass (state binding, send
+/// policies, incrementalization, Δ-messages) and by the runner's priming,
+/// suppression, and epoch-patching machinery.
 struct AggSite {
+  enum class Role : std::uint8_t { kAgg, kRequest, kReply };
   int id = -1;
+  Role role = Role::kAgg;
   AggOp op{};
   Type elem_type = Type::kUnknown;
   GraphDir pull_dir{};              // direction as written in the source
@@ -201,8 +218,11 @@ struct AggSite {
   // under the explicit --atomic_float opt-in, tracked separately.
   bool atomic_ok = false;
   bool atomic_float_ok = false;
+  /// kReply channels: the field slot the owner vertex answers with.
+  int remote_field = -1;
 
   bool multiplicative() const { return is_multiplicative(op); }
+  bool is_channel() const { return role != Role::kAgg; }
 };
 
 struct Stmt {
@@ -211,6 +231,13 @@ struct Stmt {
   std::string iter_var;  // kIter only
   ExprPtr body;
   ExprPtr until;         // kIter only
+  /// Remote-read lowering: extra per-iteration supersteps run *before*
+  /// the body. phases[0] sends the request for every remote read
+  /// (kSendTo), phases[1] answers them (kReplyLoop); the body then folds
+  /// the replies. Empty for ordinary statements. The runner drives one
+  /// engine superstep per phase, then the body superstep, so one logical
+  /// iteration of a remote statement costs phases.size() + 1 supersteps.
+  std::vector<ExprPtr> phases;
   Loc loc;
 };
 

@@ -100,6 +100,17 @@ class NativeEmitter {
   NativeUnit emit() {
     NativeUnit unit;
     try {
+      // Remote statements interleave engine supersteps with tree-evaluated
+      // request/reply phases; the phase expressions are two sends and a
+      // message loop — nothing hot enough to justify a native ABI for the
+      // message-iteration callbacks. The whole program falls back (named
+      // reason → dv.native_fallbacks.remote_read) so all supersteps run
+      // one tier.
+      for (const Stmt& s : prog_.stmts)
+        if (!s.phases.empty())
+          unsupported(
+              "remote_read: request/reply phases are interpreted; the "
+              "program runs on the vm tier");
       preamble();
       if (prog_.init) emit_root(*prog_.init, "init");
       for (std::size_t i = 0; i < prog_.stmts.size(); ++i) {

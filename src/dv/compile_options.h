@@ -30,6 +30,13 @@ struct CompileOptions {
   /// kAlways (ablation); otherwise ignored.
   bool naive_sends = false;
 
+  /// Lower remote(e).f reads into request/response supersteps (the normal
+  /// pipeline). false keeps kRemoteRead nodes in the statement bodies for
+  /// the *reference* interpretation — a direct snapshot-read evaluated on
+  /// the tree tier only — which the fuzzer's remote family holds the
+  /// lowered pipeline bit-exact against.
+  bool lower_remote = true;
+
   /// §9 future work: "allowable slop" ε. A float sum-aggregated message
   /// counts as changed only when it differs from the last *sent* value by
   /// more than ε. ε > 0 adds a per-site last-sent field to the vertex

@@ -42,6 +42,11 @@ CompiledProgram compile(const std::string& source,
   pass_anormalize(prog, diags);
   // §6.1: pull→push conversion; creates the site table and send loops.
   pass_aggregation_conversion(prog, diags);
+  // Remote reads → request/reply channel sites + statement phases. The
+  // reference interpretation (options.lower_remote = false, tree tier
+  // only) keeps kRemoteRead in the body for the lowering's differential
+  // oracle.
+  if (options.lower_remote) pass_remote_lower(prog, diags);
   verify_program(prog, VerifyStage::kAfterConversion);
 
   // Operator restrictions the incremental runtime relies on.

@@ -27,6 +27,7 @@ const char* tok_name(Tok t) {
     case Tok::kInfty: return "'infty'";
     case Tok::kVertexId: return "'vertexId'";
     case Tok::kStable: return "'stable'";
+    case Tok::kRemote: return "'remote'";
     case Tok::kMin: return "'min'";
     case Tok::kMax: return "'max'";
     case Tok::kTypeInt: return "'int'";
@@ -118,7 +119,8 @@ Token Lexer::identifier_or_keyword() {
       {"then", Tok::kThen},       {"else", Tok::kElse},
       {"param", Tok::kParam},     {"graphSize", Tok::kGraphSize},
       {"infty", Tok::kInfty},     {"vertexId", Tok::kVertexId},
-      {"stable", Tok::kStable},   {"min", Tok::kMin},
+      {"stable", Tok::kStable},   {"remote", Tok::kRemote},
+      {"min", Tok::kMin},
       {"max", Tok::kMax},         {"int", Tok::kTypeInt},
       {"bool", Tok::kTypeBool},   {"float", Tok::kTypeFloat},
       {"true", Tok::kTrue},       {"false", Tok::kFalse},

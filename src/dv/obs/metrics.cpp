@@ -17,6 +17,8 @@ const char* counter_name(Counter c) {
     case Counter::kDeltasApplied: return "dv.deltas_applied";
     case Counter::kFrontierWoken: return "dv.frontier_woken";
     case Counter::kAtomicFolds: return "dv.atomic_folds";
+    case Counter::kRemoteRequests: return "dv.remote_requests";
+    case Counter::kRemoteReplies: return "dv.remote_replies";
     case Counter::kEngineMessagesSent: return "pregel.messages_sent";
     case Counter::kEngineMessagesDelivered:
       return "pregel.messages_delivered";

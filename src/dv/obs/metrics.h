@@ -39,6 +39,9 @@ enum class Counter : std::uint32_t {
   kFrontierWoken,            // vertices woken by an epoch's mutation frontier
   kAtomicFolds,              // Δ-contributions folded lock-free into aggAccum
                              // slots, bypassing message construction entirely
+  // Remote reads (passes/remote_lower.cpp request/response supersteps).
+  kRemoteRequests,           // requester-id messages sent in request phases
+  kRemoteReplies,            // field-value answers sent in reply phases
   // Engine (mirrors SuperstepStats; aggregated once per superstep).
   kEngineMessagesSent,
   kEngineMessagesDelivered,

@@ -400,6 +400,16 @@ ExprPtr Parser::parse_primary() {
     case Tok::kStable:
       advance();
       return mk(ExprKind::kStableRef, loc);
+    case Tok::kRemote: {
+      advance();
+      expect(Tok::kLParen, "after 'remote'");
+      auto e = mk(ExprKind::kRemoteRead, loc);
+      e->kids.push_back(parse_nonseq());
+      expect(Tok::kRParen, "to close remote(...)");
+      expect(Tok::kDot, "after remote(...)");
+      e->name = expect(Tok::kIdent, "as remote field name").text;
+      return e;
+    }
     case Tok::kIdent: {
       auto e = mk(ExprKind::kVarRef, loc);
       e->name = advance().text;

@@ -42,6 +42,8 @@ void convert_sends_to_delta(Program& prog, Expr& e, const AggSite& site) {
 
 void pass_incrementalize_aggregations(Program& prog, Diagnostics& diags) {
   for (AggSite& site : prog.sites) {
+    if (site.is_channel()) continue;  // channels are never memoized: the
+    // consume fold replays this iteration's replies from identity
     std::ostringstream acc_name;
     acc_name << "aggAccum_" << site.id;
     site.acc_slot = prog.add_field(acc_name.str(), site.elem_type,
@@ -92,14 +94,36 @@ void pass_incrementalize_aggregations(Program& prog, Diagnostics& diags) {
 void pass_delta_messages(Program& prog, const CompileOptions&,
                          Diagnostics&) {
   for (const AggSite& site : prog.sites) {
+    if (site.is_channel()) continue;  // request/reply payloads stay whole
     Stmt& stmt = prog.stmts[static_cast<std::size_t>(site.stmt_index)];
     convert_sends_to_delta(prog, *stmt.body, site);
   }
 }
 
+namespace {
+
+bool contains_remote(const Expr& e) {
+  if (e.kind == ExprKind::kRemoteRead) return true;
+  for (const auto& kid : e.kids)
+    if (kid && contains_remote(*kid)) return true;
+  return false;
+}
+
+}  // namespace
+
 void pass_insert_halts(Program& prog, const TypecheckResult& analysis,
                        Diagnostics& diags) {
   for (std::size_t i = 0; i < prog.stmts.size(); ++i) {
+    // Remote statements never halt: owners cannot know in advance which
+    // vertices will request from them next iteration, so every vertex must
+    // stay awake for the request/reply phases (the runner re-activates all
+    // vertices each phase; quiescence is detected by message counts, see
+    // runtime/runner.cpp). The contains_remote check covers the reference
+    // interpretation (lower_remote = false), where kRemoteRead stays in the
+    // body and no phases exist — halted owners there would never wake, as
+    // reference reads send no messages at all.
+    if (!prog.stmts[i].phases.empty() || contains_remote(*prog.stmts[i].body))
+      continue;
     if (analysis.stmts[i].body_reads_iter_var)
       diags.warn(prog.stmts[i].loc,
                  "statement body reads the iteration variable; halted "

@@ -31,6 +31,19 @@ void pass_anormalize(Program& prog, Diagnostics& diags);
 /// table — see runtime/runner.h.
 void pass_aggregation_conversion(Program& prog, Diagnostics& diags);
 
+/// Remote-read lowering (DESIGN.md "Remote reads"; Palgol's request/
+/// response compilation scheme). For every statement whose body contains
+/// remote(e).f reads, allocates one kRequest/kReply channel-site pair per
+/// distinct (target expression, field), builds two phase expressions —
+/// phases[0] sends each request (kSendTo: requester id to the wrapped
+/// target vertex), phases[1] answers them (kReplyLoop: the owner's field
+/// value back to each requester) — and rewrites every remote read in the
+/// body into a non-incremental fold of the reply channel (kFoldMessages).
+/// Runs after aggregation conversion (it appends to the same site table)
+/// and before state binding; channel sites are invisible to every
+/// aggregation-specific pass downstream.
+void pass_remote_lower(Program& prog, Diagnostics& diags);
+
 /// §6.2: binds every sent expression that is not already a vertex field to
 /// a fresh state field (A-normalization into vertex state). Sent
 /// expressions that depend on the connecting edge (u.edge) cannot be a

@@ -1,0 +1,142 @@
+// Remote-read lowering: remote(e).f → request/response superstep pair.
+//
+// A remote read asks for another vertex's field — something the Pregel
+// model cannot answer inside one superstep. Following Palgol's compilation
+// scheme (PAPERS.md), each logical iteration of a remote statement becomes
+// three supersteps:
+//
+//   phase 0 (request): every vertex evaluates the target expression
+//                      against iteration-start state and sends its own id
+//                      to the wrapped target vertex on the request channel
+//                      (kSendTo).
+//   phase 1 (reply):   every vertex that received requests answers each
+//                      one with its field value on the reply channel
+//                      (kReplyLoop).
+//   body (consume):    the original statement body, with every remote read
+//                      rewritten into a non-incremental fold of the reply
+//                      channel (kFoldMessages, flag = false). Exactly one
+//                      reply arrives per request, so folding from the
+//                      operator identity recovers the value unchanged.
+//
+// Channels are AggSite rows with a non-kAgg role: they ride the existing
+// message plumbing (site ids, wire formats, engine delivery) but have no
+// send loop, no accumulator, no Δ-synthesis — every aggregation-specific
+// pass and runner mechanism skips them by role. Since typecheck bans
+// mixing ⊞ and remote reads in one statement, the request/reply traffic
+// never shares a superstep with ordinary aggregation messages, and the
+// fold in the consume superstep sees only replies.
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "dv/passes/passes.h"
+
+namespace deltav::dv {
+
+namespace {
+
+bool contains_remote(const Expr& e) {
+  if (e.kind == ExprKind::kRemoteRead) return true;
+  for (const auto& k : e.kids)
+    if (contains_remote(*k)) return true;
+  return false;
+}
+
+/// One request/reply channel pair for a distinct (target, field) read.
+struct Channel {
+  int request_site = -1;
+  int reply_site = -1;
+};
+
+struct Lowerer {
+  Program& prog;
+  std::size_t stmt_index;
+  /// Keyed by (field slot, printed target expression): two occurrences of
+  /// the same read share one channel pair (and one request message).
+  std::map<std::pair<int, std::string>, Channel> channels;
+  std::vector<ExprPtr> requests;  // phase 0 items, in discovery order
+  std::vector<ExprPtr> replies;   // phase 1 items, in discovery order
+
+  Channel& channel_for(const Expr& read) {
+    const auto key = std::make_pair(read.slot, to_string(*read.kids[0]));
+    auto it = channels.find(key);
+    if (it != channels.end()) return it->second;
+
+    const Field& f = prog.fields[static_cast<std::size_t>(read.slot)];
+    AggSite req;
+    req.id = static_cast<int>(prog.sites.size());
+    req.role = AggSite::Role::kRequest;
+    req.op = AggOp::kSum;  // payload is a vertex id; never folded
+    req.elem_type = Type::kInt;
+    req.stmt_index = static_cast<int>(stmt_index);
+    prog.sites.push_back(std::move(req));
+
+    AggSite rep;
+    rep.id = static_cast<int>(prog.sites.size());
+    rep.role = AggSite::Role::kReply;
+    // The consume fold starts from the operator identity and folds the
+    // single reply: identity ⊞ v = v needs + for numbers, || for bools.
+    rep.op = f.type == Type::kBool ? AggOp::kOr : AggOp::kSum;
+    rep.elem_type = f.type;
+    rep.stmt_index = static_cast<int>(stmt_index);
+    rep.remote_field = read.slot;
+    prog.sites.push_back(std::move(rep));
+
+    Channel ch{prog.sites[prog.sites.size() - 2].id,
+               prog.sites.back().id};
+
+    auto send = mk(ExprKind::kSendTo, read.loc);
+    send->site = ch.request_site;
+    send->type = Type::kUnit;
+    send->kids.push_back(read.kids[0]->clone());
+    requests.push_back(std::move(send));
+
+    auto reply = mk(ExprKind::kReplyLoop, read.loc);
+    reply->site = ch.request_site;
+    reply->int_val = ch.reply_site;
+    reply->slot = read.slot;
+    reply->name = f.name;
+    reply->type = Type::kUnit;
+    replies.push_back(std::move(reply));
+
+    return channels.emplace(key, ch).first->second;
+  }
+
+  /// Rewrites every kRemoteRead under `e` into a reply-channel fold.
+  void rewrite(ExprPtr& e) {
+    if (e->kind == ExprKind::kRemoteRead) {
+      const Channel& ch = channel_for(*e);
+      const AggSite& rep =
+          prog.sites[static_cast<std::size_t>(ch.reply_site)];
+      auto fold = mk(ExprKind::kFoldMessages, e->loc);
+      fold->site = ch.reply_site;
+      fold->agg_op = rep.op;
+      fold->flag = false;  // fold from identity; exactly one reply
+      fold->type = rep.elem_type;
+      e = std::move(fold);
+      return;
+    }
+    for (auto& k : e->kids) rewrite(k);
+  }
+};
+
+}  // namespace
+
+void pass_remote_lower(Program& prog, Diagnostics&) {
+  for (std::size_t si = 0; si < prog.stmts.size(); ++si) {
+    Stmt& stmt = prog.stmts[si];
+    if (!contains_remote(*stmt.body)) continue;
+    Lowerer lower{prog, si, {}, {}, {}};
+    lower.rewrite(stmt.body);
+    DV_CHECK(!lower.requests.empty());
+    stmt.phases.clear();
+    stmt.phases.push_back(lower.requests.size() == 1
+                              ? std::move(lower.requests.front())
+                              : mk_seq(std::move(lower.requests)));
+    stmt.phases.push_back(lower.replies.size() == 1
+                              ? std::move(lower.replies.front())
+                              : mk_seq(std::move(lower.replies)));
+  }
+}
+
+}  // namespace deltav::dv

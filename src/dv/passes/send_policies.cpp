@@ -69,6 +69,7 @@ void guard_send_loop(Stmt& stmt, const AggSite& site, ExprPtr guard,
 
 void pass_assigned_send_policy(Program& prog, Diagnostics&) {
   for (AggSite& site : prog.sites) {
+    if (site.is_channel()) continue;  // no send loop to guard
     std::ostringstream name;
     name << "assigned_" << site.id;
     site.assigned_scratch = prog.add_scratch(
@@ -78,6 +79,7 @@ void pass_assigned_send_policy(Program& prog, Diagnostics&) {
   for (std::size_t i = 0; i < prog.stmts.size(); ++i) {
     UpdateMap updates;
     for (const AggSite& site : prog.sites) {
+      if (site.is_channel()) continue;
       if (site.stmt_index != static_cast<int>(i)) continue;
       if (site.bound_field >= 0) {
         // The bound sent-field (Eq. 4) is recomputed unconditionally
@@ -102,6 +104,7 @@ void pass_assigned_send_policy(Program& prog, Diagnostics&) {
               mk_bool(true));
         });
     for (const AggSite& site : prog.sites) {
+      if (site.is_channel()) continue;
       if (site.stmt_index != static_cast<int>(i)) continue;
       guard_send_loop(
           prog.stmts[i], site,
@@ -132,6 +135,7 @@ void pass_change_checks(Program& prog, const CompileOptions& options,
   };
 
   for (AggSite& site : prog.sites) {
+    if (site.is_channel()) continue;  // no change tracking on channels
     site.old_scratch.clear();
     for (int f : site.dep_fields)
       site.old_scratch.push_back(old_scratch_for(f));
@@ -162,6 +166,7 @@ void pass_change_checks(Program& prog, const CompileOptions& options,
     UpdateMap updates;
     bool any_site = false;
     for (const AggSite& site : prog.sites) {
+      if (site.is_channel()) continue;
       if (site.stmt_index != static_cast<int>(i)) continue;
       any_site = true;
       if (site.last_sent_slot >= 0) continue;  // ϵ-mode guards at the send
@@ -212,6 +217,7 @@ void pass_change_checks(Program& prog, const CompileOptions& options,
 
     // Eq. 6/7: guard each send loop.
     for (const AggSite& site : prog.sites) {
+      if (site.is_channel()) continue;
       if (site.stmt_index != static_cast<int>(i)) continue;
       if (site.last_sent_slot >= 0) {
         // ϵ-mode: |f - last_sent| > ε, and update last_sent after sending.

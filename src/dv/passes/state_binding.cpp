@@ -28,6 +28,8 @@ std::size_t find_send_loop(const Expr& body, int site) {
 
 void pass_state_binding(Program& prog, Diagnostics& diags) {
   for (AggSite& site : prog.sites) {
+    if (site.is_channel()) continue;  // request/reply channels carry no
+    // sender-side element expression (remote_lower.cpp)
     if (site.send_expr->kind == ExprKind::kFieldRef) continue;  // "unless e
     // is already a field of the vertex" (§6.2)
     if (contains_edge_weight(*site.send_expr)) {

@@ -116,6 +116,45 @@ struct Verifier {
           fail(e, "neighbor field survived conversion (§6.1 pass bug)");
         check_field_slot(e, e.slot);
         break;
+      case ExprKind::kRemoteRead:
+        // Legal in source programs and — when compiled with
+        // lower_remote = false for the reference interpretation — all the
+        // way through the pipeline.
+        check_kid_count(e, 1, 1);
+        check_field_slot(e, e.slot);
+        if (e.kids[0]->type != Type::kInt)
+          fail(e, "remote target is not an int vertex id");
+        break;
+      case ExprKind::kSendTo: {
+        check_kid_count(e, 1, 1);
+        if (stage == VerifyStage::kAfterTypecheck)
+          fail(e, "internal form before conversion");
+        check_site(e, e.site);
+        const AggSite& site = prog.sites[static_cast<std::size_t>(e.site)];
+        if (site.role != AggSite::Role::kRequest)
+          fail(e, "send-to targets a non-request site");
+        if (e.kids[0]->type != Type::kInt)
+          fail(e, "send-to target is not an int vertex id");
+        break;
+      }
+      case ExprKind::kReplyLoop: {
+        check_kid_count(e, 0, 0);
+        if (stage == VerifyStage::kAfterTypecheck)
+          fail(e, "internal form before conversion");
+        check_site(e, e.site);
+        check_site(e, static_cast<int>(e.int_val));
+        check_field_slot(e, e.slot);
+        const AggSite& req = prog.sites[static_cast<std::size_t>(e.site)];
+        const AggSite& rep =
+            prog.sites[static_cast<std::size_t>(e.int_val)];
+        if (req.role != AggSite::Role::kRequest)
+          fail(e, "reply loop reads a non-request site");
+        if (rep.role != AggSite::Role::kReply)
+          fail(e, "reply loop answers on a non-reply site");
+        if (rep.remote_field != e.slot)
+          fail(e, "reply loop field disagrees with the reply site");
+        break;
+      }
       case ExprKind::kFoldMessages: {
         check_kid_count(e, 0, 0);
         if (stage == VerifyStage::kAfterTypecheck)
@@ -148,11 +187,26 @@ struct Verifier {
     for (std::size_t i = 0; i < prog.sites.size(); ++i) {
       const AggSite& s = prog.sites[i];
       DV_CHECK_MSG(s.id == static_cast<int>(i), "site ids not dense");
-      DV_CHECK_MSG(s.send_expr != nullptr, "site without send expression");
       DV_CHECK_MSG(
           s.stmt_index >= 0 &&
               static_cast<std::size_t>(s.stmt_index) < prog.stmts.size(),
           "site statement index out of range");
+      if (s.is_channel()) {
+        // Request/reply channels have no sender-side element expression
+        // and must stay invisible to the aggregation machinery.
+        DV_CHECK_MSG(s.send_expr == nullptr && s.init_send_expr == nullptr,
+                     "channel site with a send expression");
+        DV_CHECK_MSG(s.acc_slot < 0 && s.nn_slot < 0 && s.nulls_slot < 0,
+                     "channel site acquired accumulator state");
+        DV_CHECK_MSG(!s.atomic_ok, "channel site routed to the atomic path");
+        if (s.role == AggSite::Role::kReply)
+          DV_CHECK_MSG(s.remote_field >= 0 &&
+                           static_cast<std::size_t>(s.remote_field) <
+                               prog.fields.size(),
+                       "reply site without a valid field");
+        continue;
+      }
+      DV_CHECK_MSG(s.send_expr != nullptr, "site without send expression");
       walk(*s.send_expr);
       for (int f : s.dep_fields)
         DV_CHECK_MSG(
@@ -167,6 +221,11 @@ struct Verifier {
     for (const auto& stmt : prog.stmts) {
       DV_CHECK_MSG(stmt.body != nullptr, "statement without body");
       walk(*stmt.body);
+      for (const auto& phase : stmt.phases) {
+        DV_CHECK_MSG(stage != VerifyStage::kAfterTypecheck,
+                     "statement phases before remote lowering");
+        walk(*phase);
+      }
       if (stmt.kind == Stmt::Kind::kIter) {
         DV_CHECK_MSG(stmt.until != nullptr, "iter without until");
         walk(*stmt.until);

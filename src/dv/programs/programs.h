@@ -105,4 +105,79 @@ iter i {
 } until { stable }
 )";
 
+/// Breadth-first search: unweighted SSSP. Guarded min-relaxation, so it is
+/// naturally pre-incrementalized like kSssp; under streaming insertions the
+/// warm path patches only the frontier the new edges wake.
+inline constexpr const char* kBfs = R"(
+param source : int;
+init {
+  local dist : float = if vertexId == source then 0.0 else infty
+};
+iter i {
+  let best : float = min [ u.dist + 1.0 | u <- #in ] in
+  if best < dist then dist = best
+} until { stable }
+)";
+
+/// k-core decomposition membership: alive(v) iff v survives iterated
+/// removal of vertices with < k live neighbors. The assignment is a dense
+/// reassign (not a guarded one-way write) because ΔV* folds recompute
+/// from whatever arrives each superstep and sends are write-gated: a
+/// survivor that skipped its store would stop feeding neighbors' `+`
+/// folds and every live count would collapse to zero. The flip side is
+/// that ΔV* can never reach message quiescence here, so its `stable`
+/// never fires and the run is bounded by `rounds` — pass the expected
+/// peeling depth (a few dozen on power-law graphs), not the graph size.
+/// ΔV is immune: memoized folds suppress no-change sends, so it detects
+/// the fixpoint via quiescence regardless of the dense re-store. That
+/// asymmetry is the point — incrementalization is what makes convergence
+/// detection affordable for dense-reassign programs.
+inline constexpr const char* kKCore = R"(
+param k : int;
+param rounds : int;
+init {
+  local alive : bool = true
+};
+iter i {
+  let live : int = + [ if u.alive then 1 else 0 | u <- #neighbors ] in
+  if alive then alive = live >= k
+} until { stable || i >= rounds }
+)";
+
+/// Maximal independent set by greedy id order, monotone formulation: feed
+/// it the low->high orientation of an undirected graph (one directed arc
+/// a->b per edge with a < b; see algorithms/mis.h). A vertex enters the
+/// set (1) once all lower-id neighbors are out (2), and leaves once any
+/// lower-id neighbor is in — both one-way transitions from undecided (0),
+/// so the && / || aggregations only ever strengthen.
+inline constexpr const char* kMis = R"(
+init {
+  local state : int = 0
+};
+iter i {
+  let allout : bool = && [ u.state == 2 | u <- #in ] in
+  let anyin : bool = || [ u.state == 1 | u <- #in ] in
+  if state == 0 then state = (if anyin then 2 else (if allout then 1 else 0))
+} until { stable }
+)";
+
+/// Pointer jumping — the remote-read flagship (§"remote(u).f"). The step
+/// block seeds parent = min in-neighbor id; each iteration then chases one
+/// hop of the parent chain via a remote read, halving path lengths until
+/// every vertex points at its chain root. Compiles to request/reply
+/// superstep phases (passes/remote_lower.cpp).
+inline constexpr const char* kPointerJump = R"(
+init {
+  local parent : int = vertexId
+};
+step {
+  let m : int = min [ u.parent | u <- #in ] in
+  if m < parent then parent = m
+};
+iter i {
+  let p : int = remote(parent).parent in
+  if p != parent then parent = p
+} until { stable }
+)";
+
 }  // namespace deltav::dv::programs

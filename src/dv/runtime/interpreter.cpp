@@ -294,6 +294,69 @@ Value eval(const Expr& e, EvalContext& ctx) {
     }
     case ExprKind::kFoldMessages: return eval_fold(e, ctx);
     case ExprKind::kSendLoop: return eval_send_loop(e, ctx);
+    case ExprKind::kSendTo: {
+      // Request phase of a lowered remote read: this vertex asks the
+      // (wrapped) target for a field by sending its own id.
+      DV_CHECK_MSG(ctx.has_vertex && ctx.sink,
+                   "request send outside superstep");
+      const std::int64_t t = eval(*e.kids[0], ctx).as_i();
+      const auto n =
+          static_cast<std::int64_t>(ctx.graph->num_vertices());
+      DvMessage msg;
+      msg.site = static_cast<std::uint8_t>(e.site);
+      msg.wire = (*ctx.site_wire)[static_cast<std::size_t>(e.site)];
+      msg.payload = Value::of_int(ctx.vertex);
+      ctx.sink->send(static_cast<graph::VertexId>(((t % n) + n) % n), msg);
+      DV_OBS_COUNT(ctx.obs, kRemoteRequests, 1);
+      return unit();
+    }
+    case ExprKind::kReplyLoop: {
+      // Reply phase: answer every request delivered this superstep with
+      // this vertex's current field value on the reply channel.
+      DV_CHECK_MSG(ctx.has_vertex && ctx.sink,
+                   "reply loop outside superstep");
+      const AggSite& rep =
+          ctx.prog->sites[static_cast<std::size_t>(e.int_val)];
+      DvMessage reply;
+      reply.site = static_cast<std::uint8_t>(rep.id);
+      reply.wire = (*ctx.site_wire)[static_cast<std::size_t>(rep.id)];
+      reply.payload =
+          ctx.fields[static_cast<std::size_t>(e.slot)].coerce(rep.elem_type);
+      std::uint64_t n_replies = 0;
+      for (const DvMessage& m : ctx.msgs) {
+        if (m.site != e.site) continue;
+        ctx.sink->send(static_cast<graph::VertexId>(m.payload.as_i()),
+                       reply);
+        ++n_replies;
+      }
+      DV_OBS_COUNT(ctx.obs, kRemoteReplies, n_replies);
+      return unit();
+    }
+    case ExprKind::kRemoteRead: {
+      // Reference interpretation only (lower_remote = false): read the
+      // target vertex's field from the iteration-start snapshot. The
+      // target itself is evaluated against this vertex's snapshot row —
+      // the lowered pipeline evaluates it in the request superstep, before
+      // any body assignment has run.
+      DV_CHECK_MSG(ctx.has_vertex, "remote read outside vertex context");
+      DV_CHECK_MSG(ctx.prev_state != nullptr && ctx.prev_stride > 0,
+                   "remote read reached execution without lowering and "
+                   "without a reference snapshot");
+      EvalContext tctx = ctx;
+      tctx.fields = std::span<Value>(
+          ctx.prev_state +
+              static_cast<std::size_t>(ctx.vertex) * ctx.prev_stride,
+          ctx.prev_stride);
+      const std::int64_t t = eval(*e.kids[0], tctx).as_i();
+      const auto n =
+          static_cast<std::int64_t>(ctx.graph->num_vertices());
+      const auto owner = static_cast<std::size_t>(((t % n) + n) % n);
+      const Field& f = ctx.prog->fields[static_cast<std::size_t>(e.slot)];
+      return ctx
+          .prev_state[owner * ctx.prev_stride +
+                      static_cast<std::size_t>(e.slot)]
+          .coerce(f.type);
+    }
     case ExprKind::kHalt:
       ctx.halt_requested = true;
       return unit();

@@ -64,6 +64,16 @@ struct EvalContext {
   AtomicFoldTable* atomic = nullptr;
   AtomicFoldLane* atomic_lane = nullptr;
 
+  // Reference interpretation of remote reads (CompileOptions::lower_remote
+  // = false; tree tier only). Points at an iteration-start snapshot of the
+  // full field matrix, row-major [vertex][field slot] with `prev_stride`
+  // slots per vertex. kRemoteRead evaluates its target against this
+  // vertex's snapshot row (mirroring the lowered pipeline's request phase,
+  // which runs before any body assignment) and reads the target row
+  // directly. Null in lowered mode — kRemoteRead then never reaches eval.
+  Value* prev_state = nullptr;
+  std::size_t prev_stride = 0;
+
   // Observability. Null when no collector is installed: the evaluator then
   // pays one predictable branch per fold/send-loop, nothing per message.
   obs::MetricsShard* obs = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string_view>
 
 #include "dv/codegen/native_module.h"
 #include "dv/persist/snapshot.h"
@@ -137,8 +138,24 @@ class DvRunner::Impl {
     bind_params();
     compute_site_wires();
 
+    for (const AggSite& site : prog_.sites)
+      has_channels_ = has_channels_ || site.is_channel();
+    for (const Stmt& stmt : prog_.stmts)
+      reference_remote_ =
+          reference_remote_ ||
+          expr_contains(*stmt.body, ExprKind::kRemoteRead);
+    // The reference interpretation of remote reads (lower_remote = false)
+    // snapshots full vertex state per superstep — a differential oracle,
+    // not an execution strategy — and exists on the tree tier only.
+    DV_CHECK_MSG(!reference_remote_ || options_.tier == ExecTier::kTree,
+                 "non-lowered remote reads (the reference interpretation) "
+                 "run on the tree tier only");
+
     pregel::EngineOptions eopts = options_.engine;
-    eopts.use_combiner = options_.use_combiner;
+    // The combiner keys on (destination, site); distinct requests — and
+    // their distinct replies — to the same vertex on the same channel
+    // would merge. Channel traffic must arrive message-per-message.
+    eopts.use_combiner = options_.use_combiner && !has_channels_;
     if (!eopts.collector) eopts.collector = options_.collector;
     DvCombiner combiner{&cp_.site_ops};
     engine_ = std::make_unique<DvEngine>(n, eopts, combiner);
@@ -174,6 +191,10 @@ class DvRunner::Impl {
         // Per-site root ids for push_first's send expressions — the
         // native mirror of site_send_chunk_ below.
         for (const AggSite& site : prog_.sites) {
+          if (site.is_channel()) {
+            site_send_root_.push_back(-1);
+            continue;
+          }
           const Expr& e =
               site.init_send_expr ? *site.init_send_expr : *site.send_expr;
           site_send_root_.push_back(native_->root_of(e));
@@ -184,8 +205,21 @@ class DvRunner::Impl {
         if (col) {
           col->metrics.shard(0).add(obs::Counter::kNativeFallbacks);
           // First token of the reason keys the per-cause series
-          // ("unsupported: ..." → dv.native_fallbacks.unsupported).
-          std::string cause = rep.reason.substr(0, rep.reason.find(':'));
+          // ("unsupported: ..." → dv.native_fallbacks.unsupported). An
+          // unsupported reason may carry its own single-word key
+          // ("unsupported: remote_read: ..." →
+          // dv.native_fallbacks.remote_read) for fallbacks worth tracking
+          // as their own series.
+          std::string reason = rep.reason;
+          constexpr std::string_view kUnsupported = "unsupported: ";
+          if (reason.rfind(kUnsupported, 0) == 0) {
+            const std::string rest = reason.substr(kUnsupported.size());
+            const auto c = rest.find(':');
+            if (c != std::string::npos &&
+                rest.find(' ') > c)  // "<word>: ..." sub-cause
+              reason = rest;
+          }
+          std::string cause = reason.substr(0, reason.find(':'));
           if (const auto sp = cause.find(' '); sp != std::string::npos)
             cause.resize(sp);
           col->metrics.add_named("dv.native_fallbacks." + cause);
@@ -199,6 +233,10 @@ class DvRunner::Impl {
       // Per-site chunk ids for push_first's send expressions, so the
       // per-vertex priming loop dispatches without a root-map lookup.
       for (const AggSite& site : prog_.sites) {
+        if (site.is_channel()) {
+          site_send_chunk_.push_back(-1);
+          continue;
+        }
         const Expr& e =
             site.init_send_expr ? *site.init_send_expr : *site.send_expr;
         site_send_chunk_.push_back(vm_->program().chunk_of(e));
@@ -749,9 +787,21 @@ class DvRunner::Impl {
 
   void validate() {
     for (const AggSite& site : prog_.sites) {
+      if (site.is_channel()) continue;
       if (site.pull_dir == GraphDir::kNeighbors && g_.directed())
         DV_FAIL("program aggregates over #neighbors but the graph is "
                 "directed; use #in/#out");
+    }
+    if (!options_.deletions.empty()) {
+      bool any_remote = false;
+      for (const Stmt& stmt : prog_.stmts)
+        any_remote = any_remote || !stmt.phases.empty() ||
+                     expr_contains(*stmt.body, ExprKind::kRemoteRead);
+      for (const AggSite& site : prog_.sites)
+        any_remote = any_remote || site.is_channel();
+      DV_CHECK_MSG(!any_remote,
+                   "scheduled vertex deletions cannot run with remote "
+                   "reads: a deleted owner cannot answer requests");
     }
     for (const Param& p : prog_.params)
       DV_CHECK_MSG(options_.params.count(p.name) == 1,
@@ -781,6 +831,8 @@ class DvRunner::Impl {
   void send_retractions(EvalContext& ctx, graph::VertexId v,
                         std::size_t si) {
     for (const AggSite& site : prog_.sites) {
+      if (site.is_channel()) continue;  // validate() bans deletions with
+      // remote reads; belt-and-braces against a null send_expr deref
       if (site.stmt_index != static_cast<int>(si)) continue;
       std::span<const graph::VertexId> targets;
       std::span<const double> weights;
@@ -876,8 +928,10 @@ class DvRunner::Impl {
     for (const AggSite& site : prog_.sites) {
       std::size_t bytes = type_wire_bytes(site.elem_type);
       if (multi_site) bytes += 1;  // site id rides along
-      if (cp_.options.incrementalize && site.multiplicative())
-        bytes += 1;  // §6.4.1 transition tags
+      if (cp_.options.incrementalize && site.multiplicative() &&
+          !site.is_channel())
+        bytes += 1;  // §6.4.1 transition tags (never on whole-value
+                     // request/reply payloads)
       site_wire_.push_back(static_cast<std::uint8_t>(bytes));
     }
   }
@@ -910,6 +964,8 @@ class DvRunner::Impl {
 
   void push_first(EvalContext& ctx, graph::VertexId v, std::size_t si) {
     for (const AggSite& site : prog_.sites) {
+      if (site.is_channel()) continue;  // channels have no initial push:
+      // requests are re-issued from scratch every iteration
       if (site.stmt_index != static_cast<int>(si)) continue;
       std::span<const graph::VertexId> targets;
       std::span<const double> weights;
@@ -1026,7 +1082,8 @@ class DvRunner::Impl {
     engine_->activate_all();
     bool has_sites = false;
     for (const AggSite& site : prog_.sites)
-      has_sites = has_sites || site.stmt_index == static_cast<int>(next_si);
+      has_sites = has_sites || (!site.is_channel() &&
+                                site.stmt_index == static_cast<int>(next_si));
     if (!has_sites) return;  // nothing to prime; vertices are awake
     run_priming_step([&](EvalContext& ctx, graph::VertexId v) {
       push_first(ctx, v, next_si);
@@ -1109,8 +1166,10 @@ class DvRunner::Impl {
   std::uint64_t sites_mask_of(std::size_t si) const {
     std::uint64_t mask = 0;
     for (const AggSite& site : prog_.sites)
-      if (site.stmt_index == static_cast<int>(si))
+      if (!site.is_channel() && site.stmt_index == static_cast<int>(si))
         mask |= 1ULL << site.id;
+    // Channel traffic is never last-execution suppressed: even the final
+    // iteration's consume superstep folds that iteration's replies.
     return mask;
   }
 
@@ -1126,6 +1185,11 @@ class DvRunner::Impl {
   /// nothing.
   bool can_fuse_statement(const Stmt& stmt, std::uint64_t own_sites) const {
     if (stmt.kind != Stmt::Kind::kIter) return false;
+    // Remote statements need main-thread phase driving (and the reference
+    // interpretation a per-superstep state snapshot) between supersteps.
+    if (!stmt.phases.empty() ||
+        expr_contains(*stmt.body, ExprKind::kRemoteRead))
+      return false;
     if (atomic_table_.empty()) return false;
     for (const AggSite& site : prog_.sites)
       if ((own_sites >> site.id & 1) &&
@@ -1143,6 +1207,13 @@ class DvRunner::Impl {
     const bool is_iter = stmt.kind == Stmt::Kind::kIter;
     const bool stable_until = is_iter && uses_stable(*stmt.until);
     const std::uint64_t own_sites = sites_mask_of(si);
+    const bool has_phases = !stmt.phases.empty();
+    const bool ref_remote =
+        !has_phases && expr_contains(*stmt.body, ExprKind::kRemoteRead);
+    // Remote statements carry only channel traffic, and the consume
+    // superstep (the one the quiescence probe below observes) sends
+    // nothing; `stable` then hinges entirely on the assignment aggregator.
+    const bool msgless_stmt = has_phases || ref_remote;
 
     // The superstep cap is per statement *run*, so streaming epochs get a
     // fresh budget instead of exhausting a cumulative one.
@@ -1170,6 +1241,11 @@ class DvRunner::Impl {
       EvalContext ctx;
     };
     obs::Collector* const col = obs::resolve(options_.collector);
+    // Reference interpretation: kRemoteRead reads the *iteration-start*
+    // field matrix, so the loop below snapshots state_ before every body
+    // superstep and every lane reads through the same buffer.
+    std::vector<Value> ref_snapshot;
+    if (ref_remote) ref_snapshot.resize(state_.size());
     std::vector<WorkerLane> lanes(W);
     for (std::size_t w = 0; w < W; ++w) {
       EvalContext& c = lanes[w].ctx;
@@ -1177,6 +1253,10 @@ class DvRunner::Impl {
       c.sink = &lanes[w].sink;
       c.has_vertex = true;
       c.obs = col ? &col->metrics.shard(w) : nullptr;
+      if (ref_remote) {
+        c.prev_state = ref_snapshot.data();
+        c.prev_stride = stride_;
+      }
       if (!atomic_table_.empty()) {
         c.atomic = &atomic_table_;
         c.atomic_lane = &atomic_lanes_[w];
@@ -1189,6 +1269,11 @@ class DvRunner::Impl {
         lanes[w].ctx.suppress_sites = suppress;
       }
     };
+    // Non-null during a request/reply superstep of a remote statement: the
+    // compute below evaluates it on the tree walker (phases are never VM-
+    // or native-lowered — they are two sends and a message loop, nothing
+    // hot) instead of the body.
+    const Expr* phase_expr = nullptr;
     const auto compute = [&](DvEngine::Context& ectx, graph::VertexId v,
                              std::span<const DvMessage> msgs) {
       const std::size_t w = static_cast<std::size_t>(ectx.worker());
@@ -1201,6 +1286,10 @@ class DvRunner::Impl {
       ctx.any_field_assign = false;
       std::copy(scratch_defaults_.begin(), scratch_defaults_.end(),
                 ctx.scratch.begin());
+      if (phase_expr != nullptr) {
+        eval(*phase_expr, ctx);
+        return;
+      }
       if (!victims_.empty() && victims_[v]) {
         // §9: retract this vertex's contributions, then leave for good.
         send_retractions(ctx, v, si);
@@ -1282,6 +1371,26 @@ class DvRunner::Impl {
                                 /*stable=*/false);
       assign_agg_->reset();
       set_iteration(iter, last_known ? own_sites : 0);
+      if (has_phases) {
+        // One logical iteration = request superstep, reply superstep,
+        // consume superstep. Owners cannot know which vertices will read
+        // from them (targets are field-dependent), so every phase — and
+        // the consume that folds the replies — runs on all vertices.
+        for (const ExprPtr& ph : stmt.phases) {
+          engine_->activate_all();
+          phase_expr = ph.get();
+          engine_->step(compute);
+          ++supersteps_;
+        }
+        phase_expr = nullptr;
+        engine_->activate_all();
+      } else if (ref_remote) {
+        // The reference interpretation reads arbitrary vertices' state
+        // directly; there is no message flow to wake readers.
+        engine_->activate_all();
+      }
+      if (ref_remote)
+        std::copy(state_.begin(), state_.end(), ref_snapshot.begin());
       engine_->step(compute);
       victims_.clear();
       ++supersteps_;
@@ -1302,7 +1411,8 @@ class DvRunner::Impl {
         const auto& last = engine_->stats().supersteps.back();
         const bool quiescent =
             last.messages_sent == 0 && atomic_folds_last_step_ == 0 &&
-            (cp_.options.incrementalize || !assign_agg_->reduce());
+            ((cp_.options.incrementalize && !msgless_stmt) ||
+             !assign_agg_->reduce());
         if (eval_until(stmt, static_cast<std::int64_t>(iter), quiescent))
           break;
       }
@@ -1358,6 +1468,11 @@ class DvRunner::Impl {
   std::vector<int> site_send_root_;  // per site.id; native tier only
   std::string native_fallback_;      // why --tier=native ran on the VM
   std::unique_ptr<pregel::OrAggregator> assign_agg_;
+  // Remote-read shape, computed once in the ctor: any kRequest/kReply
+  // channel site (lowered mode) / any kRemoteRead left in a body
+  // (reference mode, tree tier only).
+  bool has_channels_ = false;
+  bool reference_remote_ = false;
   std::size_t supersteps_ = 0;
   std::vector<std::size_t> iterations_;
   std::vector<std::uint8_t> victims_;
@@ -1490,6 +1605,11 @@ const char* DvRunner::warm_blocker(const CompiledProgram& cp,
   if (!cp.options.incrementalize)
     return "program is not incrementalized (DV*): no memoized accumulators "
            "to patch";
+  // Checked before any send_expr dereference: channel sites have none.
+  for (const Stmt& s : prog.stmts)
+    if (!s.phases.empty() || expr_contains(*s.body, ExprKind::kRemoteRead))
+      return "remote reads re-request every iteration: there is no "
+             "memoized channel state to patch and no frontier to wake";
   if (prog.stmts.size() != 1)
     return "multi-statement programs resume cold (cross-statement priming "
            "cannot be replayed)";

@@ -26,10 +26,15 @@ const char* builtin_program_source(const std::string& name) {
   if (name == "hits") return programs::kHits;
   if (name == "reachability") return programs::kReachability;
   if (name == "maxgossip") return programs::kMaxGossip;
+  if (name == "bfs") return programs::kBfs;
+  if (name == "kcore") return programs::kKCore;
+  if (name == "mis") return programs::kMis;
+  if (name == "pointerjump") return programs::kPointerJump;
   DV_FAIL("unknown built-in program '"
           << name
           << "' (try pagerank, pagerank-ug, sssp, cc, hits, reachability, "
-             "maxgossip — or pass a path to a .dv file)");
+             "maxgossip, bfs, kcore, mis, pointerjump — or pass a path to a "
+             ".dv file)");
 }
 
 std::string load_program_source(const std::string& program) {

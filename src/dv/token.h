@@ -13,7 +13,7 @@ enum class Tok : std::uint8_t {
   kIntLit, kFloatLit, kTrue, kFalse, kIdent,
   // keywords
   kInit, kStep, kIter, kUntil, kLet, kLocal, kIn, kIf, kThen, kElse,
-  kParam, kGraphSize, kInfty, kVertexId, kStable,
+  kParam, kGraphSize, kInfty, kVertexId, kStable, kRemote,
   kMin, kMax, kTypeInt, kTypeBool, kTypeFloat,
   // graph expressions
   kHashIn, kHashOut, kHashNeighbors,

@@ -46,6 +46,11 @@ class Checker {
                                    "' shadows a vertex field");
       }
       check(*s.body);
+      if (analysis.has_remote && analysis.has_agg)
+        compile_error(s.loc,
+                      "aggregations and remote reads cannot share a "
+                      "statement (their lowered message supersteps would "
+                      "interleave); split them into separate statements");
       if (s.until) {
         in_until_ = true;
         check(*s.until);
@@ -99,6 +104,7 @@ class Checker {
       case ExprKind::kAssign: return check_assign(e);
       case ExprKind::kLocalDecl: return check_local_decl(e);
       case ExprKind::kAgg: return check_agg(e);
+      case ExprKind::kRemoteRead: return check_remote_read(e);
       case ExprKind::kNeighborField: return check_neighbor_field(e);
       case ExprKind::kEdgeWeight:
         if (!in_agg_) err(e, "u.edge is only valid inside an aggregation");
@@ -293,6 +299,7 @@ class Checker {
     if (under_conditional_)
       err(e, "aggregation under a conditional cannot be incrementalized; "
              "hoist it with a let above the if");
+    analysis_->has_agg = true;
     in_agg_ = true;
     check(*e.kids[0]);
     in_agg_ = false;
@@ -301,6 +308,66 @@ class Checker {
       err(e, std::string("aggregation ") + agg_op_name(e.agg_op) +
                  " does not support element type " + type_name(elem));
     e.type = elem;
+  }
+
+  /// remote(e).f — a remote vertex-field read (DESIGN.md "Remote reads").
+  /// The target expression is evaluated during the generated *request*
+  /// superstep, before any of this iteration's assignments run, so it must
+  /// be request-phase evaluable: fields, params, vertexId, graphSize,
+  /// degrees, the iteration variable, and arithmetic over them — no
+  /// let-bound variables (they only exist inside the rewritten consumer
+  /// body), no aggregations, no nested remote reads. The value read is the
+  /// owner's field at the start of the logical iteration.
+  void check_remote_read(Expr& e) {
+    if (in_init_)
+      err(e, "remote reads are not allowed in init (no communication has "
+             "happened yet)");
+    if (in_until_) err(e, "remote reads are not allowed in until clauses");
+    if (in_agg_)
+      err(e, "remote reads are not allowed inside aggregation elements");
+    analysis_->has_remote = true;
+    check(*e.kids[0]);
+    if (e.kids[0]->type != Type::kInt)
+      err(*e.kids[0], "remote target must be an int vertex id, got " +
+                          std::string(type_name(e.kids[0]->type)));
+    check_remote_target(*e.kids[0]);
+    const int field = prog_.find_field(e.name);
+    if (field < 0)
+      err(e, "remote read of unknown field '" + e.name + "'");
+    e.slot = field;
+    e.type = prog_.fields[static_cast<std::size_t>(field)].type;
+  }
+
+  /// Enforces the request-phase-evaluable shape of a remote target after
+  /// name resolution ran on it.
+  void check_remote_target(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFieldRef:
+      case ExprKind::kParamRef:
+      case ExprKind::kVertexIdRef:
+      case ExprKind::kGraphSize:
+      case ExprKind::kDegree:
+        return;
+      case ExprKind::kVarRef:
+        if (e.var_kind == VarKind::kIter) return;
+        err(e, "remote target may not read let-bound variable '" + e.name +
+                   "' (targets are evaluated in the request superstep, "
+                   "before the statement body runs)");
+      case ExprKind::kRemoteRead:
+        err(e, "nested remote reads are not supported");
+      case ExprKind::kAgg:
+        err(e, "aggregations are not allowed inside a remote target");
+      case ExprKind::kBinary:
+      case ExprKind::kUnary:
+      case ExprKind::kPairOp:
+      case ExprKind::kIf:
+        for (const auto& k : e.kids) check_remote_target(*k);
+        return;
+      default:
+        err(e, std::string("remote target may not contain ") +
+                   expr_kind_name(e.kind));
+    }
   }
 
   void check_neighbor_field(Expr& e) {

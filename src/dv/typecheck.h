@@ -23,6 +23,8 @@ namespace deltav::dv {
 struct StmtAnalysis {
   bool body_reads_iter_var = false;
   bool until_uses_stable = false;
+  bool has_agg = false;     // body contains ⊞[...]
+  bool has_remote = false;  // body contains remote(e).f
 };
 
 struct TypecheckResult {

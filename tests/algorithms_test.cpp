@@ -2,9 +2,12 @@
 // message-count behaviour (the properties Figure 4/5 depend on).
 #include <gtest/gtest.h>
 
+#include "algorithms/bfs.h"
 #include "algorithms/connected_components.h"
 #include "graph/graph_builder.h"
 #include "algorithms/hits.h"
+#include "algorithms/kcore.h"
+#include "algorithms/mis.h"
 #include "algorithms/pagerank.h"
 #include "algorithms/pagerank_lookup.h"
 #include "algorithms/sssp.h"
@@ -232,6 +235,94 @@ TEST(PageRankLookup, SendsFewerMessagesButBiggerOnes) {
   // §4.2.1's cost: id-tagged messages are 12 bytes vs 8, and the cache
   // grows vertex state.
   EXPECT_GT(l.table_bytes, 0u);
+}
+
+// --------------------------------------------------------------------- BFS
+
+TEST(Bfs, MatchesOracleOnRandomGraphs) {
+  for (std::uint64_t seed : {41ULL, 42ULL, 43ULL}) {
+    const auto g = graph::rmat(128, 512, seed);
+    BfsOptions opt;
+    opt.engine = small_engine();
+    EXPECT_EQ(bfs_pregel(g, opt).depth, bfs_oracle(g, 0)) << "seed " << seed;
+  }
+}
+
+TEST(Bfs, AgreesWithUnitWeightSssp) {
+  const auto g = graph::rmat(128, 512, 44);  // unweighted → unit edges
+  BfsOptions bopt;
+  bopt.engine = small_engine();
+  SsspOptions sopt;
+  sopt.engine = small_engine();
+  EXPECT_EQ(bfs_pregel(g, bopt).depth, sssp_pregel(g, sopt).distance);
+}
+
+// ------------------------------------------------------------------ k-core
+
+TEST(KCore, MatchesPeelingOracleOnRandomGraphs) {
+  graph::RmatOptions ropt;
+  ropt.directed = false;
+  for (std::int64_t k : {2LL, 3LL, 5LL}) {
+    const auto g = graph::rmat(128, 400, 51 + static_cast<std::uint64_t>(k),
+                               ropt);
+    KCoreOptions opt;
+    opt.k = k;
+    opt.engine = small_engine();
+    EXPECT_EQ(kcore_pregel(g, opt).alive, kcore_oracle(g, k)) << "k=" << k;
+  }
+}
+
+TEST(KCore, CycleSurvivesK2ButNotK3) {
+  const auto g = graph::cycle(12, /*directed=*/false);
+  EXPECT_EQ(kcore_oracle(g, 2), std::vector<std::uint8_t>(12, 1));
+  EXPECT_EQ(kcore_oracle(g, 3), std::vector<std::uint8_t>(12, 0));
+  KCoreOptions opt;
+  opt.engine = small_engine();
+  opt.k = 3;
+  EXPECT_EQ(kcore_pregel(g, opt).alive, std::vector<std::uint8_t>(12, 0));
+}
+
+TEST(KCore, RejectsDirectedGraphs) {
+  const auto g = graph::cycle(6, /*directed=*/true);
+  EXPECT_THROW(kcore_pregel(g), CheckError);
+}
+
+// --------------------------------------------------------------------- MIS
+
+TEST(Mis, MatchesGreedyOracleOnRandomGraphs) {
+  graph::RmatOptions ropt;
+  ropt.directed = false;
+  for (std::uint64_t seed : {61ULL, 62ULL, 63ULL}) {
+    const auto g = graph::rmat(128, 400, seed, ropt);
+    MisOptions opt;
+    opt.engine = small_engine();
+    EXPECT_EQ(mis_pregel(g, opt).in_set, mis_oracle(g)) << "seed " << seed;
+  }
+}
+
+TEST(Mis, PathAdmitsAlternatingVertices) {
+  // Greedy by id on a path 0-1-2-...: every even vertex enters.
+  const auto g = graph::path(9, /*directed=*/false);
+  std::vector<std::uint8_t> want(9);
+  for (std::size_t v = 0; v < 9; ++v) want[v] = v % 2 == 0 ? 1 : 0;
+  EXPECT_EQ(mis_oracle(g), want);
+  MisOptions opt;
+  opt.engine = small_engine();
+  EXPECT_EQ(mis_pregel(g, opt).in_set, want);
+}
+
+TEST(Mis, OrientLowHighMakesInNeighborsTheLowerIds) {
+  const auto g = graph::path(5, /*directed=*/false);
+  const auto oriented = orient_low_high(g);
+  EXPECT_TRUE(oriented.directed());
+  for (std::size_t v = 0; v < 5; ++v) {
+    for (graph::VertexId u :
+         oriented.in_neighbors(static_cast<graph::VertexId>(v)))
+      EXPECT_LT(u, static_cast<graph::VertexId>(v));
+    for (graph::VertexId u :
+         oriented.out_neighbors(static_cast<graph::VertexId>(v)))
+      EXPECT_GT(u, static_cast<graph::VertexId>(v));
+  }
 }
 
 }  // namespace

@@ -12,6 +12,12 @@
 //                                                # kill-points — bit-exact
 //                                                # restores, corrupted
 //                                                # snapshots always detected
+//   dv_fuzz --remote --programs=300              # remote-read tier: bounded
+//                                                # remote(u).f programs; the
+//                                                # request/reply lowering held
+//                                                # bit-exact against the
+//                                                # reference interpretation,
+//                                                # across tiers and variants
 //
 // Each program is generated from an independent split of the base seed, so
 // any failure reproduces from (--seed, reported index) alone. Failures are
@@ -32,6 +38,7 @@
 #include "dv/testing/program_gen.h"
 #include "dv/testing/reducer.h"
 #include "dv/testing/persist_check.h"
+#include "dv/testing/remote_gen.h"
 #include "dv/testing/stream_gen.h"
 
 namespace {
@@ -107,6 +114,34 @@ int stream_soak(std::uint64_t seed, std::int64_t cases,
   return failures == 0 ? 0 : 1;
 }
 
+int remote_soak(std::uint64_t seed, std::int64_t cases,
+                std::int64_t max_failures, bool verbose,
+                const RemoteDiffOptions& opts) {
+  Rng rng(seed);
+  std::int64_t failures = 0;
+  for (std::int64_t k = 0; k < cases; ++k) {
+    Rng crng = rng.split();
+    const RemoteCase rc = generate_remote_case(crng);
+    if (verbose)
+      std::printf("--- case %lld (graph %s)\n%s", (long long)k,
+                  rc.graph.describe().c_str(), rc.source.c_str());
+    const auto fail = check_remote_case(rc, opts);
+    if (!fail) continue;
+    ++failures;
+    std::printf("FAIL case %lld seed %llu [%s] %s\ngraph %s:\n%s",
+                (long long)k, (unsigned long long)seed, fail->check.c_str(),
+                fail->detail.c_str(), rc.graph.describe().c_str(),
+                rc.source.c_str());
+    if (failures >= max_failures) {
+      std::printf("stopping after %lld failures\n", (long long)failures);
+      break;
+    }
+  }
+  std::printf("%lld remote cases, %lld failing\n", (long long)cases,
+              (long long)failures);
+  return failures == 0 ? 0 : 1;
+}
+
 int persist_soak(std::uint64_t seed, std::int64_t cases,
                  std::int64_t max_failures, bool verbose,
                  const PersistCheckOptions& opts) {
@@ -158,6 +193,10 @@ int main(int argc, char** argv) {
         "persist", false,
         "fuzz session persistence: snapshot kill-point sweeps over stream "
         "triples — bit-exact restore-equivalence, fault detection");
+    const bool remote = args.get_bool(
+        "remote", false,
+        "fuzz remote reads: bounded remote(u).f programs, the request/reply "
+        "lowering held bit-exact against the reference interpretation");
     const auto workers = args.get_int(
         "workers", 4, "engine worker count for the stream/persist tiers");
     const bool verbose =
@@ -196,6 +235,10 @@ int main(int argc, char** argv) {
     obs::ObsSession obs(obs_opts);
 
     if (!replay.empty()) return replay_corpus(replay, diff);
+    if (remote) {
+      RemoteDiffOptions ropts;
+      return remote_soak(seed, programs, max_failures, verbose, ropts);
+    }
     if (persist) {
       PersistCheckOptions popts;
       popts.workers = static_cast<int>(workers);

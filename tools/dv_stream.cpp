@@ -59,10 +59,14 @@ const char* builtin_source(const std::string& name) {
   if (name == "hits") return dv::programs::kHits;
   if (name == "reachability") return dv::programs::kReachability;
   if (name == "maxgossip") return dv::programs::kMaxGossip;
+  if (name == "bfs") return dv::programs::kBfs;
+  if (name == "kcore") return dv::programs::kKCore;
+  if (name == "mis") return dv::programs::kMis;
+  if (name == "pointerjump") return dv::programs::kPointerJump;
   DV_FAIL("unknown built-in program '"
           << name
           << "' (try pagerank, pagerank-ug, sssp, cc, hits, reachability, "
-             "maxgossip)");
+             "maxgossip, bfs, kcore, mis, pointerjump)");
 }
 
 std::map<std::string, dv::Value> parse_params(const std::string& spec) {
