@@ -7,6 +7,19 @@
 //                  ε-slop so it quiesces (until { stable }); graphSize
 //                  pins |V|, so the stream mutates edges only;
 //   cc           — the paper's connected-components min-label relaxation;
+//   sssp-del     — the pure (unguarded) SSSP form (programs::kSsspRetract)
+//                  on a forward-window DAG, driven by a deletion-heavy
+//                  stream that removes in-edges in the upper half of the
+//                  chain. The min site is a Class B retraction-memo
+//                  candidate (DESIGN.md §11), so with the default
+//                  minmax_memo_k every deletion epoch stays warm: the
+//                  k-best memo retracts the lost extremum in O(k) and the
+//                  repair wave only walks the downstream cone. A
+//                  warm-memo-off row (minmax_memo_k = 0) prices the legacy
+//                  behavior, where every deletion-bearing batch falls back
+//                  to a cold rebuild; memo-on must beat it and the cold
+//                  baseline on summed supersteps (exit-enforced at the
+//                  default scale).
 //   bfs          — unweighted distances from vertex 0 (programs::kBfs).
 //                  Insertions only ever shorten paths, so the guarded min
 //                  relax is monotone under this stream and every epoch
@@ -50,11 +63,16 @@
 #include <memory>
 #include <vector>
 
+#include <iterator>
+#include <set>
+
 #include "bench_common.h"
 #include "common/rng.h"
+#include "dv/programs/programs.h"
 #include "dv/streaming/stream_session.h"
 #include "graph/dynamic_graph.h"
 #include "graph/generators.h"
+#include "graph/graph_builder.h"
 
 namespace {
 
@@ -123,6 +141,75 @@ std::vector<graph::MutationBatch> local_insert_stream(std::uint64_t seed,
   return out;
 }
 
+/// Forward-window DAG: a weighted spine u → u+1 plus extra edges
+/// u → u+1..u+window, all strictly positive. Hop depth is Θ(|V|/window),
+/// so a cold SSSP re-run pays the whole chain every batch while a warm
+/// deletion epoch pays only the cone downstream of the cut.
+graph::CsrGraph forward_dag(std::size_t n, std::size_t degree,
+                            std::size_t window, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::GraphBuilder b(n, /*directed=*/true);
+  b.keep_weights(true);
+  b.deduplicate();
+  for (std::size_t u = 0; u + 1 < n; ++u)
+    b.add_edge(static_cast<graph::VertexId>(u),
+               static_cast<graph::VertexId>(u + 1),
+               0.5 + rng.next_double());
+  const std::size_t extra = degree > 1 ? n * (degree - 1) : 0;
+  for (std::size_t e = 0; e < extra; ++e) {
+    const std::size_t u = rng.next_below(n > 1 ? n - 1 : 1);
+    const std::size_t v = u + 1 + rng.next_below(window);
+    if (v >= n) continue;
+    b.add_edge(static_cast<graph::VertexId>(u),
+               static_cast<graph::VertexId>(v),
+               0.5 + rng.next_double() * 2.0);
+  }
+  return b.build();
+}
+
+/// Deletion-heavy stream for the forward DAG: ~70% of edits remove a
+/// random present in-edge of a vertex in the upper half of the chain
+/// (keeping the repair cone far from the source), the rest insert
+/// window-local forward edges with strictly positive weights — so the
+/// graph stays a DAG and the Class B memo's positivity guard holds.
+std::vector<graph::MutationBatch> deletion_stream(const graph::CsrGraph& g,
+                                                  std::size_t window,
+                                                  std::uint64_t seed,
+                                                  std::int64_t batches,
+                                                  std::int64_t edits) {
+  Rng rng(seed);
+  const std::size_t n = g.num_vertices();
+  std::vector<std::set<graph::VertexId>> in_of(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (const graph::VertexId u :
+         g.in_neighbors(static_cast<graph::VertexId>(v)))
+      in_of[v].insert(u);
+  std::vector<graph::MutationBatch> out;
+  for (std::int64_t b = 0; b < batches; ++b) {
+    graph::MutationBatch mb;
+    for (std::int64_t e = 0; e < edits; ++e) {
+      const auto dst = static_cast<graph::VertexId>(
+          n / 2 + rng.next_below(n - n / 2));
+      if (rng.next_bool(0.7) && !in_of[dst].empty()) {
+        auto it = in_of[dst].begin();
+        std::advance(it, static_cast<long>(
+                             rng.next_below(in_of[dst].size())));
+        mb.remove_edge(*it, dst);
+        in_of[dst].erase(it);
+      } else {
+        const std::size_t lo = dst > window ? dst - window : 0;
+        if (lo >= dst) continue;
+        const auto src = static_cast<graph::VertexId>(
+            lo + rng.next_below(dst - lo));
+        mb.insert_edge(src, dst, 0.5 + rng.next_double() * 2.0);
+        in_of[dst].insert(src);
+      }
+    }
+    if (!mb.empty()) out.push_back(std::move(mb));
+  }
+  return out;
+}
+
 /// Converges a session, applies the whole stream, and reports the summed
 /// epoch cost (supersteps/messages across every apply(); wall-clock of
 /// the apply loop only — epoch 0 is identical for warm and cold).
@@ -132,8 +219,10 @@ bench::Metrics run_stream(const StreamWorkload& w, dv::ExecTier tier,
                           bool atomic_float = false,
                           std::size_t* warm_epochs = nullptr,
                           obs::Collector* collector = nullptr,
-                          std::string* fold_label = nullptr) {
+                          std::string* fold_label = nullptr,
+                          std::size_t memo_k = 8) {
   dv::streaming::SessionOptions so;
+  so.minmax_memo_k = memo_k;
   so.run.engine = bench::paper_engine(workers);
   so.run.params = w.params;
   // Warm epochs wake a handful of vertices; the work-queue scheduler is
@@ -252,11 +341,27 @@ int main(int argc, char** argv) {
                            "grid-" + std::to_string(rows) + "x" +
                                std::to_string(cols)});
     }
+    {
+      // Deletion-heavy SSSP over a forward-window DAG (header comment):
+      // the retraction-memo showcase. Same |V| as the R-MAT workloads,
+      // Θ(|V|/window) hop depth.
+      const std::size_t window = 8;
+      const graph::CsrGraph dag = forward_dag(n, degree, window, seed + 4);
+      auto stream =
+          deletion_stream(dag, window, seed + 5, batches, edits);
+      workloads.push_back({"sssp-del",
+                           dv::compile(dv::programs::kSsspRetract, {}),
+                           dag, std::move(stream),
+                           {{"source", dv::Value::of_int(0)}},
+                           "fdag-2^" + std::to_string(scale) + "w" +
+                               std::to_string(window)});
+    }
 
     Table t({"graph", "algorithm", "system", "tier", "fold", "wall(s)",
              "msgs", "supersteps", "warm epochs"});
     bool warm_wins = true;
     bool restore_wins = true;
+    bool memo_wins = true;
     double best_atomic_speedup = 0;
     for (const StreamWorkload& w : workloads) {
       for (const dv::ExecTier tier : bench::parse_tiers(tiers_flag)) {
@@ -288,6 +393,36 @@ int main(int argc, char** argv) {
         }
         warm_wins = warm_wins && warm.supersteps < cold.supersteps &&
                     warm_epochs == w.stream.size();
+
+        // Retraction-memo pricing (sssp-del only): the same stream with
+        // minmax_memo_k = 0, where every deletion-bearing batch trips the
+        // legacy min/max blocker and rebuilds cold inside apply(). The
+        // memo-on "warm" row above must beat this on summed supersteps
+        // (exit-enforced at the default scale with the other claims).
+        if (w.name == "sssp-del") {
+          std::size_t nomemo_warm = 0;
+          const bench::Metrics warm_nomemo = bench::averaged(reps, [&] {
+            return run_stream(w, tier, workers, /*force_cold=*/false,
+                              dv::FoldPath::kAuto, /*atomic_float=*/false,
+                              &nomemo_warm, nullptr, nullptr,
+                              /*memo_k=*/0);
+          });
+          t.row()
+              .cell(w.tag)
+              .cell(w.name)
+              .cell("warm-memo-off")
+              .cell(dv::exec_tier_name(tier))
+              .cell(warm_fold)
+              .cell(warm_nomemo.wall_seconds, 4)
+              .cell(static_cast<unsigned long long>(warm_nomemo.messages))
+              .cell(
+                  static_cast<unsigned long long>(warm_nomemo.supersteps))
+              .cell(static_cast<unsigned long long>(nomemo_warm));
+          json.add(w.tag, w.name, "warm-memo-off",
+                   dv::exec_tier_name(tier), warm_nomemo, warm_fold);
+          memo_wins =
+              memo_wins && warm.supersteps < warm_nomemo.supersteps;
+        }
 
         // Fold-path pair: the same warm stream forced through the
         // buffered message pipeline vs the lock-free atomic path. CC's
@@ -407,6 +542,14 @@ int main(int argc, char** argv) {
     if (!restore_wins && scale >= 10) {
       std::cerr << "bench_stream: snapshot restore did not beat cold"
                    " reconvergence\n";
+      return 1;
+    }
+    // Supersteps are deterministic, but at tiny scales a deletion stream
+    // can degenerate (few batches carry removals), so the memo claim is
+    // enforced from the default scale up like the wall-clock ones.
+    if (!memo_wins && scale >= 10) {
+      std::cerr << "bench_stream: retraction-memo epochs did not beat the"
+                   " memo-off fallback on supersteps\n";
       return 1;
     }
     // Same noise gate as above: at tiny scales both fold paths are

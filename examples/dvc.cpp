@@ -31,6 +31,7 @@ const char* builtin_source(const std::string& name) {
   if (name == "pagerank") return dv::programs::kPageRank;
   if (name == "pagerank-ug") return dv::programs::kPageRankUndirected;
   if (name == "sssp") return dv::programs::kSssp;
+  if (name == "sssp_retract") return dv::programs::kSsspRetract;
   if (name == "cc") return dv::programs::kConnectedComponents;
   if (name == "hits") return dv::programs::kHits;
   if (name == "reachability") return dv::programs::kReachability;
@@ -41,8 +42,8 @@ const char* builtin_source(const std::string& name) {
   if (name == "pointerjump") return dv::programs::kPointerJump;
   DV_FAIL("unknown built-in program '"
           << name
-          << "' (try pagerank, pagerank-ug, sssp, cc, hits, reachability, "
-             "maxgossip, bfs, kcore, mis, pointerjump)");
+          << "' (try pagerank, pagerank-ug, sssp, sssp_retract, cc, hits, "
+             "reachability, maxgossip, bfs, kcore, mis, pointerjump)");
 }
 
 /// Parses repeated --param=name=value bindings (int or float literals).

@@ -218,6 +218,19 @@ struct AggSite {
   // under the explicit --atomic_float opt-in, tracked separately.
   bool atomic_ok = false;
   bool atomic_float_ok = false;
+  // Retraction-memo classification (incrementalize pass; DESIGN.md §11):
+  // a min/max site whose per-sender contribution is a pure function of
+  // state the streaming layer can see change, so a deletion epoch can
+  // retract it through the k-best tournament memo instead of blocking
+  // warm resume. Class A (publish): the payload reads only fields never
+  // assigned in an iter body. Class B (feedback, min only): payload is
+  // field + edge-weight / field + positive literal over an iter-assigned
+  // field, with no other reads of iter-assigned fields outside send
+  // loops — the pure SSSP shape whose accumulator may rise under
+  // retraction and reconverge. memo_edge_feedback marks the edge-weight
+  // variant, which additionally needs the runtime positive-weight guard.
+  bool memo_ok = false;
+  bool memo_edge_feedback = false;
   /// kReply channels: the field slot the owner vertex answers with.
   int remote_field = -1;
 

@@ -40,6 +40,9 @@ const char* counter_name(Counter c) {
     case Counter::kServeMutationBatches: return "serve.mutation_batches";
     case Counter::kServeCoalescedBatches: return "serve.coalesced_batches";
     case Counter::kServeSnapshots: return "serve.snapshots";
+    case Counter::kMinmaxRetractions: return "dv.minmax_retractions";
+    case Counter::kMinmaxRefolds: return "dv.minmax_refolds";
+    case Counter::kMinmaxUnderflows: return "dv.minmax_underflows";
     case Counter::kCount: break;
   }
   DV_FAIL("counter_name out of range");

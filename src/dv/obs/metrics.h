@@ -74,6 +74,12 @@ enum class Counter : std::uint32_t {
                              // (group commit; 0 when every epoch is one
                              // batch)
   kServeSnapshots,           // SNAPSHOT requests + epoch checkpoints
+  // Retraction memos (streaming/retract): bounded-memory min/max
+  // deletion support (DESIGN.md §11).
+  kMinmaxRetractions,        // contributions retracted/worsened through
+                             // the k-best memo
+  kMinmaxRefolds,            // targeted in-neighbor refolds
+  kMinmaxUnderflows,         // cells whose k survivors were all retracted
   kCount
 };
 

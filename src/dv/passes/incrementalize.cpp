@@ -12,6 +12,118 @@ void set_fold_incremental(Expr& e, int site) {
   for (auto& k : e.kids) set_fold_incremental(*k, site);
 }
 
+// ----- retraction-memo eligibility (DESIGN.md §11) -----------------------
+//
+// A min/max site may route through the k-best retraction memo when the
+// per-sender contribution the receiver memoizes is something the
+// streaming layer can keep current. Two shapes qualify:
+//
+//   Class A (publish): the payload reads only fields no iter body ever
+//   assigns (plus edge weight / degree / params / vertexId). Its value
+//   per sender only changes at epoch boundaries, where apply_epoch
+//   synthesizes a record per changed arc and touched sender.
+//
+//   Class B (feedback, min only): the payload is f + u.edge or
+//   f + positive-literal over an iter-assigned f, and the body reads no
+//   iter-assigned field outside send-loop subtrees — the pure
+//   (unguarded) SSSP shape. A retraction then makes the accumulator
+//   *rise*, the body republished value rises with it, and the
+//   monotone-increasing repair reconverges because every cycle adds a
+//   strictly positive translation (the runtime guards weight positivity
+//   and caps runaway count-to-infinity climbs). Guarded relaxations
+//   (`if best < dist`) stay ineligible: their guard pins the field at
+//   the stale value, so the risen fixpoint would never be reached.
+//
+// The body scan must skip the change-check prologue the §6.3 pass
+// spliced in *before* this pass runs: `o_f = f` old-copies and
+// `dirtied = dirtied || (f != o_f)` flag updates read iter-assigned
+// fields, but only to detect change — they never make the published
+// value path-dependent.
+
+void mark_stmt_field_writes(const Expr& e, std::vector<char>& written) {
+  if (e.kind == ExprKind::kAssign &&
+      e.assign_target == AssignTarget::kField && e.slot >= 0)
+    written[static_cast<std::size_t>(e.slot)] = 1;
+  for (const auto& k : e.kids)
+    if (k) mark_stmt_field_writes(*k, written);
+}
+
+bool body_pure_outside_sends(const Program& prog, const Expr& e,
+                             const std::vector<char>& written) {
+  if (e.kind == ExprKind::kSendLoop) return true;  // recorded at the site
+  if (e.kind == ExprKind::kAssign &&
+      e.assign_target == AssignTarget::kScratch && e.slot >= 0) {
+    const auto origin =
+        prog.scratch[static_cast<std::size_t>(e.slot)].origin;
+    if (origin == ScratchVar::Origin::kOldCopy ||
+        origin == ScratchVar::Origin::kDirtyFlag)
+      return true;  // §6.3 bookkeeping, not a semantic read
+  }
+  if (e.kind == ExprKind::kFieldRef && e.slot >= 0 &&
+      written[static_cast<std::size_t>(e.slot)])
+    return false;
+  for (const auto& k : e.kids)
+    if (k && !body_pure_outside_sends(prog, *k, written)) return false;
+  return true;
+}
+
+/// Class A payload check: only reads of never-iter-assigned fields and
+/// statically-safe leaves. (graphSize is allowed — warm_blocker blocks
+/// vertex-count changes independently of the memo.)
+bool payload_static(const Expr& e, const std::vector<char>& written) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+    case ExprKind::kFloatLit:
+    case ExprKind::kBoolLit:
+    case ExprKind::kInfty:
+    case ExprKind::kParamRef:
+    case ExprKind::kEdgeWeight:
+    case ExprKind::kDegree:
+    case ExprKind::kGraphSize:
+    case ExprKind::kVertexIdRef:
+      return true;
+    case ExprKind::kVarRef:
+      return e.var_kind == VarKind::kParam;
+    case ExprKind::kFieldRef:
+      return e.slot >= 0 && !written[static_cast<std::size_t>(e.slot)];
+    case ExprKind::kBinary:
+    case ExprKind::kUnary:
+    case ExprKind::kPairOp:
+    case ExprKind::kIf:
+      break;  // recurse
+    default:
+      return false;
+  }
+  for (const auto& k : e.kids)
+    if (k && !payload_static(*k, written)) return false;
+  return true;
+}
+
+/// Class B payload matcher: f + u.edge or f + positive-literal (either
+/// operand order). Returns the field slot, or -1; sets *via_edge.
+int match_feedback_payload(const Expr& e, bool* via_edge) {
+  if (e.kind != ExprKind::kBinary || e.bin_op != BinOp::kAdd) return -1;
+  if (e.kids.size() != 2) return -1;
+  const auto positive_literal = [](const Expr& x) {
+    return (x.kind == ExprKind::kIntLit && x.int_val > 0) ||
+           (x.kind == ExprKind::kFloatLit && x.float_val > 0.0);
+  };
+  for (int order = 0; order < 2; ++order) {
+    const Expr& f = *e.kids[static_cast<std::size_t>(order)];
+    const Expr& t = *e.kids[static_cast<std::size_t>(1 - order)];
+    if (f.kind != ExprKind::kFieldRef || f.slot < 0) continue;
+    if (t.kind == ExprKind::kEdgeWeight) {
+      *via_edge = true;
+      return f.slot;
+    }
+    if (positive_literal(t)) {
+      *via_edge = false;
+      return f.slot;
+    }
+  }
+  return -1;
+}
+
 void convert_sends_to_delta(Program& prog, Expr& e, const AggSite& site) {
   if (e.kind == ExprKind::kSendLoop && e.site == site.id && !e.flag) {
     e.flag = true;  // Δ-mode
@@ -87,6 +199,38 @@ void pass_incrementalize_aggregations(Program& prog, Diagnostics& diags) {
       site.atomic_ok = exact;
       site.atomic_float_ok =
           site.op == AggOp::kSum && site.elem_type == Type::kFloat;
+    }
+  }
+
+  // Retraction-memo classification (Class A / Class B above). Runs after
+  // the site loop so every compiler field exists; reads the statement
+  // bodies as change-checks left them.
+  std::vector<char> written(prog.fields.size(), 0);
+  for (const Stmt& stmt : prog.stmts)
+    if (stmt.body) mark_stmt_field_writes(*stmt.body, written);
+  bool body_pure = true;
+  for (const Stmt& stmt : prog.stmts)
+    if (stmt.body && !body_pure_outside_sends(prog, *stmt.body, written))
+      body_pure = false;
+  for (AggSite& site : prog.sites) {
+    if (site.is_channel()) continue;
+    if (site.op != AggOp::kMin && site.op != AggOp::kMax) continue;
+    if (site.elem_type != Type::kInt && site.elem_type != Type::kFloat)
+      continue;
+    if (!body_pure) continue;
+    const Expr* payload =
+        site.init_send_expr ? site.init_send_expr.get() : site.send_expr.get();
+    if (payload == nullptr) continue;
+    if (payload_static(*payload, written)) {
+      site.memo_ok = true;  // Class A: publish shape
+      continue;
+    }
+    if (site.op != AggOp::kMin) continue;
+    bool via_edge = false;
+    const int f = match_feedback_payload(*payload, &via_edge);
+    if (f >= 0 && written[static_cast<std::size_t>(f)]) {
+      site.memo_ok = true;  // Class B: pure min-plus feedback
+      site.memo_edge_feedback = via_edge;
     }
   }
 }

@@ -50,6 +50,7 @@ inline constexpr std::uint32_t kSecMeta = 0x4154454d;    // "META"
 inline constexpr std::uint32_t kSecGraph = 0x48505247;   // "GRPH"
 inline constexpr std::uint32_t kSecRunner = 0x534e5552;  // "RUNS"
 inline constexpr std::uint32_t kSecEngine = 0x4e474e45;  // "ENGN"
+inline constexpr std::uint32_t kSecRetract = 0x43525452;  // "RTRC"
 inline constexpr std::uint32_t kSecEnd = 0x21444e45;     // "END!"
 
 class SnapshotWriter {

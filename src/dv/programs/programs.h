@@ -53,6 +53,26 @@ iter i {
 } until { stable }
 )";
 
+/// SSSP in pure (unguarded) form: dist is reassigned from the min-plus
+/// fold every superstep instead of through a `if best < dist` guard. The
+/// guarded kSssp pins stale distances after an edge deletion (the guard
+/// only ever improves), so its min sites are memo-ineligible; this form
+/// recomputes from whatever arrives, which makes the min site a Class B
+/// (edge-feedback) retraction-memo candidate — deletion epochs stay warm
+/// when minmax_memo_k > 0 and every weight is strictly positive
+/// (DESIGN.md §11). Semantics match kSssp on any non-negative-weight
+/// graph once converged.
+inline constexpr const char* kSsspRetract = R"(
+param source : int;
+init {
+  local dist : float = if vertexId == source then 0.0 else infty
+};
+iter i {
+  let best : float = min [ u.dist + u.edge | u <- #in ] in
+  dist = if vertexId == source then 0.0 else best
+} until { stable }
+)";
+
 /// Connected components by min-label propagation (undirected graphs).
 inline constexpr const char* kConnectedComponents = R"(
 init {

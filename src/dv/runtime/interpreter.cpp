@@ -104,6 +104,12 @@ Value eval_send_loop(const Expr& e, EvalContext& ctx) {
     return unit();
   }
 
+  // Retraction-memo hook: routed sites record the sender's new total for
+  // every target — including no-op Δs, whose identity payload is exactly
+  // the "this sender no longer contributes" removal record.
+  const int rcol =
+      ctx.retract ? ctx.retract->route[static_cast<std::size_t>(e.site)] : -1;
+
   const int acol =
       ctx.atomic ? ctx.atomic->route[static_cast<std::size_t>(e.site)] : -1;
   if (acol >= 0 && e.flag) {
@@ -119,6 +125,10 @@ Value eval_send_loop(const Expr& e, EvalContext& ctx) {
       const Value old_v = eval(*e.kids[1], ctx).coerce(site.elem_type);
       const DeltaPayload d =
           synthesize_delta(site.op, site.elem_type, old_v, new_v);
+      if (rcol >= 0)
+        ctx.retract_lane->record(targets[i],
+                                 static_cast<std::uint32_t>(v), rcol,
+                                 atomic_fold_bits(site.elem_type, new_v));
       if (d.noop) {
         ++n_suppressed;
         continue;
@@ -155,6 +165,10 @@ Value eval_send_loop(const Expr& e, EvalContext& ctx) {
       const Value old_v = eval(*e.kids[1], ctx).coerce(site.elem_type);
       const DeltaPayload d =
           synthesize_delta(site.op, site.elem_type, old_v, new_v);
+      if (rcol >= 0)
+        ctx.retract_lane->record(targets[i],
+                                 static_cast<std::uint32_t>(v), rcol,
+                                 atomic_fold_bits(site.elem_type, new_v));
       if (d.noop) {  // a meaningless message by construction (§6.3)
         ++n_suppressed;
         continue;

@@ -13,6 +13,7 @@
 #include "dv/obs/metrics.h"
 #include "dv/runtime/atomic_fold.h"
 #include "dv/runtime/message.h"
+#include "dv/streaming/retract/retract_memo.h"
 #include "dv/runtime/value.h"
 #include "graph/graph_view.h"
 
@@ -63,6 +64,15 @@ struct EvalContext {
   // frontier bitmap instead of constructing messages.
   AtomicFoldTable* atomic = nullptr;
   AtomicFoldLane* atomic_lane = nullptr;
+
+  // Retraction memos (streaming/retract/retract_memo.h). Non-null only
+  // when the runner routed at least one min/max site through the memo:
+  // send loops for routed sites then record the sender's new total (or
+  // the identity, for no-longer-contributing no-ops) into this lane's
+  // record buffer, on top of whatever fold path delivers the payload.
+  // Null everywhere else — one pointer test, zero cost when off.
+  RetractMemoTable* retract = nullptr;
+  RetractLane* retract_lane = nullptr;
 
   // Reference interpretation of remote reads (CompileOptions::lower_remote
   // = false; tree tier only). Points at an iteration-start snapshot of the

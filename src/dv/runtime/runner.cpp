@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <string_view>
 
 #include "dv/codegen/native_module.h"
@@ -175,11 +176,91 @@ class DvRunner::Impl {
     for (auto& s : worker_scratch_) s = scratch_defaults_;
     assign_agg_ = std::make_unique<pregel::OrAggregator>(W, false,
                                                          pregel::OrOp{});
+
+    // Retraction-memo routing (streaming/retract/retract_memo.h): route
+    // every memo-eligible min/max site through the k-best tournament memo
+    // when the session asked for it (minmax_memo_k > 0). Single-statement
+    // programs only — the memo's drain re-converges statement 0, which is
+    // exactly the warm-epoch restriction warm_blocker already imposes.
+    // Computed before the native build below so a memoized program takes
+    // the announced VM fallback instead of compiling send sites the memo
+    // cannot observe.
+    retract_table_.k = options_.minmax_memo_k;
+    retract_table_.route.assign(prog_.sites.size(), -1);
+    if (cp_.options.incrementalize && options_.minmax_memo_k > 0 &&
+        prog_.stmts.size() == 1) {
+      for (const AggSite& site : prog_.sites) {
+        if (!site.memo_ok) continue;
+        retract_table_.route[static_cast<std::size_t>(site.id)] =
+            static_cast<int>(retract_table_.ops.size());
+        retract_table_.site_of.push_back(
+            static_cast<std::uint32_t>(site.id));
+        retract_table_.ops.push_back(site.op);
+        retract_table_.types.push_back(site.elem_type);
+        retract_table_.identity.push_back(atomic_fold_bits(
+            site.elem_type, agg_identity(site.op, site.elem_type)));
+        memo_edge_feedback_ =
+            memo_edge_feedback_ || site.memo_edge_feedback;
+      }
+    }
+    if (!retract_table_.empty()) {
+      retract_table_.reset(n);
+      retract_lanes_.resize(static_cast<std::size_t>(W));
+      if (memo_edge_feedback_) {
+        // Class B feedback adds u.edge per hop: the rising-repair argument
+        // needs strictly positive weights, enforced at runtime against
+        // this lower bound (one O(E) scan here; epochs fold in new arcs).
+        min_weight_lb_ = std::numeric_limits<double>::infinity();
+        for (std::size_t v = 0; v < n; ++v) {
+          const auto vid = static_cast<graph::VertexId>(v);
+          const auto ws = g_.out_weights(vid);
+          if (ws.empty()) {
+            if (!g_.out_neighbors(vid).empty())
+              min_weight_lb_ = std::min(min_weight_lb_, 1.0);
+            continue;
+          }
+          for (const double wgt : ws)
+            min_weight_lb_ = std::min(min_weight_lb_, wgt);
+        }
+      }
+    }
+
     // Native tier: AOT-compile (or reuse a cached object for) the whole
     // program. Build failures are never fatal — the runner records the
     // named reason, bumps dv.native_fallbacks, and constructs the VM
     // below exactly as if --tier=vm had been requested.
     ExecTier tier = options_.tier;
+    const auto note_native_fallback = [&](const std::string& why) {
+      native_fallback_ = why;
+      tier = ExecTier::kVm;
+      obs::Collector* const col = obs::resolve(options_.collector);
+      if (col) {
+        col->metrics.shard(0).add(obs::Counter::kNativeFallbacks);
+        // First token of the reason keys the per-cause series
+        // ("unsupported: ..." → dv.native_fallbacks.unsupported). An
+        // unsupported reason may carry its own single-word key
+        // ("unsupported: remote_read: ..." →
+        // dv.native_fallbacks.remote_read) for fallbacks worth tracking
+        // as their own series.
+        std::string reason = why;
+        constexpr std::string_view kUnsupported = "unsupported: ";
+        if (reason.rfind(kUnsupported, 0) == 0) {
+          const std::string rest = reason.substr(kUnsupported.size());
+          const auto c = rest.find(':');
+          if (c != std::string::npos &&
+              rest.find(' ') > c)  // "<word>: ..." sub-cause
+            reason = rest;
+        }
+        std::string cause = reason.substr(0, reason.find(':'));
+        if (const auto sp = cause.find(' '); sp != std::string::npos)
+          cause.resize(sp);
+        col->metrics.add_named("dv.native_fallbacks." + cause);
+      }
+    };
+    if (tier == ExecTier::kNative && !retract_table_.empty())
+      note_native_fallback(
+          "unsupported: minmax_memo: retraction memos record at "
+          "interpreted send sites");
     if (tier == ExecTier::kNative) {
       obs::Collector* const col = obs::resolve(options_.collector);
       const native::NativeBuildReport rep = native::build_native(cp_);
@@ -200,30 +281,7 @@ class DvRunner::Impl {
           site_send_root_.push_back(native_->root_of(e));
         }
       } else {
-        native_fallback_ = rep.reason;
-        tier = ExecTier::kVm;
-        if (col) {
-          col->metrics.shard(0).add(obs::Counter::kNativeFallbacks);
-          // First token of the reason keys the per-cause series
-          // ("unsupported: ..." → dv.native_fallbacks.unsupported). An
-          // unsupported reason may carry its own single-word key
-          // ("unsupported: remote_read: ..." →
-          // dv.native_fallbacks.remote_read) for fallbacks worth tracking
-          // as their own series.
-          std::string reason = rep.reason;
-          constexpr std::string_view kUnsupported = "unsupported: ";
-          if (reason.rfind(kUnsupported, 0) == 0) {
-            const std::string rest = reason.substr(kUnsupported.size());
-            const auto c = rest.find(':');
-            if (c != std::string::npos &&
-                rest.find(' ') > c)  // "<word>: ..." sub-cause
-              reason = rest;
-          }
-          std::string cause = reason.substr(0, reason.find(':'));
-          if (const auto sp = cause.find(' '); sp != std::string::npos)
-            cause.resize(sp);
-          col->metrics.add_named("dv.native_fallbacks." + cause);
-        }
+        note_native_fallback(rep.reason);
       }
     }
     // The VM is immutable and holds no execution state, so one instance
@@ -306,9 +364,13 @@ class DvRunner::Impl {
 
   EpochStats apply_epoch(graph::DynamicGraph& dyn,
                          const graph::GraphDelta& delta) {
-    const char* blocker = DvRunner::warm_blocker(cp_, delta);
+    const char* blocker =
+        DvRunner::warm_blocker(cp_, delta, options_.minmax_memo_k);
     DV_CHECK_MSG(blocker == nullptr,
                  "apply_epoch on a warm-blocked delta: " << blocker);
+    const char* rt_blocker = warm_runtime_blocker(delta);
+    DV_CHECK_MSG(rt_blocker == nullptr,
+                 "apply_epoch on a runtime-blocked delta: " << rt_blocker);
     DV_CHECK_MSG(options_.deletions.empty(),
                  "apply_epoch cannot run with scheduled vertex deletions");
     DV_CHECK_MSG(converged_, "apply_epoch before converge()");
@@ -323,6 +385,16 @@ class DvRunner::Impl {
     const std::size_t stats_base = engine_->stats().supersteps.size();
     const std::size_t steps_base = supersteps_;
     const std::uint64_t folds_base = atomic_folds_total_;
+    const std::uint64_t retr_base = minmax_retractions_total_;
+    const std::uint64_t refold_base = minmax_refolds_total_;
+    const std::uint64_t under_base = minmax_underflows_total_;
+    warm_aborted_ = false;
+    if (memo_edge_feedback_) {
+      // Fold the epoch's surviving/new arc weights into the positivity
+      // lower bound (conservative: removals never raise it back).
+      for (const graph::ArcChange& a : delta.arcs)
+        if (a.has) min_weight_lb_ = std::min(min_weight_lb_, a.new_weight);
+    }
     deltas_applied_ = 0;
     wake_.assign(new_n, 0);
     wake_list_.clear();
@@ -387,6 +459,7 @@ class DvRunner::Impl {
         for (AtomicFoldLane& lane : atomic_lanes_)
           lane.reset(new_n, atomic_table_.columns());
       }
+      if (!retract_table_.empty()) retract_table_.grow(new_n);
       state_.resize(new_n * stride_);
       const std::vector<Value> defaults = compiler_field_defaults();
       for (std::size_t v = old_n; v < new_n; ++v)
@@ -395,6 +468,10 @@ class DvRunner::Impl {
       EvalContext ctx = make_ctx(0);
       ctx.has_vertex = true;
       ctx.sink = &apply_sink;
+      if (!retract_table_.empty()) {
+        ctx.retract = &retract_table_;
+        ctx.retract_lane = &retract_lanes_.front();
+      }
       const int init_chunk =
           vm_ ? vm_->program().chunk_of(*prog_.init) : -1;
       for (std::size_t vv = old_n; vv < new_n; ++vv) {
@@ -437,6 +514,52 @@ class DvRunner::Impl {
           const auto site_idx = static_cast<std::size_t>(site.id);
           const auto& old_list = epoch_olds_[site_idx][ti];
           const Value identity = agg_identity(site.op, site.elem_type);
+          const int rcol = retract_table_.empty()
+                               ? -1
+                               : retract_table_.route[site_idx];
+          if (rcol >= 0) {
+            // Memo-routed: synthesize keyed records (new totals, identity
+            // = removal) instead of Δ-messages; the epoch drain below
+            // rewrites every dirty accumulator straight from the memo, so
+            // min/max retractions need no cold restart.
+            const std::uint64_t id_bits =
+                retract_table_.identity[static_cast<std::size_t>(rcol)];
+            std::size_t oi = 0, ni = 0;
+            while (oi < old_list.size() || ni < targets.size()) {
+              const bool take_old =
+                  ni >= targets.size() ||
+                  (oi < old_list.size() && old_list[oi].first < targets[ni]);
+              if (take_old) {
+                retract_lanes_.front().record(
+                    old_list[oi].first, static_cast<std::uint32_t>(v), rcol,
+                    id_bits);
+                ++oi;
+              } else {
+                const graph::VertexId dst = targets[ni];
+                ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[ni];
+                const Value now =
+                    eval_root(original, ctx).coerce(site.elem_type);
+                retract_lanes_.front().record(
+                    dst, static_cast<std::uint32_t>(v), rcol,
+                    atomic_fold_bits(site.elem_type, now));
+                if (oi < old_list.size() && old_list[oi].first == dst) ++oi;
+                ++ni;
+              }
+            }
+            // Re-memoize what this sender's neighbors now believe, as the
+            // non-memo path does below.
+            if (site.bound_field >= 0 || site.last_sent_slot >= 0) {
+              ctx.cur_edge_weight = 1.0;
+              const Value now =
+                  eval_root(original, ctx).coerce(site.elem_type);
+              if (site.bound_field >= 0)
+                ctx.fields[static_cast<std::size_t>(site.bound_field)] = now;
+              if (site.last_sent_slot >= 0)
+                ctx.fields[static_cast<std::size_t>(site.last_sent_slot)] =
+                    now;
+            }
+            continue;
+          }
           std::size_t oi = 0, ni = 0;
           while (oi < old_list.size() || ni < targets.size()) {
             DeltaPayload d;
@@ -491,6 +614,10 @@ class DvRunner::Impl {
     // Routed epoch patches are still parked in pending slots: fold them
     // into the accumulators now (wake_ was marked at fold time).
     drain_atomic(/*activate=*/false);
+    // Memo-routed records likewise: apply them in canonical order and
+    // rewrite every dirty cell's accumulator from the memo (the normal
+    // fold path never saw these sites' epoch deltas).
+    drain_retract(/*activate=*/false);
 
     // ---- Wake exactly the mutation frontier (touched endpoints, Δ
     // receivers, new vertices) and re-converge the statement. The wake
@@ -503,8 +630,22 @@ class DvRunner::Impl {
       ++es.woken;
     }
 
-    if (es.woken > 0) run_statement(0);
+    // Class B feedback repairs rise monotonically; on a graph whose only
+    // path to some vertex was removed they would climb without bound
+    // (count-to-infinity). Cap the warm re-convergence at a budget far
+    // above any healthy repair; the drive loops flag warm_aborted_ and
+    // the session falls back to a cold rebuild of this epoch.
+    if (!retract_table_.empty())
+      epoch_cap_abs_ =
+          supersteps_ + std::max<std::size_t>(256, 8 * new_n);
 
+    if (es.woken > 0) run_statement(0);
+    epoch_cap_abs_ = 0;
+
+    es.warm_aborted = warm_aborted_;
+    es.minmax_retractions = minmax_retractions_total_ - retr_base;
+    es.minmax_refolds = minmax_refolds_total_ - refold_base;
+    es.minmax_underflows = minmax_underflows_total_ - under_base;
     es.deltas_applied = deltas_applied_;
     es.supersteps = supersteps_ - steps_base;
     es.atomic_folds = atomic_folds_total_ - folds_base;
@@ -523,6 +664,23 @@ class DvRunner::Impl {
   DvRunResult snapshot_result() { return collect_result(); }
 
   bool atomic_path() const { return !atomic_table_.empty(); }
+
+  bool memo_path() const { return !retract_table_.empty(); }
+
+  /// Instance-level warm gate, checked after the static warm_blocker:
+  /// conditions that depend on runtime state rather than program shape.
+  /// Today that is only the Class B positivity guard — a min-plus
+  /// feedback memo repairs by monotone rising, which a zero or negative
+  /// edge weight would break.
+  const char* warm_runtime_blocker(const graph::GraphDelta& delta) const {
+    if (retract_table_.empty() || !memo_edge_feedback_) return nullptr;
+    double lb = min_weight_lb_;
+    for (const graph::ArcChange& a : delta.arcs)
+      if (a.has) lb = std::min(lb, a.new_weight);
+    if (lb <= 0.0)
+      return "min-plus feedback memo needs strictly positive edge weights";
+    return nullptr;
+  }
 
   void save_state(persist::SnapshotWriter& w) const {
     w.begin_section(persist::kSecRunner);
@@ -575,6 +733,34 @@ class DvRunner::Impl {
       w.put_f64(ss.compute_seconds);
       w.put_f64(ss.exchange_seconds);
       w.put_f64(ss.sim_comm_seconds);
+    }
+    w.end_section();
+
+    // Retraction memos (always framed, even when off, so the section
+    // order is fixed): k, routing, and the live cells' tagged entries.
+    // Restoring under a different k cannot reinterpret the buffers — the
+    // reader refuses the snapshot by name instead.
+    w.begin_section(persist::kSecRetract);
+    w.put_u64(static_cast<std::uint64_t>(retract_table_.k));
+    w.put_bool(!retract_table_.empty());
+    if (!retract_table_.empty()) {
+      w.put_u32_vec(retract_table_.site_of);
+      w.put_u64(retract_table_.num_vertices);
+      w.put_u8_vec(retract_table_.counts);
+      w.put_u64_vec(retract_table_.bounds);
+      std::vector<std::uint32_t> senders;
+      std::vector<std::uint64_t> bits;
+      for (std::size_t cell = 0; cell < retract_table_.counts.size();
+           ++cell) {
+        const RetractEntry* e =
+            &retract_table_.entries[cell * retract_table_.k];
+        for (std::uint8_t j = 0; j < retract_table_.counts[cell]; ++j) {
+          senders.push_back(e[j].sender);
+          bits.push_back(e[j].bits);
+        }
+      }
+      w.put_u32_vec(senders);
+      w.put_u64_vec(bits);
     }
     w.end_section();
   }
@@ -662,6 +848,48 @@ class DvRunner::Impl {
         if (dst >= n) bad("pending message destination out of range");
     }
     engine_->restore(c);
+
+    r.open(persist::kSecRetract);
+    const std::uint64_t snap_k = r.get_u64();
+    if (snap_k != retract_table_.k)
+      throw persist::SnapshotError(
+          "snapshot was written with minmax_memo_k=" +
+          std::to_string(snap_k) + " but this session runs minmax_memo_k=" +
+          std::to_string(retract_table_.k) +
+          "; k-best buffers cannot be reinterpreted across capacities");
+    const bool live = r.get_bool();
+    if (live != !retract_table_.empty())
+      bad("retraction-memo routing mismatch");
+    if (live) {
+      if (r.get_u32_vec() != retract_table_.site_of)
+        bad("retraction-memo site routing mismatch");
+      if (r.get_u64() != n)
+        bad("retraction memo sized for a different graph");
+      retract_table_.reset(n);
+      const std::vector<std::uint8_t> counts = r.get_u8_vec();
+      const std::vector<std::uint64_t> bounds = r.get_u64_vec();
+      if (counts.size() != retract_table_.counts.size() ||
+          bounds.size() != retract_table_.bounds.size())
+        bad("retraction-memo cell arrays sized for a different graph");
+      const std::vector<std::uint32_t> senders = r.get_u32_vec();
+      const std::vector<std::uint64_t> bits = r.get_u64_vec();
+      std::size_t total = 0;
+      for (const std::uint8_t cnt : counts) {
+        if (cnt > retract_table_.k) bad("retraction-memo count exceeds k");
+        total += cnt;
+      }
+      if (senders.size() != total || bits.size() != total)
+        bad("retraction-memo entry list inconsistent with cell counts");
+      retract_table_.counts = counts;
+      retract_table_.bounds = bounds;
+      std::size_t at = 0;
+      for (std::size_t cell = 0; cell < counts.size(); ++cell) {
+        RetractEntry* e = &retract_table_.entries[cell * retract_table_.k];
+        for (std::uint8_t j = 0; j < counts[cell]; ++j, ++at)
+          e[j] = RetractEntry{senders[at], bits[at]};
+      }
+    }
+    r.close();
   }
 
  private:
@@ -715,6 +943,135 @@ class DvRunner::Impl {
         }
       }
     }
+  }
+
+  /// Post-step drain of the retraction-memo records (DESIGN.md §11).
+  /// Gathers every lane's records, applies them in canonical (dst, col,
+  /// sender) order — deterministic across schedules and bit-identical
+  /// across tiers — and rewrites accumulators from the memo where the
+  /// extremum may have risen. In step mode (`activate`) only kWorsened
+  /// cells are rewritten: improvements already arrived through the normal
+  /// fold paths, and rewriting them too would trade bit patterns between
+  /// paths for no information. In epoch mode every touched cell is
+  /// rewritten, because Phase B routed these sites' deltas here instead
+  /// of through apply_direct. Underflown cells (all k survivors
+  /// retracted) take a targeted re-fold of that one vertex's
+  /// in-neighborhood — never a whole-graph restart.
+  void drain_retract(bool activate) {
+    if (retract_table_.empty()) return;
+    retract_changes_last_step_ = 0;
+    retract_scratch_.clear();
+    for (RetractLane& lane : retract_lanes_) {
+      retract_scratch_.insert(retract_scratch_.end(), lane.records.begin(),
+                              lane.records.end());
+      lane.records.clear();
+    }
+    if (retract_scratch_.empty()) return;
+    std::stable_sort(retract_scratch_.begin(), retract_scratch_.end(),
+                     [](const RetractRecord& a, const RetractRecord& b) {
+                       if (a.dst != b.dst) return a.dst < b.dst;
+                       if (a.col != b.col) return a.col < b.col;
+                       return a.sender < b.sender;
+                     });
+    std::uint64_t retractions = 0, refolds = 0, underflows = 0;
+    std::size_t i = 0;
+    while (i < retract_scratch_.size()) {
+      const graph::VertexId dst = retract_scratch_[i].dst;
+      const std::uint32_t col = retract_scratch_[i].col;
+      bool worsened = false;
+      bool touched = false;
+      for (; i < retract_scratch_.size() &&
+             retract_scratch_[i].dst == dst && retract_scratch_[i].col == col;
+           ++i) {
+        const auto ap = retract_table_.apply(dst, static_cast<int>(col),
+                                             retract_scratch_[i].sender,
+                                             retract_scratch_[i].bits);
+        if (ap == RetractMemoTable::Applied::kWorsened) {
+          worsened = true;
+          ++retractions;
+        }
+        if (ap != RetractMemoTable::Applied::kUntouched) touched = true;
+      }
+      if (engine_->is_deleted(dst)) continue;
+      if (activate ? !worsened : !touched) continue;
+      std::uint64_t acc_bits = 0;
+      if (retract_table_.query(dst, static_cast<int>(col), &acc_bits) ==
+          RetractMemoTable::CellState::kUnderflow) {
+        ++underflows;
+        refold_cell(dst, static_cast<int>(col));
+        ++refolds;
+        const auto st =
+            retract_table_.query(dst, static_cast<int>(col), &acc_bits);
+        DV_CHECK_MSG(st == RetractMemoTable::CellState::kExact,
+                     "retraction memo still underflown after refold");
+      }
+      const AggSite& site = prog_.sites[static_cast<std::size_t>(
+          retract_table_.site_of[col])];
+      Value& acc =
+          fields_of(dst)[static_cast<std::size_t>(site.acc_slot)];
+      if (atomic_fold_bits(site.elem_type, acc) == acc_bits) continue;
+      acc = atomic_fold_value(site.elem_type, acc_bits);
+      ++retract_changes_last_step_;
+      if (activate) {
+        engine_->activate(dst);
+      } else {
+        ++deltas_applied_;
+        mark_wake(dst);
+      }
+    }
+    minmax_retractions_total_ += retractions;
+    minmax_refolds_total_ += refolds;
+    minmax_underflows_total_ += underflows;
+    if (obs::Collector* const col = obs::resolve(options_.collector)) {
+      auto& sh = col->metrics.shard(0);
+      sh.add(obs::Counter::kMinmaxRetractions, retractions);
+      sh.add(obs::Counter::kMinmaxRefolds, refolds);
+      sh.add(obs::Counter::kMinmaxUnderflows, underflows);
+    }
+  }
+
+  /// Targeted underflow repair: re-evaluate every in-neighbor's current
+  /// contribution into (dst, col) and rebuild the cell from the complete
+  /// list. Mirrors Phase A's read rule — the ε-gated last-sent slot when
+  /// present, else the send expression (for bound sites the memoized
+  /// sent_k ref), i.e. exactly what the receiver last folded.
+  void refold_cell(graph::VertexId dst, int col) {
+    const AggSite& site = prog_.sites[static_cast<std::size_t>(
+        retract_table_.site_of[static_cast<std::size_t>(col)])];
+    std::span<const graph::VertexId> srcs;
+    std::span<const double> weights;
+    switch (push_direction(site.pull_dir)) {
+      case GraphDir::kOut:
+      case GraphDir::kNeighbors:
+        srcs = g_.in_neighbors(dst);
+        weights = g_.in_weights(dst);
+        break;
+      case GraphDir::kIn:
+        srcs = g_.out_neighbors(dst);
+        weights = g_.out_weights(dst);
+        break;
+    }
+    EvalContext ctx = make_ctx(0);
+    ctx.has_vertex = true;
+    refold_scratch_.clear();
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+      const graph::VertexId u = srcs[i];
+      if (engine_->is_deleted(u)) continue;
+      ctx.vertex = u;
+      ctx.fields = fields_of(u);
+      std::copy(scratch_defaults_.begin(), scratch_defaults_.end(),
+                ctx.scratch.begin());
+      ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
+      const Value last =
+          site.last_sent_slot >= 0
+              ? ctx.fields[static_cast<std::size_t>(site.last_sent_slot)]
+              : eval_root(*site.send_expr, ctx).coerce(site.elem_type);
+      refold_scratch_.push_back(
+          {static_cast<std::uint32_t>(u),
+           atomic_fold_bits(site.elem_type, last)});
+    }
+    retract_table_.rebuild(dst, col, refold_scratch_.data(),
+                           refold_scratch_.size());
   }
 
   /// Adds `v` to the epoch wake frontier exactly once (bitmap dedup).
@@ -992,6 +1349,13 @@ class DvRunner::Impl {
                                : eval_root(expr, c);
       };
       const auto wire = site_wire_[static_cast<std::size_t>(site.id)];
+      // Memo-routed sites record each initial contribution so the memo's
+      // buffers are populated from the very first push (no-op identity
+      // payloads stay unrecorded — absence already means identity).
+      const int rcol =
+          ctx.retract
+              ? ctx.retract->route[static_cast<std::size_t>(site.id)]
+              : -1;
       Value bound{};
       bool bound_set = false;
       if (!targets.empty() &&
@@ -1022,7 +1386,15 @@ class DvRunner::Impl {
           noop = is_identity(site.op, v0);
           msg.payload = v0;
         }
-        if (!noop) ctx.sink->send_span(targets, msg);
+        if (!noop) {
+          ctx.sink->send_span(targets, msg);
+          if (rcol >= 0) {
+            const std::uint64_t bits = atomic_fold_bits(site.elem_type, v0);
+            for (const graph::VertexId dst : targets)
+              ctx.retract_lane->record(dst, static_cast<std::uint32_t>(v),
+                                       rcol, bits);
+          }
+        }
       } else {
         for (std::size_t i = 0; i < targets.size(); ++i) {
           ctx.cur_edge_weight = weights.empty() ? 1.0 : weights[i];
@@ -1046,6 +1418,10 @@ class DvRunner::Impl {
             msg.payload = v0;
           }
           ctx.sink->send(targets[i], msg);
+          if (rcol >= 0)
+            ctx.retract_lane->record(targets[i],
+                                     static_cast<std::uint32_t>(v), rcol,
+                                     atomic_fold_bits(site.elem_type, v0));
         }
       }
       if (site.bound_field >= 0) {
@@ -1114,6 +1490,10 @@ class DvRunner::Impl {
         c.atomic_lane = &atomic_lanes_[w];
         lanes[w].sink.bind_atomic(&atomic_table_, &atomic_lanes_[w]);
       }
+      if (!retract_table_.empty()) {
+        c.retract = &retract_table_;
+        c.retract_lane = &retract_lanes_[w];
+      }
     }
     engine_->step([&](DvEngine::Context& ectx, graph::VertexId v,
                       std::span<const DvMessage>) {
@@ -1130,6 +1510,7 @@ class DvRunner::Impl {
     });
     ++supersteps_;
     drain_atomic(/*activate=*/true);
+    drain_retract(/*activate=*/true);
   }
 
   /// Evaluates the until clause globally (no vertex context).
@@ -1262,6 +1643,10 @@ class DvRunner::Impl {
         c.atomic_lane = &atomic_lanes_[w];
         lanes[w].sink.bind_atomic(&atomic_table_, &atomic_lanes_[w]);
       }
+      if (!retract_table_.empty()) {
+        c.retract = &retract_table_;
+        c.retract_lane = &retract_lanes_[w];
+      }
     }
     const auto set_iteration = [&](std::size_t it, std::uint64_t suppress) {
       for (std::size_t w = 0; w < W; ++w) {
@@ -1322,6 +1707,11 @@ class DvRunner::Impl {
       const std::function<bool()> advance = [&]() -> bool {
         ++supersteps_;
         drain_atomic(/*activate=*/true);
+        drain_retract(/*activate=*/true);
+        if (epoch_cap_abs_ != 0 && supersteps_ >= epoch_cap_abs_) {
+          warm_aborted_ = true;
+          return false;
+        }
         DV_CHECK_MSG(supersteps_ - steps_base <= options_.max_supersteps,
                      "superstep limit exceeded (non-terminating until?)");
         if (last_known) return false;
@@ -1329,6 +1719,7 @@ class DvRunner::Impl {
           const auto& last = engine_->stats().supersteps.back();
           const bool quiescent =
               last.messages_sent == 0 && atomic_folds_last_step_ == 0 &&
+              retract_changes_last_step_ == 0 &&
               (cp_.options.incrementalize || !assign_agg_->reduce());
           if (eval_until(stmt, static_cast<std::int64_t>(iter), quiescent))
             return false;
@@ -1395,6 +1786,11 @@ class DvRunner::Impl {
       victims_.clear();
       ++supersteps_;
       drain_atomic(/*activate=*/true);
+      drain_retract(/*activate=*/true);
+      if (epoch_cap_abs_ != 0 && supersteps_ >= epoch_cap_abs_) {
+        warm_aborted_ = true;
+        break;
+      }
       DV_CHECK_MSG(supersteps_ - steps_base <= options_.max_supersteps,
                    "superstep limit exceeded (non-terminating until?)");
 
@@ -1411,6 +1807,7 @@ class DvRunner::Impl {
         const auto& last = engine_->stats().supersteps.back();
         const bool quiescent =
             last.messages_sent == 0 && atomic_folds_last_step_ == 0 &&
+            retract_changes_last_step_ == 0 &&
             ((cp_.options.incrementalize && !msgless_stmt) ||
              !assign_agg_->reduce());
         if (eval_until(stmt, static_cast<std::int64_t>(iter), quiescent))
@@ -1505,6 +1902,26 @@ class DvRunner::Impl {
   std::vector<int> atomic_col_site_;
   std::uint64_t atomic_folds_total_ = 0;      // since construction
   std::uint64_t atomic_folds_last_step_ = 0;  // quiescence extension
+  // Retraction-memo path (streaming/retract/retract_memo.h): the k-best
+  // tournament table, one record lane per worker, drain/refold scratch,
+  // and the Class B runtime guard state. Empty/zero when minmax_memo_k is
+  // 0 or no site qualifies — every hot-path hook is then one null test.
+  RetractMemoTable retract_table_;
+  std::vector<RetractLane> retract_lanes_;
+  std::vector<RetractRecord> retract_scratch_;
+  std::vector<RetractEntry> refold_scratch_;
+  bool memo_edge_feedback_ = false;
+  double min_weight_lb_ = std::numeric_limits<double>::infinity();
+  std::uint64_t retract_changes_last_step_ = 0;  // quiescence extension
+  std::uint64_t minmax_retractions_total_ = 0;
+  std::uint64_t minmax_refolds_total_ = 0;
+  std::uint64_t minmax_underflows_total_ = 0;
+  // Warm-epoch superstep ceiling (absolute; 0 = unarmed): Class B repairs
+  // on a severed reachability component would count to infinity, so
+  // apply_epoch arms a generous budget and the drive loops abort the
+  // epoch instead of tripping the fatal superstep DV_CHECK.
+  std::size_t epoch_cap_abs_ = 0;
+  bool warm_aborted_ = false;
 };
 
 const char* exec_tier_name(ExecTier tier) {
@@ -1591,6 +2008,13 @@ bool DvRunner::converged() const { return impl_->converged(); }
 
 bool DvRunner::atomic_path() const { return impl_->atomic_path(); }
 
+bool DvRunner::memo_path() const { return impl_->memo_path(); }
+
+const char* DvRunner::warm_runtime_blocker(
+    const graph::GraphDelta& delta) const {
+  return impl_->warm_runtime_blocker(delta);
+}
+
 void DvRunner::save_state(persist::SnapshotWriter& w) const {
   impl_->save_state(w);
 }
@@ -1600,7 +2024,8 @@ void DvRunner::restore_state(persist::SnapshotReader& r) {
 }
 
 const char* DvRunner::warm_blocker(const CompiledProgram& cp,
-                                   const graph::GraphDelta& delta) {
+                                   const graph::GraphDelta& delta,
+                                   std::size_t minmax_memo_k) {
   const Program& prog = cp.program;
   if (!cp.options.incrementalize)
     return "program is not incrementalized (DV*): no memoized accumulators "
@@ -1640,15 +2065,20 @@ const char* DvRunner::warm_blocker(const CompiledProgram& cp,
         site.init_send_expr ? *site.init_send_expr : *site.send_expr;
     if (is_idempotent(site.op)) {
       // min/max accumulators cannot forget a contribution (§9), so only
-      // monotone-growing change streams resume warm.
-      if (delta.has_removals)
-        return "min/max cannot retract a removed contribution";
-      if (delta.has_weight_changes &&
-          expr_contains(original, ExprKind::kEdgeWeight))
-        return "min/max cannot retract a weight-changed contribution";
-      if (expr_contains(original, ExprKind::kDegree))
-        return "min/max with degree-dependent sends cannot retract on "
-               "topology change";
+      // monotone-growing change streams resume warm — unless the site is
+      // routed through the k-best retraction memo (DESIGN.md §11), which
+      // makes deletions O(k) keyed removals with targeted refold backup.
+      const bool memoed = minmax_memo_k > 0 && site.memo_ok;
+      if (!memoed) {
+        if (delta.has_removals)
+          return "min/max cannot retract a removed contribution";
+        if (delta.has_weight_changes &&
+            expr_contains(original, ExprKind::kEdgeWeight))
+          return "min/max cannot retract a weight-changed contribution";
+        if (expr_contains(original, ExprKind::kDegree))
+          return "min/max with degree-dependent sends cannot retract on "
+                 "topology change";
+      }
     }
     if (cp.options.epsilon > 0 &&
         expr_contains(original, ExprKind::kEdgeWeight))

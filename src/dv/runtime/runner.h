@@ -109,6 +109,14 @@ struct DvRunOptions {
   /// A send_probe forces buffered regardless: a message probe has nothing
   /// to observe on a message-free path.
   FoldPath fold_path = FoldPath::kAuto;
+  /// Retraction-memo capacity (DESIGN.md §11): with k > 0, every memo-
+  /// eligible min/max site keeps the k best tagged contributions per
+  /// vertex so deletion epochs can retract the extremum warm (falling
+  /// back to a targeted in-neighbor refold on buffer underflow). 0
+  /// disables the subsystem entirely — the legacy behavior where any
+  /// min/max retraction forces a cold rebuild. Only meaningful under
+  /// options.incrementalize; plain one-shot runs never pay for it.
+  std::size_t minmax_memo_k = 0;
   /// Opt-in: admit float + sites to the atomic path. Concurrent fetch-
   /// order re-associates the sum, so results are only ε-close to the
   /// buffered path, not bit-exact; everything else keeps the bit-exact
@@ -178,6 +186,16 @@ struct EpochStats {
   std::uint64_t atomic_folds = 0;  // contributions folded lock-free this
                                    // epoch (0 on the buffered path)
   bool atomic_path = false;        // any site routed through the atomic path
+  // Retraction memos (DESIGN.md §11):
+  std::uint64_t minmax_retractions = 0;  // worsened/removed contributions
+                                         // retracted through the memo
+  std::uint64_t minmax_refolds = 0;      // targeted in-neighbor refolds
+  std::uint64_t minmax_underflows = 0;   // cells whose k survivors were
+                                         // all retracted (triggers refold)
+  bool warm_aborted = false;       // the epoch hit the repair cap mid-
+                                   // reconvergence (count-to-infinity
+                                   // guard); state is unusable and the
+                                   // session must rebuild cold
 };
 
 /// A resumable program execution: the §9 dynamic-graph story. After
@@ -230,9 +248,24 @@ class DvRunner {
   /// pipeline (memoized accumulators), a single statement, retractable
   /// operators for the kinds of change in `delta` (min/max admit
   /// insert-only streams), no graphSize dependence when |V| changes, and
-  /// an iteration-independent body.
+  /// an iteration-independent body. With minmax_memo_k > 0 the min/max
+  /// retraction clauses are waived per-site for memo-eligible sites
+  /// (AggSite::memo_ok) — the retraction subsystem keeps those warm.
   static const char* warm_blocker(const CompiledProgram& cp,
-                                  const graph::GraphDelta& delta);
+                                  const graph::GraphDelta& delta,
+                                  std::size_t minmax_memo_k = 0);
+
+  /// Data-dependent warm blockers the static analysis cannot see:
+  /// currently only the positive-edge-weight guard for memoized min-plus
+  /// feedback sites (a non-positive weight would let the retraction
+  /// repair cycle without progress and converge to a wrong fixpoint).
+  /// Checked against the weight lower bound tracked since construction
+  /// plus `delta`'s new arcs. Returns a reason or nullptr.
+  const char* warm_runtime_blocker(const graph::GraphDelta& delta) const;
+
+  /// True when at least one min/max site routes through the retraction
+  /// memo under this runner's options (labels bench/tool output).
+  bool memo_path() const;
 
   /// Warm epoch: Phase A records the frontier's old contributions against
   /// the pre-mutation topology, `delta` is committed into `dyn`, and Phase

@@ -400,6 +400,13 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
       }
       const std::uint8_t wire =
           (*ctx.site_wire)[static_cast<std::size_t>(I->imm)];
+      // Retraction-memo hook (mirrors the tree tier): routed sites record
+      // the sender's new total per target, no-op Δs included (identity
+      // totals are the removal records).
+      const int rcol = ctx.retract
+                           ? ctx.retract->route[static_cast<std::size_t>(
+                                 I->imm)]
+                           : -1;
       if (send_operand_src(I->b) != SendSrc::kChunk &&
           send_operand_src(I->c) != SendSrc::kChunk) {
         // Direct operands (field/scratch/const) cannot depend on the edge,
@@ -414,6 +421,13 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
           const Value old_v = send_operand(I->c, site.elem_type, ctx);
           const DeltaPayload d =
               synthesize_delta(site.op, site.elem_type, old_v, new_v);
+          if (rcol >= 0) {
+            const std::uint64_t bits =
+                atomic_fold_bits(site.elem_type, new_v);
+            for (const graph::VertexId dst : targets)
+              ctx.retract_lane->record(
+                  dst, static_cast<std::uint32_t>(ctx.vertex), rcol, bits);
+          }
           if (!d.noop) {
             DvMessage msg;
             msg.site = static_cast<std::uint8_t>(I->imm);
@@ -435,6 +449,10 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
           const Value old_v = send_operand(I->c, site.elem_type, ctx);
           const DeltaPayload d =
               synthesize_delta(site.op, site.elem_type, old_v, new_v);
+          if (rcol >= 0)
+            ctx.retract_lane->record(
+                targets[t], static_cast<std::uint32_t>(ctx.vertex), rcol,
+                atomic_fold_bits(site.elem_type, new_v));
           if (d.noop) {
             ++n_suppressed;
             continue;
@@ -598,6 +616,10 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
       }
       AtomicFoldTable& table = *ctx.atomic;
       AtomicFoldLane& lane = *ctx.atomic_lane;
+      const int rcol = ctx.retract
+                           ? ctx.retract->route[static_cast<std::size_t>(
+                                 I->imm)]
+                           : -1;
       const auto fold_one = [&](graph::VertexId dst, const DeltaPayload& d) {
         if (table.fold(dst, acol, d.value)) {
           lane.mark(dst, acol);
@@ -622,6 +644,13 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
           const Value old_v = send_operand(I->c, site.elem_type, ctx);
           const DeltaPayload d =
               synthesize_delta(site.op, site.elem_type, old_v, new_v);
+          if (rcol >= 0) {
+            const std::uint64_t bits =
+                atomic_fold_bits(site.elem_type, new_v);
+            for (const graph::VertexId dst : targets)
+              ctx.retract_lane->record(
+                  dst, static_cast<std::uint32_t>(ctx.vertex), rcol, bits);
+          }
           if (!d.noop) {
             for (const graph::VertexId dst : targets) fold_one(dst, d);
           } else {
@@ -636,6 +665,10 @@ Value Vm::run_chunk(int chunk_id, EvalContext& ctx) const {
           const Value old_v = send_operand(I->c, site.elem_type, ctx);
           const DeltaPayload d =
               synthesize_delta(site.op, site.elem_type, old_v, new_v);
+          if (rcol >= 0)
+            ctx.retract_lane->record(
+                targets[t], static_cast<std::uint32_t>(ctx.vertex), rcol,
+                atomic_fold_bits(site.elem_type, new_v));
           if (d.noop) {
             ++n_suppressed;
             continue;

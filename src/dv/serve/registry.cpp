@@ -22,6 +22,7 @@ const char* builtin_program_source(const std::string& name) {
   if (name == "pagerank") return programs::kPageRank;
   if (name == "pagerank-ug") return programs::kPageRankUndirected;
   if (name == "sssp") return programs::kSssp;
+  if (name == "sssp_retract") return programs::kSsspRetract;
   if (name == "cc") return programs::kConnectedComponents;
   if (name == "hits") return programs::kHits;
   if (name == "reachability") return programs::kReachability;
@@ -32,9 +33,9 @@ const char* builtin_program_source(const std::string& name) {
   if (name == "pointerjump") return programs::kPointerJump;
   DV_FAIL("unknown built-in program '"
           << name
-          << "' (try pagerank, pagerank-ug, sssp, cc, hits, reachability, "
-             "maxgossip, bfs, kcore, mis, pointerjump — or pass a path to a "
-             ".dv file)");
+          << "' (try pagerank, pagerank-ug, sssp, sssp_retract, cc, hits, "
+             "reachability, maxgossip, bfs, kcore, mis, pointerjump — or "
+             "pass a path to a .dv file)");
 }
 
 std::string load_program_source(const std::string& program) {

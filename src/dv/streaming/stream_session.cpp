@@ -17,7 +17,9 @@ namespace {
 /// layout change — old snapshots then fail restore with a version
 /// message, never a misparse.
 /// v2: SuperstepStats gained vertices_halted/vertices_woken.
-constexpr std::uint32_t kFormatVersion = 2;
+/// v3: runner snapshots gained the kSecRetract section (min/max
+///     retraction memos, DESIGN.md §11).
+constexpr std::uint32_t kFormatVersion = 3;
 
 std::uint64_t value_payload_bits(const Value& v) {
   switch (v.type) {
@@ -79,6 +81,9 @@ DvStreamSession::DvStreamSession(const CompiledProgram& cp,
                                  graph::DynamicGraph dyn,
                                  SessionOptions options)
     : cp_(&cp), options_(std::move(options)), dyn_(std::move(dyn)) {
+  // The session-level knob is authoritative: runners (including cold-
+  // epoch replacements) inherit it through options_.run.
+  options_.run.minmax_memo_k = options_.minmax_memo_k;
   if (options_.checkpoint_every > 0 &&
       (options_.checkpoint_sink || !options_.checkpoint_path.empty())) {
     // Installed on options_.run so cold-epoch replacement runners inherit
@@ -119,6 +124,8 @@ void DvStreamSession::init_runner() {
 bool DvStreamSession::converged() const { return runner_->converged(); }
 
 bool DvStreamSession::atomic_path() const { return runner_->atomic_path(); }
+
+bool DvStreamSession::memo_path() const { return runner_->memo_path(); }
 
 DvRunResult DvStreamSession::converge() {
   check_owner();
@@ -169,11 +176,27 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
 
   ep.blocker = options_.force_cold
                    ? "cold rebuild forced by SessionOptions::force_cold"
-                   : DvRunner::warm_blocker(*cp_, delta);
+                   : DvRunner::warm_blocker(*cp_, delta,
+                                            options_.run.minmax_memo_k);
+  if (ep.blocker == nullptr)
+    ep.blocker = runner_->warm_runtime_blocker(delta);
   ep.warm = ep.blocker == nullptr;
-  note_decision(ep);
   if (ep.blocker == nullptr) {
     ep.stats = runner_->apply_epoch(dyn_, delta);
+    if (ep.stats.warm_aborted) {
+      // The warm repair hit the count-to-infinity cap: mid-climb state is
+      // unusable. apply_epoch already committed the delta, so rebuild
+      // cold over the mutated graph — no re-commit.
+      ep.warm = false;
+      ep.blocker = "warm repair aborted at the superstep cap "
+                   "(count-to-infinity guard)";
+      init_runner();
+      const DvRunResult r = runner_->converge();
+      ep.stats.supersteps += r.supersteps;
+      ep.stats.messages += r.stats.total_messages_sent();
+      ep.stats.woken = r.num_vertices;
+      ep.stats.atomic_path = runner_->atomic_path();
+    }
   } else {
     dyn_.commit(delta);
     init_runner();
@@ -183,6 +206,7 @@ SessionEpoch DvStreamSession::apply(const graph::MutationBatch& batch) {
     ep.stats.woken = r.num_vertices;  // a cold run wakes everyone
     ep.stats.atomic_path = runner_->atomic_path();
   }
+  note_decision(ep);
 
   if (dyn_.overlay_fraction() > options_.compact_threshold) {
     // The runner's GraphView targets dyn_ itself, so reads stay valid —

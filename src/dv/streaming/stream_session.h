@@ -61,6 +61,13 @@ struct SessionOptions {
   /// Always rebuild cold (baseline mode for benchmarks and the
   /// differential oracle).
   bool force_cold = false;
+  /// Retraction-memo capacity (DESIGN.md §11), copied into
+  /// run.minmax_memo_k: every memo-eligible min/max site keeps the k best
+  /// tagged contributions per vertex, so deletion-bearing epochs stay
+  /// warm (O(k) retraction; targeted in-neighbor refold on underflow).
+  /// 0 restores the legacy behavior — min/max deltas with removals
+  /// rebuild cold. Snapshots record k; restore refuses a mismatch.
+  std::size_t minmax_memo_k = 8;
 
   /// Checkpoint the whole session during convergence, every K supersteps
   /// (0 = off). Fires for epoch-0 converge() and for cold-epoch rebuilds
@@ -117,6 +124,9 @@ class DvStreamSession {
   /// True when at least one aggregation site routes through the lock-free
   /// fold path under this session's run options (labels tool output).
   bool atomic_path() const;
+  /// True when at least one min/max site routes through the retraction
+  /// memo under this session's run options (labels tool output).
+  bool memo_path() const;
 
   /// Serializes the complete session (see the file comment) to `path`,
   /// atomically. Call between supersteps only — always true outside the

@@ -19,6 +19,7 @@ const char* kind_token(GraphSpec::Kind k) {
     case GraphSpec::Kind::kStar: return "star";
     case GraphSpec::Kind::kComplete: return "complete";
     case GraphSpec::Kind::kEmpty: return "empty";
+    case GraphSpec::Kind::kDag: return "dag";
   }
   return "?";
 }
@@ -30,6 +31,7 @@ GraphSpec::Kind kind_from_token(const std::string& s) {
   if (s == "star") return GraphSpec::Kind::kStar;
   if (s == "complete") return GraphSpec::Kind::kComplete;
   if (s == "empty") return GraphSpec::Kind::kEmpty;
+  if (s == "dag") return GraphSpec::Kind::kDag;
   DV_FAIL("unknown graph kind '" << s << "'");
 }
 
@@ -48,6 +50,24 @@ graph::CsrGraph GraphSpec::build() const {
     case Kind::kStar: return graph::star(n > 0 ? n - 1 : 0, directed);
     case Kind::kComplete: return graph::complete(n, directed);
     case Kind::kEmpty: return graph::GraphBuilder(0, directed).build();
+    case Kind::kDag: {
+      Rng r(seed);
+      graph::GraphBuilder b(n, /*directed=*/true);
+      b.keep_weights(weighted);
+      b.deduplicate();
+      if (n >= 2) {
+        for (std::size_t e = 0; e < m; ++e) {
+          auto a = r.next_below(n);
+          auto c = r.next_below(n);
+          if (a == c) continue;
+          if (c < a) std::swap(a, c);
+          b.add_edge(static_cast<graph::VertexId>(a),
+                     static_cast<graph::VertexId>(c),
+                     weighted ? 0.1 + r.next_double() * 2.0 : 1.0);
+        }
+      }
+      return b.build();
+    }
   }
   DV_FAIL("unknown graph kind");
 }

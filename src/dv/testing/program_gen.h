@@ -35,7 +35,13 @@ namespace deltav::dv::testing {
 
 /// A deterministic description of an input graph; build() materializes it.
 struct GraphSpec {
-  enum class Kind { kRmat, kPath, kCycle, kStar, kComplete, kEmpty };
+  // kDag draws m forward edges (src < dst, always directed): acyclic by
+  // construction, so min-plus feedback programs drain stale state in at
+  // most depth supersteps after a deletion — the shape the retraction-memo
+  // stream families (stream_gen family "retract-sssp") rely on to keep
+  // warm repair fast even though the program feeds its fold back to
+  // itself. Weighted kDag draws strictly positive weights in [0.1, 2.1).
+  enum class Kind { kRmat, kPath, kCycle, kStar, kComplete, kEmpty, kDag };
   Kind kind = Kind::kRmat;
   std::size_t n = 32;
   std::size_t m = 96;

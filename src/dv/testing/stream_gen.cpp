@@ -70,6 +70,20 @@ std::string publish_source(AggOp op, const std::string& dir, bool use_edge,
   return os.str();
 }
 
+/// Max-of-min "capacity" publish: each receiver keeps the best bottleneck
+/// min(u.cap, u.edge) over its in-edges — a max-flow-ish shape whose
+/// payload is static (cap is init-only), so the max site is a Class A
+/// retraction-memo candidate and deletion streams stay warm.
+std::string capacity_source() {
+  return "init {\n"
+         "  local cap : float = 0.5 + vertexId;\n"
+         "  local out : float = 0.0\n};\n"
+         "iter i {\n"
+         "  out = max [ if u.cap < u.edge then u.cap else u.edge"
+         " | u <- #in ]\n"
+         "} until { i >= 1 }\n";
+}
+
 /// Damped feedback fold under an iteration-bounded until: the loop count
 /// is semantic (the recurrence is not at a fixpoint when the bound
 /// fires), so a warm resume — which restarts iter at 1 and replays the
@@ -178,6 +192,81 @@ std::vector<graph::MutationBatch> random_stream(Rng& rng,
   return batches;
 }
 
+/// Stream that hunts the extremum: each batch deletes, for a few random
+/// receivers, the in-edge from the sender currently supplying the fold's
+/// best contribution (mass is monotone in vertex id, so the structural
+/// extremum is the smallest/largest-id in-neighbor — no program run
+/// needed). Repeated hits on the same receiver strip its k-best buffer
+/// one survivor per batch until it underflows and the targeted refold
+/// fires. Random inserts are mixed in so buffers also refill.
+std::vector<graph::MutationBatch> extremum_hunting_stream(
+    Rng& rng, const graph::CsrGraph& base, bool hunt_min, bool weighted) {
+  const std::size_t n = base.num_vertices();
+  // dst -> present in-senders, maintained across batches.
+  std::vector<std::set<graph::VertexId>> in_of(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (const graph::VertexId u :
+         base.in_neighbors(static_cast<graph::VertexId>(v)))
+      in_of[v].insert(u);
+
+  std::vector<graph::MutationBatch> batches;
+  const std::size_t num_batches = 4 + rng.next_below(3);
+  for (std::size_t bi = 0; bi < num_batches; ++bi) {
+    graph::MutationBatch b;
+    const std::size_t hunts = 1 + rng.next_below(4);
+    for (std::size_t h = 0; h < hunts; ++h) {
+      const auto dst = static_cast<graph::VertexId>(rng.next_below(n));
+      if (in_of[dst].empty()) continue;
+      const graph::VertexId src =
+          hunt_min ? *in_of[dst].begin() : *in_of[dst].rbegin();
+      b.remove_edge(src, dst);
+      in_of[dst].erase(src);
+    }
+    const std::size_t inserts = rng.next_below(3);
+    for (std::size_t e = 0; e < inserts; ++e) {
+      const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+      const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      const double w = weighted ? 0.1 + rng.next_double() * 2.0 : 1.0;
+      b.insert_edge(u, v, w);
+      in_of[v].insert(u);
+    }
+    if (!b.empty()) batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+/// Stream over a forward-edge DAG that stays acyclic: removals anywhere,
+/// inserts only src < dst (strictly positive weights — the Class B memo's
+/// runtime guard refuses non-positive min-plus edges), vertex adds only
+/// (new ids are larger, so later forward inserts cannot close a cycle).
+std::vector<graph::MutationBatch> dag_stream(Rng& rng,
+                                             const graph::CsrGraph& base) {
+  std::size_t n = base.num_vertices();
+  std::vector<graph::MutationBatch> batches;
+  const std::size_t num_batches = 3 + rng.next_below(3);
+  for (std::size_t bi = 0; bi < num_batches; ++bi) {
+    graph::MutationBatch b;
+    const std::size_t edits = 1 + rng.next_below(5);
+    for (std::size_t e = 0; e < edits; ++e) {
+      auto u = static_cast<graph::VertexId>(rng.next_below(n));
+      auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      if (rng.next_bool(0.5)) {
+        b.remove_edge(u, v);
+      } else {
+        if (u == v) continue;
+        if (v < u) std::swap(u, v);
+        b.insert_edge(u, v, 0.1 + rng.next_double() * 2.0);
+      }
+    }
+    if (rng.next_bool(0.2)) {
+      b.add_vertices = 1 + rng.next_below(2);
+      n += b.add_vertices;
+    }
+    if (!b.empty()) batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
 GraphSpec small_graph(Rng& rng, bool directed, bool weighted) {
   GraphSpec gs;
   gs.kind = GraphSpec::Kind::kRmat;
@@ -274,7 +363,8 @@ std::string compare_user_fields(const DvRunResult& got,
 
 StreamCase generate_stream_case(Rng& rng) {
   StreamCase sc;
-  const int family = static_cast<int>(rng.next_below(11));
+  const int family = static_cast<int>(rng.next_below(14));
+  static constexpr std::size_t kMemoKs[] = {1, 2, 4, 8};
   if (family < 5) {
     // Publish-fold over one of the six operators.
     static constexpr AggOp kOps[] = {AggOp::kSum,  AggOp::kProd,
@@ -337,15 +427,55 @@ StreamCase generate_stream_case(Rng& rng) {
     shape.allow_removals = !second_is_max;
     sc.batches = random_stream(rng, sc.graph.build(), shape);
   } else if (family == 9) {
-    // Deliberately blocked: min/max publish + removals. Every batch that
-    // removes must rebuild cold and still match the oracle.
+    // Deliberately blocked: min/max publish + removals with the
+    // retraction memo pinned off, so the legacy blocker still fires.
+    // Every batch that removes must rebuild cold and still match the
+    // oracle.
     const AggOp op = rng.next_bool() ? AggOp::kMin : AggOp::kMax;
     sc.family = std::string("blocked-") + agg_op_name(op);
     sc.source = publish_source(op, "#in", false, 0);
     sc.graph = small_graph(rng, /*directed=*/true, false);
     sc.expect_warm = false;
+    sc.memo_k = 0;
     StreamShape shape;  // removals allowed against an idempotent op
     sc.batches = random_stream(rng, sc.graph.build(), shape);
+  } else if (family == 11) {
+    // Retraction memo, Class A: min/max publish whose stream deletes the
+    // current extremum supplier — warm under any memo_k >= 1, with small
+    // capacities rotated in so eviction/underflow/refold all fire.
+    const bool hunt_min = rng.next_bool();
+    const AggOp op = hunt_min ? AggOp::kMin : AggOp::kMax;
+    sc.family = std::string("retract-") + agg_op_name(op);
+    sc.source = publish_source(op, "#in", false, 0);
+    sc.graph = small_graph(rng, /*directed=*/true, false);
+    sc.memo_k = kMemoKs[rng.next_below(4)];
+    sc.batches = extremum_hunting_stream(rng, sc.graph.build(), hunt_min,
+                                         /*weighted=*/false);
+  } else if (family == 12) {
+    // Retraction memo, Class A with an edge-dependent payload: max of
+    // min(u.cap, u.edge) bottlenecks. The extremum hunter still targets
+    // by id (cap is monotone in id), which is wrong often enough under
+    // random weights to mix targeted and untargeted deletions.
+    sc.family = "retract-capacity";
+    sc.source = capacity_source();
+    sc.graph = small_graph(rng, /*directed=*/true, /*weighted=*/true);
+    sc.memo_k = kMemoKs[rng.next_below(4)];
+    sc.batches = extremum_hunting_stream(rng, sc.graph.build(),
+                                         /*hunt_min=*/false,
+                                         /*weighted=*/true);
+  } else if (family == 13) {
+    // Retraction memo, Class B: the pure (unguarded) SSSP form feeds its
+    // min-plus fold back to itself. Forward-edge DAGs keep stale state
+    // draining in bounded supersteps after a deletion, so every epoch —
+    // deletions included — must stay warm.
+    sc.family = "retract-sssp";
+    sc.source = programs::kSsspRetract;
+    sc.params = {{"source", Value::of_int(0)}};
+    sc.graph = small_graph(rng, /*directed=*/true, /*weighted=*/true);
+    sc.graph.kind = GraphSpec::Kind::kDag;
+    sc.memo_k = kMemoKs[rng.next_below(4)];
+    sc.oracle_star = false;  // dense reassign: ΔV* never quiesces
+    sc.batches = dag_stream(rng, sc.graph.build());
   } else {
     // Deliberately blocked: feedback recurrence under `until { i >= K }`,
     // K > 1. The iteration count is semantic, so warm resume must be
@@ -366,7 +496,8 @@ StreamCase generate_stream_case(Rng& rng) {
 
 std::string describe(const StreamCase& sc) {
   std::ostringstream os;
-  os << "family: " << sc.family << "\ngraph: " << sc.graph.describe()
+  os << "family: " << sc.family << "\nmemo_k: " << sc.memo_k
+     << "\ngraph: " << sc.graph.describe()
      << "\nsource:\n" << sc.source << "stream:\n";
   streaming::write_mutation_stream(sc.batches, os);
   return os.str();
@@ -380,7 +511,8 @@ std::optional<DiffFailure> check_stream_case(const StreamCase& sc,
     const CompiledProgram cp = compile(sc.source, inc);
     CompileOptions star;
     star.incrementalize = false;
-    const CompiledProgram cp_star = compile(sc.source, star);
+    const CompiledProgram cp_star =
+        sc.oracle_star ? compile(sc.source, star) : compile(sc.source, inc);
 
     const graph::CsrGraph base = sc.graph.build();
     const auto opts_for = [&](ExecTier tier) {
@@ -388,6 +520,7 @@ std::optional<DiffFailure> check_stream_case(const StreamCase& sc,
       so.run.engine = engine_for(opts.workers);
       so.run.tier = tier;
       so.run.params = sc.params;
+      so.minmax_memo_k = sc.memo_k;
       return so;
     };
     const auto vm =

@@ -19,12 +19,23 @@
 //                     of a monotone self-referencing fold);
 //   multi-site        two independent publish sites in one statement,
 //                     stream restricted by the weaker of the two ops;
-//   blocked           min/max publishes paired with removal streams, and
-//                     feedback recurrences under `until { i >= K }` (the
-//                     loop count is semantic, so warm resume would replay
-//                     the recurrence past the from-scratch answer) —
-//                     every batch must fall back cold and still agree
-//                     with the oracle (expect_warm = false).
+//   blocked           min/max publishes paired with removal streams under
+//                     minmax_memo_k = 0 (the memo disabled restores the
+//                     legacy retraction blocker), and feedback recurrences
+//                     under `until { i >= K }` (the loop count is
+//                     semantic, so warm resume would replay the recurrence
+//                     past the from-scratch answer) — every batch must
+//                     fall back cold and still agree with the oracle
+//                     (expect_warm = false);
+//   retract           the retraction-memo families (DESIGN.md §11):
+//                     min/max publishes whose streams target the current
+//                     extremum supplier for deletion (driving the k-best
+//                     buffer through eviction, retraction and underflow
+//                     refold), a max-of-min capacity shape, and the pure
+//                     (unguarded) SSSP form on forward-edge DAGs with
+//                     strictly positive weights — all with rotating small
+//                     memo_k so underflow actually fires, and every batch
+//                     expected warm.
 #pragma once
 
 #include <map>
@@ -46,6 +57,17 @@ struct StreamCase {
   std::vector<graph::MutationBatch> batches;
   std::string family;       // diagnostics only
   bool expect_warm = true;  // generator promises every batch resumes warm
+  /// Retraction-memo capacity for the sessions (SessionOptions::
+  /// minmax_memo_k). The blocked min/max family pins 0 so the legacy
+  /// blocker still fires; the retract families rotate small values so
+  /// buffer underflow and targeted refolds are actually exercised.
+  std::size_t memo_k = 8;
+  /// Oracle variant: from-scratch ΔV* by default. The retract-sssp
+  /// family flips to a from-scratch incremental (ΔV) run — its dense
+  /// reassign under `until { stable }` never reaches message quiescence
+  /// in ΔV* (the kKCore asymmetry: on-assign pushes re-fire every
+  /// superstep), while memoized ΔV folds suppress the no-change sends.
+  bool oracle_star = true;
 };
 
 /// Draws a random warm-exact (or deliberately blocked) stream case.

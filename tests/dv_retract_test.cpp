@@ -1,0 +1,320 @@
+// Retraction memos (src/dv/streaming/retract/, DESIGN.md §11): bounded-
+// memory k-best buffers that keep deletion-bearing min/max epochs warm.
+//
+// Two layers are covered. The RetractMemoTable unit tests pin the cell
+// invariant down to the bit level — eviction tightens the bound,
+// retraction of the extremum re-ranks in O(k), signed-zero and
+// equal-value ties break deterministically (bits, then sender), and
+// underflow is reported rather than guessed around. The session tests
+// drive real deletion streams through DvStreamSession and require the
+// warm result to match a from-scratch oracle, across fold paths, across
+// tiers, and through snapshot round-trips (including the k-mismatch
+// refusal — a k-best buffer cannot be reinterpreted across capacities).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dv/persist/snapshot.h"
+#include "dv/programs/programs.h"
+#include "dv/streaming/retract/retract_memo.h"
+#include "dv/streaming/stream_session.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace deltav {
+namespace {
+
+using dv::RetractEntry;
+using dv::RetractMemoTable;
+using dv::streaming::DvStreamSession;
+using dv::streaming::SessionEpoch;
+using dv::streaming::SessionOptions;
+using graph::MutationBatch;
+using test::compile_dv;
+using test::small_engine;
+
+std::uint64_t fbits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// One float-min column with capacity k, n vertices, site id 0 routed.
+RetractMemoTable min_table(std::size_t k, std::size_t n) {
+  RetractMemoTable t;
+  t.k = k;
+  t.route = {0};
+  t.site_of = {0};
+  t.ops = {dv::AggOp::kMin};
+  t.types = {dv::Type::kFloat};
+  t.identity = {fbits(std::numeric_limits<double>::infinity())};
+  t.reset(n);
+  return t;
+}
+
+double acc_of(const RetractMemoTable& t, graph::VertexId v) {
+  std::uint64_t bits = 0;
+  EXPECT_EQ(t.query(v, 0, &bits), RetractMemoTable::CellState::kExact);
+  return std::bit_cast<double>(bits);
+}
+
+// --------------------------------------------------------- memo cell unit
+
+TEST(RetractMemo, EvictionRetractionAndUnderflow) {
+  RetractMemoTable t = min_table(/*k=*/2, /*n=*/1);
+  // Three contributions into a k=2 buffer: the worst (sender 2, 3.0) is
+  // evicted and becomes the bound.
+  t.apply(0, 0, /*sender=*/1, fbits(1.0));
+  t.apply(0, 0, /*sender=*/2, fbits(3.0));
+  t.apply(0, 0, /*sender=*/3, fbits(2.0));
+  EXPECT_EQ(acc_of(t, 0), 1.0);
+
+  // Retract the extremum (identity bits = removal): O(k) re-rank.
+  EXPECT_EQ(t.apply(0, 0, 1, t.identity[0]),
+            RetractMemoTable::Applied::kWorsened);
+  EXPECT_EQ(acc_of(t, 0), 2.0);
+
+  // Retract the survivor too: the buffer is empty but the bound remembers
+  // the evicted 3.0 might still be out there — underflow, not identity.
+  t.apply(0, 0, 3, t.identity[0]);
+  std::uint64_t bits = 0;
+  EXPECT_EQ(t.query(0, 0, &bits), RetractMemoTable::CellState::kUnderflow);
+
+  // The targeted refold rebuilds the cell from the live contribution
+  // list; afterwards the cell is exact (and exhaustive) again.
+  const RetractEntry live[] = {{2, fbits(3.0)}};
+  t.rebuild(0, 0, live, 1);
+  EXPECT_EQ(acc_of(t, 0), 3.0);
+  t.apply(0, 0, 2, t.identity[0]);
+  EXPECT_EQ(t.query(0, 0, &bits), RetractMemoTable::CellState::kExact);
+  EXPECT_EQ(bits, t.identity[0]);  // exhaustive empty cell = identity
+}
+
+TEST(RetractMemo, SignedZeroTieIsDeterministic) {
+  // −0.0 == +0.0 as values; the raw-bits tiebreak must still order them
+  // strictly so retraction picks a unique survivor on every tier.
+  RetractMemoTable t = min_table(/*k=*/2, /*n=*/1);
+  t.apply(0, 0, 1, fbits(-0.0));
+  t.apply(0, 0, 2, fbits(+0.0));
+  EXPECT_EQ(acc_of(t, 0), 0.0);
+  // Retracting either zero leaves exactly the other one, bit-exact.
+  t.apply(0, 0, 1, t.identity[0]);
+  std::uint64_t bits = 0;
+  ASSERT_EQ(t.query(0, 0, &bits), RetractMemoTable::CellState::kExact);
+  EXPECT_EQ(bits, fbits(+0.0));
+  EXPECT_EQ(t.apply(0, 0, 2, t.identity[0]),
+            RetractMemoTable::Applied::kWorsened);
+  ASSERT_EQ(t.query(0, 0, &bits), RetractMemoTable::CellState::kExact);
+  EXPECT_EQ(bits, t.identity[0]);
+}
+
+TEST(RetractMemo, EqualValuesFromDistinctSendersAreKeyed) {
+  // Equal payloads from different senders are distinct entries: removing
+  // one must not disturb the other, even at k=1 via the bound.
+  RetractMemoTable t = min_table(/*k=*/1, /*n=*/1);
+  t.apply(0, 0, /*sender=*/7, fbits(5.0));
+  t.apply(0, 0, /*sender=*/9, fbits(5.0));  // evicted or bound-tightening
+  EXPECT_EQ(acc_of(t, 0), 5.0);
+  // Remove the buffered one; the equal-valued twin was forgotten (k=1),
+  // so the cell must underflow rather than silently claim identity.
+  t.apply(0, 0, 7, t.identity[0]);
+  std::uint64_t bits = 0;
+  const auto st = t.query(0, 0, &bits);
+  if (st == RetractMemoTable::CellState::kExact) {
+    // The twin was the buffered survivor (sender tiebreak kept 9).
+    EXPECT_EQ(bits, fbits(5.0));
+  } else {
+    const RetractEntry live[] = {{9, fbits(5.0)}};
+    t.rebuild(0, 0, live, 1);
+    EXPECT_EQ(acc_of(t, 0), 5.0);
+  }
+}
+
+TEST(RetractMemo, DuplicateRecordIsUntouched) {
+  RetractMemoTable t = min_table(/*k=*/2, /*n=*/1);
+  t.apply(0, 0, 1, fbits(1.5));
+  EXPECT_EQ(t.apply(0, 0, 1, fbits(1.5)),
+            RetractMemoTable::Applied::kUntouched);
+  EXPECT_EQ(t.apply(0, 0, 2, t.identity[0]),
+            RetractMemoTable::Applied::kUntouched);  // absent sender
+  EXPECT_EQ(acc_of(t, 0), 1.5);
+}
+
+// ------------------------------------------------------- session helpers
+
+constexpr const char* kMinPublishFloat = R"(
+init { local mass : float = 1.0 + vertexId; local m : float = infty };
+iter i { m = min [ u.mass | u <- #in ] } until { i >= 1 }
+)";
+
+constexpr const char* kMinPublishInt = R"(
+init { local mass : int = 1 + vertexId; local m : int = 0 };
+iter i { m = min [ u.mass | u <- #in ] } until { i >= 1 }
+)";
+
+/// Fan: senders 0..4 all feed vertex 5 (masses monotone in id), plus a
+/// tail edge so the graph has more than one receiver.
+graph::CsrGraph fan_graph() {
+  graph::GraphBuilder b(7, /*directed=*/true);
+  b.keep_weights(true);
+  for (graph::VertexId u = 0; u < 5; ++u) b.add_edge(u, 5, 1.0);
+  b.add_edge(5, 6, 1.0);
+  return b.build();
+}
+
+SessionOptions opts(std::size_t memo_k,
+                    dv::ExecTier tier = dv::ExecTier::kVm) {
+  SessionOptions o;
+  o.run.engine = small_engine();
+  o.run.tier = tier;
+  o.minmax_memo_k = memo_k;
+  return o;
+}
+
+dv::DvRunResult oracle(const dv::CompiledProgram& cp,
+                       const DvStreamSession& s) {
+  dv::DvRunOptions o;
+  o.engine = small_engine();
+  return dv::run_program(cp, s.graph().materialize(), o);
+}
+
+// --------------------------------------------------- underflow end-to-end
+
+TEST(RetractStream, UnderflowTriggersTargetedRefold) {
+  const auto cp = compile_dv(kMinPublishFloat);
+  DvStreamSession s(cp, fan_graph(), opts(/*memo_k=*/1));
+  s.converge();
+  ASSERT_TRUE(s.memo_path());
+  EXPECT_NEAR(s.result().field_as_double("m")[5], 1.0, 1e-12);
+
+  std::uint64_t retractions = 0, refolds = 0, underflows = 0;
+  // Delete the extremum supplier three times in a row: with k=1 the
+  // second deletion strips the refilled buffer again, so at least one
+  // epoch must underflow and refold vertex 5's in-neighborhood.
+  for (const graph::VertexId src : {0, 1, 2}) {
+    MutationBatch b;
+    b.remove_edge(src, 5);
+    const SessionEpoch ep = s.apply(b);
+    ASSERT_TRUE(ep.warm) << "blocked: " << (ep.blocker ? ep.blocker : "?");
+    retractions += ep.stats.minmax_retractions;
+    refolds += ep.stats.minmax_refolds;
+    underflows += ep.stats.minmax_underflows;
+  }
+  EXPECT_NEAR(s.result().field_as_double("m")[5], 4.0, 1e-12);
+  EXPECT_GT(retractions, 0u);
+  EXPECT_GT(underflows, 0u);
+  EXPECT_GT(refolds, 0u);
+  // The warm state equals a from-scratch run on the mutated graph.
+  test::expect_close(s.result().field_as_double("m"),
+                     oracle(cp, s).field_as_double("m"), 1e-12);
+}
+
+TEST(RetractStream, MemoOffPreservesLegacyColdBehavior) {
+  const auto cp = compile_dv(kMinPublishFloat);
+  DvStreamSession s(cp, fan_graph(), opts(/*memo_k=*/0));
+  s.converge();
+  EXPECT_FALSE(s.memo_path());
+  MutationBatch b;
+  b.remove_edge(0, 5);
+  const SessionEpoch ep = s.apply(b);
+  EXPECT_FALSE(ep.warm);
+  ASSERT_NE(ep.blocker, nullptr);
+  EXPECT_NE(std::string(ep.blocker).find("min/max"), std::string::npos);
+  EXPECT_EQ(ep.stats.minmax_retractions, 0u);
+  test::expect_close(s.result().field_as_double("m"),
+                     oracle(cp, s).field_as_double("m"), 1e-12);
+}
+
+// ------------------------------------------------- memo ⊕ atomic fold path
+
+TEST(RetractStream, MemoAgreesAcrossFoldPaths) {
+  // Integer min qualifies for the lock-free fold path outright; the memo
+  // records at both the buffered and the atomic Δ-fold sites. The two
+  // sessions must agree bit-for-bit on state and on warm decisions
+  // through a deletion stream.
+  const auto cp = compile_dv(kMinPublishInt);
+  auto ao = opts(/*memo_k=*/2);
+  ao.run.fold_path = dv::FoldPath::kAtomic;
+  auto bo = opts(/*memo_k=*/2);
+  bo.run.fold_path = dv::FoldPath::kBuffered;
+  DvStreamSession sa(cp, fan_graph(), ao);
+  DvStreamSession sb(cp, fan_graph(), bo);
+  sa.converge();
+  sb.converge();
+  ASSERT_TRUE(sa.atomic_path());
+  ASSERT_TRUE(sa.memo_path());
+  for (const graph::VertexId src : {0, 1, 2, 3}) {
+    MutationBatch b;
+    b.remove_edge(src, 5);
+    const SessionEpoch ea = sa.apply(b);
+    const SessionEpoch eb = sb.apply(b);
+    ASSERT_TRUE(ea.warm) << "blocked: " << (ea.blocker ? ea.blocker : "?");
+    ASSERT_EQ(ea.warm, eb.warm);
+    ASSERT_EQ(ea.stats.supersteps, eb.stats.supersteps);
+    const auto va = sa.result().field_as_int("m");
+    const auto vb = sb.result().field_as_int("m");
+    ASSERT_EQ(va, vb);
+  }
+  EXPECT_EQ(sa.result().field_as_int("m")[5], 5);  // mass(4) = 1 + 4
+}
+
+// -------------------------------------------------------------- snapshots
+
+TEST(RetractSnapshot, RoundTripAndCrossTierRestore) {
+  const auto cp = compile_dv(kMinPublishFloat);
+  DvStreamSession s(cp, fan_graph(), opts(/*memo_k=*/2));
+  s.converge();
+  {
+    MutationBatch b;
+    b.remove_edge(0, 5);  // leave real retraction state in the memo
+    ASSERT_TRUE(s.apply(b).warm);
+  }
+  const std::vector<std::uint8_t> snap = s.save_bytes();
+
+  // Same-tier restore: the next deletion must take the same warm path
+  // and land bit-exact with the uninterrupted session.
+  auto r = DvStreamSession::restore_bytes(cp, snap, opts(2));
+  // Cross-tier restore: tiers are bit-identical by contract, memo
+  // included.
+  auto rt = DvStreamSession::restore_bytes(cp, snap,
+                                           opts(2, dv::ExecTier::kTree));
+  MutationBatch b2;
+  b2.remove_edge(1, 5);
+  const SessionEpoch e0 = s.apply(b2);
+  const SessionEpoch e1 = r->apply(b2);
+  const SessionEpoch e2 = rt->apply(b2);
+  ASSERT_TRUE(e0.warm);
+  EXPECT_EQ(e0.warm, e1.warm);
+  EXPECT_EQ(e0.warm, e2.warm);
+  EXPECT_EQ(e0.stats.supersteps, e1.stats.supersteps);
+  EXPECT_EQ(e0.stats.supersteps, e2.stats.supersteps);
+  const auto want = s.result().field_as_double("m");
+  for (const auto* restored : {r.get(), rt.get()}) {
+    const auto got = restored->result().field_as_double("m");
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+                std::bit_cast<std::uint64_t>(want[i]))
+          << "vertex " << i;
+  }
+}
+
+TEST(RetractSnapshot, CapacityMismatchIsRefused) {
+  const auto cp = compile_dv(kMinPublishFloat);
+  DvStreamSession s(cp, fan_graph(), opts(/*memo_k=*/8));
+  s.converge();
+  const std::vector<std::uint8_t> snap = s.save_bytes();
+  try {
+    auto r = DvStreamSession::restore_bytes(cp, snap, opts(/*memo_k=*/4));
+    FAIL() << "restore with a different minmax_memo_k must be refused";
+  } catch (const dv::persist::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("minmax_memo_k"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace deltav

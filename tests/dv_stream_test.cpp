@@ -264,9 +264,13 @@ TEST(StreamMax, InsertOnlyRefoldsWarm) {
   EXPECT_EQ(s.result().field_as_int("m")[3], 5);
 }
 
-TEST(StreamMin, RemovalFallsBackCold) {
+TEST(StreamMin, RemovalFallsBackColdWithMemoOff) {
+  // minmax_memo_k = 0 restores the legacy blocker: min cannot retract a
+  // removed extremum without a retraction memo (DESIGN.md §11).
   const auto cp = compile_dv(kMinPublish);
-  DvStreamSession s(cp, weighted_diamond(), session_opts());
+  SessionOptions o = session_opts();
+  o.minmax_memo_k = 0;
+  DvStreamSession s(cp, weighted_diamond(), o);
   s.converge();
   MutationBatch b;
   b.remove_edge(1, 3);  // removes the minimal contribution
@@ -276,6 +280,19 @@ TEST(StreamMin, RemovalFallsBackCold) {
   EXPECT_NE(std::string(ep.blocker).find("min/max"), std::string::npos);
   // The fallback still lands on the right answer.
   expect_state_matches(s.result(), oracle(cp, s));
+  EXPECT_NEAR(s.result().field_as_double("m")[3], 3.0, 1e-12);
+}
+
+TEST(StreamMin, RemovalStaysWarmWithMemoOn) {
+  // Default SessionOptions carry minmax_memo_k = 8: the k-best memo
+  // retracts the lost extremum in O(k) and the epoch stays warm.
+  const auto cp = compile_dv(kMinPublish);
+  DvStreamSession s(cp, weighted_diamond(), session_opts());
+  s.converge();
+  EXPECT_TRUE(s.memo_path());
+  MutationBatch b;
+  b.remove_edge(1, 3);  // removes the minimal contribution
+  expect_warm_and_correct(cp, s, s.apply(b));
   EXPECT_NEAR(s.result().field_as_double("m")[3], 3.0, 1e-12);
 }
 

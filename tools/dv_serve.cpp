@@ -145,6 +145,10 @@ int main(int argc, char** argv) {
         "commit_window_ms", 0,
         "default group-commit window: wait this long for more writers to "
         "join an epoch (0 = drain only what is queued)");
+    const auto minmax_memo_k = static_cast<std::size_t>(args.get_int(
+        "minmax_memo_k", 8,
+        "default per-vertex k-best retraction memo capacity for min/max "
+        "sites (0 = disabled; extremum deletions fall back cold)"));
     const std::string metrics_path = args.get_string(
         "metrics", "",
         "write merged serve metrics JSON here on shutdown");
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
     dv::serve::HostOptions defaults;
     defaults.session.run.tier = dv::parse_exec_tier(tier_flag);
     defaults.session.run.engine.num_workers = workers;
+    defaults.session.minmax_memo_k = minmax_memo_k;
     defaults.queue_limit = queue_limit;
     defaults.commit_window_ms = commit_window_ms;
 

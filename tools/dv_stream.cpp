@@ -55,6 +55,7 @@ const char* builtin_source(const std::string& name) {
   if (name == "pagerank") return dv::programs::kPageRank;
   if (name == "pagerank-ug") return dv::programs::kPageRankUndirected;
   if (name == "sssp") return dv::programs::kSssp;
+  if (name == "sssp_retract") return dv::programs::kSsspRetract;
   if (name == "cc") return dv::programs::kConnectedComponents;
   if (name == "hits") return dv::programs::kHits;
   if (name == "reachability") return dv::programs::kReachability;
@@ -65,8 +66,8 @@ const char* builtin_source(const std::string& name) {
   if (name == "pointerjump") return dv::programs::kPointerJump;
   DV_FAIL("unknown built-in program '"
           << name
-          << "' (try pagerank, pagerank-ug, sssp, cc, hits, reachability, "
-             "maxgossip, bfs, kcore, mis, pointerjump)");
+          << "' (try pagerank, pagerank-ug, sssp, sssp_retract, cc, hits, "
+             "reachability, maxgossip, bfs, kcore, mis, pointerjump)");
 }
 
 std::map<std::string, dv::Value> parse_params(const std::string& spec) {
@@ -112,11 +113,11 @@ class EpochJson {
            const std::string& tier, double wall_seconds,
            std::uint64_t messages, std::size_t supersteps,
            std::size_t state_bytes, bool warm, const std::string& blocker,
-           const std::string& fold) {
+           const std::string& fold, std::size_t minmax_memo_k) {
     if (enabled())
       rows_.push_back(Row{epoch, graph, algo, system, tier, wall_seconds,
                           messages, supersteps, state_bytes, warm, blocker,
-                          fold});
+                          fold, minmax_memo_k});
   }
 
   void write() const {
@@ -137,7 +138,8 @@ class EpochJson {
           << ", \"epoch\": " << r.epoch
           << ", \"warm\": " << (r.warm ? "true" : "false")
           << ", \"blocker\": \"" << r.blocker
-          << "\", \"fold_path\": \"" << r.fold << "\"}";
+          << "\", \"fold_path\": \"" << r.fold
+          << "\", \"minmax_memo_k\": " << r.minmax_memo_k << "}";
     }
     out << "\n  ]\n}\n";
     DV_CHECK_MSG(out.good(), "failed writing --json path '" << path_ << "'");
@@ -156,6 +158,8 @@ class EpochJson {
     std::string blocker;  // cold-fallback reason; "" when warm
     std::string fold;     // "atomic" | "buffered": which Δ-send fold path
                           // this epoch actually ran
+    std::size_t minmax_memo_k;  // retraction-memo capacity the session ran
+                                // with (0 = memos disabled)
   };
   std::string path_;
   std::vector<Row> rows_;
@@ -200,6 +204,11 @@ int main(int argc, char** argv) {
     const double compact_threshold = args.get_double(
         "compact_threshold", 0.25,
         "fold the overlay into the base CSR above this overlay fraction");
+    const auto minmax_memo_k = static_cast<std::size_t>(args.get_int(
+        "minmax_memo_k", 8,
+        "per-vertex k-best retraction memo capacity for min/max "
+        "aggregation sites (DESIGN.md §11); 0 disables the memos and "
+        "restores the legacy cold-fallback on extremum deletions"));
     const auto checkpoint_every = static_cast<std::size_t>(args.get_int(
         "checkpoint_every", 0,
         "checkpoint every K supersteps during convergence (0 = off)"));
@@ -286,6 +295,7 @@ int main(int argc, char** argv) {
     so.run.fold_path = dv::parse_fold_path(fold_flag);
     so.run.atomic_float = atomic_float;
     so.compact_threshold = compact_threshold;
+    so.minmax_memo_k = minmax_memo_k;
     so.force_cold = force_cold;
     so.checkpoint_every = checkpoint_every;
     so.checkpoint_path = checkpoint_path;
@@ -340,7 +350,8 @@ int main(int argc, char** argv) {
       json.add(0, "edge-list", algo, "cold", tier_name, t0.elapsed_seconds(),
                first.stats.total_messages_sent(), first.supersteps,
                cp.state_bytes(), false, "initial convergence",
-               session->atomic_path() ? "atomic" : "buffered");
+               session->atomic_path() ? "atomic" : "buffered",
+               minmax_memo_k);
       obs_epoch(0, false, "initial convergence", before);
     }
     std::cout << "\n";
@@ -354,8 +365,10 @@ int main(int argc, char** argv) {
       const dv::streaming::SessionEpoch ep = session->apply(b);
       const double wall = t1.elapsed_seconds();
       warm_count += ep.warm ? 1 : 0;
-      std::string note = ep.warm ? "" : ep.blocker;
-      if (ep.compacted) note += note.empty() ? "compacted" : "; compacted";
+      // Warm epochs print "-" (not blank) in the note column so every row
+      // has a visible reason cell and column alignment is greppable.
+      std::string note = ep.warm ? "-" : ep.blocker;
+      if (ep.compacted) note += "; compacted";
       const char* fold = ep.stats.atomic_path ? "atomic" : "buffered";
       t.row()
           .cell(static_cast<unsigned long long>(ep.epoch))
@@ -371,7 +384,7 @@ int main(int argc, char** argv) {
       const std::string blocker = ep.blocker ? ep.blocker : "";
       json.add(ep.epoch, "edge-list", algo, ep.warm ? "warm" : "cold",
                tier_name, wall, ep.stats.messages, ep.stats.supersteps,
-               cp.state_bytes(), ep.warm, blocker, fold);
+               cp.state_bytes(), ep.warm, blocker, fold, minmax_memo_k);
       obs_epoch(ep.epoch, ep.warm, blocker, before);
     }
     t.print(std::cout);
